@@ -1,0 +1,60 @@
+//! Criterion version of the Fig. 4 plan-runtime comparison at fixed,
+//! bench-friendly sizes: the same logical plan under dense / sparse /
+//! implicit measurement matrices. (The full domain sweep lives in the
+//! `fig4` binary; criterion gives statistically robust per-point numbers.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ektelo_core::ops::inference::{least_squares, LsSolver};
+use ektelo_core::ops::selection::{h2, hb, stripe_select};
+use ektelo_data::generators::{shape_1d, Shape1D};
+use ektelo_matrix::{Matrix, Repr};
+use ektelo_plans::util::kernel_for_histogram;
+use std::hint::black_box;
+
+fn run_plan(x: &[f64], strategy: &Matrix, eps: f64) -> Vec<f64> {
+    let (k, root) = kernel_for_histogram(x, eps, 5);
+    let start = k.measurement_count();
+    k.vector_laplace(root, strategy, eps).expect("measure");
+    least_squares(&k.measurements_since(start), LsSolver::Iterative)
+}
+
+fn bench_h2_representations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_h2_plan");
+    group.sample_size(10);
+    let n = 4096;
+    let x = shape_1d(Shape1D::Bimodal, n, 1e6, 2);
+    let implicit = h2(n);
+    for (name, repr) in [("dense", Repr::Dense), ("sparse", Repr::Sparse), ("implicit", Repr::Implicit)]
+    {
+        let strategy = implicit.with_repr(repr);
+        group.bench_with_input(BenchmarkId::new("repr", name), &strategy, |b, s| {
+            b.iter(|| black_box(run_plan(&x, s, 0.1)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_striped_kron(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_striped_kron");
+    group.sample_size(10);
+    // Small census-like domain: 357 × 5 × 7 × 4 × 2 = 99,960 cells.
+    let sizes = [357usize, 5, 7, 4, 2];
+    let n: usize = sizes.iter().product();
+    let x = shape_1d(Shape1D::IncomeLike, n, 49_436.0, 3);
+    let implicit = stripe_select(&sizes, 0, hb);
+    let factor_sparse = stripe_select(&sizes, 0, |m| Matrix::sparse(hb(m).to_sparse()));
+    let basic_sparse = implicit.with_repr(Repr::Sparse);
+    for (name, strategy) in [
+        ("implicit", &implicit),
+        ("kron_sparse_factor", &factor_sparse),
+        ("basic_sparse", &basic_sparse),
+    ] {
+        group.bench_with_input(BenchmarkId::new("form", name), strategy, |b, s| {
+            b.iter(|| black_box(run_plan(&x, s, 0.1)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_h2_representations, bench_striped_kron);
+criterion_main!(benches);

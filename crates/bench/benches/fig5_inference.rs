@@ -1,0 +1,71 @@
+//! Criterion version of the Fig. 5 inference-scalability comparison at
+//! fixed sizes: least-squares engines (direct vs iterative) across matrix
+//! representations, plus tree-based inference and NNLS.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ektelo_core::ops::inference::{
+    least_squares, non_negative_least_squares, tree_based_h2, LsSolver,
+};
+use ektelo_core::ops::selection::h2;
+use ektelo_core::{MeasuredQuery, ProtectedKernel};
+use ektelo_data::generators::{shape_1d, Shape1D};
+use ektelo_matrix::Repr;
+use std::hint::black_box;
+
+fn h2_measurement(n: usize, repr: Repr) -> MeasuredQuery {
+    let x = shape_1d(Shape1D::Gaussian, n, 1e6, 3);
+    let k = ProtectedKernel::init_from_vector(x, 1.0, 9);
+    k.vector_laplace(k.root(), &h2(n).with_repr(repr), 1.0).expect("measure");
+    k.measurements().remove(0)
+}
+
+fn bench_ls_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_ls");
+    group.sample_size(10);
+
+    // Direct dense is the small-domain baseline.
+    let m_dense_small = h2_measurement(1024, Repr::Dense);
+    group.bench_function(BenchmarkId::new("dense_direct", 1024), |b| {
+        b.iter(|| black_box(least_squares(std::slice::from_ref(&m_dense_small), LsSolver::Direct)))
+    });
+    group.bench_function(BenchmarkId::new("dense_iterative", 1024), |b| {
+        b.iter(|| {
+            black_box(least_squares(std::slice::from_ref(&m_dense_small), LsSolver::Iterative))
+        })
+    });
+
+    // Iterative at a larger domain: sparse vs implicit.
+    let n = 1 << 16;
+    let m_sparse = h2_measurement(n, Repr::Sparse);
+    let m_implicit = h2_measurement(n, Repr::Implicit);
+    group.bench_function(BenchmarkId::new("sparse_iterative", n), |b| {
+        b.iter(|| black_box(least_squares(std::slice::from_ref(&m_sparse), LsSolver::Iterative)))
+    });
+    group.bench_function(BenchmarkId::new("implicit_iterative", n), |b| {
+        b.iter(|| black_box(least_squares(std::slice::from_ref(&m_implicit), LsSolver::Iterative)))
+    });
+    group.bench_function(BenchmarkId::new("implicit_cgls", n), |b| {
+        b.iter(|| {
+            black_box(least_squares(std::slice::from_ref(&m_implicit), LsSolver::IterativeCgls))
+        })
+    });
+    group.finish();
+}
+
+fn bench_nnls_and_tree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_nnls_tree");
+    group.sample_size(10);
+    let n = 1 << 14;
+    let m_implicit = h2_measurement(n, Repr::Implicit);
+    group.bench_function(BenchmarkId::new("nnls_implicit", n), |b| {
+        b.iter(|| black_box(non_negative_least_squares(std::slice::from_ref(&m_implicit))))
+    });
+    let answers = m_implicit.answers.clone();
+    group.bench_function(BenchmarkId::new("tree_based", n), |b| {
+        b.iter(|| black_box(tree_based_h2(n, &answers)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ls_engines, bench_nnls_and_tree);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Criterion micro-benchmarks validating the complexity claims of paper
+//! Tables 2 and 3: matrix–vector products of the core implicit matrices
+//! against their sparse and dense materializations, and of composed
+//! (Kronecker) matrices.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ektelo_matrix::{Matrix, Repr};
+use std::hint::black_box;
+
+fn bench_core_matrices(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matvec_core");
+    group.sample_size(20);
+
+    for &n in &[1usize << 10, 1 << 14] {
+        let x: Vec<f64> = (0..n).map(|i| (i % 17) as f64).collect();
+        for (name, m) in [
+            ("identity", Matrix::identity(n)),
+            ("prefix", Matrix::prefix(n)),
+            ("wavelet", Matrix::wavelet(n)),
+            (
+                "range_dyadic",
+                Matrix::range_queries(
+                    n,
+                    (0..n / 2).map(|i| (2 * i, 2 * i + 2)).collect::<Vec<_>>(),
+                ),
+            ),
+        ] {
+            group.bench_with_input(BenchmarkId::new(format!("{name}/implicit"), n), &m, |b, m| {
+                b.iter(|| black_box(m.matvec(&x)))
+            });
+            // Sparse comparison (Table 2's right columns). Dense is only
+            // feasible at the small size.
+            let sparse = m.with_repr(Repr::Sparse);
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}/sparse"), n),
+                &sparse,
+                |b, m| b.iter(|| black_box(m.matvec(&x))),
+            );
+            if n <= 1 << 10 {
+                let dense = m.with_repr(Repr::Dense);
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{name}/dense"), n),
+                    &dense,
+                    |b, m| b.iter(|| black_box(m.matvec(&x))),
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+fn bench_kron(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matvec_kron");
+    group.sample_size(20);
+    // A census-like marginal strategy: I ⊗ Total ⊗ I (Table 3 composition).
+    for &side in &[32usize, 128] {
+        let m = Matrix::kron_list(vec![
+            Matrix::identity(side),
+            Matrix::total(8),
+            Matrix::identity(side),
+        ]);
+        let n = m.cols();
+        let x: Vec<f64> = (0..n).map(|i| (i % 5) as f64).collect();
+        group.bench_with_input(BenchmarkId::new("marginal/implicit", n), &m, |b, m| {
+            b.iter(|| black_box(m.matvec(&x)))
+        });
+        let sparse = m.with_repr(Repr::Sparse);
+        group.bench_with_input(BenchmarkId::new("marginal/sparse", n), &sparse, |b, m| {
+            b.iter(|| black_box(m.matvec(&x)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sensitivity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sensitivity");
+    group.sample_size(20);
+    let n = 1 << 14;
+    for (name, m) in [
+        ("wavelet", Matrix::wavelet(n)),
+        ("h2_union", Matrix::vstack(vec![Matrix::identity(n), Matrix::wavelet(n)])),
+        (
+            "kron",
+            Matrix::kron(Matrix::prefix(128), Matrix::wavelet(128)),
+        ),
+    ] {
+        group.bench_function(name, |b| b.iter(|| black_box(m.l1_sensitivity())));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_core_matrices, bench_kron, bench_sensitivity);
+criterion_main!(benches);

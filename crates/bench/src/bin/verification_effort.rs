@@ -1,0 +1,103 @@
+//! Reproduces the *methodology* of the paper's §6.3 verification-effort
+//! comparison: how many lines of code must be vetted to trust the privacy
+//! guarantee?
+//!
+//! In EKTELO's trust model only the privacy-critical surface needs review:
+//! the kernel (budget accounting, stability, noise) and the
+//! Private→Public operators. Plans, inference, workloads, generators and
+//! the matrix engine are untrusted client-space code — bugs there cost
+//! accuracy, never privacy. This binary walks the workspace sources and
+//! prints the split (the paper's analogous numbers: 517 privacy-critical
+//! lines vs 1837 for vetting the monolithic DPBench implementations).
+//!
+//! Run: `cargo run --release -p ektelo-bench --bin verification_effort`
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Modules whose correctness the privacy proof depends on.
+const PRIVACY_CRITICAL: &[&str] = &[
+    "crates/core/src/kernel/mod.rs",
+    "crates/core/src/kernel/state.rs",
+    "crates/core/src/kernel/noise.rs",
+    "crates/core/src/kernel/error.rs",
+    "crates/core/src/ops/partition/ahp.rs",
+    "crates/core/src/ops/partition/dawa.rs",
+    "crates/core/src/ops/selection/worst_approx.rs",
+    "crates/core/src/ops/selection/privbayes.rs",
+    // Stability bookkeeping depends on exact sensitivity computation:
+    "crates/matrix/src/sensitivity.rs",
+];
+
+fn code_lines(path: &Path) -> usize {
+    let Ok(src) = fs::read_to_string(path) else {
+        return 0;
+    };
+    let mut in_tests = false;
+    let mut count = 0;
+    for line in src.lines() {
+        let t = line.trim();
+        if t.starts_with("#[cfg(test)]") {
+            in_tests = true;
+        }
+        if in_tests {
+            continue; // tests don't need privacy vetting
+        }
+        if t.is_empty() || t.starts_with("//") {
+            continue;
+        }
+        count += 1;
+    }
+    count
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for e in entries.flatten() {
+        let p = e.path();
+        if p.is_dir() {
+            if p.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            walk(&p, out);
+        } else if p.extension().is_some_and(|x| x == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+fn main() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut files = Vec::new();
+    walk(&root.join("crates"), &mut files);
+    walk(&root.join("src"), &mut files);
+
+    let mut critical = 0usize;
+    let mut total = 0usize;
+    println!("\nPrivacy-critical modules (must be vetted once):");
+    for f in &files {
+        let lines = code_lines(f);
+        total += lines;
+        let rel = f.strip_prefix(&root).unwrap_or(f);
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        if PRIVACY_CRITICAL.iter().any(|c| rel_str.ends_with(c) || rel_str.contains(c)) {
+            critical += lines;
+            println!("  {rel_str:<55} {lines:>6}");
+        }
+    }
+    println!("\n{:<57} {critical:>6}", "privacy-critical lines");
+    println!("{:<57} {total:>6}", "total library lines (excl. tests)");
+    println!(
+        "{:<57} {:>5.1}%",
+        "fraction needing privacy review",
+        100.0 * critical as f64 / total as f64
+    );
+    println!(
+        "\n(Paper §6.3: vetting all privacy-critical EKTELO operators took 517 lines \
+         vs 1837 lines to vet the equivalent DPBench algorithms — and one vetted \
+         operator, Vector Laplace, covers 10 of the 18 plans. The same leverage \
+         holds here: every plan in ektelo-plans is untrusted client code.)"
+    );
+}

@@ -1,0 +1,61 @@
+//! Kernel error type.
+//!
+//! Budget exhaustion is an *expected* outcome, not a panic: the paper notes
+//! the decision to reject a request never depends on the private state, so
+//! returning an error leaks nothing (§4.3).
+
+use std::fmt;
+
+/// Errors surfaced by the protected kernel.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EktError {
+    /// A Private→Public operator asked for more budget than remains.
+    /// (The amounts are in root-scaled units; both are data-independent.)
+    BudgetExceeded {
+        /// Budget the request would consume at the root.
+        requested: f64,
+        /// Budget still available at the root.
+        remaining: f64,
+    },
+    /// A table operation was applied to a vector source (or vice versa).
+    WrongSourceType {
+        /// What the operator needed ("table" or "vector").
+        expected: &'static str,
+    },
+    /// A matrix passed as a partition is not a valid partition matrix.
+    InvalidPartition(String),
+    /// An operator received inputs of inconsistent dimensions.
+    ShapeMismatch {
+        /// Expected dimension.
+        expected: usize,
+        /// Dimension found.
+        found: usize,
+    },
+    /// Any other invalid argument (empty workload, non-positive ε, …).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for EktError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EktError::BudgetExceeded { requested, remaining } => write!(
+                f,
+                "privacy budget exceeded: request costs {requested} at the root but only \
+                 {remaining} remains"
+            ),
+            EktError::WrongSourceType { expected } => {
+                write!(f, "operator requires a {expected} source")
+            }
+            EktError::InvalidPartition(msg) => write!(f, "invalid partition matrix: {msg}"),
+            EktError::ShapeMismatch { expected, found } => {
+                write!(f, "shape mismatch: expected {expected}, found {found}")
+            }
+            EktError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EktError {}
+
+/// Kernel result alias.
+pub type Result<T> = std::result::Result<T, EktError>;

@@ -1,0 +1,667 @@
+//! The protected kernel (paper §4).
+//!
+//! The kernel is initialized with one protected table and a global budget
+//! `ε_tot`. Plans hold only [`SourceVar`] handles; the actual tables and
+//! vectors never leave the kernel. Transformations derive new sources and
+//! record their stability; query operators draw calibrated noise and charge
+//! the budget through Algorithm 2 (see [`state`]'s `request`).
+
+mod error;
+pub mod noise;
+mod state;
+
+pub use error::{EktError, Result};
+pub use state::MeasuredQuery;
+
+use ektelo_data::{vectorize as t_vectorize, Predicate, Schema, Table};
+use ektelo_matrix::Matrix;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use state::{KernelState, Node, NodeData};
+
+/// An opaque handle to a protected data source.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SourceVar(pub(crate) usize);
+
+/// The protected kernel: owns the private data, the transformation graph,
+/// the budget trackers and the privacy RNG. All methods take `&self`; the
+/// state sits behind a mutex so plans can be ordinary single-threaded code
+/// while benchmark sweeps run kernels on worker threads.
+pub struct ProtectedKernel {
+    state: Mutex<KernelState>,
+}
+
+impl ProtectedKernel {
+    // ------------------------------------------------------------------
+    // Initialization & metadata
+    // ------------------------------------------------------------------
+
+    /// Initializes the kernel with the protected `table`, a global privacy
+    /// budget `eps_total`, and an RNG seed (determinism for experiments).
+    pub fn init(table: Table, eps_total: f64, seed: u64) -> Self {
+        assert!(eps_total > 0.0, "privacy budget must be positive");
+        let mut st = KernelState {
+            nodes: Vec::new(),
+            eps_total,
+            rng: StdRng::seed_from_u64(seed),
+            history: Vec::new(),
+        };
+        st.nodes.push(Node {
+            data: NodeData::Table(table),
+            parent: None,
+            stability: 1.0,
+            budget: 0.0,
+            base: None,
+            lineage: None,
+        });
+        ProtectedKernel { state: Mutex::new(st) }
+    }
+
+    /// Convenience: initialize directly from a data vector (plans that skip
+    /// the relational stage, e.g. the 1-D benchmark suite). The vector is
+    /// its own vectorize base.
+    pub fn init_from_vector(x: Vec<f64>, eps_total: f64, seed: u64) -> Self {
+        assert!(eps_total > 0.0, "privacy budget must be positive");
+        let n = x.len();
+        let mut st = KernelState {
+            nodes: Vec::new(),
+            eps_total,
+            rng: StdRng::seed_from_u64(seed),
+            history: Vec::new(),
+        };
+        st.nodes.push(Node {
+            data: NodeData::Vector(x),
+            parent: None,
+            stability: 1.0,
+            budget: 0.0,
+            base: Some(0),
+            lineage: Some(Matrix::identity(n)),
+        });
+        ProtectedKernel { state: Mutex::new(st) }
+    }
+
+    /// The root source variable.
+    pub fn root(&self) -> SourceVar {
+        SourceVar(0)
+    }
+
+    /// The global privacy budget.
+    pub fn eps_total(&self) -> f64 {
+        self.state.lock().eps_total
+    }
+
+    /// Root budget consumed so far (public: depends only on the sequence of
+    /// operator calls, not on the data).
+    pub fn budget_spent(&self) -> f64 {
+        self.state.lock().spent()
+    }
+
+    /// Budget still available at the root.
+    pub fn budget_remaining(&self) -> f64 {
+        let st = self.state.lock();
+        (st.eps_total - st.spent()).max(0.0)
+    }
+
+    /// The schema of a table source (public metadata).
+    pub fn schema(&self, sv: SourceVar) -> Result<Schema> {
+        let st = self.state.lock();
+        Ok(st.table(sv.0)?.schema().clone())
+    }
+
+    /// The length of a vector source. Public: domain sizes derive from the
+    /// schema and from partitions, which are themselves public outputs.
+    pub fn vector_len(&self, sv: SourceVar) -> Result<usize> {
+        let st = self.state.lock();
+        Ok(st.vector(sv.0)?.len())
+    }
+
+    /// The vectorize base this vector descends from.
+    pub fn base_of(&self, sv: SourceVar) -> Result<SourceVar> {
+        let st = self.state.lock();
+        st.vector(sv.0)?;
+        Ok(SourceVar(st.nodes[sv.0].base.expect("vector nodes always have a base")))
+    }
+
+    // ------------------------------------------------------------------
+    // Table transformations (Private; no budget, tracked stability)
+    // ------------------------------------------------------------------
+
+    /// `Where`: keeps rows satisfying `pred`. 1-stable (paper §5.1).
+    pub fn transform_where(&self, sv: SourceVar, pred: &Predicate) -> Result<SourceVar> {
+        let mut st = self.state.lock();
+        let out = st.table(sv.0)?.filter(pred);
+        Ok(SourceVar(st.add_node(Node {
+            data: NodeData::Table(out),
+            parent: Some(sv.0),
+            stability: 1.0,
+            budget: 0.0,
+            base: None,
+            lineage: None,
+        })))
+    }
+
+    /// `Select`: projects onto the named attributes. 1-stable.
+    pub fn transform_select(&self, sv: SourceVar, names: &[&str]) -> Result<SourceVar> {
+        let mut st = self.state.lock();
+        let out = st.table(sv.0)?.select(names);
+        Ok(SourceVar(st.add_node(Node {
+            data: NodeData::Table(out),
+            parent: Some(sv.0),
+            stability: 1.0,
+            budget: 0.0,
+            base: None,
+            lineage: None,
+        })))
+    }
+
+    /// `GroupBy`: distinct combinations of the named attributes. 2-stable.
+    pub fn transform_group_by(&self, sv: SourceVar, names: &[&str]) -> Result<SourceVar> {
+        let mut st = self.state.lock();
+        let out = st.table(sv.0)?.group_by(names);
+        Ok(SourceVar(st.add_node(Node {
+            data: NodeData::Table(out),
+            parent: Some(sv.0),
+            stability: 2.0,
+            budget: 0.0,
+            base: None,
+            lineage: None,
+        })))
+    }
+
+    /// Table-level `SplitByPartition` on attribute `attr`: rows are routed
+    /// by `labels[value]`; `None` drops the value's rows. Introduces a
+    /// partition dummy node so sibling budgets compose in parallel.
+    pub fn split_table_by_partition(
+        &self,
+        sv: SourceVar,
+        attr: &str,
+        labels: &[Option<usize>],
+    ) -> Result<Vec<SourceVar>> {
+        let mut st = self.state.lock();
+        let parts = st.table(sv.0)?.split_by_partition(attr, labels);
+        let dummy = st.add_node(Node {
+            data: NodeData::PartitionDummy,
+            parent: Some(sv.0),
+            stability: 1.0,
+            budget: 0.0,
+            base: None,
+            lineage: None,
+        });
+        Ok(parts
+            .into_iter()
+            .map(|t| {
+                SourceVar(st.add_node(Node {
+                    data: NodeData::Table(t),
+                    parent: Some(dummy),
+                    stability: 1.0,
+                    budget: 0.0,
+                    base: None,
+                    lineage: None,
+                }))
+            })
+            .collect())
+    }
+
+    // ------------------------------------------------------------------
+    // Vectorization and vector transformations
+    // ------------------------------------------------------------------
+
+    /// `T-Vectorize`: turns a table source into its count vector over the
+    /// full schema domain. 1-stable. The output becomes a *base* vector:
+    /// downstream measurements are mapped back onto it for inference.
+    pub fn vectorize(&self, sv: SourceVar) -> Result<SourceVar> {
+        let mut st = self.state.lock();
+        let x = t_vectorize(st.table(sv.0)?);
+        let n = x.len();
+        let id = st.add_node(Node {
+            data: NodeData::Vector(x),
+            parent: Some(sv.0),
+            stability: 1.0,
+            budget: 0.0,
+            base: None,
+            lineage: Some(Matrix::identity(n)),
+        });
+        st.nodes[id].base = Some(id);
+        Ok(SourceVar(id))
+    }
+
+    /// `V-ReduceByPartition`: `x' = P x` for a valid partition matrix `P`.
+    /// 1-stable (paper §5.1).
+    pub fn reduce_by_partition(&self, sv: SourceVar, p: &Matrix) -> Result<SourceVar> {
+        if !p.is_partition() {
+            return Err(EktError::InvalidPartition(format!(
+                "matrix of shape {:?} is not a partition",
+                p.shape()
+            )));
+        }
+        self.transform_linear_unchecked(sv, p, 1.0)
+    }
+
+    /// General linear vector transformation `x' = M x`. Stability is the
+    /// maximum L1 column norm of `M` (paper §5.1).
+    pub fn transform_linear(&self, sv: SourceVar, m: &Matrix) -> Result<SourceVar> {
+        let stability = m.l1_sensitivity();
+        self.transform_linear_unchecked(sv, m, stability)
+    }
+
+    fn transform_linear_unchecked(
+        &self,
+        sv: SourceVar,
+        m: &Matrix,
+        stability: f64,
+    ) -> Result<SourceVar> {
+        let mut st = self.state.lock();
+        let x = st.vector(sv.0)?;
+        if m.cols() != x.len() {
+            return Err(EktError::ShapeMismatch { expected: x.len(), found: m.cols() });
+        }
+        let out = m.matvec(x);
+        let base = st.nodes[sv.0].base;
+        let lineage = st.nodes[sv.0]
+            .lineage
+            .as_ref()
+            .map(|l| Matrix::product(m.clone(), l.clone()));
+        Ok(SourceVar(st.add_node(Node {
+            data: NodeData::Vector(out),
+            parent: Some(sv.0),
+            stability,
+            budget: 0.0,
+            base,
+            lineage,
+        })))
+    }
+
+    /// `V-SplitByPartition`: splits the vector into one child per partition
+    /// group (cells in original order). Introduces the partition dummy node
+    /// that makes sibling budget use compose in parallel — the engine
+    /// behind the striped plans of §9.2.
+    pub fn split_by_partition(&self, sv: SourceVar, p: &Matrix) -> Result<Vec<SourceVar>> {
+        if !p.is_partition() {
+            return Err(EktError::InvalidPartition(format!(
+                "matrix of shape {:?} is not a partition",
+                p.shape()
+            )));
+        }
+        let groups = partition_groups(p);
+        let mut st = self.state.lock();
+        let x = st.vector(sv.0)?;
+        if p.cols() != x.len() {
+            return Err(EktError::ShapeMismatch { expected: x.len(), found: p.cols() });
+        }
+        let n = x.len();
+        let base = st.nodes[sv.0].base;
+        let parent_lineage = st.nodes[sv.0].lineage.clone();
+        let dummy = st.add_node(Node {
+            data: NodeData::PartitionDummy,
+            parent: Some(sv.0),
+            stability: 1.0,
+            budget: 0.0,
+            base,
+            lineage: None,
+        });
+        let mut out = Vec::with_capacity(groups.len());
+        for cells in &groups {
+            let selector = Matrix::select_rows(n, cells);
+            let data = {
+                let x = st.vector(sv.0)?;
+                cells.iter().map(|&c| x[c]).collect::<Vec<f64>>()
+            };
+            let lineage = parent_lineage
+                .as_ref()
+                .map(|l| Matrix::product(selector.clone(), l.clone()));
+            out.push(SourceVar(st.add_node(Node {
+                data: NodeData::Vector(data),
+                parent: Some(dummy),
+                stability: 1.0,
+                budget: 0.0,
+                base,
+                lineage,
+            })));
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Query operators (Private→Public; consume budget)
+    // ------------------------------------------------------------------
+
+    /// `Vector Laplace` (paper §5.2): answers the query set `M` on vector
+    /// source `sv` with noise scale `‖M‖₁ / ε` per answer, charging ε to
+    /// the source (Algorithm 2 scales it through the lineage). The
+    /// measurement is recorded for inference.
+    pub fn vector_laplace(&self, sv: SourceVar, m: &Matrix, eps: f64) -> Result<Vec<f64>> {
+        if eps <= 0.0 {
+            return Err(EktError::InvalidArgument(format!("non-positive epsilon {eps}")));
+        }
+        let mut st = self.state.lock();
+        {
+            let x = st.vector(sv.0)?;
+            if m.cols() != x.len() {
+                return Err(EktError::ShapeMismatch { expected: x.len(), found: m.cols() });
+            }
+        }
+        let sensitivity = m.l1_sensitivity();
+        if sensitivity == 0.0 {
+            return Err(EktError::InvalidArgument(
+                "measurement matrix has zero sensitivity (no queries touch the data)".into(),
+            ));
+        }
+        st.request(sv.0, eps, None)?;
+        let scale = sensitivity / eps;
+        let exact = m.matvec(st.vector(sv.0)?);
+        let answers: Vec<f64> = exact
+            .into_iter()
+            .map(|v| v + noise::laplace(&mut st.rng, scale))
+            .collect();
+        if let (Some(base), Some(lineage)) = (st.nodes[sv.0].base, st.nodes[sv.0].lineage.clone())
+        {
+            let effective = match &lineage {
+                Matrix::Identity { .. } => m.clone(),
+                _ => Matrix::product(m.clone(), lineage),
+            };
+            st.history.push(MeasuredQuery {
+                base: SourceVar(base),
+                query: effective,
+                answers: answers.clone(),
+                noise_scale: scale,
+            });
+        }
+        Ok(answers)
+    }
+
+    /// `NoisyCount` (paper §5.2): the table cardinality plus
+    /// `Laplace(1/ε)` noise.
+    pub fn noisy_count(&self, sv: SourceVar, eps: f64) -> Result<f64> {
+        if eps <= 0.0 {
+            return Err(EktError::InvalidArgument(format!("non-positive epsilon {eps}")));
+        }
+        let mut st = self.state.lock();
+        let count = match &st.nodes[sv.0].data {
+            NodeData::Table(t) => t.num_rows() as f64,
+            NodeData::Vector(v) => v.iter().sum(),
+            NodeData::PartitionDummy => {
+                return Err(EktError::WrongSourceType { expected: "table" })
+            }
+        };
+        st.request(sv.0, eps, None)?;
+        let noisy = count + noise::laplace(&mut st.rng, 1.0 / eps);
+        Ok(noisy)
+    }
+
+    /// Hardened integer count using the two-sided geometric mechanism
+    /// (extension; see [`noise`] module docs on the floating-point attack).
+    pub fn noisy_count_geometric(&self, sv: SourceVar, eps: f64) -> Result<i64> {
+        if eps <= 0.0 {
+            return Err(EktError::InvalidArgument(format!("non-positive epsilon {eps}")));
+        }
+        let mut st = self.state.lock();
+        let count = match &st.nodes[sv.0].data {
+            NodeData::Table(t) => t.num_rows() as i64,
+            NodeData::Vector(v) => v.iter().sum::<f64>().round() as i64,
+            NodeData::PartitionDummy => {
+                return Err(EktError::WrongSourceType { expected: "table" })
+            }
+        };
+        st.request(sv.0, eps, None)?;
+        let noisy = count + noise::two_sided_geometric(&mut st.rng, eps);
+        Ok(noisy)
+    }
+
+    // ------------------------------------------------------------------
+    // Measurement history (for Public inference operators)
+    // ------------------------------------------------------------------
+
+    /// All measurements recorded so far (cheap clones: matrices share
+    /// structure).
+    pub fn measurements(&self) -> Vec<MeasuredQuery> {
+        self.state.lock().history.clone()
+    }
+
+    /// Number of measurements recorded so far. Plans snapshot this before
+    /// their measurement phase and pass the index to
+    /// [`ProtectedKernel::measurements_since`] so that inference uses only
+    /// their own measurements (useful when several plans share a kernel).
+    pub fn measurement_count(&self) -> usize {
+        self.state.lock().history.len()
+    }
+
+    /// The measurements recorded at or after history index `start`.
+    pub fn measurements_since(&self, start: usize) -> Vec<MeasuredQuery> {
+        let st = self.state.lock();
+        st.history[start.min(st.history.len())..].to_vec()
+    }
+
+    /// The measurements mapped onto the given base vector.
+    pub fn measurements_for_base(&self, base: SourceVar) -> Vec<MeasuredQuery> {
+        self.state
+            .lock()
+            .history
+            .iter()
+            .filter(|m| m.base == base)
+            .cloned()
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Vetted internal access for privacy-critical operators
+    // ------------------------------------------------------------------
+    //
+    // The paper's trust model: privacy-critical operators (AHP/DAWA
+    // partition selection, Worst-approx, PrivBayes select) are vetted once
+    // and live inside the trusted codebase. They get controlled access via
+    // the pub(crate) helpers below — *after* charging budget — and plans in
+    // other crates can only call their public, vetted entry points.
+
+    /// Charges ε against `sv` (Algorithm 2) without returning data.
+    pub(crate) fn charge(&self, sv: SourceVar, eps: f64) -> Result<()> {
+        if eps <= 0.0 {
+            return Err(EktError::InvalidArgument(format!("non-positive epsilon {eps}")));
+        }
+        self.state.lock().request(sv.0, eps, None)
+    }
+
+    /// Runs `f` over the private vector and the privacy RNG. Callers MUST
+    /// have charged an appropriate budget; each call site is part of the
+    /// vetted operator surface.
+    pub(crate) fn with_vector<T>(
+        &self,
+        sv: SourceVar,
+        f: impl FnOnce(&[f64], &mut StdRng) -> T,
+    ) -> Result<T> {
+        let mut st = self.state.lock();
+        // Split borrows: temporarily move the vector out to appease the
+        // borrow checker while the RNG is borrowed mutably.
+        let data = match &st.nodes[sv.0].data {
+            NodeData::Vector(v) => v.clone(),
+            _ => return Err(EktError::WrongSourceType { expected: "vector" }),
+        };
+        Ok(f(&data, &mut st.rng))
+    }
+
+    /// Runs `f` over the private table and the privacy RNG (vetted
+    /// operators only; same contract as [`ProtectedKernel::with_vector`]).
+    pub(crate) fn with_table<T>(
+        &self,
+        sv: SourceVar,
+        f: impl FnOnce(&Table, &mut StdRng) -> T,
+    ) -> Result<T> {
+        let mut st = self.state.lock();
+        let data = match &st.nodes[sv.0].data {
+            NodeData::Table(t) => t.clone(),
+            _ => return Err(EktError::WrongSourceType { expected: "table" }),
+        };
+        Ok(f(&data, &mut st.rng))
+    }
+
+    /// A fresh RNG forked from the kernel's stream, for Public operators
+    /// that want reproducible randomness (e.g. Algorithm 4's random
+    /// projection) without consuming privacy randomness state ordering.
+    pub fn fork_rng(&self) -> StdRng {
+        let mut st = self.state.lock();
+        let seed: u64 = st.rng.random();
+        StdRng::seed_from_u64(seed)
+    }
+}
+
+/// Extracts per-group cell lists from a partition matrix: group g holds the
+/// columns j with `P[g, j] = 1`.
+pub(crate) fn partition_groups(p: &Matrix) -> Vec<Vec<usize>> {
+    let sp = p.to_sparse();
+    let mut groups = vec![Vec::new(); sp.rows()];
+    for (g, group) in groups.iter_mut().enumerate() {
+        for (c, v) in sp.row_entries(g) {
+            debug_assert_eq!(v, 1.0);
+            group.push(c);
+        }
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ektelo_matrix::partition_from_labels;
+
+    fn simple_kernel(eps: f64) -> ProtectedKernel {
+        let schema = Schema::from_sizes(&[("v", 8)]);
+        let rows: Vec<Vec<u32>> = (0..16).map(|i| vec![i % 8]).collect();
+        ProtectedKernel::init(Table::from_rows(schema, &rows), eps, 11)
+    }
+
+    #[test]
+    fn end_to_end_measurement_and_history() {
+        let k = simple_kernel(1.0);
+        let x = k.vectorize(k.root()).unwrap();
+        assert_eq!(k.vector_len(x).unwrap(), 8);
+        let y = k.vector_laplace(x, &Matrix::identity(8), 0.5).unwrap();
+        assert_eq!(y.len(), 8);
+        let h = k.measurements();
+        assert_eq!(h.len(), 1);
+        assert_eq!(h[0].noise_scale, 2.0); // sens 1 / eps 0.5
+        assert!((k.budget_spent() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_an_error_not_a_panic() {
+        let k = simple_kernel(1.0);
+        let x = k.vectorize(k.root()).unwrap();
+        k.vector_laplace(x, &Matrix::identity(8), 1.0).unwrap();
+        let err = k.vector_laplace(x, &Matrix::identity(8), 0.2).unwrap_err();
+        assert!(matches!(err, EktError::BudgetExceeded { .. }));
+    }
+
+    #[test]
+    fn sensitivity_is_auto_calibrated() {
+        // Prefix has sensitivity n = 8, so the noise scale must be 8/ε.
+        let k = simple_kernel(1.0);
+        let x = k.vectorize(k.root()).unwrap();
+        k.vector_laplace(x, &Matrix::prefix(8), 1.0).unwrap();
+        assert_eq!(k.measurements()[0].noise_scale, 8.0);
+    }
+
+    #[test]
+    fn reduce_by_partition_tracks_lineage() {
+        let k = simple_kernel(1.0);
+        let x = k.vectorize(k.root()).unwrap();
+        let p = partition_from_labels(2, &[0, 0, 0, 0, 1, 1, 1, 1]);
+        let xr = k.reduce_by_partition(x, &p).unwrap();
+        assert_eq!(k.vector_len(xr).unwrap(), 2);
+        k.vector_laplace(xr, &Matrix::identity(2), 0.5).unwrap();
+        let h = k.measurements();
+        // Effective query over the base domain is I₂·P = P.
+        assert_eq!(h[0].query.shape(), (2, 8));
+        let q = h[0].query.to_dense();
+        assert_eq!(q.row_slice(0), &[1.0, 1.0, 1.0, 1.0, 0.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn split_by_partition_gets_parallel_composition() {
+        let k = simple_kernel(1.0);
+        let x = k.vectorize(k.root()).unwrap();
+        let p = partition_from_labels(4, &[0, 0, 1, 1, 2, 2, 3, 3]);
+        let parts = k.split_by_partition(x, &p).unwrap();
+        assert_eq!(parts.len(), 4);
+        for &part in &parts {
+            k.vector_laplace(part, &Matrix::identity(2), 0.8).unwrap();
+        }
+        // Four sibling measurements at ε = 0.8 cost 0.8 total.
+        assert!((k.budget_spent() - 0.8).abs() < 1e-12);
+        // All four recorded measurements map back to the 8-cell base.
+        for m in k.measurements() {
+            assert_eq!(m.query.cols(), 8);
+        }
+    }
+
+    #[test]
+    fn rejects_non_partition_matrices() {
+        let k = simple_kernel(1.0);
+        let x = k.vectorize(k.root()).unwrap();
+        assert!(matches!(
+            k.reduce_by_partition(x, &Matrix::prefix(8)),
+            Err(EktError::InvalidPartition(_))
+        ));
+    }
+
+    #[test]
+    fn general_linear_transform_scales_stability() {
+        // M = 2·P doubles the budget cost downstream.
+        let k = simple_kernel(1.0);
+        let x = k.vectorize(k.root()).unwrap();
+        let m = Matrix::scaled(2.0, Matrix::identity(8));
+        let x2 = k.transform_linear(x, &m).unwrap();
+        k.vector_laplace(x2, &Matrix::identity(8), 0.25).unwrap();
+        assert!((k.budget_spent() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn where_then_vectorize() {
+        let k = simple_kernel(1.0);
+        let filtered = k
+            .transform_where(k.root(), &Predicate::range("v", 0, 4))
+            .unwrap();
+        let x = k.vectorize(filtered).unwrap();
+        assert_eq!(k.vector_len(x).unwrap(), 8);
+        // Sum of a filtered vectorization = noisy count of matching rows.
+        let y = k.vector_laplace(x, &Matrix::total(8), 1.0).unwrap();
+        assert!((y[0] - 8.0).abs() < 20.0); // 8 matching rows ± noise
+    }
+
+    #[test]
+    fn noisy_count_on_table_and_vector() {
+        let k = simple_kernel(2.0);
+        let c = k.noisy_count(k.root(), 1.0).unwrap();
+        assert!((c - 16.0).abs() < 25.0);
+        let x = k.vectorize(k.root()).unwrap();
+        let c2 = k.noisy_count(x, 0.5).unwrap();
+        assert!((c2 - 16.0).abs() < 40.0);
+        assert!((k.budget_spent() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_count_is_integral() {
+        let k = simple_kernel(1.0);
+        let c = k.noisy_count_geometric(k.root(), 0.5).unwrap();
+        // i64 by construction; just verify budget accounting.
+        let _ = c;
+        assert!((k.budget_spent() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let k = simple_kernel(1.0);
+            let x = k.vectorize(k.root()).unwrap();
+            k.vector_laplace(x, &Matrix::identity(8), 1.0).unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn init_from_vector_measures_directly() {
+        let k = ProtectedKernel::init_from_vector(vec![5.0, 3.0, 2.0], 1.0, 3);
+        let y = k.vector_laplace(k.root(), &Matrix::total(3), 1.0).unwrap();
+        assert!((y[0] - 10.0).abs() < 15.0);
+    }
+}

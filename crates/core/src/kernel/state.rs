@@ -1,0 +1,257 @@
+//! Kernel state: the data-source environment, transformation graph,
+//! stability tracker and the budget `Request` algorithm (paper §4.4 and
+//! Algorithm 2).
+
+use ektelo_data::Table;
+use ektelo_matrix::Matrix;
+use rand::rngs::StdRng;
+
+use super::error::{EktError, Result};
+
+/// What a transformation-graph node holds.
+#[derive(Debug)]
+pub(crate) enum NodeData {
+    /// A relational table.
+    Table(Table),
+    /// A data vector.
+    Vector(Vec<f64>),
+    /// The dummy source introduced by a partition transformation
+    /// (paper §4.4: "a partition transformation introduces a special dummy
+    /// data source variable").
+    PartitionDummy,
+}
+
+/// A node of the transformation graph.
+#[derive(Debug)]
+pub(crate) struct Node {
+    pub data: NodeData,
+    pub parent: Option<usize>,
+    /// Stability factor of the transformation that derived this node from
+    /// its parent (paper Def. 3.4); 1 for the root.
+    pub stability: f64,
+    /// Budget consumption tracker `B(sv)` (paper §4.4).
+    pub budget: f64,
+    /// For vector nodes: the node id of the vectorize output this vector
+    /// descends from (inference maps measurements back onto that base).
+    pub base: Option<usize>,
+    /// For vector nodes: the linear map from the base vector to this one.
+    pub lineage: Option<Matrix>,
+}
+
+/// A measurement recorded by a query operator, already mapped onto the base
+/// vector's domain (paper §5.5, "Defining inference under vector
+/// transformations").
+#[derive(Clone, Debug)]
+pub struct MeasuredQuery {
+    /// The vectorize-output node this measurement refers to.
+    pub base: super::SourceVar,
+    /// The effective query matrix over the base domain (`M · lineage`).
+    pub query: Matrix,
+    /// The noisy answers.
+    pub answers: Vec<f64>,
+    /// The Laplace scale of the noise added to each answer.
+    pub noise_scale: f64,
+}
+
+/// The protected kernel's mutable state (`S_kernel` in the paper's proof).
+pub(crate) struct KernelState {
+    pub nodes: Vec<Node>,
+    pub eps_total: f64,
+    pub rng: StdRng,
+    pub history: Vec<MeasuredQuery>,
+}
+
+impl KernelState {
+    /// Root budget consumed so far.
+    pub fn spent(&self) -> f64 {
+        self.nodes[0].budget
+    }
+
+    /// The budget `Request` procedure (paper Algorithm 2). `from_child`
+    /// carries the child identity needed by the partition-variable case.
+    /// Returns `Ok(())` and updates trackers if the request fits; returns
+    /// `BudgetExceeded` (leaving all trackers untouched) otherwise.
+    pub fn request(&mut self, sv: usize, sigma: f64, from_child: Option<usize>) -> Result<()> {
+        // Tolerance guards against accumulated floating-point drift when a
+        // plan spends exactly its whole budget in several steps.
+        const EPS_TOL: f64 = 1e-9;
+        match self.nodes[sv].parent {
+            None => {
+                // Case 1: sv is the root.
+                let b = self.nodes[sv].budget;
+                if b + sigma > self.eps_total * (1.0 + EPS_TOL) + EPS_TOL {
+                    Err(EktError::BudgetExceeded {
+                        requested: sigma,
+                        remaining: (self.eps_total - b).max(0.0),
+                    })
+                } else {
+                    self.nodes[sv].budget += sigma;
+                    Ok(())
+                }
+            }
+            Some(parent) => {
+                if matches!(self.nodes[sv].data, NodeData::PartitionDummy) {
+                    // Case 2: sv is a partition variable; the request came
+                    // from `from_child` with stability-scaled cost sigma.
+                    let child =
+                        from_child.expect("partition variable reached without child context");
+                    let r = (self.nodes[child].budget + sigma - self.nodes[sv].budget).max(0.0);
+                    self.request(parent, r, Some(sv))?;
+                    self.nodes[sv].budget += r;
+                    Ok(())
+                } else {
+                    // Case 3: ordinary derived source; scale by stability.
+                    let s = self.nodes[sv].stability;
+                    self.request(parent, s * sigma, Some(sv))?;
+                    self.nodes[sv].budget += sigma;
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// Adds a node, returning its id.
+    pub fn add_node(&mut self, node: Node) -> usize {
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+
+    pub fn table(&self, sv: usize) -> Result<&Table> {
+        match &self.nodes[sv].data {
+            NodeData::Table(t) => Ok(t),
+            _ => Err(EktError::WrongSourceType { expected: "table" }),
+        }
+    }
+
+    pub fn vector(&self, sv: usize) -> Result<&Vec<f64>> {
+        match &self.nodes[sv].data {
+            NodeData::Vector(v) => Ok(v),
+            _ => Err(EktError::WrongSourceType { expected: "vector" }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn state(eps: f64) -> KernelState {
+        let mut s = KernelState {
+            nodes: Vec::new(),
+            eps_total: eps,
+            rng: StdRng::seed_from_u64(0),
+            history: Vec::new(),
+        };
+        s.add_node(Node {
+            data: NodeData::Vector(vec![0.0; 4]),
+            parent: None,
+            stability: 1.0,
+            budget: 0.0,
+            base: Some(0),
+            lineage: Some(Matrix::identity(4)),
+        });
+        s
+    }
+
+    fn add_child(s: &mut KernelState, parent: usize, stability: f64) -> usize {
+        s.add_node(Node {
+            data: NodeData::Vector(vec![0.0; 4]),
+            parent: Some(parent),
+            stability,
+            budget: 0.0,
+            base: Some(0),
+            lineage: None,
+        })
+    }
+
+    fn add_partition(s: &mut KernelState, parent: usize, k: usize) -> (usize, Vec<usize>) {
+        let dummy = s.add_node(Node {
+            data: NodeData::PartitionDummy,
+            parent: Some(parent),
+            stability: 1.0,
+            budget: 0.0,
+            base: Some(0),
+            lineage: None,
+        });
+        let children = (0..k).map(|_| add_child(s, dummy, 1.0)).collect();
+        (dummy, children)
+    }
+
+    #[test]
+    fn sequential_composition_adds_up() {
+        let mut s = state(1.0);
+        assert!(s.request(0, 0.5, None).is_ok());
+        assert!(s.request(0, 0.5, None).is_ok());
+        assert!(s.request(0, 0.1, None).is_err());
+        assert_eq!(s.spent(), 1.0);
+    }
+
+    #[test]
+    fn stability_scales_cost() {
+        let mut s = state(1.0);
+        let c = add_child(&mut s, 0, 2.0); // e.g. a GroupBy output
+        assert!(s.request(c, 0.4, None).is_ok());
+        assert_eq!(s.spent(), 0.8);
+        assert!(s.request(c, 0.2, None).is_err(), "0.2·2 = 0.4 > remaining 0.2");
+    }
+
+    #[test]
+    fn parallel_composition_is_free_across_siblings() {
+        let mut s = state(1.0);
+        let (_, kids) = add_partition(&mut s, 0, 3);
+        for &k in &kids {
+            assert!(s.request(k, 0.6, None).is_ok());
+        }
+        // All three siblings asked for 0.6, but the root is charged the max.
+        assert!((s.spent() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repeated_queries_on_one_child_accumulate() {
+        let mut s = state(1.0);
+        let (_, kids) = add_partition(&mut s, 0, 2);
+        assert!(s.request(kids[0], 0.4, None).is_ok());
+        assert!(s.request(kids[0], 0.4, None).is_ok());
+        assert!((s.spent() - 0.8).abs() < 1e-12);
+        // The sibling can still query up to 0.8 for free…
+        assert!(s.request(kids[1], 0.8, None).is_ok());
+        assert!((s.spent() - 0.8).abs() < 1e-12);
+        // …but going beyond the current max costs the difference.
+        assert!(s.request(kids[1], 0.2, None).is_ok());
+        assert!((s.spent() - 1.0).abs() < 1e-12);
+        assert!(s.request(kids[0], 0.3, None).is_err());
+    }
+
+    #[test]
+    fn nested_partitions_compose() {
+        let mut s = state(1.0);
+        let (_, outer) = add_partition(&mut s, 0, 2);
+        let (_, inner0) = add_partition(&mut s, outer[0], 2);
+        let (_, inner1) = add_partition(&mut s, outer[1], 2);
+        // Query every leaf at 0.5: all shares collapse to 0.5 at the root.
+        for &leaf in inner0.iter().chain(&inner1) {
+            assert!(s.request(leaf, 0.5, None).is_ok());
+        }
+        assert!((s.spent() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failed_request_leaves_root_tracker_unchanged() {
+        let mut s = state(1.0);
+        let c = add_child(&mut s, 0, 1.0);
+        assert!(s.request(c, 0.9, None).is_ok());
+        let before = s.spent();
+        assert!(s.request(c, 0.5, None).is_err());
+        assert_eq!(s.spent(), before);
+    }
+
+    #[test]
+    fn exact_full_budget_is_allowed() {
+        let mut s = state(0.3);
+        for _ in 0..3 {
+            assert!(s.request(0, 0.1, None).is_ok());
+        }
+        assert!(s.request(0, 1e-6, None).is_err());
+    }
+}

@@ -1,0 +1,78 @@
+//! Grid partition (paper §5.4, `Grid`). Public.
+//!
+//! Partitions a 2-D `rows×cols` domain into a `g×g` block grid; the
+//! blocks feed `V-SplitByPartition` (AdaptiveGrid's per-block subplans) or
+//! `V-ReduceByPartition` (coarsening).
+
+use ektelo_matrix::{partition_from_labels, Matrix};
+
+/// The g×g block partition of a `rows×cols` grid (blocks near-equal).
+/// Returns the partition matrix together with each block's rectangle
+/// `(r_lo, r_hi, c_lo, c_hi)` in group order.
+pub fn grid_partition(
+    rows: usize,
+    cols: usize,
+    g: usize,
+) -> (Matrix, Vec<(usize, usize, usize, usize)>) {
+    assert!(rows > 0 && cols > 0 && g >= 1);
+    let gr = g.min(rows);
+    let gc = g.min(cols);
+    let rb = bounds(rows, gr);
+    let cb = bounds(cols, gc);
+    let mut rects = Vec::with_capacity(gr * gc);
+    for r in rb.windows(2) {
+        for c in cb.windows(2) {
+            rects.push((r[0], r[1], c[0], c[1]));
+        }
+    }
+    let mut labels = vec![0usize; rows * cols];
+    for (gidx, &(r1, r2, c1, c2)) in rects.iter().enumerate() {
+        for r in r1..r2 {
+            for c in c1..c2 {
+                labels[r * cols + c] = gidx;
+            }
+        }
+    }
+    (partition_from_labels(rects.len(), &labels), rects)
+}
+
+fn bounds(n: usize, g: usize) -> Vec<usize> {
+    let base = n / g;
+    let extra = n % g;
+    let mut out = Vec::with_capacity(g + 1);
+    let mut pos = 0;
+    out.push(0);
+    for i in 0..g {
+        pos += base + usize::from(i < extra);
+        out.push(pos);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_is_valid_and_complete() {
+        let (p, rects) = grid_partition(6, 8, 3);
+        assert!(p.is_partition());
+        assert_eq!(p.rows(), 9);
+        assert_eq!(rects.len(), 9);
+        let total_area: usize = rects.iter().map(|&(a, b, c, d)| (b - a) * (d - c)).sum();
+        assert_eq!(total_area, 48);
+    }
+
+    #[test]
+    fn reduce_by_grid_sums_blocks() {
+        let (p, _) = grid_partition(4, 4, 2);
+        let x = vec![1.0; 16];
+        assert_eq!(p.matvec(&x), vec![4.0; 4]);
+    }
+
+    #[test]
+    fn g_larger_than_domain_clamps() {
+        let (p, _) = grid_partition(2, 2, 10);
+        assert_eq!(p.rows(), 4);
+    }
+}

@@ -1,0 +1,46 @@
+//! Partition selection operators (paper §5.4 and §8).
+//!
+//! A partition selection operator outputs a `p×n` partition matrix `P`
+//! (each domain cell assigned to exactly one group), which feeds
+//! `V-ReduceByPartition` (merge cells) or `V-SplitByPartition` (process
+//! groups independently under parallel composition).
+//!
+//! [`ahp_partition`] and [`dawa_partition`] are *data-adaptive*
+//! (Private→Public): they inspect a noisy copy of the data to find nearly
+//! uniform regions. The rest are Public.
+
+mod ahp;
+mod dawa;
+mod grid;
+mod stripe;
+mod workload_based;
+
+pub use ahp::{ahp_partition, AhpOptions};
+pub use dawa::{dawa_partition, DawaOptions};
+pub use grid::grid_partition;
+pub use stripe::{stripe_partition, stripe_partition_labels};
+pub use workload_based::{workload_based_partition, workload_reduction};
+
+use ektelo_matrix::Matrix;
+
+/// The marginal partition over the attributes flagged `true` in `keep`:
+/// reduces the data vector to the marginal sub-vector (paper §5.4,
+/// `Marginal(attr)`). Identical in form to the marginal *workload*; as a
+/// partition it groups all cells sharing the kept attributes' values.
+pub fn marginal_partition(sizes: &[usize], keep: &[bool]) -> Matrix {
+    let p = ektelo_data::workloads::marginal(sizes, keep);
+    debug_assert!(p.is_partition());
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marginal_partition_is_a_partition() {
+        let p = marginal_partition(&[3, 4, 2], &[true, false, true]);
+        assert!(p.is_partition());
+        assert_eq!(p.shape(), (6, 24));
+    }
+}

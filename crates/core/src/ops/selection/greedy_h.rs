@@ -1,0 +1,140 @@
+//! Greedy-H: the workload-weighted binary hierarchy from the DAWA paper
+//! (Li et al. 2014; paper Plan #5 and the second stage of Plan #9).
+//!
+//! Each workload range query decomposes greedily into maximal nodes of a
+//! binary interval tree. Levels that answer many workload queries get
+//! proportionally more of the noise budget: minimizing
+//! `Σ_ℓ c_ℓ / λ_ℓ²` subject to `Σ_ℓ λ_ℓ = const` gives the closed form
+//! `λ_ℓ ∝ c_ℓ^{1/3}` for per-level weights λ_ℓ and usage counts c_ℓ.
+
+use ektelo_matrix::Matrix;
+
+/// Per-level intervals of the binary split tree over `[0, n)`.
+fn levels(n: usize) -> Vec<Vec<(usize, usize)>> {
+    let mut out = Vec::new();
+    let mut frontier = vec![(0usize, n)];
+    while !frontier.is_empty() {
+        out.push(frontier.clone());
+        let mut next = Vec::new();
+        for &(lo, hi) in &frontier {
+            if hi - lo <= 1 {
+                continue;
+            }
+            let mid = (lo + hi) / 2;
+            next.push((lo, mid));
+            next.push((mid, hi));
+        }
+        frontier = next;
+    }
+    out
+}
+
+/// Counts, per tree level, how many workload ranges use a node of that
+/// level in their greedy decomposition.
+fn level_usage(n: usize, ranges: &[(usize, usize)]) -> Vec<f64> {
+    let depth = levels(n).len();
+    let mut counts = vec![0.0; depth];
+    for &(qlo, qhi) in ranges {
+        decompose(0, n, qlo.min(n), qhi.min(n), 0, &mut counts);
+    }
+    counts
+}
+
+fn decompose(lo: usize, hi: usize, qlo: usize, qhi: usize, level: usize, counts: &mut [f64]) {
+    if qlo >= hi || qhi <= lo || qlo >= qhi {
+        return;
+    }
+    if qlo <= lo && hi <= qhi {
+        counts[level] += 1.0;
+        return;
+    }
+    debug_assert!(hi - lo > 1, "singleton must be fully covered or disjoint");
+    let mid = (lo + hi) / 2;
+    decompose(lo, mid, qlo, qhi, level + 1, counts);
+    decompose(mid, hi, qlo, qhi, level + 1, counts);
+}
+
+/// Builds the Greedy-H strategy for a workload of range queries over
+/// `[0, n)`. Falls back to uniform level weights when `ranges` is empty.
+pub fn greedy_h(n: usize, ranges: &[(usize, usize)]) -> Matrix {
+    let lv = levels(n);
+    let usage = level_usage(n, ranges);
+    // λ_ℓ ∝ c_ℓ^{1/3}; floor keeps unused levels measurable at low weight
+    // so the strategy stays full-rank (leaves are always included).
+    let weights: Vec<f64> = usage.iter().map(|&c| (c + 0.125).cbrt()).collect();
+    let max_w = weights.iter().cloned().fold(f64::MIN, f64::max);
+    let blocks = lv
+        .into_iter()
+        .zip(weights)
+        .map(|(iv, w)| Matrix::scaled(w / max_w, Matrix::range_queries(n, iv)))
+        .collect();
+    Matrix::vstack(blocks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_partition_each_depth() {
+        for n in [4usize, 7, 16] {
+            for lv in levels(n) {
+                // Intervals at one level are disjoint.
+                let mut cells = vec![0usize; n];
+                for (lo, hi) in lv {
+                    for c in cells.iter_mut().take(hi).skip(lo) {
+                        *c += 1;
+                    }
+                }
+                assert!(cells.iter().all(|&c| c <= 1));
+            }
+        }
+    }
+
+    #[test]
+    fn decomposition_counts_match_hand_example() {
+        // n = 8, query [0, 8): uses exactly the root.
+        let u = level_usage(8, &[(0, 8)]);
+        assert_eq!(u[0], 1.0);
+        assert_eq!(u[1..].iter().sum::<f64>(), 0.0);
+        // Query [1, 8) over the binary tree on [0,8):
+        // right half [4,8) + [2,4) + [1,2) → one node at each of 3 levels.
+        let u2 = level_usage(8, &[(1, 8)]);
+        assert_eq!(u2.iter().sum::<f64>(), 3.0);
+    }
+
+    #[test]
+    fn strategy_shape_and_rank() {
+        let w = greedy_h(8, &[(0, 4), (2, 6)]);
+        // All levels present: 1 + 2 + 4 + 8 = 15 rows.
+        assert_eq!(w.rows(), 15);
+        assert_eq!(w.cols(), 8);
+        // Leaves present with nonzero weight → full rank (check by solving).
+        let x: Vec<f64> = (0..8).map(|i| i as f64 + 1.0).collect();
+        let y = w.matvec(&x);
+        let r = ektelo_solvers::lsqr(&w, &y, &ektelo_solvers::LsqrOptions::default());
+        for (a, b) in r.x.iter().zip(&x) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn heavily_used_levels_get_more_weight() {
+        // Workload of singletons at level=leaf: leaf weight should dominate
+        // the root weight.
+        let ranges: Vec<(usize, usize)> = (0..8).map(|i| (i, i + 1)).collect();
+        let w = greedy_h(8, &ranges);
+        // Extract level weights from the union structure.
+        if let Matrix::Union(blocks) = &w {
+            let weight_of = |b: &Matrix| match b {
+                Matrix::Scaled(c, _) => *c,
+                _ => 1.0,
+            };
+            let root_w = weight_of(&blocks[0]);
+            let leaf_w = weight_of(blocks.last().unwrap());
+            assert!(leaf_w > root_w, "leaf {leaf_w} vs root {root_w}");
+        } else {
+            panic!("expected union structure");
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! 2-D strategies: QuadTree (Cormode et al. 2012), UniformGrid and the
+//! adaptive second round of AdaptiveGrid (Qardaji et al. 2013) — paper
+//! Plans #10–#12.
+//!
+//! All three are rectangle-sum strategies and use the implicit
+//! [`Matrix::Rect2D`] representation (`O(m)` storage, `O(n + m)` products).
+
+use ektelo_matrix::Matrix;
+
+/// QuadTree: recursively split the grid into four quadrants down to unit
+/// cells; measure every node's rectangle sum.
+pub fn quad_tree(rows: usize, cols: usize) -> Matrix {
+    assert!(rows > 0 && cols > 0);
+    let mut rects = Vec::new();
+    let mut frontier = vec![(0usize, rows, 0usize, cols)];
+    while !frontier.is_empty() {
+        let mut next = Vec::new();
+        for &(r1, r2, c1, c2) in &frontier {
+            rects.push((r1, r2, c1, c2));
+            let (h, w) = (r2 - r1, c2 - c1);
+            if h * w <= 1 {
+                continue;
+            }
+            let rm = r1 + h.div_ceil(2);
+            let cm = c1 + w.div_ceil(2);
+            for &(a, b) in &[(r1, rm), (rm, r2)] {
+                for &(c, d) in &[(c1, cm), (cm, c2)] {
+                    if a < b && c < d {
+                        next.push((a, b, c, d));
+                    }
+                }
+            }
+        }
+        frontier = next;
+    }
+    Matrix::rect_queries(rows, cols, rects)
+}
+
+/// Qardaji's UniformGrid sizing rule: grid side `g ≈ sqrt(N·ε / c)` with
+/// `c = 10`, clamped to the domain.
+pub fn uniform_grid_size(rows: usize, cols: usize, expected_total: f64, eps: f64) -> usize {
+    let g = (expected_total * eps / 10.0).sqrt().ceil().max(1.0) as usize;
+    g.min(rows).min(cols).max(1)
+}
+
+/// UniformGrid: a g×g partition of the domain into near-equal blocks, each
+/// measured as one rectangle sum. Disjoint blocks → sensitivity 1.
+pub fn uniform_grid(rows: usize, cols: usize, g: usize) -> Matrix {
+    assert!(g >= 1);
+    let g = g.min(rows).min(cols);
+    let mut rects = Vec::with_capacity(g * g);
+    let rb = block_bounds(rows, g);
+    let cb = block_bounds(cols, g);
+    for r in rb.windows(2) {
+        for c in cb.windows(2) {
+            rects.push((r[0], r[1], c[0], c[1]));
+        }
+    }
+    Matrix::rect_queries(rows, cols, rects)
+}
+
+/// AdaptiveGrid's second round: per coarse block, choose a finer grid
+/// granularity from the block's noisy round-1 count and return the finer
+/// rectangles for that block (paper Plan #12 runs a subplan per block).
+/// `c2 = 5` follows Qardaji's recommendation (√2-scaled constant).
+pub fn adaptive_grid_round2(
+    block: (usize, usize, usize, usize),
+    noisy_count: f64,
+    eps2: f64,
+) -> Vec<(usize, usize, usize, usize)> {
+    let (r1, r2, c1, c2b) = block;
+    let h = r2 - r1;
+    let w = c2b - c1;
+    let g = ((noisy_count.max(0.0) * eps2 / 5.0).sqrt().ceil().max(1.0) as usize)
+        .min(h)
+        .min(w)
+        .max(1);
+    let rb: Vec<usize> = block_bounds(h, g).iter().map(|&b| b + r1).collect();
+    let cb: Vec<usize> = block_bounds(w, g).iter().map(|&b| b + c1).collect();
+    let mut out = Vec::with_capacity(g * g);
+    for r in rb.windows(2) {
+        for c in cb.windows(2) {
+            out.push((r[0], r[1], c[0], c[1]));
+        }
+    }
+    out
+}
+
+/// `g+1` block boundaries splitting `[0, n)` into g near-equal parts.
+fn block_bounds(n: usize, g: usize) -> Vec<usize> {
+    let g = g.min(n).max(1);
+    let base = n / g;
+    let extra = n % g;
+    let mut bounds = Vec::with_capacity(g + 1);
+    let mut pos = 0;
+    bounds.push(0);
+    for i in 0..g {
+        pos += base + usize::from(i < extra);
+        bounds.push(pos);
+    }
+    bounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quad_tree_root_is_total() {
+        let m = quad_tree(4, 4);
+        let x = vec![1.0; 16];
+        assert_eq!(m.matvec(&x)[0], 16.0);
+        // Leaves (unit cells) must all be present.
+        assert!(m.rows() > 16);
+    }
+
+    #[test]
+    fn quad_tree_sensitivity_is_depth() {
+        // Every cell lies in exactly one node per level.
+        let m = quad_tree(4, 4);
+        // Depth for 4x4 = levels {4x4, 2x2, 1x1} = 3.
+        assert_eq!(m.l1_sensitivity(), 3.0);
+    }
+
+    #[test]
+    fn quad_tree_handles_non_square_and_non_power_of_two() {
+        let m = quad_tree(5, 3);
+        assert_eq!(m.cols(), 15);
+        let x: Vec<f64> = (0..15).map(|i| i as f64).collect();
+        let y = m.matvec(&x);
+        assert_eq!(y[0], x.iter().sum::<f64>());
+    }
+
+    #[test]
+    fn uniform_grid_is_disjoint_cover() {
+        let m = uniform_grid(7, 5, 3);
+        assert_eq!(m.rows(), 9);
+        // Disjoint cover → column sums all equal 1 → sensitivity 1.
+        assert_eq!(m.l1_sensitivity(), 1.0);
+        let x = vec![1.0; 35];
+        assert_eq!(m.matvec(&x).iter().sum::<f64>(), 35.0);
+    }
+
+    #[test]
+    fn grid_size_scales_with_data_and_budget() {
+        let small = uniform_grid_size(1024, 1024, 1000.0, 0.01);
+        let large = uniform_grid_size(1024, 1024, 1_000_000.0, 0.1);
+        assert!(large > small);
+    }
+
+    #[test]
+    fn adaptive_round2_splits_dense_blocks_more() {
+        let sparse = adaptive_grid_round2((0, 16, 0, 16), 10.0, 0.1);
+        let dense = adaptive_grid_round2((0, 16, 0, 16), 100_000.0, 0.1);
+        assert!(dense.len() > sparse.len());
+        // Rectangles stay inside the block.
+        for (r1, r2, c1, c2) in dense {
+            assert!(r2 <= 16 && c2 <= 16 && r1 < r2 && c1 < c2);
+        }
+    }
+
+    #[test]
+    fn block_bounds_cover_exactly() {
+        for n in [5usize, 8, 13] {
+            for g in [1usize, 2, 3, 5] {
+                let b = block_bounds(n, g);
+                assert_eq!(*b.first().unwrap(), 0);
+                assert_eq!(*b.last().unwrap(), n);
+                assert!(b.windows(2).all(|w| w[0] < w[1]));
+            }
+        }
+    }
+}

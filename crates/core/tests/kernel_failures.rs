@@ -1,0 +1,165 @@
+//! Failure injection: every kernel error path fires cleanly, without
+//! corrupting state, and never leaks data through the error itself.
+
+use ektelo_core::kernel::{EktError, ProtectedKernel};
+use ektelo_core::ops::partition::{ahp_partition, dawa_partition, AhpOptions, DawaOptions};
+use ektelo_core::ops::selection::worst_approx;
+use ektelo_data::{Predicate, Schema, Table};
+use ektelo_matrix::Matrix;
+
+fn table_kernel() -> ProtectedKernel {
+    let schema = Schema::from_sizes(&[("v", 4)]);
+    let rows: Vec<Vec<u32>> = (0..8).map(|i| vec![i % 4]).collect();
+    ProtectedKernel::init(Table::from_rows(schema, &rows), 1.0, 5)
+}
+
+#[test]
+fn table_ops_on_vector_sources_fail() {
+    let k = ProtectedKernel::init_from_vector(vec![1.0; 4], 1.0, 0);
+    assert!(matches!(
+        k.transform_where(k.root(), &Predicate::True),
+        Err(EktError::WrongSourceType { expected: "table" })
+    ));
+    assert!(matches!(
+        k.transform_select(k.root(), &["v"]),
+        Err(EktError::WrongSourceType { .. })
+    ));
+    assert!(matches!(
+        k.schema(k.root()),
+        Err(EktError::WrongSourceType { .. })
+    ));
+}
+
+#[test]
+fn vector_ops_on_table_sources_fail() {
+    let k = table_kernel();
+    assert!(matches!(
+        k.vector_laplace(k.root(), &Matrix::identity(4), 0.1),
+        Err(EktError::WrongSourceType { expected: "vector" })
+    ));
+    assert!(matches!(
+        k.vector_len(k.root()),
+        Err(EktError::WrongSourceType { .. })
+    ));
+    assert!(matches!(
+        k.reduce_by_partition(k.root(), &Matrix::identity(4)),
+        Err(EktError::WrongSourceType { .. })
+    ));
+}
+
+#[test]
+fn shape_mismatches_are_reported_with_dimensions() {
+    let k = ProtectedKernel::init_from_vector(vec![1.0; 4], 1.0, 0);
+    match k.vector_laplace(k.root(), &Matrix::identity(5), 0.1) {
+        Err(EktError::ShapeMismatch { expected, found }) => {
+            assert_eq!((expected, found), (4, 5));
+        }
+        other => panic!("expected shape mismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn non_positive_epsilon_rejected_everywhere() {
+    let k = ProtectedKernel::init_from_vector(vec![1.0; 4], 1.0, 0);
+    for eps in [0.0, -0.5] {
+        assert!(matches!(
+            k.vector_laplace(k.root(), &Matrix::identity(4), eps),
+            Err(EktError::InvalidArgument(_))
+        ));
+        assert!(matches!(
+            k.noisy_count(k.root(), eps),
+            Err(EktError::InvalidArgument(_))
+        ));
+        assert!(ahp_partition(&k, k.root(), eps, &AhpOptions::default()).is_err());
+        assert!(dawa_partition(&k, k.root(), eps, &DawaOptions::new(0.1)).is_err());
+    }
+    // Nothing above should have consumed any budget.
+    assert_eq!(k.budget_spent(), 0.0);
+}
+
+#[test]
+fn zero_sensitivity_strategy_rejected() {
+    let k = ProtectedKernel::init_from_vector(vec![1.0; 4], 1.0, 0);
+    let zero = Matrix::sparse(ektelo_matrix::CsrMatrix::zeros(2, 4));
+    assert!(matches!(
+        k.vector_laplace(k.root(), &zero, 0.5),
+        Err(EktError::InvalidArgument(_))
+    ));
+    assert_eq!(k.budget_spent(), 0.0);
+}
+
+#[test]
+fn invalid_partition_rejected_by_both_partition_ops() {
+    let k = ProtectedKernel::init_from_vector(vec![1.0; 4], 1.0, 0);
+    // Wavelet has negative entries; prefix has overlapping support.
+    for bad in [Matrix::wavelet(4), Matrix::prefix(4)] {
+        assert!(matches!(
+            k.reduce_by_partition(k.root(), &bad),
+            Err(EktError::InvalidPartition(_))
+        ));
+        assert!(matches!(
+            k.split_by_partition(k.root(), &bad),
+            Err(EktError::InvalidPartition(_))
+        ));
+    }
+}
+
+#[test]
+fn worst_approx_on_empty_workload_fails() {
+    let k = ProtectedKernel::init_from_vector(vec![1.0; 4], 1.0, 0);
+    let empty = Matrix::sparse(ektelo_matrix::CsrMatrix::zeros(0, 4));
+    assert!(worst_approx(&k, k.root(), &empty, &[0.0; 4], 1.0, 0.1).is_err());
+}
+
+#[test]
+fn errors_are_displayable_and_stable() {
+    // Error messages are part of the public API surface (plans report
+    // them); keep them informative.
+    let e = EktError::BudgetExceeded { requested: 0.5, remaining: 0.25 };
+    let s = format!("{e}");
+    assert!(s.contains("0.5") && s.contains("0.25"), "{s}");
+    let e = EktError::ShapeMismatch { expected: 4, found: 5 };
+    assert!(format!("{e}").contains("expected 4"));
+}
+
+#[test]
+fn failed_measurement_leaves_history_clean() {
+    let k = ProtectedKernel::init_from_vector(vec![1.0; 4], 0.5, 0);
+    k.vector_laplace(k.root(), &Matrix::identity(4), 0.5).unwrap();
+    assert_eq!(k.measurement_count(), 1);
+    // Over budget: must not append to the history.
+    let _ = k.vector_laplace(k.root(), &Matrix::identity(4), 0.5);
+    assert_eq!(k.measurement_count(), 1);
+}
+
+#[test]
+fn deep_transformation_chains_stay_consistent() {
+    // A chain of reductions: budgets propagate through every hop and the
+    // lineage still maps back to the base.
+    let k = ProtectedKernel::init_from_vector((0..32).map(|i| i as f64).collect(), 1.0, 0);
+    let p1 = ektelo_matrix::partition_from_labels(16, &(0..32).map(|i| i / 2).collect::<Vec<_>>());
+    let p2 = ektelo_matrix::partition_from_labels(4, &(0..16).map(|i| i / 4).collect::<Vec<_>>());
+    let r1 = k.reduce_by_partition(k.root(), &p1).unwrap();
+    let r2 = k.reduce_by_partition(r1, &p2).unwrap();
+    k.vector_laplace(r2, &Matrix::identity(4), 0.5).unwrap();
+    assert!((k.budget_spent() - 0.5).abs() < 1e-12);
+    let m = &k.measurements()[0];
+    assert_eq!(m.query.cols(), 32, "lineage must map back to the 32-cell base");
+    // The effective query sums blocks of 8 original cells.
+    let row0 = m.query.row(0);
+    assert_eq!(row0.iter().sum::<f64>(), 8.0);
+}
+
+#[test]
+fn split_then_reduce_composes() {
+    let k = ProtectedKernel::init_from_vector(vec![2.0; 12], 1.0, 0);
+    let split = ektelo_matrix::partition_from_labels(2, &(0..12).map(|i| i / 6).collect::<Vec<_>>());
+    let parts = k.split_by_partition(k.root(), &split).unwrap();
+    let inner = ektelo_matrix::partition_from_labels(2, &(0..6).map(|i| i / 3).collect::<Vec<_>>());
+    for part in parts {
+        let red = k.reduce_by_partition(part, &inner).unwrap();
+        k.vector_laplace(red, &Matrix::identity(2), 0.8).unwrap();
+    }
+    // Parallel composition across the split: total cost 0.8.
+    assert!((k.budget_spent() - 0.8).abs() < 1e-12);
+}

@@ -1,0 +1,264 @@
+//! 1-D and 2-D histogram shape generators (DPBench stand-ins).
+//!
+//! DPBench (Hay et al. 2016) evaluates on ~10 one-dimensional datasets
+//! whose *shapes* — smooth, skewed, spiky, clustered, flat — are what
+//! separates data-dependent from data-independent algorithms. Table 4 of
+//! the EKTELO paper reports min/mean/max error improvements *across* that
+//! collection, so shape diversity is the property we reproduce.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// The shape families in the synthetic DPBench suite.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Shape1D {
+    /// Flat histogram: the friendliest case for Uniform.
+    Uniform,
+    /// Single Gaussian bump.
+    Gaussian,
+    /// Two well-separated Gaussian bumps.
+    Bimodal,
+    /// Power-law (Zipf-like) decay: heavy head, long sparse tail.
+    Zipf,
+    /// A handful of tall spikes on an empty domain.
+    SparseSpikes,
+    /// Piecewise-constant steps: ideal for partition-based algorithms.
+    Step,
+    /// Exponential decay.
+    Exponential,
+    /// Log-normal-ish income-style distribution.
+    IncomeLike,
+    /// Many small clusters of mass.
+    Clustered,
+    /// Mostly empty with one dense region.
+    DenseRegion,
+}
+
+/// The ten shapes used by [`dpbench_suite`], in order.
+pub const DPBENCH_SHAPES: [Shape1D; 10] = [
+    Shape1D::Uniform,
+    Shape1D::Gaussian,
+    Shape1D::Bimodal,
+    Shape1D::Zipf,
+    Shape1D::SparseSpikes,
+    Shape1D::Step,
+    Shape1D::Exponential,
+    Shape1D::IncomeLike,
+    Shape1D::Clustered,
+    Shape1D::DenseRegion,
+];
+
+/// Generates a 1-D count histogram of `n` cells with total mass ≈ `scale`.
+pub fn shape_1d(shape: Shape1D, n: usize, scale: f64, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+    let mut weights = vec![0.0f64; n];
+    match shape {
+        Shape1D::Uniform => {
+            weights.fill(1.0);
+        }
+        Shape1D::Gaussian => {
+            let mu = n as f64 * 0.5;
+            let sigma = n as f64 * 0.08;
+            for (i, w) in weights.iter_mut().enumerate() {
+                let z = (i as f64 - mu) / sigma;
+                *w = (-0.5 * z * z).exp();
+            }
+        }
+        Shape1D::Bimodal => {
+            let (m1, m2) = (n as f64 * 0.25, n as f64 * 0.75);
+            let sigma = n as f64 * 0.05;
+            for (i, w) in weights.iter_mut().enumerate() {
+                let z1 = (i as f64 - m1) / sigma;
+                let z2 = (i as f64 - m2) / sigma;
+                *w = (-0.5 * z1 * z1).exp() + 0.6 * (-0.5 * z2 * z2).exp();
+            }
+        }
+        Shape1D::Zipf => {
+            for (i, w) in weights.iter_mut().enumerate() {
+                *w = 1.0 / (i + 1) as f64;
+            }
+        }
+        Shape1D::SparseSpikes => {
+            let spikes = 12.min(n);
+            for _ in 0..spikes {
+                let pos = rng.random_range(0..n);
+                weights[pos] += 1.0 + rng.random::<f64>() * 4.0;
+            }
+        }
+        Shape1D::Step => {
+            let steps = 8.min(n);
+            let width = n.div_ceil(steps);
+            let mut level = 1.0;
+            for (i, w) in weights.iter_mut().enumerate() {
+                if i % width == 0 {
+                    level = rng.random_range(0.0..4.0f64);
+                    // Some steps are exactly empty — partition-friendly.
+                    if rng.random_bool(0.3) {
+                        level = 0.0;
+                    }
+                }
+                *w = level;
+            }
+        }
+        Shape1D::Exponential => {
+            let rate = 8.0 / n as f64;
+            for (i, w) in weights.iter_mut().enumerate() {
+                *w = (-rate * i as f64).exp();
+            }
+        }
+        Shape1D::IncomeLike => {
+            // Log-normal density over bin midpoints.
+            let mu = (n as f64 * 0.12).ln();
+            let sigma = 0.8;
+            for (i, w) in weights.iter_mut().enumerate() {
+                let v = (i + 1) as f64;
+                let z = (v.ln() - mu) / sigma;
+                *w = (-0.5 * z * z).exp() / v;
+            }
+        }
+        Shape1D::Clustered => {
+            let clusters = 20.min(n);
+            for _ in 0..clusters {
+                let center = rng.random_range(0..n);
+                let width = 1 + rng.random_range(0..(n / 64).max(1));
+                let lo = center.saturating_sub(width);
+                let hi = (center + width).min(n);
+                for w in weights.iter_mut().take(hi).skip(lo) {
+                    *w += 1.0;
+                }
+            }
+        }
+        Shape1D::DenseRegion => {
+            let lo = n / 3;
+            let hi = lo + n / 8 + 1;
+            for w in weights.iter_mut().take(hi.min(n)).skip(lo) {
+                *w = 1.0;
+            }
+        }
+    }
+    weights_to_counts(&weights, scale, &mut rng)
+}
+
+/// The full 10-dataset synthetic DPBench suite at domain size `n`.
+pub fn dpbench_suite(n: usize, scale: f64, seed: u64) -> Vec<(&'static str, Vec<f64>)> {
+    DPBENCH_SHAPES
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| (shape_name(s), shape_1d(s, n, scale, seed.wrapping_add(i as u64))))
+        .collect()
+}
+
+fn shape_name(s: Shape1D) -> &'static str {
+    match s {
+        Shape1D::Uniform => "uniform",
+        Shape1D::Gaussian => "gaussian",
+        Shape1D::Bimodal => "bimodal",
+        Shape1D::Zipf => "zipf",
+        Shape1D::SparseSpikes => "sparse-spikes",
+        Shape1D::Step => "step",
+        Shape1D::Exponential => "exponential",
+        Shape1D::IncomeLike => "income-like",
+        Shape1D::Clustered => "clustered",
+        Shape1D::DenseRegion => "dense-region",
+    }
+}
+
+/// A 2-D histogram (`rows×cols`, flattened row-major) made of Gaussian
+/// blobs — the stand-in for DPBench's 2-D spatial datasets used by the
+/// grid/quadtree plans.
+pub fn gauss_blobs_2d(rows: usize, cols: usize, blobs: usize, scale: f64, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xb10b);
+    let mut weights = vec![0.0f64; rows * cols];
+    for _ in 0..blobs {
+        let cy = rng.random_range(0.0..rows as f64);
+        let cx = rng.random_range(0.0..cols as f64);
+        let sy = rows as f64 * (0.02 + rng.random::<f64>() * 0.08);
+        let sx = cols as f64 * (0.02 + rng.random::<f64>() * 0.08);
+        let mass = 0.2 + rng.random::<f64>();
+        for r in 0..rows {
+            let zy = (r as f64 - cy) / sy;
+            if zy.abs() > 4.0 {
+                continue;
+            }
+            for c in 0..cols {
+                let zx = (c as f64 - cx) / sx;
+                if zx.abs() > 4.0 {
+                    continue;
+                }
+                weights[r * cols + c] += mass * (-0.5 * (zy * zy + zx * zx)).exp();
+            }
+        }
+    }
+    weights_to_counts(&weights, scale, &mut rng)
+}
+
+/// Converts non-negative weights to integer-valued counts with total mass
+/// ≈ `scale` by multinomial-style rounding (largest remainders get the
+/// leftover units, so the total is exact when the weights are not all 0).
+fn weights_to_counts(weights: &[f64], scale: f64, _rng: &mut StdRng) -> Vec<f64> {
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return vec![0.0; weights.len()];
+    }
+    let mut counts: Vec<f64> = weights.iter().map(|w| (w / total * scale).floor()).collect();
+    let assigned: f64 = counts.iter().sum();
+    let mut leftover = (scale - assigned) as usize;
+    // Distribute remaining units to the largest fractional parts.
+    let mut fracs: Vec<(usize, f64)> = weights
+        .iter()
+        .enumerate()
+        .map(|(i, w)| (i, w / total * scale - counts[i]))
+        .collect();
+    fracs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    for (i, _) in fracs {
+        if leftover == 0 {
+            break;
+        }
+        counts[i] += 1.0;
+        leftover -= 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_mass_is_exact() {
+        for &shape in &DPBENCH_SHAPES {
+            let x = shape_1d(shape, 256, 10_000.0, 7);
+            let total: f64 = x.iter().sum();
+            assert_eq!(total, 10_000.0, "shape {shape:?} has total {total}");
+            assert!(x.iter().all(|&v| v >= 0.0 && v == v.floor()));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = shape_1d(Shape1D::SparseSpikes, 128, 1000.0, 42);
+        let b = shape_1d(Shape1D::SparseSpikes, 128, 1000.0, 42);
+        assert_eq!(a, b);
+        let c = shape_1d(Shape1D::SparseSpikes, 128, 1000.0, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn suite_has_ten_distinct_shapes() {
+        let suite = dpbench_suite(512, 5000.0, 1);
+        assert_eq!(suite.len(), 10);
+        // Shape diversity: sparse-spikes should have far fewer nonzero
+        // cells than uniform.
+        let nnz = |x: &[f64]| x.iter().filter(|&&v| v > 0.0).count();
+        let uniform = &suite[0].1;
+        let spikes = &suite[4].1;
+        assert!(nnz(spikes) * 10 < nnz(uniform));
+    }
+
+    #[test]
+    fn blobs_2d_mass_and_shape() {
+        let x = gauss_blobs_2d(32, 32, 5, 2000.0, 3);
+        assert_eq!(x.len(), 1024);
+        assert_eq!(x.iter().sum::<f64>(), 2000.0);
+    }
+}

@@ -1,0 +1,60 @@
+//! `T-Vectorize`: table → count vector (paper §5.1).
+//!
+//! The output has one cell per element of the schema's domain product;
+//! cell `i` holds the number of rows whose attribute combination encodes to
+//! `i`. This is a 1-stable transformation: adding or removing one row
+//! changes the vector's L1 norm by exactly one.
+
+use crate::table::Table;
+
+/// Hard cap on materialized vector size (cells): vectors are dense `f64`,
+/// so 2³⁰ cells ≈ 8 GiB. Plans reduce the domain (via `Select` or
+/// partition reductions) before vectorizing when the raw product is larger.
+pub const MAX_VECTOR_CELLS: usize = 1 << 30;
+
+/// Vectorizes `table` over its full schema domain.
+pub fn vectorize(table: &Table) -> Vec<f64> {
+    let schema = table.schema();
+    let n = schema.domain_size();
+    assert!(
+        n <= MAX_VECTOR_CELLS,
+        "domain of {n} cells exceeds the vectorization cap; Select fewer attributes first"
+    );
+    let mut x = vec![0.0; n];
+    for i in 0..table.num_rows() {
+        let row = table.row(i);
+        x[schema.cell_index(&row)] += 1.0;
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    #[test]
+    fn counts_rows_per_cell() {
+        let schema = Schema::from_sizes(&[("a", 2), ("b", 2)]);
+        let t = Table::from_rows(
+            schema,
+            &[vec![0, 0], vec![0, 0], vec![1, 1], vec![0, 1]],
+        );
+        assert_eq!(vectorize(&t), vec![2.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn l1_norm_equals_row_count() {
+        let schema = Schema::from_sizes(&[("a", 3)]);
+        let t = Table::from_rows(schema, &[vec![0], vec![2], vec![2]]);
+        let x = vectorize(&t);
+        assert_eq!(x.iter().sum::<f64>(), 3.0);
+    }
+
+    #[test]
+    fn empty_table_gives_zero_vector() {
+        let schema = Schema::from_sizes(&[("a", 4)]);
+        let t = Table::empty(schema);
+        assert_eq!(vectorize(&t), vec![0.0; 4]);
+    }
+}

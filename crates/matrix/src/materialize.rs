@@ -1,0 +1,156 @@
+//! Lossless materialization to explicit (sparse/dense) representations.
+//!
+//! The paper stresses that implicit matrices are *lossless*: "an implicit
+//! matrix can always be materialized in sparse or dense form, although the
+//! goal is to perform computations without materialization" (§7.2). The
+//! Fig. 4/5 experiments ablate exactly this choice, which
+//! [`Matrix::with_repr`] makes a one-liner.
+
+use crate::wavelet::wavelet_triplets;
+use crate::{CsrMatrix, DenseMatrix, Matrix};
+
+/// A physical representation choice for a logical matrix (paper §7.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Repr {
+    /// Keep the implicit structure as-is.
+    Implicit,
+    /// Materialize to CSR.
+    Sparse,
+    /// Materialize to row-major dense.
+    Dense,
+}
+
+impl Matrix {
+    /// Materializes to CSR form. Exact — no approximation is involved.
+    pub fn to_sparse(&self) -> CsrMatrix {
+        match self {
+            Matrix::Dense(d) => CsrMatrix::from_dense(d),
+            Matrix::Sparse(s) => (**s).clone(),
+            Matrix::Diagonal(d) => CsrMatrix::diag(d),
+            Matrix::Identity { n } => CsrMatrix::identity(*n),
+            Matrix::Ones { rows, cols } => {
+                let mut triplets = Vec::with_capacity(rows * cols);
+                for i in 0..*rows {
+                    for j in 0..*cols {
+                        triplets.push((i, j, 1.0));
+                    }
+                }
+                CsrMatrix::from_triplets(*rows, *cols, &triplets)
+            }
+            Matrix::Prefix { n } => {
+                let mut triplets = Vec::with_capacity(n * (n + 1) / 2);
+                for i in 0..*n {
+                    for j in 0..=i {
+                        triplets.push((i, j, 1.0));
+                    }
+                }
+                CsrMatrix::from_triplets(*n, *n, &triplets)
+            }
+            Matrix::Suffix { n } => {
+                let mut triplets = Vec::with_capacity(n * (n + 1) / 2);
+                for i in 0..*n {
+                    for j in i..*n {
+                        triplets.push((i, j, 1.0));
+                    }
+                }
+                CsrMatrix::from_triplets(*n, *n, &triplets)
+            }
+            Matrix::Wavelet { n } => CsrMatrix::from_triplets(*n, *n, &wavelet_triplets(*n)),
+            Matrix::Range(r) => {
+                let mut triplets = Vec::new();
+                for (k, (lo, hi)) in r.ranges().enumerate() {
+                    for j in lo..hi {
+                        triplets.push((k, j, 1.0));
+                    }
+                }
+                CsrMatrix::from_triplets(r.num_queries(), r.domain(), &triplets)
+            }
+            Matrix::Rect2D(r) => {
+                CsrMatrix::from_triplets(r.num_queries(), r.domain(), &r.triplets())
+            }
+            Matrix::Union(blocks) => {
+                let mats: Vec<CsrMatrix> = blocks.iter().map(Matrix::to_sparse).collect();
+                let refs: Vec<&CsrMatrix> = mats.iter().collect();
+                CsrMatrix::vstack(&refs)
+            }
+            Matrix::Product(a, b) => a.to_sparse().matmul(&b.to_sparse()),
+            Matrix::Kronecker(a, b) => a.to_sparse().kron(&b.to_sparse()),
+            Matrix::Scaled(c, a) => a.to_sparse().map(|v| c * v),
+            Matrix::Transpose(a) => a.to_sparse().transpose(),
+        }
+    }
+
+    /// Materializes to dense form. Exact.
+    pub fn to_dense(&self) -> DenseMatrix {
+        match self {
+            Matrix::Dense(d) => (**d).clone(),
+            _ => self.to_sparse().to_dense(),
+        }
+    }
+
+    /// Converts this logical matrix into the requested physical
+    /// representation (losslessly). `Implicit` is the identity conversion.
+    pub fn with_repr(&self, repr: Repr) -> Matrix {
+        match repr {
+            Repr::Implicit => self.clone(),
+            Repr::Sparse => Matrix::sparse(self.to_sparse()),
+            Repr::Dense => Matrix::dense(self.to_dense()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(m: &Matrix) {
+        let s = m.to_sparse();
+        let d = m.to_dense();
+        assert_eq!(s.to_dense(), d, "sparse/dense disagree for {m:?}");
+        // Products agree across representations.
+        let n = m.cols();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64) * 0.5 - 1.0).collect();
+        let implicit = m.matvec(&x);
+        let mut via_sparse = vec![0.0; m.rows()];
+        s.matvec_into(&x, &mut via_sparse);
+        for (a, b) in implicit.iter().zip(&via_sparse) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        roundtrip(&Matrix::identity(5));
+        roundtrip(&Matrix::ones(2, 5));
+        roundtrip(&Matrix::prefix(5));
+        roundtrip(&Matrix::suffix(5));
+        roundtrip(&Matrix::wavelet(8));
+        roundtrip(&Matrix::wavelet(7));
+        roundtrip(&Matrix::range_queries(6, vec![(0, 2), (1, 6)]));
+        roundtrip(&Matrix::diagonal(vec![2.0, -1.0, 0.5]));
+        roundtrip(&Matrix::vstack(vec![Matrix::identity(4), Matrix::wavelet(4)]));
+        roundtrip(&Matrix::product(Matrix::total(4), Matrix::prefix(4)));
+        roundtrip(&Matrix::kron(Matrix::prefix(3), Matrix::identity(2)));
+        roundtrip(&Matrix::scaled(0.25, Matrix::suffix(4)));
+        roundtrip(&Matrix::wavelet(4).transpose());
+    }
+
+    #[test]
+    fn with_repr_preserves_values() {
+        let m = Matrix::vstack(vec![Matrix::prefix(6), Matrix::total(6)]);
+        let x: Vec<f64> = (0..6).map(|i| i as f64).collect();
+        let expect = m.matvec(&x);
+        for repr in [Repr::Implicit, Repr::Sparse, Repr::Dense] {
+            let forced = m.with_repr(repr);
+            assert_eq!(forced.matvec(&x), expect, "mismatch under {repr:?}");
+        }
+    }
+
+    #[test]
+    fn repr_changes_storage_not_semantics() {
+        let m = Matrix::prefix(64);
+        assert_eq!(m.stored_scalars(), 0);
+        assert_eq!(m.with_repr(Repr::Sparse).stored_scalars(), 64 * 65 / 2);
+        assert_eq!(m.with_repr(Repr::Dense).stored_scalars(), 64 * 64);
+    }
+}

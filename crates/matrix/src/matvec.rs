@@ -1,0 +1,382 @@
+//! Matrix–vector products (`A·x`) and transpose products (`Aᵀ·y`) — the two
+//! primitive methods everything else in EKTELO reduces to (paper §7.3).
+
+use crate::wavelet::{wavelet_matvec, wavelet_rmatvec};
+use crate::Matrix;
+
+impl Matrix {
+    /// `A · x` as a fresh vector.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.rows()];
+        self.matvec_into(x, &mut out);
+        out
+    }
+
+    /// `Aᵀ · y` as a fresh vector.
+    pub fn rmatvec(&self, y: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.cols()];
+        self.rmatvec_into(y, &mut out);
+        out
+    }
+
+    /// `out = A · x`.
+    pub fn matvec_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.cols(), "matvec: x has wrong length");
+        assert_eq!(out.len(), self.rows(), "matvec: out has wrong length");
+        match self {
+            Matrix::Dense(d) => d.matvec_into(x, out),
+            Matrix::Sparse(s) => s.matvec_into(x, out),
+            Matrix::Diagonal(d) => {
+                for ((o, &di), &xi) in out.iter_mut().zip(d.iter()).zip(x) {
+                    *o = di * xi;
+                }
+            }
+            Matrix::Identity { .. } => out.copy_from_slice(x),
+            Matrix::Ones { .. } => {
+                let s: f64 = x.iter().sum();
+                out.fill(s);
+            }
+            Matrix::Prefix { .. } => {
+                let mut acc = 0.0;
+                for (o, &xi) in out.iter_mut().zip(x) {
+                    acc += xi;
+                    *o = acc;
+                }
+            }
+            Matrix::Suffix { .. } => {
+                let mut acc = 0.0;
+                for (o, &xi) in out.iter_mut().rev().zip(x.iter().rev()) {
+                    acc += xi;
+                    *o = acc;
+                }
+            }
+            Matrix::Wavelet { .. } => wavelet_matvec(x, out),
+            Matrix::Range(r) => r.matvec_into(x, out),
+            Matrix::Rect2D(r) => r.matvec_into(x, out),
+            Matrix::Union(blocks) => {
+                let mut offset = 0;
+                for b in blocks {
+                    let m = b.rows();
+                    b.matvec_into(x, &mut out[offset..offset + m]);
+                    offset += m;
+                }
+            }
+            Matrix::Product(a, b) => {
+                let t = b.matvec(x);
+                a.matvec_into(&t, out);
+            }
+            Matrix::Kronecker(a, b) => kron_matvec(a, b, x, out),
+            Matrix::Scaled(c, a) => {
+                a.matvec_into(x, out);
+                for o in out.iter_mut() {
+                    *o *= c;
+                }
+            }
+            Matrix::Transpose(a) => a.rmatvec_into(x, out),
+        }
+    }
+
+    /// `out = Aᵀ · y`.
+    pub fn rmatvec_into(&self, y: &[f64], out: &mut [f64]) {
+        assert_eq!(y.len(), self.rows(), "rmatvec: y has wrong length");
+        assert_eq!(out.len(), self.cols(), "rmatvec: out has wrong length");
+        match self {
+            Matrix::Dense(d) => d.rmatvec_into(y, out),
+            Matrix::Sparse(s) => s.rmatvec_into(y, out),
+            Matrix::Diagonal(d) => {
+                for ((o, &di), &yi) in out.iter_mut().zip(d.iter()).zip(y) {
+                    *o = di * yi;
+                }
+            }
+            Matrix::Identity { .. } => out.copy_from_slice(y),
+            Matrix::Ones { .. } => {
+                let s: f64 = y.iter().sum();
+                out.fill(s);
+            }
+            // Prefixᵀ behaves like Suffix and vice versa.
+            Matrix::Prefix { .. } => {
+                let mut acc = 0.0;
+                for (o, &yi) in out.iter_mut().rev().zip(y.iter().rev()) {
+                    acc += yi;
+                    *o = acc;
+                }
+            }
+            Matrix::Suffix { .. } => {
+                let mut acc = 0.0;
+                for (o, &yi) in out.iter_mut().zip(y) {
+                    acc += yi;
+                    *o = acc;
+                }
+            }
+            Matrix::Wavelet { .. } => wavelet_rmatvec(y, out),
+            Matrix::Range(r) => r.rmatvec_into(y, out),
+            Matrix::Rect2D(r) => r.rmatvec_into(y, out),
+            Matrix::Union(blocks) => {
+                // Unionᵀ is a horizontal stack: contributions accumulate.
+                // Scatter-adding per block keeps the cost proportional to
+                // each block's own work instead of O(blocks · n) — vital
+                // for striped plans whose unions have hundreds of blocks.
+                out.fill(0.0);
+                let mut offset = 0;
+                for b in blocks {
+                    let m = b.rows();
+                    b.rmatvec_add(&y[offset..offset + m], out);
+                    offset += m;
+                }
+            }
+            Matrix::Product(a, b) => {
+                let t = a.rmatvec(y);
+                b.rmatvec_into(&t, out);
+            }
+            Matrix::Kronecker(a, b) => kron_rmatvec(a, b, y, out),
+            Matrix::Scaled(c, a) => {
+                a.rmatvec_into(y, out);
+                for o in out.iter_mut() {
+                    *o *= c;
+                }
+            }
+            Matrix::Transpose(a) => a.matvec_into(y, out),
+        }
+    }
+}
+
+impl Matrix {
+    /// `out += Aᵀ · y` — the accumulating variant of
+    /// [`Matrix::rmatvec_into`]. Sparse-structure-aware: a CSR block
+    /// scatter-adds its `nnz` entries, and products push the accumulation
+    /// into their right factor, so a `Union` of narrow blocks costs the sum
+    /// of block sizes rather than `O(blocks · n)`.
+    pub fn rmatvec_add(&self, y: &[f64], out: &mut [f64]) {
+        assert_eq!(y.len(), self.rows(), "rmatvec_add: y has wrong length");
+        assert_eq!(out.len(), self.cols(), "rmatvec_add: out has wrong length");
+        match self {
+            Matrix::Sparse(s) => {
+                for (i, &yi) in y.iter().enumerate() {
+                    if yi == 0.0 {
+                        continue;
+                    }
+                    for (c, v) in s.row_entries(i) {
+                        out[c] += yi * v;
+                    }
+                }
+            }
+            Matrix::Identity { .. } => {
+                for (o, &yi) in out.iter_mut().zip(y) {
+                    *o += yi;
+                }
+            }
+            Matrix::Diagonal(d) => {
+                for ((o, &di), &yi) in out.iter_mut().zip(d.iter()).zip(y) {
+                    *o += di * yi;
+                }
+            }
+            Matrix::Product(a, b) => {
+                let t = a.rmatvec(y);
+                b.rmatvec_add(&t, out);
+            }
+            Matrix::Scaled(c, a) => {
+                let scaled: Vec<f64> = y.iter().map(|&v| c * v).collect();
+                a.rmatvec_add(&scaled, out);
+            }
+            Matrix::Union(blocks) => {
+                let mut offset = 0;
+                for b in blocks {
+                    let m = b.rows();
+                    b.rmatvec_add(&y[offset..offset + m], out);
+                    offset += m;
+                }
+            }
+            Matrix::Transpose(a) => {
+                // (Aᵀ)ᵀ y = A y, accumulated.
+                let t = a.matvec(y);
+                for (o, &ti) in out.iter_mut().zip(&t) {
+                    *o += ti;
+                }
+            }
+            // Dense blocks and the remaining implicit types touch all of
+            // `out` anyway; a temporary costs nothing extra asymptotically.
+            _ => {
+                let mut tmp = vec![0.0; out.len()];
+                self.rmatvec_into(y, &mut tmp);
+                for (o, &t) in out.iter_mut().zip(&tmp) {
+                    *o += t;
+                }
+            }
+        }
+    }
+}
+
+/// `out = (A ⊗ B) x` using the vec-trick: reshape x as an `nA×nB` matrix X,
+/// compute `T = X·Bᵀ` (apply B to every row), then `out = A·T` columnwise.
+/// Cost: `nA·Time(B) + mB·Time(A)` (paper Table 3).
+fn kron_matvec(a: &Matrix, b: &Matrix, x: &[f64], out: &mut [f64]) {
+    let (ma, na) = a.shape();
+    let (mb, nb) = b.shape();
+    let mut t = vec![0.0; na * mb];
+    for i in 0..na {
+        b.matvec_into(&x[i * nb..(i + 1) * nb], &mut t[i * mb..(i + 1) * mb]);
+    }
+    let mut col = vec![0.0; na];
+    let mut ocol = vec![0.0; ma];
+    for q in 0..mb {
+        for i in 0..na {
+            col[i] = t[i * mb + q];
+        }
+        a.matvec_into(&col, &mut ocol);
+        for p in 0..ma {
+            out[p * mb + q] = ocol[p];
+        }
+    }
+}
+
+/// `out = (A ⊗ B)ᵀ y = (Aᵀ ⊗ Bᵀ) y`; mirror of [`kron_matvec`].
+fn kron_rmatvec(a: &Matrix, b: &Matrix, y: &[f64], out: &mut [f64]) {
+    let (ma, na) = a.shape();
+    let (mb, nb) = b.shape();
+    let mut t = vec![0.0; ma * nb];
+    for p in 0..ma {
+        b.rmatvec_into(&y[p * mb..(p + 1) * mb], &mut t[p * nb..(p + 1) * nb]);
+    }
+    let mut col = vec![0.0; ma];
+    let mut ocol = vec![0.0; na];
+    for j in 0..nb {
+        for p in 0..ma {
+            col[p] = t[p * nb + j];
+        }
+        a.rmatvec_into(&col, &mut ocol);
+        for i in 0..na {
+            out[i * nb + j] = ocol[i];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x5() -> Vec<f64> {
+        vec![1.0, 2.0, 3.0, 4.0, 5.0]
+    }
+
+    #[test]
+    fn identity_and_diagonal() {
+        assert_eq!(Matrix::identity(5).matvec(&x5()), x5());
+        let d = Matrix::diagonal(vec![1.0, 0.0, -1.0, 2.0, 0.5]);
+        assert_eq!(d.matvec(&x5()), vec![1.0, 0.0, -3.0, 8.0, 2.5]);
+        assert_eq!(d.rmatvec(&x5()), vec![1.0, 0.0, -3.0, 8.0, 2.5]);
+    }
+
+    #[test]
+    fn ones_and_total() {
+        assert_eq!(Matrix::ones(3, 5).matvec(&x5()), vec![15.0; 3]);
+        assert_eq!(Matrix::total(5).matvec(&x5()), vec![15.0]);
+        assert_eq!(Matrix::total(5).rmatvec(&[2.0]), vec![2.0; 5]);
+    }
+
+    #[test]
+    fn prefix_suffix_are_transposes() {
+        let p = Matrix::prefix(5);
+        let s = Matrix::suffix(5);
+        assert_eq!(p.matvec(&x5()), vec![1.0, 3.0, 6.0, 10.0, 15.0]);
+        assert_eq!(s.matvec(&x5()), vec![15.0, 14.0, 12.0, 9.0, 5.0]);
+        assert_eq!(p.rmatvec(&x5()), s.matvec(&x5()));
+        assert_eq!(s.rmatvec(&x5()), p.matvec(&x5()));
+    }
+
+    #[test]
+    fn rmatvec_add_matches_rmatvec_for_all_variants() {
+        let cases = vec![
+            Matrix::identity(5),
+            Matrix::prefix(5),
+            Matrix::wavelet(5),
+            Matrix::diagonal(vec![1.0, -2.0, 0.5, 3.0, 0.0]),
+            Matrix::select_rows(5, &[3, 1]),
+            Matrix::scaled(2.0, Matrix::select_rows(5, &[0, 4])),
+            Matrix::product(Matrix::total(3), Matrix::select_rows(5, &[0, 2, 4])),
+            Matrix::vstack(vec![Matrix::identity(5), Matrix::total(5)]),
+            Matrix::prefix(5).transpose().transpose(),
+            Matrix::Transpose(Box::new(Matrix::wavelet(5))),
+        ];
+        for m in cases {
+            let y: Vec<f64> = (0..m.rows()).map(|i| i as f64 - 1.5).collect();
+            let mut acc = vec![1.0; m.cols()];
+            m.rmatvec_add(&y, &mut acc);
+            let direct = m.rmatvec(&y);
+            for (a, d) in acc.iter().zip(&direct) {
+                assert!((a - (d + 1.0)).abs() < 1e-12, "mismatch for {m:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn union_stacks_and_accumulates() {
+        let u = Matrix::vstack(vec![Matrix::total(5), Matrix::identity(5)]);
+        assert_eq!(u.matvec(&x5()), vec![15.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+        let y = vec![1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+        // Unionᵀ y = Totalᵀ·1 + Iᵀ·rest = [1+1, ...]
+        assert_eq!(u.rmatvec(&y), vec![2.0; 5]);
+    }
+
+    #[test]
+    fn product_composes() {
+        // Total · Prefix = [n, n-1, ..., 1] as a row
+        let p = Matrix::product(Matrix::total(5), Matrix::prefix(5));
+        assert_eq!(p.matvec(&x5()), vec![1.0 * 5.0 + 2.0 * 4.0 + 3.0 * 3.0 + 4.0 * 2.0 + 5.0]);
+    }
+
+    #[test]
+    fn kron_matches_materialized() {
+        let a = Matrix::from_rows(vec![vec![1.0, 2.0], vec![0.0, -1.0], vec![3.0, 1.0]]);
+        let b = Matrix::from_rows(vec![vec![1.0, 0.0, 2.0], vec![-1.0, 1.0, 0.5]]);
+        let k = Matrix::kron(a.clone(), b.clone());
+        let kd = k.to_dense();
+        let x: Vec<f64> = (0..6).map(|i| i as f64 - 2.5).collect();
+        let mut expect = vec![0.0; 6];
+        kd.matvec_into(&x, &mut expect);
+        assert_eq!(k.matvec(&x), expect);
+
+        let y: Vec<f64> = (0..6).map(|i| (i as f64) * 0.3).collect();
+        let mut expect_t = vec![0.0; 6];
+        kd.rmatvec_into(&y, &mut expect_t);
+        let got = k.rmatvec(&y);
+        for (g, e) in got.iter().zip(&expect_t) {
+            assert!((g - e).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn scaled_and_transpose() {
+        let m = Matrix::scaled(2.0, Matrix::prefix(5));
+        assert_eq!(m.matvec(&x5()), vec![2.0, 6.0, 12.0, 20.0, 30.0]);
+        let t = Matrix::Transpose(Box::new(Matrix::prefix(5)));
+        assert_eq!(t.matvec(&x5()), Matrix::suffix(5).matvec(&x5()));
+    }
+
+    #[test]
+    fn range_variant_dispatch() {
+        let w = Matrix::range_queries(5, vec![(0, 5), (2, 3)]);
+        assert_eq!(w.matvec(&x5()), vec![15.0, 3.0]);
+    }
+
+    #[test]
+    fn three_way_kron_marginal() {
+        // W13 = I ⊗ Total ⊗ I over a 2×3×2 domain (paper Example 7.5).
+        let w = Matrix::kron_list(vec![
+            Matrix::identity(2),
+            Matrix::total(3),
+            Matrix::identity(2),
+        ]);
+        assert_eq!(w.shape(), (4, 12));
+        let x: Vec<f64> = (0..12).map(|i| i as f64).collect();
+        // cell index = a*6 + b*2 + c; marginal over b.
+        let mut expect = vec![0.0; 4];
+        for a in 0..2 {
+            for b in 0..3 {
+                for c in 0..2 {
+                    expect[a * 2 + c] += x[a * 6 + b * 2 + c];
+                }
+            }
+        }
+        assert_eq!(w.matvec(&x), expect);
+    }
+}

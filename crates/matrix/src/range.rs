@@ -1,0 +1,137 @@
+//! Implicit range-query workloads.
+//!
+//! Paper Example 7.4 represents a workload of m interval queries as the
+//! product of an m×n sparse matrix (two entries per row) with the implicit
+//! `Prefix` matrix, evaluating products in `O(n + m)`. We implement the
+//! same idea directly: each query is a pair `[lo, hi)`, products use a
+//! prefix-sum, transpose-products use a difference array, and exact column
+//! sums (for sensitivity) also come from a difference array — all without
+//! materializing anything.
+
+/// An implicit workload of `m` interval range queries over `n` cells.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RangeQueries {
+    n: usize,
+    /// Half-open intervals `[lo, hi)`, `lo < hi ≤ n`.
+    ranges: Vec<(u32, u32)>,
+}
+
+impl RangeQueries {
+    /// Builds a range workload; panics on empty or out-of-bounds intervals.
+    pub fn new(n: usize, ranges: Vec<(usize, usize)>) -> Self {
+        assert!(n <= u32::MAX as usize, "domain too large for u32 indices");
+        let ranges = ranges
+            .into_iter()
+            .map(|(lo, hi)| {
+                assert!(lo < hi && hi <= n, "invalid range [{lo}, {hi}) for domain {n}");
+                (lo as u32, hi as u32)
+            })
+            .collect();
+        RangeQueries { n, ranges }
+    }
+
+    /// Domain size (number of columns).
+    pub fn domain(&self) -> usize {
+        self.n
+    }
+
+    /// Number of queries (rows).
+    pub fn num_queries(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// The underlying half-open intervals.
+    pub fn ranges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.ranges.iter().map(|&(lo, hi)| (lo as usize, hi as usize))
+    }
+
+    /// `out[k] = Σ_{i ∈ [lo_k, hi_k)} x[i]` via one prefix-sum pass.
+    pub fn matvec_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.n, "matvec dimension mismatch");
+        assert_eq!(out.len(), self.ranges.len(), "matvec output mismatch");
+        let mut prefix = Vec::with_capacity(self.n + 1);
+        prefix.push(0.0);
+        let mut acc = 0.0;
+        for &v in x {
+            acc += v;
+            prefix.push(acc);
+        }
+        for (o, &(lo, hi)) in out.iter_mut().zip(&self.ranges) {
+            *o = prefix[hi as usize] - prefix[lo as usize];
+        }
+    }
+
+    /// `out = Wᵀ y` via a difference array.
+    pub fn rmatvec_into(&self, y: &[f64], out: &mut [f64]) {
+        assert_eq!(y.len(), self.ranges.len(), "rmatvec dimension mismatch");
+        assert_eq!(out.len(), self.n, "rmatvec output mismatch");
+        let mut diff = vec![0.0; self.n + 1];
+        for (&(lo, hi), &yk) in self.ranges.iter().zip(y) {
+            diff[lo as usize] += yk;
+            diff[hi as usize] -= yk;
+        }
+        let mut acc = 0.0;
+        for (o, d) in out.iter_mut().zip(&diff[..self.n]) {
+            acc += d;
+            *o = acc;
+        }
+    }
+
+    /// Exact column sums (all entries are 0/1, so |W| = W = W²) in
+    /// `O(n + m)`.
+    pub fn col_sums(&self) -> Vec<f64> {
+        let mut diff = vec![0.0; self.n + 1];
+        for &(lo, hi) in &self.ranges {
+            diff[lo as usize] += 1.0;
+            diff[hi as usize] -= 1.0;
+        }
+        let mut out = vec![0.0; self.n];
+        let mut acc = 0.0;
+        for (o, d) in out.iter_mut().zip(&diff[..self.n]) {
+            acc += d;
+            *o = acc;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RangeQueries {
+        RangeQueries::new(5, vec![(1, 4), (3, 5), (0, 4), (1, 2)])
+    }
+
+    #[test]
+    fn matvec_matches_manual_sums() {
+        let w = sample();
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let mut y = vec![0.0; 4];
+        w.matvec_into(&x, &mut y);
+        assert_eq!(y, vec![9.0, 9.0, 10.0, 2.0]);
+    }
+
+    #[test]
+    fn rmatvec_matches_dense_transpose() {
+        let w = sample();
+        let y = [1.0, -1.0, 0.5, 2.0];
+        let mut x = vec![0.0; 5];
+        w.rmatvec_into(&y, &mut x);
+        // Dense W: rows over [1,4),[3,5),[0,4),[1,2)
+        // col sums of diag(y)·W: col0: 0.5; col1: 1+0.5+2; col2: 1+0.5; col3: 1-1+0.5; col4: -1
+        assert_eq!(x, vec![0.5, 3.5, 1.5, 0.5, -1.0]);
+    }
+
+    #[test]
+    fn col_sums_count_coverage() {
+        let w = sample();
+        assert_eq!(w.col_sums(), vec![1.0, 3.0, 2.0, 3.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid range")]
+    fn rejects_bad_range() {
+        RangeQueries::new(4, vec![(2, 2)]);
+    }
+}

@@ -1,0 +1,207 @@
+//! Generalized Haar wavelet evaluation.
+//!
+//! The Privelet strategy (paper Fig. 2, Plan #2) measures the Haar wavelet
+//! coefficients of the data vector: sensitivity grows logarithmically in n
+//! while every range query is still reconstructible. We implement the
+//! unnormalized wavelet over a binary *split tree*: the first row is the
+//! total query, and every internal node of the tree (splitting `[lo, hi)`
+//! at `mid = (lo + hi) / 2`) contributes a row with `+1` over the left half
+//! and `−1` over the right half. For power-of-two n this is exactly the
+//! classical Haar matrix (up to row order); for other n it is the natural
+//! generalization and keeps all our operators free of power-of-two
+//! restrictions.
+//!
+//! Rows are emitted in pre-order: `total, node, left-subtree…,
+//! right-subtree…`. All functions here agree on that order.
+
+/// `out = W · x` in `O(n)` (each level touches each cell once and there are
+/// `O(log n)` levels, but the recursion shares subtree sums so total work is
+/// linear).
+pub fn wavelet_matvec(x: &[f64], out: &mut [f64]) {
+    let n = x.len();
+    assert_eq!(out.len(), n, "wavelet matvec output mismatch");
+    if n == 0 {
+        return;
+    }
+    let mut next = 1usize;
+    let total = rec_matvec(x, 0, n, &mut next, out);
+    out[0] = total;
+    debug_assert_eq!(next, n);
+}
+
+fn rec_matvec(x: &[f64], lo: usize, hi: usize, next: &mut usize, out: &mut [f64]) -> f64 {
+    if hi - lo == 1 {
+        return x[lo];
+    }
+    let idx = *next;
+    *next += 1;
+    let mid = (lo + hi) / 2;
+    let left = rec_matvec(x, lo, mid, next, out);
+    let right = rec_matvec(x, mid, hi, next, out);
+    out[idx] = left - right;
+    left + right
+}
+
+/// `out = Wᵀ · y` in `O(n)`: each cell accumulates the signed coefficients
+/// along its root-to-leaf path.
+pub fn wavelet_rmatvec(y: &[f64], out: &mut [f64]) {
+    let n = y.len();
+    assert_eq!(out.len(), n, "wavelet rmatvec output mismatch");
+    if n == 0 {
+        return;
+    }
+    let mut next = 1usize;
+    rec_rmatvec(y, 0, n, y[0], &mut next, out);
+    debug_assert_eq!(next, n);
+}
+
+fn rec_rmatvec(y: &[f64], lo: usize, hi: usize, acc: f64, next: &mut usize, out: &mut [f64]) {
+    if hi - lo == 1 {
+        out[lo] = acc;
+        return;
+    }
+    let idx = *next;
+    *next += 1;
+    let mid = (lo + hi) / 2;
+    rec_rmatvec(y, lo, mid, acc + y[idx], next, out);
+    rec_rmatvec(y, mid, hi, acc - y[idx], next, out);
+}
+
+/// Exact L1 column sums of |W|: cell j participates in the total row plus
+/// one row per internal node on its path, i.e. `1 + depth(j)`.
+pub fn wavelet_abs_col_sums(n: usize) -> Vec<f64> {
+    let mut out = vec![0.0; n];
+    if n == 0 {
+        return out;
+    }
+    rec_depth(0, n, 1.0, &mut out);
+    out
+}
+
+fn rec_depth(lo: usize, hi: usize, acc: f64, out: &mut [f64]) {
+    if hi - lo == 1 {
+        out[lo] = acc;
+        return;
+    }
+    let mid = (lo + hi) / 2;
+    rec_depth(lo, mid, acc + 1.0, out);
+    rec_depth(mid, hi, acc + 1.0, out);
+}
+
+/// Materializes W as `(row, col, value)` triplets (for `to_sparse`).
+pub fn wavelet_triplets(n: usize) -> Vec<(usize, usize, f64)> {
+    let mut triplets = Vec::new();
+    if n == 0 {
+        return triplets;
+    }
+    for j in 0..n {
+        triplets.push((0, j, 1.0));
+    }
+    let mut next = 1usize;
+    rec_triplets(0, n, &mut next, &mut triplets);
+    triplets
+}
+
+fn rec_triplets(lo: usize, hi: usize, next: &mut usize, out: &mut Vec<(usize, usize, f64)>) {
+    if hi - lo == 1 {
+        return;
+    }
+    let idx = *next;
+    *next += 1;
+    let mid = (lo + hi) / 2;
+    for j in lo..mid {
+        out.push((idx, j, 1.0));
+    }
+    for j in mid..hi {
+        out.push((idx, j, -1.0));
+    }
+    rec_triplets(lo, mid, next, out);
+    rec_triplets(mid, hi, next, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CsrMatrix;
+
+    #[test]
+    fn haar_4_matches_hand_computed() {
+        // Split tree for n=4: total; [0,4) diff; [0,2) diff; [2,4) diff.
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let mut y = vec![0.0; 4];
+        wavelet_matvec(&x, &mut y);
+        assert_eq!(y, vec![10.0, -4.0, -1.0, -1.0]);
+    }
+
+    fn assert_close(a: &[f64], b: &[f64], msg: &str) {
+        assert_eq!(a.len(), b.len(), "{msg}: length");
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < 1e-10, "{msg}: {a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn rmatvec_is_transpose_of_matvec() {
+        for n in [1usize, 2, 3, 5, 8, 13, 16] {
+            let w = CsrMatrix::from_triplets(n, n, &wavelet_triplets(n));
+            let x: Vec<f64> = (0..n).map(|i| (i as f64) * 0.7 - 1.0).collect();
+            let mut via_impl = vec![0.0; n];
+            wavelet_matvec(&x, &mut via_impl);
+            let mut via_csr = vec![0.0; n];
+            w.matvec_into(&x, &mut via_csr);
+            assert_close(&via_impl, &via_csr, &format!("matvec mismatch at n={n}"));
+
+            let mut t_impl = vec![0.0; n];
+            wavelet_rmatvec(&x, &mut t_impl);
+            let mut t_csr = vec![0.0; n];
+            w.rmatvec_into(&x, &mut t_csr);
+            assert_close(&t_impl, &t_csr, &format!("rmatvec mismatch at n={n}"));
+        }
+    }
+
+    #[test]
+    fn col_sums_match_materialized() {
+        for n in [1usize, 2, 6, 8, 9] {
+            let w = CsrMatrix::from_triplets(n, n, &wavelet_triplets(n));
+            assert_eq!(
+                wavelet_abs_col_sums(n),
+                w.abs_pow_col_sums(1),
+                "col sums mismatch at n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn sensitivity_is_log_n_plus_one_for_powers_of_two() {
+        for k in 1..8 {
+            let n = 1usize << k;
+            let sums = wavelet_abs_col_sums(n);
+            let max = sums.iter().cloned().fold(0.0, f64::max);
+            assert_eq!(max, (k + 1) as f64);
+        }
+    }
+
+    #[test]
+    fn wavelet_is_invertible_for_powers_of_two() {
+        // Wᵀ(W x) should reconstruct a scaled mix; more usefully, the
+        // wavelet transform must be injective: W x = 0 ⟹ x = 0. Verify via
+        // round-trip through the dense inverse on a small case.
+        let n = 8;
+        let w = CsrMatrix::from_triplets(n, n, &wavelet_triplets(n)).to_dense();
+        // Rank check via Gram determinant being nonzero is overkill; simply
+        // verify that distinct basis vectors produce distinct images.
+        let mut images = Vec::new();
+        for j in 0..n {
+            let mut e = vec![0.0; n];
+            e[j] = 1.0;
+            let mut y = vec![0.0; n];
+            w.matvec_into(&e, &mut y);
+            images.push(y);
+        }
+        for a in 0..n {
+            for b in (a + 1)..n {
+                assert_ne!(images[a], images[b]);
+            }
+        }
+    }
+}

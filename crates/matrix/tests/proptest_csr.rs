@@ -1,0 +1,171 @@
+//! Property tests for the explicit (CSR/dense) kernels: the reference
+//! implementations everything implicit is checked against must themselves
+//! be correct, so they get their own adversarial fuzzing.
+
+use ektelo_matrix::{CsrMatrix, DenseMatrix};
+use proptest::prelude::*;
+
+fn arb_triplets(rows: usize, cols: usize) -> impl Strategy<Value = Vec<(usize, usize, f64)>> {
+    prop::collection::vec(
+        (0..rows, 0..cols, prop_oneof![Just(0.0), -5.0f64..5.0]),
+        0..rows * cols * 2,
+    )
+}
+
+fn dense_from_triplets(rows: usize, cols: usize, t: &[(usize, usize, f64)]) -> DenseMatrix {
+    let mut d = DenseMatrix::zeros(rows, cols);
+    for &(r, c, v) in t {
+        let cur = d.get(r, c);
+        d.set(r, c, cur + v);
+    }
+    d
+}
+
+fn assert_close(a: &DenseMatrix, b: &DenseMatrix) {
+    assert!(
+        a.max_abs_diff(b).expect("shapes match") < 1e-10,
+        "dense mismatch"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Triplet construction (with duplicate summing) matches a dense
+    /// accumulator.
+    #[test]
+    fn from_triplets_matches_dense(t in arb_triplets(4, 5)) {
+        let csr = CsrMatrix::from_triplets(4, 5, &t);
+        assert_close(&csr.to_dense(), &dense_from_triplets(4, 5, &t));
+    }
+
+    /// CSR never stores explicit zeros, and nnz is consistent.
+    #[test]
+    fn no_explicit_zeros(t in arb_triplets(4, 4)) {
+        let csr = CsrMatrix::from_triplets(4, 4, &t);
+        prop_assert!(csr.values().iter().all(|&v| v != 0.0));
+        prop_assert_eq!(csr.values().len(), csr.nnz());
+        prop_assert_eq!(*csr.indptr().last().unwrap(), csr.nnz());
+    }
+
+    /// matvec/rmatvec agree with the dense reference.
+    #[test]
+    fn products_match_dense(
+        t in arb_triplets(3, 6),
+        x in prop::collection::vec(-3.0f64..3.0, 6),
+        y in prop::collection::vec(-3.0f64..3.0, 3),
+    ) {
+        let csr = CsrMatrix::from_triplets(3, 6, &t);
+        let d = csr.to_dense();
+        let mut got = vec![0.0; 3];
+        csr.matvec_into(&x, &mut got);
+        let mut expect = vec![0.0; 3];
+        d.matvec_into(&x, &mut expect);
+        for (g, e) in got.iter().zip(&expect) {
+            prop_assert!((g - e).abs() < 1e-10);
+        }
+        let mut got_t = vec![0.0; 6];
+        csr.rmatvec_into(&y, &mut got_t);
+        let mut expect_t = vec![0.0; 6];
+        d.rmatvec_into(&y, &mut expect_t);
+        for (g, e) in got_t.iter().zip(&expect_t) {
+            prop_assert!((g - e).abs() < 1e-10);
+        }
+    }
+
+    /// Sparse matmul agrees with dense matmul, including cancellation to
+    /// exact zero (the touched-list reset path).
+    #[test]
+    fn matmul_matches_dense(
+        a in arb_triplets(3, 4),
+        b in arb_triplets(4, 3),
+    ) {
+        let ca = CsrMatrix::from_triplets(3, 4, &a);
+        let cb = CsrMatrix::from_triplets(4, 3, &b);
+        let got = ca.matmul(&cb).to_dense();
+        let expect = ca.to_dense().matmul(&cb.to_dense());
+        assert_close(&got, &expect);
+    }
+
+    /// (AB)C = A(BC) through the sparse kernels.
+    #[test]
+    fn matmul_associative(
+        a in arb_triplets(2, 3),
+        b in arb_triplets(3, 2),
+        c in arb_triplets(2, 4),
+    ) {
+        let (ca, cb, cc) = (
+            CsrMatrix::from_triplets(2, 3, &a),
+            CsrMatrix::from_triplets(3, 2, &b),
+            CsrMatrix::from_triplets(2, 4, &c),
+        );
+        let left = ca.matmul(&cb).matmul(&cc).to_dense();
+        let right = ca.matmul(&cb.matmul(&cc)).to_dense();
+        assert_close(&left, &right);
+    }
+
+    /// Transpose is an involution and flips products.
+    #[test]
+    fn transpose_properties(t in arb_triplets(4, 3)) {
+        let m = CsrMatrix::from_triplets(4, 3, &t);
+        prop_assert_eq!(m.transpose().transpose(), m.clone());
+        // (Aᵀ)·y == rmatvec(y)
+        let y: Vec<f64> = (0..4).map(|i| i as f64 - 1.0).collect();
+        let mut via_t = vec![0.0; 3];
+        m.transpose().matvec_into(&y, &mut via_t);
+        let mut via_r = vec![0.0; 3];
+        m.rmatvec_into(&y, &mut via_r);
+        for (a, b) in via_t.iter().zip(&via_r) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    /// kron dimensions and entries match the definition.
+    #[test]
+    fn kron_entries(
+        a in arb_triplets(2, 2),
+        b in arb_triplets(2, 3),
+    ) {
+        let ca = CsrMatrix::from_triplets(2, 2, &a);
+        let cb = CsrMatrix::from_triplets(2, 3, &b);
+        let k = ca.kron(&cb).to_dense();
+        let (da, db) = (ca.to_dense(), cb.to_dense());
+        for i in 0..4 {
+            for j in 0..6 {
+                let expect = da.get(i / 2, j / 3) * db.get(i % 2, j % 3);
+                prop_assert!((k.get(i, j) - expect).abs() < 1e-12);
+            }
+        }
+    }
+
+    /// vstack preserves row order and values.
+    #[test]
+    fn vstack_rows(
+        a in arb_triplets(2, 4),
+        b in arb_triplets(3, 4),
+    ) {
+        let ca = CsrMatrix::from_triplets(2, 4, &a);
+        let cb = CsrMatrix::from_triplets(3, 4, &b);
+        let s = CsrMatrix::vstack(&[&ca, &cb]).to_dense();
+        let (da, db) = (ca.to_dense(), cb.to_dense());
+        for j in 0..4 {
+            prop_assert_eq!(s.get(0, j), da.get(0, j));
+            prop_assert_eq!(s.get(2, j), db.get(0, j));
+            prop_assert_eq!(s.get(4, j), db.get(2, j));
+        }
+    }
+
+    /// Dense Cholesky-free reference: gram of random matrix is symmetric
+    /// PSD (diagonal dominates off-diagonal in trace terms).
+    #[test]
+    fn gram_symmetric_psd_diagonal(t in arb_triplets(4, 4)) {
+        let m = CsrMatrix::from_triplets(4, 4, &t).to_dense();
+        let g = m.gram();
+        for i in 0..4 {
+            prop_assert!(g.get(i, i) >= -1e-12, "negative diagonal");
+            for j in 0..4 {
+                prop_assert!((g.get(i, j) - g.get(j, i)).abs() < 1e-10, "asymmetric");
+            }
+        }
+    }
+}

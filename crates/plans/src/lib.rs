@@ -1,0 +1,51 @@
+#![deny(missing_docs)]
+//! # ektelo-plans
+//!
+//! The EKTELO plan library: every plan signature of the paper's Fig. 2,
+//! the CDF estimator of Algorithm 1, and the case studies of §9.
+//!
+//! A *plan* is ordinary client-space code that drives the protected kernel
+//! through operator calls. Each plan here takes a kernel, a vector source
+//! and a privacy budget, performs its transformations / selections /
+//! measurements, and returns an estimate of the data vector — privacy is
+//! enforced entirely by the kernel (paper Theorem 4.1), so none of this
+//! code is trusted.
+//!
+//! | Fig. 2 ID | Plan | Function |
+//! |-----------|------|----------|
+//! | 1  | Identity | [`baseline::plan_identity`] |
+//! | 2  | Privelet | [`baseline::plan_privelet`] |
+//! | 3  | H2 | [`baseline::plan_h2`] |
+//! | 4  | HB | [`baseline::plan_hb`] |
+//! | 5  | Greedy-H | [`baseline::plan_greedy_h`] |
+//! | 6  | Uniform | [`baseline::plan_uniform`] |
+//! | 7  | MWEM | [`mwem::plan_mwem`] |
+//! | 8  | AHP | [`data_aware::plan_ahp`] |
+//! | 9  | DAWA | [`data_aware::plan_dawa`] |
+//! | 10 | QuadTree | [`grids::plan_quad_tree`] |
+//! | 11 | UniformGrid | [`grids::plan_uniform_grid`] |
+//! | 12 | AdaptiveGrid | [`grids::plan_adaptive_grid`] |
+//! | 13 | HDMM | [`baseline::plan_hdmm`] |
+//! | 14 | DAWA-Striped | [`striped::plan_dawa_striped`] |
+//! | 15 | HB-Striped | [`striped::plan_hb_striped`] |
+//! | 16 | HB-Striped_kron | [`striped::plan_hb_striped_kron`] |
+//! | 17 | PrivBayesLS | [`privbayes::plan_privbayes_ls`] |
+//! | 18 | MWEM variant b | [`mwem::plan_mwem_variant_b`] |
+//! | 19 | MWEM variant c | [`mwem::plan_mwem_variant_c`] |
+//! | 20 | MWEM variant d | [`mwem::plan_mwem_variant_d`] |
+//!
+//! Case studies: [`cdf::cdf_estimator`] (Algorithm 1),
+//! [`privbayes::plan_privbayes`] (the baseline of Table 5),
+//! [`naive_bayes`] (§9.3, Fig. 3), [`select_ls`] (Algorithm 8).
+
+pub mod advisor;
+pub mod baseline;
+pub mod cdf;
+pub mod data_aware;
+pub mod grids;
+pub mod mwem;
+pub mod naive_bayes;
+pub mod privbayes;
+pub mod select_ls;
+pub mod striped;
+pub mod util;

@@ -1,0 +1,284 @@
+//! MWEM and the paper's three improved variants (Fig. 2, Plans #7 and
+//! #18–#20; §9.1).
+//!
+//! MWEM (Hardt, Ligett & McSherry 2012) iterates: privately select the
+//! workload query worst approximated by the current estimate (exponential
+//! mechanism), measure it (Laplace), update the estimate (multiplicative
+//! weights). The paper's recombinations:
+//!
+//! * **variant b** (#18): augment each round's selected query with the
+//!   binary-hierarchy queries of that round's level that do not intersect
+//!   it — disjoint supports mean the extra queries are free under parallel
+//!   composition;
+//! * **variant c** (#19): replace MW inference with NNLS plus a
+//!   high-confidence total;
+//! * **variant d** (#20): both.
+
+use ektelo_core::kernel::{ProtectedKernel, Result, SourceVar};
+use ektelo_core::ops::inference;
+use ektelo_core::ops::selection::worst_approx;
+use ektelo_core::MeasuredQuery;
+use ektelo_matrix::Matrix;
+
+use crate::util::{known_total_measurement, relative_total_scale, PlanOutcome, PlanResult};
+
+/// Which inference engine closes each round (the c/d variants).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum MwemInference {
+    MultWeights,
+    NnlsKnownTotal,
+}
+
+/// Options shared by the MWEM family.
+#[derive(Clone, Debug)]
+pub struct MwemOptions {
+    /// Number of rounds `T`.
+    pub rounds: usize,
+    /// Assumed (public) total number of records — MWEM's standard
+    /// assumption; the paper's variant c/d add it to inference explicitly.
+    pub total: f64,
+    /// Multiplicative-weights passes per round.
+    pub mw_iterations: usize,
+}
+
+impl Default for MwemOptions {
+    fn default() -> Self {
+        MwemOptions { rounds: 10, total: 1.0, mw_iterations: 30 }
+    }
+}
+
+/// Plan #7 — original MWEM: `I:( SW LM MW )`.
+pub fn plan_mwem(
+    kernel: &ProtectedKernel,
+    x: SourceVar,
+    workload: &Matrix,
+    eps: f64,
+    opts: &MwemOptions,
+) -> PlanResult {
+    mwem_impl(kernel, x, workload, eps, opts, false, MwemInference::MultWeights)
+}
+
+/// Plan #18 — variant b: `I:( SW SH2 LM MW )` (augmented selection).
+pub fn plan_mwem_variant_b(
+    kernel: &ProtectedKernel,
+    x: SourceVar,
+    workload: &Matrix,
+    eps: f64,
+    opts: &MwemOptions,
+) -> PlanResult {
+    mwem_impl(kernel, x, workload, eps, opts, true, MwemInference::MultWeights)
+}
+
+/// Plan #19 — variant c: `I:( SW LM NLS )` (NNLS + known total).
+pub fn plan_mwem_variant_c(
+    kernel: &ProtectedKernel,
+    x: SourceVar,
+    workload: &Matrix,
+    eps: f64,
+    opts: &MwemOptions,
+) -> PlanResult {
+    mwem_impl(kernel, x, workload, eps, opts, false, MwemInference::NnlsKnownTotal)
+}
+
+/// Plan #20 — variant d: `I:( SW SH2 LM NLS )` (both improvements).
+pub fn plan_mwem_variant_d(
+    kernel: &ProtectedKernel,
+    x: SourceVar,
+    workload: &Matrix,
+    eps: f64,
+    opts: &MwemOptions,
+) -> PlanResult {
+    mwem_impl(kernel, x, workload, eps, opts, true, MwemInference::NnlsKnownTotal)
+}
+
+fn mwem_impl(
+    kernel: &ProtectedKernel,
+    x: SourceVar,
+    workload: &Matrix,
+    eps: f64,
+    opts: &MwemOptions,
+    augment: bool,
+    infer: MwemInference,
+) -> PlanResult {
+    let n = kernel.vector_len(x)?;
+    let t = opts.rounds.max(1) as f64;
+    let eps_select = eps / (2.0 * t);
+    let eps_measure = eps / (2.0 * t);
+    let start = kernel.measurement_count();
+
+    let mut x_hat = vec![opts.total / n as f64; n];
+    for round in 0..opts.rounds {
+        // SW: worst-approximated workload query (exponential mechanism).
+        let idx = worst_approx(kernel, x, workload, &x_hat, 1.0, eps_select)?;
+        let row = workload.row(idx);
+        let selected = sparse_row(n, &row);
+        let strategy = if augment {
+            augment_with_level(&selected, &row, n, round)
+        } else {
+            selected
+        };
+        // LM: the strategy has sensitivity 1 by construction (disjoint
+        // augmentation), so measuring it costs eps_measure.
+        kernel.vector_laplace(x, &strategy, eps_measure)?;
+
+        // Per-round inference over all measurements so far.
+        let measurements = kernel.measurements_since(start);
+        x_hat = run_inference(&measurements, opts, infer, x)?;
+    }
+    Ok(PlanOutcome { x_hat })
+}
+
+fn run_inference(
+    measurements: &[MeasuredQuery],
+    opts: &MwemOptions,
+    infer: MwemInference,
+    x: SourceVar,
+) -> Result<Vec<f64>> {
+    Ok(match infer {
+        MwemInference::MultWeights => inference::mult_weights_inference(
+            measurements,
+            opts.total,
+            None,
+            opts.mw_iterations,
+        ),
+        MwemInference::NnlsKnownTotal => {
+            let n = measurements[0].query.cols();
+            let mut ms = measurements.to_vec();
+            let scale = relative_total_scale(measurements);
+            ms.push(known_total_measurement(n, opts.total, x, scale));
+            inference::non_negative_least_squares_opts(
+                &ms,
+                &ektelo_solvers::NnlsOptions { max_iters: 600, tol: 1e-7 },
+            )
+        }
+    })
+}
+
+fn sparse_row(n: usize, row: &[f64]) -> Matrix {
+    let triplets: Vec<(usize, usize, f64)> = row
+        .iter()
+        .enumerate()
+        .filter(|&(_, &v)| v != 0.0)
+        .map(|(j, &v)| (0, j, v))
+        .collect();
+    Matrix::sparse(ektelo_matrix::CsrMatrix::from_triplets(1, n, &triplets))
+}
+
+/// Variant b's augmentation: in round `r`, add all dyadic intervals of
+/// length `2^r` that do not intersect the selected query's support. The
+/// union still has L1 sensitivity 1 (disjoint supports), so the
+/// measurement is free relative to the un-augmented plan.
+fn augment_with_level(selected: &Matrix, row: &[f64], n: usize, round: usize) -> Matrix {
+    let len = 1usize << round.min(62);
+    if len > n {
+        return selected.clone();
+    }
+    let mut extra = Vec::new();
+    let mut lo = 0;
+    while lo + len <= n {
+        let hi = lo + len;
+        let intersects = row[lo..hi].iter().any(|&v| v != 0.0);
+        if !intersects {
+            extra.push((lo, hi));
+        }
+        lo += len;
+    }
+    if extra.is_empty() {
+        selected.clone()
+    } else {
+        Matrix::vstack(vec![selected.clone(), Matrix::range_queries(n, extra)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::kernel_for_histogram;
+    use ektelo_data::generators::{shape_1d, Shape1D};
+    use ektelo_data::workloads::random_range;
+
+    fn opts(total: f64) -> MwemOptions {
+        MwemOptions { rounds: 6, total, mw_iterations: 30 }
+    }
+
+    #[test]
+    fn mwem_budget_is_exact() {
+        let x = shape_1d(Shape1D::Gaussian, 64, 1_000.0, 0);
+        let w = random_range(64, 32, 0);
+        let (k, root) = kernel_for_histogram(&x, 1.0, 0);
+        plan_mwem(&k, root, &w, 1.0, &opts(1000.0)).unwrap();
+        assert!((k.budget_spent() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn augmented_variant_costs_the_same_budget() {
+        let x = shape_1d(Shape1D::Gaussian, 64, 1_000.0, 0);
+        let w = random_range(64, 32, 0);
+        let (k, root) = kernel_for_histogram(&x, 1.0, 0);
+        plan_mwem_variant_b(&k, root, &w, 1.0, &opts(1000.0)).unwrap();
+        assert!((k.budget_spent() - 1.0).abs() < 1e-9, "augmentation must be free");
+    }
+
+    #[test]
+    fn augmentation_has_sensitivity_one() {
+        let n = 32;
+        let mut row = vec![0.0; n];
+        for r in row.iter_mut().take(12).skip(4) {
+            *r = 1.0;
+        }
+        let selected = sparse_row(n, &row);
+        for round in 0..5 {
+            let m = augment_with_level(&selected, &row, n, round);
+            assert!(
+                (m.l1_sensitivity() - 1.0).abs() < 1e-12,
+                "round {round} sensitivity {}",
+                m.l1_sensitivity()
+            );
+        }
+    }
+
+    #[test]
+    fn variants_improve_error_on_average() {
+        // The Table 4 claim in miniature: variant d should beat plain MWEM
+        // on a clustered dataset, averaged over seeds.
+        let n = 128;
+        let x = shape_1d(Shape1D::Clustered, n, 10_000.0, 3);
+        let total: f64 = x.iter().sum();
+        let w = random_range(n, 64, 5);
+        let truth = w.matvec(&x);
+        let trials = 4;
+        let mut err_a = 0.0;
+        let mut err_d = 0.0;
+        for seed in 0..trials {
+            let (k, root) = kernel_for_histogram(&x, 0.5, seed);
+            let xa = plan_mwem(&k, root, &w, 0.5, &opts(total)).unwrap().x_hat;
+            let (k, root) = kernel_for_histogram(&x, 0.5, seed + 50);
+            let xd = plan_mwem_variant_d(&k, root, &w, 0.5, &opts(total)).unwrap().x_hat;
+            let e = |xh: &[f64]| {
+                let est = w.matvec(xh);
+                truth
+                    .iter()
+                    .zip(&est)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f64>()
+                    .sqrt()
+            };
+            err_a += e(&xa);
+            err_d += e(&xd);
+        }
+        assert!(
+            err_d < err_a,
+            "variant d ({err_d}) should beat plain MWEM ({err_a})"
+        );
+    }
+
+    #[test]
+    fn estimates_have_the_right_total() {
+        let x = shape_1d(Shape1D::Uniform, 32, 800.0, 1);
+        let w = random_range(32, 16, 2);
+        let (k, root) = kernel_for_histogram(&x, 1.0, 3);
+        let out = plan_mwem(&k, root, &w, 1.0, &opts(800.0)).unwrap();
+        let total: f64 = out.x_hat.iter().sum();
+        assert!((total - 800.0).abs() < 1.0, "MW preserves the assumed total, got {total}");
+    }
+}

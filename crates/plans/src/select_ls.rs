@@ -1,0 +1,120 @@
+//! SelectLS (Algorithm 8): per-histogram algorithm selection with global
+//! least-squares inference (§9.3).
+//!
+//! For each requested marginal the plan reduces the domain, then picks a
+//! subplan by (public) domain size: small marginals are measured directly
+//! with Identity; large ones first run DAWA's partition selection and
+//! measure the buckets with Greedy-H. All measurements from all branches
+//! feed one joint least-squares at the end — the "use inference
+//! consistently" guidance of §5.5.
+
+use ektelo_core::kernel::{ProtectedKernel, SourceVar};
+use ektelo_core::ops::inference::LsSolver;
+use ektelo_core::ops::partition::{dawa_partition, marginal_partition, DawaOptions};
+use ektelo_core::ops::selection::greedy_h;
+use ektelo_matrix::Matrix;
+
+use crate::util::{infer_ls, split_budget, PlanOutcome, PlanResult};
+
+/// Options for [`plan_select_ls`].
+#[derive(Clone, Debug)]
+pub struct SelectLsOptions {
+    /// Domain-size threshold between the Identity and DAWA branches
+    /// (80 in Algorithm 8).
+    pub small_domain: usize,
+    /// DAWA stage-1 share inside the large-domain branch.
+    pub dawa_rho: f64,
+}
+
+impl Default for SelectLsOptions {
+    fn default() -> Self {
+        SelectLsOptions { small_domain: 80, dawa_rho: 0.25 }
+    }
+}
+
+/// Runs Algorithm 8 over the marginal masks in `specs` (one bool per
+/// attribute; `true` = kept). Each spec gets an `eps / specs.len()` share
+/// (sequential composition across overlapping marginals). Returns the
+/// estimate over the full domain.
+pub fn plan_select_ls(
+    kernel: &ProtectedKernel,
+    x: SourceVar,
+    sizes: &[usize],
+    specs: &[Vec<bool>],
+    eps: f64,
+    opts: &SelectLsOptions,
+) -> PlanResult {
+    assert!(!specs.is_empty(), "SelectLS needs at least one marginal spec");
+    let per_spec = eps / specs.len() as f64;
+    let start = kernel.measurement_count();
+    for keep in specs {
+        let p = marginal_partition(sizes, keep);
+        let reduced = kernel.reduce_by_partition(x, &p)?;
+        let m = kernel.vector_len(reduced)?;
+        if m > opts.small_domain {
+            // DAWA branch: partition the marginal, measure buckets.
+            let shares = split_budget(per_spec, &[opts.dawa_rho, 1.0 - opts.dawa_rho]);
+            let bucket_p =
+                dawa_partition(kernel, reduced, shares[0], &DawaOptions::new(shares[1]))?;
+            let buckets = kernel.reduce_by_partition(reduced, &bucket_p)?;
+            let groups = kernel.vector_len(buckets)?;
+            kernel.vector_laplace(buckets, &greedy_h(groups, &[]), shares[1])?;
+        } else {
+            kernel.vector_laplace(reduced, &Matrix::identity(m), per_spec)?;
+        }
+    }
+    Ok(PlanOutcome { x_hat: infer_ls(kernel, start, LsSolver::Iterative) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ektelo_core::kernel::ProtectedKernel;
+    use ektelo_data::{Schema, Table};
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn setup(rows: usize, seed: u64) -> (ProtectedKernel, SourceVar, Vec<f64>, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let schema = Schema::from_sizes(&[("y", 2), ("a", 6), ("b", 200)]);
+        let mut t = Table::empty(schema);
+        for _ in 0..rows {
+            let y = rng.random_range(0..2u32);
+            let a = rng.random_range(0..6u32);
+            let b = (rng.random_range(0..100u32) + y * 50).min(199);
+            t.push_row(&[y, a, b]);
+        }
+        let truth = ektelo_data::vectorize(&t);
+        let k = ProtectedKernel::init(t, 10.0, seed);
+        let x = k.vectorize(k.root()).unwrap();
+        (k, x, truth, vec![2, 6, 200])
+    }
+
+    #[test]
+    fn mixes_identity_and_dawa_branches() {
+        let (k, x, _, sizes) = setup(5000, 1);
+        // (y,a) = 12 cells → identity; (y,b) = 400 cells → DAWA branch.
+        let specs = vec![vec![true, true, false], vec![true, false, true]];
+        let out = plan_select_ls(&k, x, &sizes, &specs, 1.0, &SelectLsOptions::default()).unwrap();
+        assert_eq!(out.x_hat.len(), 2 * 6 * 200);
+        assert!((k.budget_spent() - 1.0).abs() < 1e-9);
+        // The DAWA branch produces ≥ 2 measurements (buckets), identity 1.
+        assert!(k.measurements().len() >= 2);
+    }
+
+    #[test]
+    fn marginal_estimates_are_consistent_with_truth_at_high_eps() {
+        let (k, x, truth, sizes) = setup(20_000, 2);
+        let specs = vec![vec![true, true, false], vec![true, false, true]];
+        let out = plan_select_ls(&k, x, &sizes, &specs, 8.0, &SelectLsOptions::default()).unwrap();
+        let w = ektelo_data::workloads::marginal(&sizes, &[true, true, false]);
+        let e: f64 = w
+            .matvec(&truth)
+            .iter()
+            .zip(&w.matvec(&out.x_hat))
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>()
+            / 12.0;
+        assert!(e < 100.0, "mean marginal error {e}");
+    }
+}

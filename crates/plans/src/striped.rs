@@ -1,0 +1,181 @@
+//! The striped high-dimensional plans of §9.2 (Fig. 2, Plans #14–#16).
+//!
+//! A *stripe* fixes every attribute except one, giving a 1-D histogram per
+//! combination of the remaining attributes. `V-SplitByPartition` makes the
+//! stripes disjoint sources, so per-stripe subplans compose in parallel:
+//! measuring all 280 census stripes costs the same ε as measuring one.
+//! When the subplan is data-independent (HB), the whole construction
+//! collapses to a single Kronecker strategy (`HB-Striped_kron`,
+//! Algorithm 6).
+
+use ektelo_core::kernel::{ProtectedKernel, SourceVar};
+use ektelo_core::ops::inference::LsSolver;
+use ektelo_core::ops::partition::{dawa_partition, stripe_partition, DawaOptions};
+use ektelo_core::ops::selection::{greedy_h, hb, stripe_select};
+
+use crate::util::{
+    infer_ls, interval_partition_bounds, map_ranges_to_buckets, split_budget, PlanOutcome,
+    PlanResult,
+};
+
+/// Plan #15 — HB-Striped (Algorithm 5): `PS TP[ SHB LM ] LS`.
+pub fn plan_hb_striped(
+    kernel: &ProtectedKernel,
+    x: SourceVar,
+    sizes: &[usize],
+    attr: usize,
+    eps: f64,
+) -> PlanResult {
+    let start = kernel.measurement_count();
+    let p = stripe_partition(sizes, attr);
+    let stripes = kernel.split_by_partition(x, &p)?;
+    let strategy = hb(sizes[attr]);
+    for stripe in stripes {
+        kernel.vector_laplace(stripe, &strategy, eps)?;
+    }
+    Ok(PlanOutcome { x_hat: infer_ls(kernel, start, LsSolver::Iterative) })
+}
+
+/// Plan #14 — DAWA-Striped: `PS TP[ PD TR SG LM ] LS`.
+///
+/// Unlike HB-Striped, each stripe gets its *own* data-adaptive partition
+/// and measurement set (`rho` = DAWA's stage-1 share, 0.25 in the paper).
+/// `stripe_ranges` are the 1-D range queries of interest along the striped
+/// attribute (steering each stripe's Greedy-H); pass `&[]` for uniform
+/// weights.
+pub fn plan_dawa_striped(
+    kernel: &ProtectedKernel,
+    x: SourceVar,
+    sizes: &[usize],
+    attr: usize,
+    stripe_ranges: &[(usize, usize)],
+    eps: f64,
+    rho: f64,
+) -> PlanResult {
+    let shares = split_budget(eps, &[rho, 1.0 - rho]);
+    let start = kernel.measurement_count();
+    let p = stripe_partition(sizes, attr);
+    let stripes = kernel.split_by_partition(x, &p)?;
+    for stripe in stripes {
+        let bucket_p =
+            dawa_partition(kernel, stripe, shares[0], &DawaOptions::new(shares[1]))?;
+        let reduced = kernel.reduce_by_partition(stripe, &bucket_p)?;
+        let groups = kernel.vector_len(reduced)?;
+        let bounds = interval_partition_bounds(&bucket_p);
+        let ranges = map_ranges_to_buckets(stripe_ranges, &bounds);
+        kernel.vector_laplace(reduced, &greedy_h(groups, &ranges), shares[1])?;
+    }
+    Ok(PlanOutcome { x_hat: infer_ls(kernel, start, LsSolver::Iterative) })
+}
+
+/// Plan #16 — HB-Striped_kron (Algorithm 6): `SS LM LS`. The
+/// data-independent variant expressed as one Kronecker measurement —
+/// no kernel splitting, identical answers in distribution.
+pub fn plan_hb_striped_kron(
+    kernel: &ProtectedKernel,
+    x: SourceVar,
+    sizes: &[usize],
+    attr: usize,
+    eps: f64,
+) -> PlanResult {
+    let start = kernel.measurement_count();
+    let strategy = stripe_select(sizes, attr, hb);
+    kernel.vector_laplace(x, &strategy, eps)?;
+    Ok(PlanOutcome { x_hat: infer_ls(kernel, start, LsSolver::Iterative) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ektelo_core::kernel::ProtectedKernel;
+    use ektelo_data::{Schema, Table};
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    /// A small 3-attribute table: [v: 32, a: 3, b: 2].
+    fn small_census(rows: usize, seed: u64) -> (ProtectedKernel, SourceVar, Vec<f64>, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let schema = Schema::from_sizes(&[("v", 32), ("a", 3), ("b", 2)]);
+        let mut t = Table::empty(schema);
+        for _ in 0..rows {
+            let a = rng.random_range(0..3u32);
+            // v correlates with a.
+            let v = ((rng.random_range(0..16u32)) + a * 8).min(31);
+            let b = rng.random_range(0..2u32);
+            t.push_row(&[v, a, b]);
+        }
+        let truth = ektelo_data::vectorize(&t);
+        let k = ProtectedKernel::init(t, 10.0, seed);
+        let x = k.vectorize(k.root()).unwrap();
+        (k, x, truth, vec![32, 3, 2])
+    }
+
+    fn rmse(a: &[f64], b: &[f64]) -> f64 {
+        (a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>() / a.len() as f64).sqrt()
+    }
+
+    #[test]
+    fn hb_striped_costs_eps_despite_many_stripes() {
+        let (k, x, _, sizes) = small_census(2000, 1);
+        plan_hb_striped(&k, x, &sizes, 0, 1.0).unwrap();
+        // 6 stripes all measured with eps=1; parallel composition → 1.
+        assert!((k.budget_spent() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dawa_striped_costs_eps() {
+        let (k, x, _, sizes) = small_census(2000, 2);
+        plan_dawa_striped(&k, x, &sizes, 0, &[], 1.0, 0.25).unwrap();
+        assert!((k.budget_spent() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn striped_estimates_live_on_the_full_domain() {
+        let (k, x, truth, sizes) = small_census(5000, 3);
+        let out = plan_hb_striped(&k, x, &sizes, 0, 2.0).unwrap();
+        assert_eq!(out.x_hat.len(), truth.len());
+        assert!(rmse(&truth, &out.x_hat) < 20.0);
+    }
+
+    #[test]
+    fn kron_variant_matches_split_variant_statistically() {
+        // Same strategy, different plumbing: errors should be comparable.
+        let trials = 3;
+        let mut err_split = 0.0;
+        let mut err_kron = 0.0;
+        for seed in 0..trials {
+            let (k, x, truth, sizes) = small_census(5000, 100 + seed);
+            let o = plan_hb_striped(&k, x, &sizes, 0, 1.0).unwrap();
+            err_split += rmse(&truth, &o.x_hat);
+            let (k, x, truth, sizes) = small_census(5000, 100 + seed);
+            let o = plan_hb_striped_kron(&k, x, &sizes, 0, 1.0).unwrap();
+            err_kron += rmse(&truth, &o.x_hat);
+        }
+        let ratio = err_split / err_kron;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "split ({err_split}) and kron ({err_kron}) variants should be comparable"
+        );
+    }
+
+    #[test]
+    fn dawa_striped_beats_hb_striped_on_sparse_stripes() {
+        // Strong structure within stripes favours the data-adaptive plan
+        // at small eps.
+        let trials = 3;
+        let mut err_hb = 0.0;
+        let mut err_dawa = 0.0;
+        for seed in 0..trials {
+            let (k, x, truth, sizes) = small_census(20_000, 200 + seed);
+            let o = plan_hb_striped(&k, x, &sizes, 0, 0.05).unwrap();
+            err_hb += rmse(&truth, &o.x_hat);
+            let (k, x, truth, sizes) = small_census(20_000, 200 + seed);
+            let o = plan_dawa_striped(&k, x, &sizes, 0, &[], 0.05, 0.25).unwrap();
+            err_dawa += rmse(&truth, &o.x_hat);
+        }
+        assert!(
+            err_dawa < err_hb * 1.6,
+            "DAWA-striped ({err_dawa}) should be competitive with HB-striped ({err_hb})"
+        );
+    }
+}

@@ -1,0 +1,178 @@
+//! Shared plan plumbing: plan-scoped inference and partition helpers.
+
+use ektelo_core::kernel::{ProtectedKernel, Result, SourceVar};
+use ektelo_core::ops::inference::{self, LsSolver};
+use ektelo_matrix::Matrix;
+
+/// Runs least squares over the measurements a plan recorded after
+/// `history_start`, returning the estimate on the base domain.
+pub fn infer_ls(kernel: &ProtectedKernel, history_start: usize, solver: LsSolver) -> Vec<f64> {
+    inference::least_squares(&kernel.measurements_since(history_start), solver)
+}
+
+/// Like [`infer_ls`] with a non-negativity constraint.
+pub fn infer_nnls(kernel: &ProtectedKernel, history_start: usize) -> Vec<f64> {
+    inference::non_negative_least_squares(&kernel.measurements_since(history_start))
+}
+
+/// Extracts contiguous bucket boundaries from a 1-D interval partition
+/// matrix (as produced by DAWA): returns `buckets + 1` cut positions.
+/// Panics if the partition is not contiguous.
+pub fn interval_partition_bounds(p: &Matrix) -> Vec<usize> {
+    let sp = p.to_sparse();
+    let n = sp.cols();
+    let mut label_of = vec![usize::MAX; n];
+    for g in 0..sp.rows() {
+        for (c, _) in sp.row_entries(g) {
+            label_of[c] = g;
+        }
+    }
+    let mut bounds = vec![0usize];
+    for j in 1..n {
+        if label_of[j] != label_of[j - 1] {
+            bounds.push(j);
+        }
+    }
+    bounds.push(n);
+    // Verify contiguity: number of cuts must equal number of groups + 1.
+    assert_eq!(
+        bounds.len(),
+        sp.rows() + 1,
+        "partition is not a contiguous interval partition"
+    );
+    bounds
+}
+
+/// Maps 1-D range queries on the original domain onto bucket indices of a
+/// contiguous partition (for running Greedy-H on DAWA's reduced domain).
+pub fn map_ranges_to_buckets(
+    ranges: &[(usize, usize)],
+    bounds: &[usize],
+) -> Vec<(usize, usize)> {
+    let bucket_of = |cell: usize| -> usize {
+        // bounds is sorted; find the bucket containing `cell`.
+        match bounds.binary_search(&cell) {
+            Ok(i) => i.min(bounds.len() - 2),
+            Err(i) => i - 1,
+        }
+    };
+    ranges
+        .iter()
+        .map(|&(lo, hi)| {
+            let b_lo = bucket_of(lo);
+            let b_hi = bucket_of(hi - 1) + 1;
+            (b_lo, b_hi)
+        })
+        .collect()
+}
+
+/// Extracts the interval list of a range-query workload, if it is one.
+pub fn workload_ranges(w: &Matrix) -> Option<Vec<(usize, usize)>> {
+    match w {
+        Matrix::Range(r) => Some(r.ranges().collect()),
+        _ => None,
+    }
+}
+
+/// Appends a high-confidence "known total" pseudo-measurement (paper §5.5:
+/// public facts enter inference as near-noiseless answers).
+///
+/// `noise_scale` should be small *relative to the real measurements* (one
+/// to two orders of magnitude below their noise scales), not absolutely
+/// tiny: inference weights rows by inverse noise scale, and an extreme
+/// ratio destroys the conditioning of the iterative solvers. Use
+/// [`relative_total_scale`] to derive a safe value.
+pub fn known_total_measurement(
+    n: usize,
+    total: f64,
+    base: SourceVar,
+    noise_scale: f64,
+) -> ektelo_core::MeasuredQuery {
+    ektelo_core::MeasuredQuery {
+        base,
+        query: Matrix::total(n),
+        answers: vec![total],
+        noise_scale: noise_scale.max(f64::MIN_POSITIVE),
+    }
+}
+
+/// A known-total noise scale 10× more precise than the most precise real
+/// measurement — enough to pin the total without wrecking conditioning.
+pub fn relative_total_scale(measurements: &[ektelo_core::MeasuredQuery]) -> f64 {
+    measurements
+        .iter()
+        .map(|m| m.noise_scale)
+        .fold(f64::INFINITY, f64::min)
+        .min(1e6)
+        / 10.0
+}
+
+/// Splits a privacy budget into labelled shares that sum to the original
+/// (guards against silent over/under-spending in multi-stage plans).
+pub fn split_budget(eps: f64, shares: &[f64]) -> Vec<f64> {
+    let total: f64 = shares.iter().sum();
+    assert!(total > 0.0 && shares.iter().all(|&s| s > 0.0), "invalid budget shares");
+    shares.iter().map(|&s| eps * s / total).collect()
+}
+
+/// Convenience used by every 1-D experiment: build a kernel around a raw
+/// histogram.
+pub fn kernel_for_histogram(x: &[f64], eps: f64, seed: u64) -> (ProtectedKernel, SourceVar) {
+    let k = ProtectedKernel::init_from_vector(x.to_vec(), eps, seed);
+    let root = k.root();
+    (k, root)
+}
+
+/// L2 error between a workload's answers on the true and estimated vector,
+/// scaled per query (paper Table 5 metric).
+pub fn workload_error(w: &Matrix, x_true: &[f64], x_hat: &[f64]) -> f64 {
+    inference::scaled_per_query_l2_error(w, x_true, x_hat, 1.0)
+}
+
+/// Absolute-error helper for tests.
+pub fn l1_distance(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+/// A plan outcome: the estimate plus the measurements' history span
+/// (handy for composing plans and for debugging budget use).
+pub struct PlanOutcome {
+    /// Estimated data vector over the base domain of the plan's source.
+    pub x_hat: Vec<f64>,
+}
+
+/// Result alias re-exported for plan signatures.
+pub type PlanResult = Result<PlanOutcome>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ektelo_matrix::partition_from_labels;
+
+    #[test]
+    fn bounds_of_contiguous_partition() {
+        let p = partition_from_labels(3, &[0, 0, 1, 1, 1, 2]);
+        assert_eq!(interval_partition_bounds(&p), vec![0, 2, 5, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a contiguous")]
+    fn non_contiguous_partition_rejected() {
+        let p = partition_from_labels(2, &[0, 1, 0, 1]);
+        interval_partition_bounds(&p);
+    }
+
+    #[test]
+    fn range_mapping_covers_buckets() {
+        let bounds = vec![0, 2, 5, 6];
+        let mapped = map_ranges_to_buckets(&[(0, 2), (1, 6), (5, 6)], &bounds);
+        assert_eq!(mapped, vec![(0, 1), (0, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn budget_split_sums_to_eps() {
+        let parts = split_budget(1.0, &[1.0, 3.0]);
+        assert!((parts[0] - 0.25).abs() < 1e-12);
+        assert!((parts.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+}

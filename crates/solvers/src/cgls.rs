@@ -1,0 +1,106 @@
+//! CGLS: conjugate gradient on the normal equations `AᵀA x = Aᵀ b`.
+//!
+//! A second, independently derived iterative least-squares solver. It is
+//! mathematically equivalent to LSQR in exact arithmetic; we keep both so
+//! that tests can cross-validate one against the other and so the benchmark
+//! harness can report solver-choice sensitivity.
+
+use ektelo_matrix::Matrix;
+
+use crate::lsqr::{LsqrOptions, LsqrResult};
+
+/// Solves `min_x ‖Ax − b‖₂` with CGLS. Options and result types are shared
+/// with [`crate::lsqr`].
+pub fn cgls(a: &Matrix, b: &[f64], opts: &LsqrOptions) -> LsqrResult {
+    let (m, n) = a.shape();
+    assert_eq!(b.len(), m, "cgls: rhs length mismatch");
+
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec(); // r = b − A x (x = 0)
+    let mut s = a.rmatvec(&r); // s = Aᵀ r
+    let mut p = s.clone();
+    let mut gamma: f64 = s.iter().map(|&v| v * v).sum();
+    let gamma0 = gamma;
+    if gamma == 0.0 {
+        let rn = norm2(&r);
+        return LsqrResult {
+            x,
+            iterations: 0,
+            residual_norm: rn,
+        };
+    }
+
+    let mut iterations = 0;
+    for it in 1..=opts.max_iters {
+        iterations = it;
+        let q = a.matvec(&p);
+        let qq: f64 = q.iter().map(|&v| v * v).sum();
+        if qq == 0.0 {
+            break;
+        }
+        let alpha = gamma / qq;
+        for (xi, &pi) in x.iter_mut().zip(&p) {
+            *xi += alpha * pi;
+        }
+        for (ri, &qi) in r.iter_mut().zip(&q) {
+            *ri -= alpha * qi;
+        }
+        s = a.rmatvec(&r);
+        let gamma_new: f64 = s.iter().map(|&v| v * v).sum();
+        if gamma_new <= opts.atol * opts.atol * gamma0 {
+            gamma = gamma_new;
+            break;
+        }
+        let beta = gamma_new / gamma;
+        gamma = gamma_new;
+        for (pi, &si) in p.iter_mut().zip(&s) {
+            *pi = si + beta * *pi;
+        }
+    }
+    let _ = gamma;
+
+    LsqrResult {
+        x,
+        iterations,
+        residual_norm: norm2(&r),
+    }
+}
+
+fn norm2(v: &[f64]) -> f64 {
+    v.iter().map(|&x| x * x).sum::<f64>().sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lsqr::lsqr;
+    use ektelo_matrix::Matrix;
+
+    #[test]
+    fn agrees_with_lsqr_on_hierarchical_strategy() {
+        let n = 32;
+        let a = Matrix::vstack(vec![Matrix::identity(n), Matrix::wavelet(n)]);
+        let b: Vec<f64> = (0..a.rows()).map(|i| ((i * 2654435761) % 97) as f64 / 10.0).collect();
+        let opts = LsqrOptions::default();
+        let x1 = cgls(&a, &b, &opts).x;
+        let x2 = lsqr(&a, &b, &opts).x;
+        for (u, v) in x1.iter().zip(&x2) {
+            assert!((u - v).abs() < 1e-6, "cgls {u} vs lsqr {v}");
+        }
+    }
+
+    #[test]
+    fn simple_average() {
+        let a = Matrix::from_rows(vec![vec![1.0], vec![1.0], vec![1.0]]);
+        let r = cgls(&a, &[3.0, 6.0, 0.0], &LsqrOptions::default());
+        assert!((r.x[0] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn zero_matrix_short_circuits() {
+        let a = Matrix::sparse(ektelo_matrix::CsrMatrix::zeros(3, 2));
+        let r = cgls(&a, &[1.0, 2.0, 3.0], &LsqrOptions::default());
+        assert_eq!(r.x, vec![0.0, 0.0]);
+        assert_eq!(r.iterations, 0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Dense Cholesky factorization and direct least squares.
+//!
+//! The `O(n³)` "direct" baseline of paper Fig. 5: form the normal equations
+//! `AᵀA x = Aᵀ b` and solve by factorization. The paper notes the runtime
+//! of direct methods becomes unacceptable past n ≈ 5000 — our harness
+//! reproduces exactly that crossover.
+
+use ektelo_matrix::{DenseMatrix, Matrix};
+
+/// Computes the lower-triangular Cholesky factor `L` with `L Lᵀ = A` for a
+/// symmetric positive-definite `A`. Returns `None` if a non-positive pivot
+/// is encountered (matrix not PD within tolerance).
+pub fn cholesky_factor(a: &DenseMatrix) -> Option<DenseMatrix> {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "cholesky requires a square matrix");
+    let mut l = DenseMatrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a.get(i, j);
+            for k in 0..j {
+                sum -= l.get(i, k) * l.get(j, k);
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return None;
+                }
+                l.set(i, j, sum.sqrt());
+            } else {
+                l.set(i, j, sum / l.get(j, j));
+            }
+        }
+    }
+    Some(l)
+}
+
+/// Solves `A x = b` given the Cholesky factor `L` of `A` (forward then
+/// backward substitution).
+pub fn cholesky_solve(l: &DenseMatrix, b: &[f64]) -> Vec<f64> {
+    let n = l.rows();
+    assert_eq!(b.len(), n, "cholesky_solve rhs length mismatch");
+    // Forward: L y = b
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for (k, &yk) in y.iter().enumerate().take(i) {
+            sum -= l.get(i, k) * yk;
+        }
+        y[i] = sum / l.get(i, i);
+    }
+    // Backward: Lᵀ x = y
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for (k, &xk) in x.iter().enumerate().skip(i + 1) {
+            sum -= l.get(k, i) * xk;
+        }
+        x[i] = sum / l.get(i, i);
+    }
+    x
+}
+
+/// Direct least squares via the normal equations: materializes `AᵀA`
+/// (dense), factorizes, and solves. A tiny ridge `λI` is added when the
+/// Gram matrix is singular (rank-deficient strategies), matching the
+/// pseudo-inverse solution in the limit.
+pub fn direct_least_squares(a: &Matrix, b: &[f64]) -> Vec<f64> {
+    let gram = a.gram_dense();
+    let atb = a.rmatvec(b);
+    if let Some(l) = cholesky_factor(&gram) {
+        return cholesky_solve(&l, &atb);
+    }
+    // Ridge fallback for singular Gram matrices.
+    let n = gram.rows();
+    let trace: f64 = (0..n).map(|i| gram.get(i, i)).sum();
+    let lambda = 1e-8 * (trace / n as f64).max(1.0);
+    let mut ridged = gram;
+    for i in 0..n {
+        let v = ridged.get(i, i);
+        ridged.set(i, i, v + lambda);
+    }
+    let l = cholesky_factor(&ridged).expect("ridged Gram matrix must be PD");
+    cholesky_solve(&l, &atb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lsqr::{lsqr, LsqrOptions};
+
+    #[test]
+    fn factor_of_known_spd_matrix() {
+        // A = [[4, 2], [2, 3]] → L = [[2, 0], [1, sqrt(2)]]
+        let a = DenseMatrix::from_rows(vec![vec![4.0, 2.0], vec![2.0, 3.0]]);
+        let l = cholesky_factor(&a).unwrap();
+        assert!((l.get(0, 0) - 2.0).abs() < 1e-12);
+        assert!((l.get(1, 0) - 1.0).abs() < 1e-12);
+        assert!((l.get(1, 1) - 2.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_pd_detected() {
+        let a = DenseMatrix::from_rows(vec![vec![1.0, 2.0], vec![2.0, 1.0]]);
+        assert!(cholesky_factor(&a).is_none());
+    }
+
+    #[test]
+    fn solve_roundtrip() {
+        let a = DenseMatrix::from_rows(vec![
+            vec![6.0, 2.0, 1.0],
+            vec![2.0, 5.0, 2.0],
+            vec![1.0, 2.0, 4.0],
+        ]);
+        let l = cholesky_factor(&a).unwrap();
+        let x_true = [1.0, -2.0, 3.0];
+        let mut b = vec![0.0; 3];
+        a.matvec_into(&x_true, &mut b);
+        let x = cholesky_solve(&l, &b);
+        for (xi, ei) in x.iter().zip(&x_true) {
+            assert!((xi - ei).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn direct_agrees_with_iterative() {
+        let n = 16;
+        let a = Matrix::vstack(vec![Matrix::identity(n), Matrix::prefix(n)]);
+        let b: Vec<f64> = (0..a.rows()).map(|i| ((i * 31) % 17) as f64).collect();
+        let xd = direct_least_squares(&a, &b);
+        let xi = lsqr(&a, &b, &LsqrOptions::default()).x;
+        for (u, v) in xd.iter().zip(&xi) {
+            assert!((u - v).abs() < 1e-6, "direct {u} vs iterative {v}");
+        }
+    }
+
+    #[test]
+    fn singular_gram_falls_back_to_ridge() {
+        // Total query alone is rank-1 over n=3: infinitely many LS solutions;
+        // ridge picks (approximately) the minimum-norm one: uniform split.
+        let a = Matrix::total(3);
+        let x = direct_least_squares(&a, &[9.0]);
+        for xi in &x {
+            assert!((xi - 3.0).abs() < 1e-3, "{x:?}");
+        }
+    }
+}

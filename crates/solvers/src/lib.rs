@@ -1,0 +1,39 @@
+#![deny(missing_docs)]
+//! # ektelo-solvers
+//!
+//! Numerical solvers backing EKTELO's inference operators (paper §7.6,
+//! "Implementing inference").
+//!
+//! The paper's key observation is that *every* inference method it needs —
+//! ordinary least squares, non-negative least squares, and multiplicative
+//! weights — can be implemented with only two primitive matrix methods:
+//! matrix–vector product and transpose matrix–vector product. Combined with
+//! implicit matrices this gives `O(k · Time(M))` inference, which is what
+//! Fig. 5 measures. This crate provides:
+//!
+//! * [`lsqr`] — Paige–Saunders LSQR, the default iterative least-squares
+//!   solver (the paper uses the closely related LSMR; both are Golub–Kahan
+//!   Krylov methods on the normal equations — see DESIGN.md);
+//! * [`cgls`] — conjugate gradient on the normal equations, a second
+//!   independent iterative LS implementation used for cross-checking;
+//! * [`nnls`] — FISTA-accelerated projected gradient for least squares with
+//!   a non-negativity constraint (the paper uses L-BFGS-B; same primitive
+//!   footprint and the same constrained optimum);
+//! * [`mult_weights`] — the multiplicative-weights update rule of MWEM;
+//! * [`cholesky`] — dense Cholesky factorization for *direct* least squares
+//!   (the `O(n³)` baseline of Fig. 5);
+//! * [`power`] — power iteration for spectral-norm (step-size) estimates.
+
+pub mod cgls;
+pub mod cholesky;
+pub mod lsqr;
+pub mod mw;
+pub mod nnls;
+pub mod power;
+
+pub use cgls::cgls;
+pub use cholesky::{cholesky_factor, cholesky_solve, direct_least_squares};
+pub use lsqr::{lsqr, LsqrOptions, LsqrResult};
+pub use mw::{mult_weights, MwOptions};
+pub use nnls::{nnls, NnlsOptions};
+pub use power::spectral_norm_estimate;

@@ -1,0 +1,238 @@
+//! LSQR (Paige & Saunders 1982): iterative least squares via Golub–Kahan
+//! bidiagonalization.
+//!
+//! Solves `min_x ‖A x − b‖₂` touching `A` only through `matvec` and
+//! `rmatvec`, so it runs unchanged on implicit matrices. The paper's
+//! reference implementation uses LSMR (Fong & Saunders 2011); both methods
+//! build the same Krylov space and share the `O(k · Time(A))` complexity
+//! that Fig. 5 measures (see DESIGN.md for the substitution note).
+
+use ektelo_matrix::Matrix;
+
+/// Stopping parameters for [`lsqr`].
+#[derive(Clone, Debug)]
+pub struct LsqrOptions {
+    /// Hard iteration cap. The paper observes convergence in far fewer than
+    /// n iterations for well-conditioned strategies.
+    pub max_iters: usize,
+    /// Relative tolerance on the normal-equation residual `‖Aᵀr‖`.
+    pub atol: f64,
+}
+
+impl Default for LsqrOptions {
+    fn default() -> Self {
+        LsqrOptions {
+            max_iters: 2000,
+            atol: 1e-8,
+        }
+    }
+}
+
+/// Convergence report returned by [`lsqr`].
+#[derive(Clone, Debug)]
+pub struct LsqrResult {
+    /// The least-squares solution estimate.
+    pub x: Vec<f64>,
+    /// Number of iterations performed.
+    pub iterations: usize,
+    /// Final residual norm estimate `‖Ax − b‖₂`.
+    pub residual_norm: f64,
+}
+
+/// Solves `min_x ‖Ax − b‖₂` with LSQR.
+///
+/// ```
+/// use ektelo_matrix::Matrix;
+/// use ektelo_solvers::{lsqr, LsqrOptions};
+///
+/// // Overdetermined, consistent: x = [1, 2] from three measurements.
+/// let a = Matrix::vstack(vec![Matrix::identity(2), Matrix::total(2)]);
+/// let r = lsqr(&a, &[1.0, 2.0, 3.0], &LsqrOptions::default());
+/// assert!((r.x[0] - 1.0).abs() < 1e-8 && (r.x[1] - 2.0).abs() < 1e-8);
+/// ```
+pub fn lsqr(a: &Matrix, b: &[f64], opts: &LsqrOptions) -> LsqrResult {
+    let (m, n) = a.shape();
+    assert_eq!(b.len(), m, "lsqr: rhs length mismatch");
+
+    let mut x = vec![0.0; n];
+
+    // β₁ u₁ = b
+    let mut u = b.to_vec();
+    let mut beta = norm2(&u);
+    if beta == 0.0 {
+        return LsqrResult {
+            x,
+            iterations: 0,
+            residual_norm: 0.0,
+        };
+    }
+    scale(&mut u, 1.0 / beta);
+
+    // α₁ v₁ = Aᵀ u₁
+    let mut v = a.rmatvec(&u);
+    let mut alpha = norm2(&v);
+    if alpha == 0.0 {
+        return LsqrResult {
+            x,
+            iterations: 0,
+            residual_norm: beta,
+        };
+    }
+    scale(&mut v, 1.0 / alpha);
+
+    let mut w = v.clone();
+    let mut phibar = beta;
+    let mut rhobar = alpha;
+    let norm_a0 = alpha; // grows with the bidiagonalization
+    let mut norm_a = norm_a0;
+
+    let mut iterations = 0;
+    for it in 1..=opts.max_iters {
+        iterations = it;
+
+        // Continue the bidiagonalization:
+        //   β u = A v − α u ;  α v = Aᵀ u − β v
+        let av = a.matvec(&v);
+        for (ui, &avi) in u.iter_mut().zip(&av) {
+            *ui = avi - alpha * *ui;
+        }
+        beta = norm2(&u);
+        if beta > 0.0 {
+            scale(&mut u, 1.0 / beta);
+        }
+        let atu = a.rmatvec(&u);
+        for (vi, &atui) in v.iter_mut().zip(&atu) {
+            *vi = atui - beta * *vi;
+        }
+        alpha = norm2(&v);
+        if alpha > 0.0 {
+            scale(&mut v, 1.0 / alpha);
+        }
+        norm_a = (norm_a * norm_a + beta * beta + alpha * alpha).sqrt();
+
+        // Apply the next orthogonal rotation to the bidiagonal system.
+        let rho = (rhobar * rhobar + beta * beta).sqrt();
+        let c = rhobar / rho;
+        let s = beta / rho;
+        let theta = s * alpha;
+        rhobar = -c * alpha;
+        let phi = c * phibar;
+        phibar *= s;
+
+        // Update x and the search direction w.
+        let t1 = phi / rho;
+        let t2 = -theta / rho;
+        for i in 0..n {
+            x[i] += t1 * w[i];
+            w[i] = v[i] + t2 * w[i];
+        }
+
+        // ‖Aᵀ r‖ estimate = φ̄ · α · |c|; stop when it is small relative to
+        // ‖A‖·‖r‖ (standard LSQR criterion).
+        let norm_ar = phibar * alpha * c.abs();
+        if norm_ar <= opts.atol * norm_a * phibar.max(f64::MIN_POSITIVE) {
+            break;
+        }
+    }
+
+    LsqrResult {
+        x,
+        iterations,
+        residual_norm: phibar,
+    }
+}
+
+/// Weighted least squares: scales each row i of `A` and entry of `b` by
+/// `weights[i]` (inverse noise scales), then calls [`lsqr`]. This is how
+/// inference accounts for measurements taken with unequal noise (paper
+/// §5.5 objective (i)).
+pub fn lsqr_weighted(a: &Matrix, b: &[f64], weights: &[f64], opts: &LsqrOptions) -> LsqrResult {
+    assert_eq!(b.len(), weights.len(), "weights length mismatch");
+    let wa = Matrix::product(Matrix::diagonal(weights.to_vec()), a.clone());
+    let wb: Vec<f64> = b.iter().zip(weights).map(|(&bi, &wi)| bi * wi).collect();
+    lsqr(&wa, &wb, opts)
+}
+
+fn norm2(v: &[f64]) -> f64 {
+    v.iter().map(|&x| x * x).sum::<f64>().sqrt()
+}
+
+fn scale(v: &mut [f64], c: f64) {
+    for x in v {
+        *x *= c;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ektelo_matrix::Matrix;
+
+    #[test]
+    fn exact_solve_identity() {
+        let a = Matrix::identity(4);
+        let b = vec![1.0, -2.0, 3.0, 0.5];
+        let r = lsqr(&a, &b, &LsqrOptions::default());
+        for (x, e) in r.x.iter().zip(&b) {
+            assert!((x - e).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn solves_overdetermined_system() {
+        // A = [I; Total], b consistent with x* = [1, 2, 3]
+        let a = Matrix::vstack(vec![Matrix::identity(3), Matrix::total(3)]);
+        let b = vec![1.0, 2.0, 3.0, 6.0];
+        let r = lsqr(&a, &b, &LsqrOptions::default());
+        for (x, e) in r.x.iter().zip(&[1.0, 2.0, 3.0]) {
+            assert!((x - e).abs() < 1e-8, "{:?}", r.x);
+        }
+    }
+
+    #[test]
+    fn least_squares_of_inconsistent_system() {
+        // Two measurements of the same scalar: x=1 and x=3 → LS solution 2.
+        let a = Matrix::from_rows(vec![vec![1.0], vec![1.0]]);
+        let r = lsqr(&a, &[1.0, 3.0], &LsqrOptions::default());
+        assert!((r.x[0] - 2.0).abs() < 1e-10);
+        assert!((r.residual_norm - 2.0_f64.sqrt()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn matches_normal_equation_solution_on_random_system() {
+        // Hierarchical strategy over n=16; solution must satisfy AᵀA x = Aᵀ b.
+        let n = 16;
+        let a = Matrix::vstack(vec![
+            Matrix::identity(n),
+            Matrix::wavelet(n),
+            Matrix::total(n),
+        ]);
+        let b: Vec<f64> = (0..a.rows()).map(|i| ((i * 7919) % 13) as f64 - 6.0).collect();
+        let r = lsqr(&a, &b, &LsqrOptions::default());
+        let residual: Vec<f64> = a
+            .matvec(&r.x)
+            .iter()
+            .zip(&b)
+            .map(|(p, q)| p - q)
+            .collect();
+        let grad = a.rmatvec(&residual);
+        let gnorm = norm2(&grad);
+        assert!(gnorm < 1e-6, "normal equations violated: ‖Aᵀr‖ = {gnorm}");
+    }
+
+    #[test]
+    fn weighted_rows_pull_solution() {
+        // Heavily weighting the x=3 observation moves the estimate toward 3.
+        let a = Matrix::from_rows(vec![vec![1.0], vec![1.0]]);
+        let r = lsqr_weighted(&a, &[1.0, 3.0], &[1.0, 10.0], &LsqrOptions::default());
+        assert!(r.x[0] > 2.9, "weighted estimate {}", r.x[0]);
+    }
+
+    #[test]
+    fn zero_rhs_returns_zero() {
+        let a = Matrix::prefix(5);
+        let r = lsqr(&a, &[0.0; 5], &LsqrOptions::default());
+        assert_eq!(r.x, vec![0.0; 5]);
+        assert_eq!(r.iterations, 0);
+    }
+}

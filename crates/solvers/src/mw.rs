@@ -1,0 +1,121 @@
+//! Multiplicative-weights inference (MWEM's update rule).
+//!
+//! Maintains a distribution-like estimate `x̂` of the data vector and, for
+//! each measured query `(q, y)`, applies
+//! `x̂ ← x̂ ⊙ exp(q · (y − q·x̂) / (2·N))` followed by renormalization to the
+//! assumed total `N` (Hardt, Ligett & McSherry 2012; paper Table 1 gives
+//! the batched gradient form). Closely related to maximum-entropy
+//! inference; effective when measurements are incomplete (paper §5.5).
+
+use ektelo_matrix::Matrix;
+
+/// Options for [`mult_weights`].
+#[derive(Clone, Debug)]
+pub struct MwOptions {
+    /// Number of passes over the full measurement set.
+    pub iterations: usize,
+    /// Total mass the estimate is normalized to (MWEM assumes the dataset
+    /// size is known or separately estimated).
+    pub total: f64,
+}
+
+impl Default for MwOptions {
+    fn default() -> Self {
+        MwOptions {
+            iterations: 50,
+            total: 1.0,
+        }
+    }
+}
+
+/// Runs multiplicative-weights updates for measurements `M x ≈ y`, starting
+/// from `x0` (commonly uniform with mass `opts.total`). Returns the refined
+/// estimate.
+pub fn mult_weights(m: &Matrix, y: &[f64], x0: &[f64], opts: &MwOptions) -> Vec<f64> {
+    let (rows, n) = m.shape();
+    assert_eq!(y.len(), rows, "mw: measurement count mismatch");
+    assert_eq!(x0.len(), n, "mw: estimate length mismatch");
+    assert!(opts.total > 0.0, "mw: total must be positive");
+
+    let mut x = x0.to_vec();
+    normalize(&mut x, opts.total);
+
+    for _ in 0..opts.iterations {
+        // Batched update (paper Table 1): g = Mᵀ(y − M x̂) scaled by 1/(2N).
+        let mut err = m.matvec(&x);
+        for (e, &yi) in err.iter_mut().zip(y) {
+            *e = yi - *e;
+        }
+        let g = m.rmatvec(&err);
+        for (xi, &gi) in x.iter_mut().zip(&g) {
+            // Clamp the exponent for numerical robustness on extreme
+            // residuals (matches practical MWEM implementations).
+            let e = (gi / (2.0 * opts.total)).clamp(-50.0, 50.0);
+            *xi *= e.exp();
+        }
+        normalize(&mut x, opts.total);
+    }
+    x
+}
+
+fn normalize(x: &mut [f64], total: f64) {
+    let sum: f64 = x.iter().sum();
+    if sum > 0.0 {
+        let scale = total / sum;
+        for xi in x {
+            *xi *= scale;
+        }
+    } else {
+        let uniform = total / x.len() as f64;
+        x.fill(uniform);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ektelo_matrix::Matrix;
+
+    #[test]
+    fn preserves_total_mass() {
+        let m = Matrix::identity(4);
+        let y = [5.0, 0.0, 3.0, 2.0];
+        let x0 = vec![2.5; 4];
+        let x = mult_weights(&m, &y, &x0, &MwOptions { iterations: 20, total: 10.0 });
+        let sum: f64 = x.iter().sum();
+        assert!((sum - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn converges_toward_identity_measurements() {
+        let m = Matrix::identity(4);
+        let y = [4.0, 0.0, 3.0, 3.0];
+        let x0 = vec![2.5; 4];
+        let x = mult_weights(&m, &y, &x0, &MwOptions { iterations: 300, total: 10.0 });
+        for (xi, yi) in x.iter().zip(&y) {
+            assert!((xi - yi).abs() < 0.15, "{x:?}");
+        }
+    }
+
+    #[test]
+    fn incomplete_measurements_stay_maximum_entropy() {
+        // Only the total of the first two cells is measured; MW should keep
+        // the split uniform within the measured group and leave the rest
+        // untouched relative to each other.
+        let m = Matrix::range_queries(4, vec![(0, 2)]);
+        let y = [6.0];
+        let x0 = vec![2.0; 4];
+        let x = mult_weights(&m, &y, &x0, &MwOptions { iterations: 200, total: 8.0 });
+        assert!((x[0] - x[1]).abs() < 1e-9, "uniformity within group: {x:?}");
+        assert!((x[2] - x[3]).abs() < 1e-9, "uniformity outside group: {x:?}");
+        assert!((x[0] + x[1] - 6.0).abs() < 0.1, "measured mass: {x:?}");
+    }
+
+    #[test]
+    fn zero_estimate_resets_to_uniform() {
+        let m = Matrix::identity(2);
+        let x = mult_weights(&m, &[1.0, 1.0], &[0.0, 0.0], &MwOptions { iterations: 5, total: 2.0 });
+        let sum: f64 = x.iter().sum();
+        assert!((sum - 2.0).abs() < 1e-9);
+    }
+}

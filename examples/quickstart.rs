@@ -1,0 +1,62 @@
+//! Quickstart: your first differentially-private EKTELO plan.
+//!
+//! We build a small table, initialize the protected kernel with a privacy
+//! budget, and run the classic *select → measure → infer* pipeline to
+//! release a histogram — then show what happens when the budget runs out.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use ektelo::core::kernel::ProtectedKernel;
+use ektelo::core::ops::inference::{least_squares, LsSolver};
+use ektelo::core::ops::selection;
+use ektelo::data::{Predicate, Schema, Table};
+
+fn main() {
+    // A toy relation: ages of 1000 people, bucketed into 16 groups.
+    let schema = Schema::from_sizes(&[("age", 16)]);
+    let mut table = Table::empty(schema);
+    for i in 0..1000u32 {
+        // A bimodal population: young adults and retirees.
+        let age = if i % 3 == 0 { 12 + (i % 4) } else { 2 + (i % 5) };
+        table.push_row(&[age.min(15)]);
+    }
+
+    // The protected kernel encloses the table. Everything below interacts
+    // with it only through operators; total privacy loss is capped at 1.0.
+    let kernel = ProtectedKernel::init(table, 1.0, /* rng seed */ 42);
+
+    // Private operators: filter (nothing here), vectorize to a histogram.
+    let everyone = kernel
+        .transform_where(kernel.root(), &Predicate::True)
+        .expect("filter");
+    let x = kernel.vectorize(everyone).expect("vectorize");
+    let n = kernel.vector_len(x).expect("len");
+    println!("domain size: {n} cells, budget: {}", kernel.eps_total());
+
+    // Query selection: the H2 hierarchical strategy (good for ranges).
+    let strategy = selection::h2(n);
+    println!(
+        "strategy: {} queries, sensitivity {}",
+        strategy.rows(),
+        strategy.l1_sensitivity()
+    );
+
+    // Measurement: Vector Laplace auto-calibrates noise to the strategy's
+    // sensitivity and charges the budget (Algorithm 2 of the paper).
+    kernel.vector_laplace(x, &strategy, 0.8).expect("measure");
+    println!("budget spent: {:.2}, remaining: {:.2}", kernel.budget_spent(), kernel.budget_remaining());
+
+    // Inference (free): least squares over everything measured so far.
+    let x_hat = least_squares(&kernel.measurements(), LsSolver::Iterative);
+
+    // Answer an arbitrary range query from the estimate (post-processing).
+    let young_adults: f64 = x_hat[2..7].iter().sum();
+    println!("estimated people aged in buckets [2, 7): {young_adults:.1} (true: ~667)");
+
+    // The kernel refuses to exceed the budget — and the refusal itself
+    // leaks nothing.
+    match kernel.vector_laplace(x, &strategy, 0.5) {
+        Err(e) => println!("over-budget request correctly rejected: {e}"),
+        Ok(_) => unreachable!("kernel must enforce the budget"),
+    }
+}

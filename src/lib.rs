@@ -1,0 +1,18 @@
+#![deny(missing_docs)]
+//! # EKTELO (Rust reproduction)
+//!
+//! Façade crate re-exporting the full EKTELO stack:
+//!
+//! * [`matrix`] — implicit/sparse/dense matrix engine (paper §7);
+//! * [`solvers`] — iterative and direct numerical solvers (paper §7.6);
+//! * [`data`] — relational substrate, synthetic datasets, workloads;
+//! * [`core`] — the protected kernel and operator library (paper §4–5, §8);
+//! * [`plans`] — the algorithm plans of Fig. 2 and the case studies (§6, §9).
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour.
+
+pub use ektelo_core as core;
+pub use ektelo_data as data;
+pub use ektelo_matrix as matrix;
+pub use ektelo_plans as plans;
+pub use ektelo_solvers as solvers;

@@ -1,0 +1,84 @@
+//! A miniature end-to-end census pipeline through the public façade:
+//! relational transformations → vectorize → striped measurement → global
+//! inference → workload answers, with the full privacy ledger checked.
+
+use ektelo::core::kernel::ProtectedKernel;
+use ektelo::core::ops::inference::{least_squares, LsSolver};
+use ektelo::data::generators::census_cps_sized;
+use ektelo::data::workloads::{all_k_way_marginals, marginal};
+use ektelo::data::Predicate;
+use ektelo::plans::striped::plan_hb_striped_kron;
+
+#[test]
+fn census_pipeline_marginals() {
+    // Shrink income to keep the test fast: project it away entirely and
+    // work over the demographic attributes (5·7·4·2 = 280 cells).
+    let table = census_cps_sized(20_000, 3);
+    let truth_table = table.select(&["age", "marital", "race", "gender"]);
+    let x_true = ektelo::data::vectorize(&truth_table);
+
+    let kernel = ProtectedKernel::init(table, 1.0, 17);
+    let demo = kernel
+        .transform_select(kernel.root(), &["age", "marital", "race", "gender"])
+        .unwrap();
+    let x = kernel.vectorize(demo).unwrap();
+    let sizes = kernel.schema(demo).unwrap().sizes();
+    assert_eq!(sizes.iter().product::<usize>(), 280);
+
+    // Striped hierarchical measurement along age.
+    let out = plan_hb_striped_kron(&kernel, x, &sizes, 0, 1.0).unwrap();
+    assert!((kernel.budget_spent() - 1.0).abs() < 1e-9);
+
+    // All 2-way marginals must be accurate to within a few records/query.
+    let w = all_k_way_marginals(&sizes, 2);
+    let t = w.matvec(&x_true);
+    let e = w.matvec(&out.x_hat);
+    let rmse =
+        (t.iter().zip(&e).map(|(a, b)| (a - b) * (a - b)).sum::<f64>() / t.len() as f64).sqrt();
+    assert!(rmse < 60.0, "2-way marginal rmse {rmse}");
+
+    // The gender marginal (2 cells over 20k records) should be tight.
+    let wg = marginal(&sizes, &[false, false, false, true]);
+    let tg = wg.matvec(&x_true);
+    let eg = wg.matvec(&out.x_hat);
+    for (a, b) in tg.iter().zip(&eg) {
+        assert!((a - b).abs() / a < 0.05, "gender marginal off: {a} vs {b}");
+    }
+}
+
+#[test]
+fn filtered_subpopulation_analysis() {
+    // The Algorithm-1 idiom over census data: filter → select → vectorize
+    // → measure. The filter is a Private operator (free); only the
+    // measurement charges.
+    let table = census_cps_sized(10_000, 5);
+    let kernel = ProtectedKernel::init(table, 0.5, 23);
+    let married = kernel
+        .transform_where(kernel.root(), &Predicate::eq("marital", 1))
+        .unwrap();
+    let by_age = kernel.transform_select(married, &["age"]).unwrap();
+    let x = kernel.vectorize(by_age).unwrap();
+    assert_eq!(kernel.vector_len(x).unwrap(), 5);
+    let y = kernel
+        .vector_laplace(x, &ektelo::matrix::Matrix::identity(5), 0.5)
+        .unwrap();
+    assert!((kernel.budget_spent() - 0.5).abs() < 1e-9);
+    // Sanity: most married heads-of-household are not in the youngest
+    // bucket (the generator makes marriage rise with age).
+    let est = least_squares(&kernel.measurements(), LsSolver::Iterative);
+    assert_eq!(est, y);
+    let total: f64 = est.iter().sum();
+    assert!(est[0] < total / 3.0, "young bucket implausibly large: {est:?}");
+}
+
+#[test]
+fn group_by_costs_double_budget() {
+    // GroupBy is 2-stable: measuring its output at ε charges 2ε.
+    let table = census_cps_sized(1_000, 6);
+    let kernel = ProtectedKernel::init(table, 1.0, 29);
+    let groups = kernel
+        .transform_group_by(kernel.root(), &["marital", "gender"])
+        .unwrap();
+    kernel.noisy_count(groups, 0.25).unwrap();
+    assert!((kernel.budget_spent() - 0.5).abs() < 1e-9);
+}

@@ -24,8 +24,11 @@ fn bench_h2_representations(c: &mut Criterion) {
     let n = 4096;
     let x = shape_1d(Shape1D::Bimodal, n, 1e6, 2);
     let implicit = h2(n);
-    for (name, repr) in [("dense", Repr::Dense), ("sparse", Repr::Sparse), ("implicit", Repr::Implicit)]
-    {
+    for (name, repr) in [
+        ("dense", Repr::Dense),
+        ("sparse", Repr::Sparse),
+        ("implicit", Repr::Implicit),
+    ] {
         let strategy = implicit.with_repr(repr);
         group.bench_with_input(BenchmarkId::new("repr", name), &strategy, |b, s| {
             b.iter(|| black_box(run_plan(&x, s, 0.1)))

@@ -9,13 +9,14 @@ use ektelo_core::ops::inference::{
 use ektelo_core::ops::selection::h2;
 use ektelo_core::{MeasuredQuery, ProtectedKernel};
 use ektelo_data::generators::{shape_1d, Shape1D};
-use ektelo_matrix::Repr;
+use ektelo_matrix::{Repr, Workspace};
 use std::hint::black_box;
 
 fn h2_measurement(n: usize, repr: Repr) -> MeasuredQuery {
     let x = shape_1d(Shape1D::Gaussian, n, 1e6, 3);
     let k = ProtectedKernel::init_from_vector(x, 1.0, 9);
-    k.vector_laplace(k.root(), &h2(n).with_repr(repr), 1.0).expect("measure");
+    k.vector_laplace(k.root(), &h2(n).with_repr(repr), 1.0)
+        .expect("measure");
     k.measurements().remove(0)
 }
 
@@ -26,11 +27,19 @@ fn bench_ls_engines(c: &mut Criterion) {
     // Direct dense is the small-domain baseline.
     let m_dense_small = h2_measurement(1024, Repr::Dense);
     group.bench_function(BenchmarkId::new("dense_direct", 1024), |b| {
-        b.iter(|| black_box(least_squares(std::slice::from_ref(&m_dense_small), LsSolver::Direct)))
+        b.iter(|| {
+            black_box(least_squares(
+                std::slice::from_ref(&m_dense_small),
+                LsSolver::Direct,
+            ))
+        })
     });
     group.bench_function(BenchmarkId::new("dense_iterative", 1024), |b| {
         b.iter(|| {
-            black_box(least_squares(std::slice::from_ref(&m_dense_small), LsSolver::Iterative))
+            black_box(least_squares(
+                std::slice::from_ref(&m_dense_small),
+                LsSolver::Iterative,
+            ))
         })
     });
 
@@ -39,14 +48,27 @@ fn bench_ls_engines(c: &mut Criterion) {
     let m_sparse = h2_measurement(n, Repr::Sparse);
     let m_implicit = h2_measurement(n, Repr::Implicit);
     group.bench_function(BenchmarkId::new("sparse_iterative", n), |b| {
-        b.iter(|| black_box(least_squares(std::slice::from_ref(&m_sparse), LsSolver::Iterative)))
+        b.iter(|| {
+            black_box(least_squares(
+                std::slice::from_ref(&m_sparse),
+                LsSolver::Iterative,
+            ))
+        })
     });
     group.bench_function(BenchmarkId::new("implicit_iterative", n), |b| {
-        b.iter(|| black_box(least_squares(std::slice::from_ref(&m_implicit), LsSolver::Iterative)))
+        b.iter(|| {
+            black_box(least_squares(
+                std::slice::from_ref(&m_implicit),
+                LsSolver::Iterative,
+            ))
+        })
     });
     group.bench_function(BenchmarkId::new("implicit_cgls", n), |b| {
         b.iter(|| {
-            black_box(least_squares(std::slice::from_ref(&m_implicit), LsSolver::IterativeCgls))
+            black_box(least_squares(
+                std::slice::from_ref(&m_implicit),
+                LsSolver::IterativeCgls,
+            ))
         })
     });
     group.finish();
@@ -58,7 +80,11 @@ fn bench_nnls_and_tree(c: &mut Criterion) {
     let n = 1 << 14;
     let m_implicit = h2_measurement(n, Repr::Implicit);
     group.bench_function(BenchmarkId::new("nnls_implicit", n), |b| {
-        b.iter(|| black_box(non_negative_least_squares(std::slice::from_ref(&m_implicit))))
+        b.iter(|| {
+            black_box(non_negative_least_squares(std::slice::from_ref(
+                &m_implicit,
+            )))
+        })
     });
     let answers = m_implicit.answers.clone();
     group.bench_function(BenchmarkId::new("tree_based", n), |b| {
@@ -67,5 +93,43 @@ fn bench_nnls_and_tree(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_ls_engines, bench_nnls_and_tree);
+/// The engine-level before/after underlying Fig. 5's iterative numbers:
+/// one solver-iteration worth of H2-strategy products (`A·v` then `Aᵀ·u`)
+/// through the allocating wrappers versus a reused [`Workspace`].
+fn bench_solver_iteration_products(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_iteration_products");
+    group.sample_size(30);
+    let n = 1usize << 16;
+    let strategy = h2(n);
+    let (rows, cols) = strategy.shape();
+    let v: Vec<f64> = (0..cols).map(|i| (i % 11) as f64).collect();
+    let u: Vec<f64> = (0..rows).map(|i| (i % 7) as f64).collect();
+
+    group.bench_function(BenchmarkId::new("allocating", n), |b| {
+        b.iter(|| {
+            let av = strategy.matvec(&v);
+            let atu = strategy.rmatvec(&u);
+            black_box((av[0], atu[0]))
+        })
+    });
+
+    let mut ws = Workspace::for_matrix(&strategy);
+    let mut av = vec![0.0; rows];
+    let mut atu = vec![0.0; cols];
+    group.bench_function(BenchmarkId::new("workspace", n), |b| {
+        b.iter(|| {
+            strategy.matvec_into(&v, &mut av, &mut ws);
+            strategy.rmatvec_into(&u, &mut atu, &mut ws);
+            black_box((av[0], atu[0]))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ls_engines,
+    bench_nnls_and_tree,
+    bench_solver_iteration_products
+);
 criterion_main!(benches);

@@ -53,13 +53,17 @@ fn ablation_dawa_debias() {
                 &k,
                 root,
                 eps / 4.0,
-                &DawaOptions { eps_stage2: 0.75 * eps, debias },
+                &DawaOptions {
+                    eps_stage2: 0.75 * eps,
+                    debias,
+                },
             )
             .unwrap();
             buckets.push(p.rows() as f64);
             let red = k.reduce_by_partition(root, &p).unwrap();
             let g = k.vector_len(red).unwrap();
-            k.vector_laplace(red, &Matrix::identity(g), 0.75 * eps).unwrap();
+            k.vector_laplace(red, &Matrix::identity(g), 0.75 * eps)
+                .unwrap();
             let xh = least_squares(&k.measurements(), LsSolver::Iterative);
             errs.push(rmse(&x, &xh));
         }
@@ -83,8 +87,10 @@ fn ablation_known_total_scale() {
     let w = random_range(n, 30, 7);
     k.vector_laplace(k.root(), &w, 1.0).unwrap();
     let base = k.measurements();
-    for (label, scale) in [("relative scale (default)", base[0].noise_scale / 10.0),
-                           ("absolute 1e-6 (ablation)", 1e-6)] {
+    for (label, scale) in [
+        ("relative scale (default)", base[0].noise_scale / 10.0),
+        ("absolute 1e-6 (ablation)", 1e-6),
+    ] {
         let mut ms = base.clone();
         ms.push(MeasuredQuery {
             base: k.root(),
@@ -111,7 +117,9 @@ fn ablation_greedy_weights() {
     println!("\n[3] Greedy-H workload weighting vs plain H2 (n=1024, width-32 ranges)");
     let n = 1024;
     let x = shape_1d(Shape1D::Bimodal, n, 200_000.0, 4);
-    let ranges: Vec<(usize, usize)> = (0..200).map(|i| ((i * 5) % (n - 32), (i * 5) % (n - 32) + 32)).collect();
+    let ranges: Vec<(usize, usize)> = (0..200)
+        .map(|i| ((i * 5) % (n - 32), (i * 5) % (n - 32) + 32))
+        .collect();
     let w = Matrix::range_queries(n, ranges.clone());
     let truth = w.matvec(&x);
     let eps = 0.1;
@@ -146,6 +154,10 @@ fn ablation_solver_choice() {
         ("direct Cholesky", LsSolver::Direct),
     ] {
         let (xh, secs) = time_it(|| least_squares(&ms, solver));
-        println!("  {label:<18} rmse {:>8.2}   time {:>8.3}s", rmse(&x, &xh), secs);
+        println!(
+            "  {label:<18} rmse {:>8.2}   time {:>8.3}s",
+            rmse(&x, &xh),
+            secs
+        );
     }
 }

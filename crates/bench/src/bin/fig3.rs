@@ -43,7 +43,10 @@ fn main() {
         unpert.push(auc(&score_table(&m, &test)));
     }
     println!("\nFig. 3: NB classifier AUC on Credit Default ({folds}-fold CV x {reps} reps)");
-    println!("Unperturbed: {:.4}   Majority: 0.5000 (by construction)", mean(&unpert));
+    println!(
+        "Unperturbed: {:.4}   Majority: 0.5000 (by construction)",
+        mean(&unpert)
+    );
     println!(
         "{:<20} {:>8} {:>24} {:>24} {:>24}",
         "Plan", "", "eps=1e-3", "eps=1e-2", "eps=1e-1"
@@ -58,8 +61,7 @@ fn main() {
             for rep in 0..reps {
                 let mut fold_aucs = Vec::new();
                 for (fi, f) in fold_sets.iter().enumerate() {
-                    let (train, test) =
-                        ektelo_plans::naive_bayes::train_test_split(&data, f);
+                    let (train, test) = ektelo_plans::naive_bayes::train_test_split(&data, f);
                     let seed = (rep * 100 + fi) as u64;
                     let k = ProtectedKernel::init(train, eps, seed);
                     let h = plan(&k, k.root(), eps).expect("plan");
@@ -77,6 +79,8 @@ fn main() {
         }
         println!();
     }
-    println!("\n(Paper shape: at eps=1e-1 the new plans approach the unperturbed AUC and beat \
-              Identity/Cormode; at eps=1e-3 all DP classifiers collapse to ~0.5.)");
+    println!(
+        "\n(Paper shape: at eps=1e-1 the new plans approach the unperturbed AUC and beat \
+              Identity/Cormode; at eps=1e-3 all DP classifiers collapse to ~0.5.)"
+    );
 }

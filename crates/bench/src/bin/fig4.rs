@@ -29,8 +29,11 @@ use ektelo_plans::privbayes::{plan_privbayes_ls, PrivBayesOptions};
 use ektelo_plans::striped::{plan_dawa_striped, plan_hb_striped};
 use ektelo_plans::util::kernel_for_histogram;
 
-const REPRS: [(Repr, &str); 3] =
-    [(Repr::Dense, "dense"), (Repr::Sparse, "sparse"), (Repr::Implicit, "implicit")];
+const REPRS: [(Repr, &str); 3] = [
+    (Repr::Dense, "dense"),
+    (Repr::Sparse, "sparse"),
+    (Repr::Implicit, "implicit"),
+];
 
 /// Whether materializing an `m×n` strategy in this representation is
 /// feasible on a laptop-class budget.
@@ -65,7 +68,10 @@ trait NnzEstimate {
 impl NnzEstimate for Matrix {
     fn to_sparse_nnz_estimate(&self) -> usize {
         // Cheap overestimate from row L1 structure: sum of row supports.
-        self.abs_row_sums().iter().map(|&r| r.max(1.0) as usize).sum()
+        self.abs_row_sums()
+            .iter()
+            .map(|&r| r.max(1.0) as usize)
+            .sum()
     }
 }
 
@@ -73,10 +79,17 @@ fn main() {
     let full = full_mode();
     let eps = 0.1;
     // 4^5 .. 4^9 cells by default (paper: 4^7 .. 4^13).
-    let exps: Vec<u32> = if full { vec![5, 6, 7, 8, 9, 10, 11] } else { vec![5, 6, 7, 8] };
+    let exps: Vec<u32> = if full {
+        vec![5, 6, 7, 8, 9, 10, 11]
+    } else {
+        vec![5, 6, 7, 8]
+    };
 
     println!("\nFig. 4a: plan runtime by measurement-matrix representation");
-    println!("{:<14} {:>10} {:>12} {:>12} {:>12}", "plan", "domain", "dense", "sparse", "implicit");
+    println!(
+        "{:<14} {:>10} {:>12} {:>12} {:>12}",
+        "plan", "domain", "dense", "sparse", "implicit"
+    );
 
     type StrategyBuilder = Box<dyn Fn(usize, (usize, usize), &[f64]) -> Matrix>;
     let static_plans: Vec<(&str, bool, StrategyBuilder)> = vec![
@@ -138,7 +151,10 @@ fn main() {
     // Data-dependent plans: the partition stage is untouched (it has no
     // big matrices); the measurement stage representation is forced.
     println!("\nFig. 4a (data-dependent plans)");
-    println!("{:<14} {:>10} {:>12} {:>12} {:>12}", "plan", "domain", "dense", "sparse", "implicit");
+    println!(
+        "{:<14} {:>10} {:>12} {:>12} {:>12}",
+        "plan", "domain", "dense", "sparse", "implicit"
+    );
     for &e in &exps {
         let n = 4usize.pow(e);
         let x = shape_1d(Shape1D::Clustered, n, 1e6, 4);
@@ -166,8 +182,8 @@ fn main() {
         print!("{:<14} {n:>10}", "DAWA");
         for (repr, _) in REPRS {
             let (k, root) = kernel_for_histogram(&x, eps, 6);
-            let p = dawa_partition(&k, root, eps / 4.0, &DawaOptions::new(eps * 0.75))
-                .expect("dawa");
+            let p =
+                dawa_partition(&k, root, eps / 4.0, &DawaOptions::new(eps * 0.75)).expect("dawa");
             let groups = p.rows();
             let strat = greedy_h(groups, &[]);
             if !feasible(repr, strat.rows(), groups, strat.to_sparse_nnz_estimate()) {
@@ -177,7 +193,8 @@ fn main() {
             let (_, secs) = time_it(|| {
                 let red = k.reduce_by_partition(root, &p).expect("reduce");
                 let start = k.measurement_count();
-                k.vector_laplace(red, &strat.with_repr(repr), eps * 0.75).expect("measure");
+                k.vector_laplace(red, &strat.with_repr(repr), eps * 0.75)
+                    .expect("measure");
                 least_squares(&k.measurements_since(start), LsSolver::Iterative)
             });
             print!(" {:>12}", fmt_secs(secs));
@@ -221,7 +238,9 @@ fn main() {
                 }
                 1 => {
                     let x = k.vectorize(k.root()).unwrap();
-                    plan_dawa_striped(&k, x, &sizes, 0, &[], eps, 0.25).map(|_| ()).unwrap();
+                    plan_dawa_striped(&k, x, &sizes, 0, &[], eps, 0.25)
+                        .map(|_| ())
+                        .unwrap();
                 }
                 _ => {
                     plan_privbayes_ls(&k, k.root(), eps, &PrivBayesOptions::default())
@@ -231,9 +250,17 @@ fn main() {
             });
             match secs {
                 Some(s) => {
-                    println!("{name:<18} {domain:>10} {:>12} {:>12} {:>12}", "-", "-", fmt_secs(s))
+                    println!(
+                        "{name:<18} {domain:>10} {:>12} {:>12} {:>12}",
+                        "-",
+                        "-",
+                        fmt_secs(s)
+                    )
                 }
-                None => println!("{name:<18} {domain:>10} {:>12} {:>12} {:>12}", "-", "-", "-"),
+                None => println!(
+                    "{name:<18} {domain:>10} {:>12} {:>12} {:>12}",
+                    "-", "-", "-"
+                ),
             }
         }
 
@@ -244,8 +271,7 @@ fn main() {
         // "implicit" = fully implicit.
         let x_vec = ektelo_data::vectorize(&table);
         let implicit = stripe_select(&sizes, 0, hb);
-        let factor_sparse =
-            stripe_select(&sizes, 0, |n| Matrix::sparse(hb(n).to_sparse()));
+        let factor_sparse = stripe_select(&sizes, 0, |n| Matrix::sparse(hb(n).to_sparse()));
         let nnz = implicit.to_sparse_nnz_estimate();
         print!("{:<18} {domain:>10}", "HB-Striped_kron");
         // basic sparse
@@ -269,6 +295,8 @@ fn main() {
         }
         println!();
     }
-    println!("\n(Paper shape: implicit scales ~1000x beyond dense for hierarchical/grid plans; \
-              kron-structured plans reach 10x larger domains than split-based ones.)");
+    println!(
+        "\n(Paper shape: implicit scales ~1000x beyond dense for hierarchical/grid plans; \
+              kron-structured plans reach 10x larger domains than split-based ones.)"
+    );
 }

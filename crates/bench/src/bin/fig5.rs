@@ -30,7 +30,12 @@ fn h2_measurement(n: usize, repr: Repr) -> (MeasuredQuery, Vec<f64>) {
 }
 
 fn measured(base: SourceVar, query: Matrix, answers: Vec<f64>, scale: f64) -> MeasuredQuery {
-    MeasuredQuery { base, query, answers, noise_scale: scale }
+    MeasuredQuery {
+        base,
+        query,
+        answers,
+        noise_scale: scale,
+    }
 }
 
 fn main() {
@@ -45,7 +50,10 @@ fn main() {
     println!(
         "{:<24} {}",
         "method",
-        domains.iter().map(|n| format!("{n:>12}")).collect::<String>()
+        domains
+            .iter()
+            .map(|n| format!("{n:>12}"))
+            .collect::<String>()
     );
 
     type Method = (&'static str, Box<dyn Fn(usize) -> Option<f64>>);
@@ -135,8 +143,10 @@ fn main() {
         }
         println!();
     }
-    println!("\n(Timings exclude data generation/measurement where possible; matrix \
+    println!(
+        "\n(Timings exclude data generation/measurement where possible; matrix \
               materialization is part of the representation cost and is included.\n \
               Paper shape: iterative+sparse reaches ~1000x larger domains than direct+dense; \
-              implicit extends another ~100x; tree-based is fastest but single-purpose.)");
+              implicit extends another ~100x; tree-based is fastest but single-purpose.)"
+    );
 }

@@ -21,7 +21,11 @@ use ektelo_plans::util::kernel_for_histogram;
 fn workload_l2(w: &Matrix, x: &[f64], xh: &[f64]) -> f64 {
     let t = w.matvec(x);
     let e = w.matvec(xh);
-    t.iter().zip(&e).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt()
+    t.iter()
+        .zip(&e)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f64>()
+        .sqrt()
 }
 
 fn main() {
@@ -44,8 +48,18 @@ fn main() {
     let variants: [(&str, &str, &str, Plan); 4] = [
         ("(a)", "worst-approx", "MW", plan_mwem),
         ("(b)", "worst-approx + H2", "MW", plan_mwem_variant_b),
-        ("(c)", "worst-approx", "NNLS, known total", plan_mwem_variant_c),
-        ("(d)", "worst-approx + H2", "NNLS, known total", plan_mwem_variant_d),
+        (
+            "(c)",
+            "worst-approx",
+            "NNLS, known total",
+            plan_mwem_variant_c,
+        ),
+        (
+            "(d)",
+            "worst-approx + H2",
+            "NNLS, known total",
+            plan_mwem_variant_d,
+        ),
     ];
 
     // errors[v][dataset] = mean error over trials; runtimes likewise.
@@ -53,7 +67,11 @@ fn main() {
     let mut runtimes = vec![Vec::new(); variants.len()];
     for (name, x) in &datasets {
         let total: f64 = x.iter().sum();
-        let opts = MwemOptions { rounds: 10, total, mw_iterations: 40 };
+        let opts = MwemOptions {
+            rounds: 10,
+            total,
+            mw_iterations: 40,
+        };
         for (v, (_, _, _, plan)) in variants.iter().enumerate() {
             let mut errs = Vec::new();
             let mut secs = Vec::new();
@@ -85,8 +103,10 @@ fn main() {
         let rt = mean(&runtimes[v]) / base_runtime;
         println!("{id:<6} {sel:<22} {inf:<20} {lo:>7.2} {m:>7.2} {hi:>7.2} {rt:>9.1}");
     }
-    println!("\n(ERROR IMPROVEMENT = plain-MWEM error / variant error, over {} datasets; \
+    println!(
+        "\n(ERROR IMPROVEMENT = plain-MWEM error / variant error, over {} datasets; \
               runtime normalized to plain MWEM. Paper: (b) 1.03/2.80/7.93 at 354.9x runtime, \
               (c) 0.78/1.08/1.54 at 1.0x, (d) 0.89/2.64/8.13 at 9.0x.)",
-        datasets.len());
+        datasets.len()
+    );
 }

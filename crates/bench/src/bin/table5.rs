@@ -65,7 +65,13 @@ fn main() {
 
     // Each algorithm runs once per seed; errors are averaged.
     let trials = if full { 3 } else { 2 };
-    let algos: Vec<&str> = vec!["Identity", "PrivBayes", "PrivBayesLS", "Hb-Striped", "Dawa-Striped"];
+    let algos: Vec<&str> = vec![
+        "Identity",
+        "PrivBayes",
+        "PrivBayesLS",
+        "Hb-Striped",
+        "Dawa-Striped",
+    ];
     let mut results: Vec<Vec<f64>> = vec![vec![0.0; workloads.len()]; algos.len()];
     let mut times: Vec<f64> = vec![0.0; algos.len()];
 
@@ -93,7 +99,9 @@ fn main() {
                 }
                 "Dawa-Striped" => {
                     let x = k.vectorize(k.root()).unwrap();
-                    plan_dawa_striped(&k, x, &sizes, 0, &[], eps, 0.25).unwrap().x_hat
+                    plan_dawa_striped(&k, x, &sizes, 0, &[], eps, 0.25)
+                        .unwrap()
+                        .x_hat
                 }
                 _ => unreachable!(),
             });

@@ -32,7 +32,12 @@ use ektelo_plans::util::kernel_for_histogram;
 fn werr(w: &Matrix, x: &[f64], xh: &[f64]) -> f64 {
     let t = w.matvec(x);
     let e = w.matvec(xh);
-    (t.iter().zip(&e).map(|(a, b)| (a - b) * (a - b)).sum::<f64>() / t.len() as f64).sqrt()
+    (t.iter()
+        .zip(&e)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f64>()
+        / t.len() as f64)
+        .sqrt()
 }
 
 #[derive(Clone, Copy, PartialEq)]
@@ -52,7 +57,8 @@ fn run_reduced(k: &ProtectedKernel, red: SourceVar, algo: Algo, p: &Matrix, eps:
     let groups = p.rows();
     match algo {
         Algo::Identity => {
-            k.vector_laplace(red, &Matrix::identity(groups), eps).expect("measure");
+            k.vector_laplace(red, &Matrix::identity(groups), eps)
+                .expect("measure");
         }
         Algo::Hb => {
             k.vector_laplace(red, &hb(groups), eps).expect("measure");
@@ -68,13 +74,8 @@ fn run_reduced(k: &ProtectedKernel, red: SourceVar, algo: Algo, p: &Matrix, eps:
                 k.vector_laplace(red2, &Matrix::identity(p2.rows()), eps / 2.0)
                     .expect("measure");
             } else {
-                let p2 = dawa_partition(
-                    k,
-                    norm_view,
-                    eps / 4.0,
-                    &DawaOptions::new(0.75 * eps),
-                )
-                .expect("dawa partition");
+                let p2 = dawa_partition(k, norm_view, eps / 4.0, &DawaOptions::new(0.75 * eps))
+                    .expect("dawa partition");
                 let red2 = k.reduce_by_partition(red, &p2).expect("reduce2");
                 k.vector_laplace(red2, &greedy_h(p2.rows(), &[]), 0.75 * eps)
                     .expect("measure");
@@ -125,7 +126,9 @@ fn main() {
         },
     ];
 
-    println!("\nTable 6: workload-based domain reduction (W = RandomRange, small ranges, eps={eps})");
+    println!(
+        "\nTable 6: workload-based domain reduction (W = RandomRange, small ranges, eps={eps})"
+    );
     println!(
         "{:<20} {:>12} {:>12} {:>12} {:>12} {:>12} {:>8} {:>8}",
         "Algorithm", "n -> p", "err(orig)", "t(orig)", "err(red)", "t(red)", "errX", "timeX"
@@ -179,8 +182,10 @@ fn main() {
             to / tr
         );
     }
-    println!("\n(Paper factors — error/runtime: AHP 1.29/5.36, DAWA 0.99/0.92, \
+    println!(
+        "\n(Paper factors — error/runtime: AHP 1.29/5.36, DAWA 0.99/0.92, \
               Identity 2.89/0.73, HB 1.34/0.62. Shape: reduction helps error almost \
               universally; the paper's AHP runtime gain comes from its quadratic \
-              clustering step, which our sort-based AHP implementation does not have.)");
+              clustering step, which our sort-based AHP implementation does not have.)"
+    );
 }

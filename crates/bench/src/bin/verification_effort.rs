@@ -82,7 +82,10 @@ fn main() {
         total += lines;
         let rel = f.strip_prefix(&root).unwrap_or(f);
         let rel_str = rel.to_string_lossy().replace('\\', "/");
-        if PRIVACY_CRITICAL.iter().any(|c| rel_str.ends_with(c) || rel_str.contains(c)) {
+        if PRIVACY_CRITICAL
+            .iter()
+            .any(|c| rel_str.ends_with(c) || rel_str.contains(c))
+        {
             critical += lines;
             println!("  {rel_str:<55} {lines:>6}");
         }

@@ -24,7 +24,12 @@ pub fn workload_scaled_error(w: &Matrix, x_true: &[f64], x_hat: &[f64]) -> f64 {
     let n_records: f64 = x_true.iter().sum::<f64>().max(1.0);
     let t = w.matvec(x_true);
     let e = w.matvec(x_hat);
-    (t.iter().zip(&e).map(|(a, b)| (a - b) * (a - b)).sum::<f64>() / t.len() as f64).sqrt()
+    (t.iter()
+        .zip(&e)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f64>()
+        / t.len() as f64)
+        .sqrt()
         / n_records
 }
 
@@ -72,7 +77,10 @@ pub struct SweepGuard {
 impl SweepGuard {
     /// A guard with the given per-point budget.
     pub fn new(budget: Duration) -> Self {
-        SweepGuard { budget, tripped: false }
+        SweepGuard {
+            budget,
+            tripped: false,
+        }
     }
 
     /// Runs `f` and returns its duration, or `None` once a previous call
@@ -132,7 +140,9 @@ mod tests {
     #[test]
     fn guard_trips_once_over_budget() {
         let mut g = SweepGuard::new(Duration::from_millis(1));
-        assert!(g.run(|| std::thread::sleep(Duration::from_millis(5))).is_some());
+        assert!(g
+            .run(|| std::thread::sleep(Duration::from_millis(5)))
+            .is_some());
         assert!(g.run(|| ()).is_none());
     }
 

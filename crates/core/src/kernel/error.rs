@@ -38,7 +38,10 @@ pub enum EktError {
 impl fmt::Display for EktError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            EktError::BudgetExceeded { requested, remaining } => write!(
+            EktError::BudgetExceeded {
+                requested,
+                remaining,
+            } => write!(
                 f,
                 "privacy budget exceeded: request costs {requested} at the root but only \
                  {remaining} remains"

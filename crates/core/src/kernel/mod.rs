@@ -56,7 +56,9 @@ impl ProtectedKernel {
             base: None,
             lineage: None,
         });
-        ProtectedKernel { state: Mutex::new(st) }
+        ProtectedKernel {
+            state: Mutex::new(st),
+        }
     }
 
     /// Convenience: initialize directly from a data vector (plans that skip
@@ -79,7 +81,9 @@ impl ProtectedKernel {
             base: Some(0),
             lineage: Some(Matrix::identity(n)),
         });
-        ProtectedKernel { state: Mutex::new(st) }
+        ProtectedKernel {
+            state: Mutex::new(st),
+        }
     }
 
     /// The root source variable.
@@ -121,7 +125,11 @@ impl ProtectedKernel {
     pub fn base_of(&self, sv: SourceVar) -> Result<SourceVar> {
         let st = self.state.lock();
         st.vector(sv.0)?;
-        Ok(SourceVar(st.nodes[sv.0].base.expect("vector nodes always have a base")))
+        Ok(SourceVar(
+            st.nodes[sv.0]
+                .base
+                .expect("vector nodes always have a base"),
+        ))
     }
 
     // ------------------------------------------------------------------
@@ -255,7 +263,10 @@ impl ProtectedKernel {
         let mut st = self.state.lock();
         let x = st.vector(sv.0)?;
         if m.cols() != x.len() {
-            return Err(EktError::ShapeMismatch { expected: x.len(), found: m.cols() });
+            return Err(EktError::ShapeMismatch {
+                expected: x.len(),
+                found: m.cols(),
+            });
         }
         let out = m.matvec(x);
         let base = st.nodes[sv.0].base;
@@ -288,7 +299,10 @@ impl ProtectedKernel {
         let mut st = self.state.lock();
         let x = st.vector(sv.0)?;
         if p.cols() != x.len() {
-            return Err(EktError::ShapeMismatch { expected: x.len(), found: p.cols() });
+            return Err(EktError::ShapeMismatch {
+                expected: x.len(),
+                found: p.cols(),
+            });
         }
         let n = x.len();
         let base = st.nodes[sv.0].base;
@@ -333,13 +347,18 @@ impl ProtectedKernel {
     /// measurement is recorded for inference.
     pub fn vector_laplace(&self, sv: SourceVar, m: &Matrix, eps: f64) -> Result<Vec<f64>> {
         if eps <= 0.0 {
-            return Err(EktError::InvalidArgument(format!("non-positive epsilon {eps}")));
+            return Err(EktError::InvalidArgument(format!(
+                "non-positive epsilon {eps}"
+            )));
         }
         let mut st = self.state.lock();
         {
             let x = st.vector(sv.0)?;
             if m.cols() != x.len() {
-                return Err(EktError::ShapeMismatch { expected: x.len(), found: m.cols() });
+                return Err(EktError::ShapeMismatch {
+                    expected: x.len(),
+                    found: m.cols(),
+                });
             }
         }
         let sensitivity = m.l1_sensitivity();
@@ -355,8 +374,7 @@ impl ProtectedKernel {
             .into_iter()
             .map(|v| v + noise::laplace(&mut st.rng, scale))
             .collect();
-        if let (Some(base), Some(lineage)) = (st.nodes[sv.0].base, st.nodes[sv.0].lineage.clone())
-        {
+        if let (Some(base), Some(lineage)) = (st.nodes[sv.0].base, st.nodes[sv.0].lineage.clone()) {
             let effective = match &lineage {
                 Matrix::Identity { .. } => m.clone(),
                 _ => Matrix::product(m.clone(), lineage),
@@ -375,7 +393,9 @@ impl ProtectedKernel {
     /// `Laplace(1/ε)` noise.
     pub fn noisy_count(&self, sv: SourceVar, eps: f64) -> Result<f64> {
         if eps <= 0.0 {
-            return Err(EktError::InvalidArgument(format!("non-positive epsilon {eps}")));
+            return Err(EktError::InvalidArgument(format!(
+                "non-positive epsilon {eps}"
+            )));
         }
         let mut st = self.state.lock();
         let count = match &st.nodes[sv.0].data {
@@ -394,7 +414,9 @@ impl ProtectedKernel {
     /// (extension; see [`noise`] module docs on the floating-point attack).
     pub fn noisy_count_geometric(&self, sv: SourceVar, eps: f64) -> Result<i64> {
         if eps <= 0.0 {
-            return Err(EktError::InvalidArgument(format!("non-positive epsilon {eps}")));
+            return Err(EktError::InvalidArgument(format!(
+                "non-positive epsilon {eps}"
+            )));
         }
         let mut st = self.state.lock();
         let count = match &st.nodes[sv.0].data {
@@ -457,7 +479,9 @@ impl ProtectedKernel {
     /// Charges ε against `sv` (Algorithm 2) without returning data.
     pub(crate) fn charge(&self, sv: SourceVar, eps: f64) -> Result<()> {
         if eps <= 0.0 {
-            return Err(EktError::InvalidArgument(format!("non-positive epsilon {eps}")));
+            return Err(EktError::InvalidArgument(format!(
+                "non-positive epsilon {eps}"
+            )));
         }
         self.state.lock().request(sv.0, eps, None)
     }

@@ -50,7 +50,10 @@ pub fn exponential_mechanism(
     sensitivity: f64,
     eps: f64,
 ) -> usize {
-    assert!(!scores.is_empty(), "exponential mechanism over empty candidate set");
+    assert!(
+        !scores.is_empty(),
+        "exponential mechanism over empty candidate set"
+    );
     assert!(sensitivity > 0.0 && eps > 0.0);
     let mut best = 0;
     let mut best_val = f64::NEG_INFINITY;

@@ -193,7 +193,10 @@ mod tests {
         let c = add_child(&mut s, 0, 2.0); // e.g. a GroupBy output
         assert!(s.request(c, 0.4, None).is_ok());
         assert_eq!(s.spent(), 0.8);
-        assert!(s.request(c, 0.2, None).is_err(), "0.2·2 = 0.4 > remaining 0.2");
+        assert!(
+            s.request(c, 0.2, None).is_err(),
+            "0.2·2 = 0.4 > remaining 0.2"
+        );
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! measurement sets are handled by the iterative solvers' implicit
 //! minimum-norm behaviour or by multiplicative weights (objective (ii)).
 
-use ektelo_matrix::Matrix;
+use ektelo_matrix::{Matrix, Workspace};
 use ektelo_solvers::{
     cgls, direct_least_squares, lsqr, mult_weights, nnls, LsqrOptions, MwOptions, NnlsOptions,
 };
@@ -90,7 +90,10 @@ pub fn mult_weights_inference(
     assert!(!measurements.is_empty(), "inference with no measurements");
     let n = measurements[0].query.cols();
     let m = Matrix::vstack(measurements.iter().map(|m| m.query.clone()).collect());
-    let y: Vec<f64> = measurements.iter().flat_map(|m| m.answers.iter().copied()).collect();
+    let y: Vec<f64> = measurements
+        .iter()
+        .flat_map(|m| m.answers.iter().copied())
+        .collect();
     let uniform = vec![total / n as f64; n];
     let x0 = x0.map(<[f64]>::to_vec).unwrap_or(uniform);
     mult_weights(&m, &y, &x0, &MwOptions { iterations, total })
@@ -110,6 +113,8 @@ pub fn thresholding(measurements: &[MeasuredQuery], threshold: f64) -> Vec<f64> 
 }
 
 /// Evaluates a workload on an estimate and returns per-query answers.
+/// (For repeated evaluation against many estimates, call
+/// `Matrix::matvec_into` with a reused [`Workspace`] directly.)
 pub fn answer_workload(workload: &Matrix, x_hat: &[f64]) -> Vec<f64> {
     workload.matvec(x_hat)
 }
@@ -128,13 +133,20 @@ pub fn answer_workload(workload: &Matrix, x_hat: &[f64]) -> Vec<f64> {
 pub fn tree_based_h2(n: usize, answers: &[f64]) -> Vec<f64> {
     use crate::ops::selection::hierarchical_intervals;
     let intervals = hierarchical_intervals(n, 2);
-    assert_eq!(answers.len(), intervals.len(), "answer count must match the H2 tree");
+    assert_eq!(
+        answers.len(),
+        intervals.len(),
+        "answer count must match the H2 tree"
+    );
 
     // Rebuild the tree: children of (lo,hi) are (lo,mid),(mid,hi) with the
     // same near-equal split used by hierarchical_intervals.
     use std::collections::HashMap;
-    let index: HashMap<(usize, usize), usize> =
-        intervals.iter().enumerate().map(|(i, &iv)| (iv, i)).collect();
+    let index: HashMap<(usize, usize), usize> = intervals
+        .iter()
+        .enumerate()
+        .map(|(i, &iv)| (iv, i))
+        .collect();
     let children = |lo: usize, hi: usize| -> Option<((usize, usize), (usize, usize))> {
         let len = hi - lo;
         if len <= 1 {
@@ -197,8 +209,12 @@ pub fn scaled_per_query_l2_error(
     x_hat: &[f64],
     scale: f64,
 ) -> f64 {
-    let t = workload.matvec(x_true);
-    let e = workload.matvec(x_hat);
+    let mut ws = Workspace::for_matrix(workload);
+    let m = workload.rows();
+    let mut t = vec![0.0; m];
+    let mut e = vec![0.0; m];
+    workload.matvec_into(x_true, &mut t, &mut ws);
+    workload.matvec_into(x_hat, &mut e, &mut ws);
     let sq: f64 = t.iter().zip(&e).map(|(a, b)| (a - b) * (a - b)).sum();
     (sq / t.len() as f64).sqrt() / scale
 }
@@ -209,7 +225,12 @@ mod tests {
     use crate::kernel::{ProtectedKernel, SourceVar};
 
     fn measured(query: Matrix, answers: Vec<f64>, noise_scale: f64) -> MeasuredQuery {
-        MeasuredQuery { base: SourceVar(0), query, answers, noise_scale }
+        MeasuredQuery {
+            base: SourceVar(0),
+            query,
+            answers,
+            noise_scale,
+        }
     }
 
     #[test]
@@ -218,7 +239,11 @@ mod tests {
             measured(Matrix::identity(3), vec![1.0, 2.0, 3.0], 1.0),
             measured(Matrix::total(3), vec![6.0], 1.0),
         ];
-        for solver in [LsSolver::Iterative, LsSolver::IterativeCgls, LsSolver::Direct] {
+        for solver in [
+            LsSolver::Iterative,
+            LsSolver::IterativeCgls,
+            LsSolver::Direct,
+        ] {
             let x = least_squares(&ms, solver);
             for (a, b) in x.iter().zip(&[1.0, 2.0, 3.0]) {
                 assert!((a - b).abs() < 1e-6, "{solver:?}: {x:?}");
@@ -288,7 +313,10 @@ mod tests {
             let e = |xh: &[f64]| -> f64 {
                 let a = q.matvec(&x_true);
                 let b = q.matvec(xh);
-                a.iter().zip(&b).map(|(p, r)| (p - r) * (p - r)).sum::<f64>()
+                a.iter()
+                    .zip(&b)
+                    .map(|(p, r)| (p - r) * (p - r))
+                    .sum::<f64>()
             };
             err_small += e(&x1);
             err_big += e(&x2);

@@ -27,7 +27,10 @@ pub struct AhpOptions {
 
 impl Default for AhpOptions {
     fn default() -> Self {
-        AhpOptions { eta: 0.35, gamma: 2.0 }
+        AhpOptions {
+            eta: 0.35,
+            gamma: 2.0,
+        }
     }
 }
 

@@ -36,7 +36,10 @@ pub struct DawaOptions {
 impl DawaOptions {
     /// Standard options for a given stage-2 budget.
     pub fn new(eps_stage2: f64) -> Self {
-        DawaOptions { eps_stage2, debias: true }
+        DawaOptions {
+            eps_stage2,
+            debias: true,
+        }
     }
 }
 

@@ -72,10 +72,7 @@ mod tests {
         // Census(salary≤100K ∧ sex=M), (salary>100K ∧ sex=F): over a
         // 4-cell domain (salary≤?, sex) the workload needs only the cells
         // it touches; untouched cells share the all-zero column group.
-        let w = Matrix::from_rows(vec![
-            vec![1.0, 0.0, 0.0, 0.0],
-            vec![0.0, 0.0, 0.0, 1.0],
-        ]);
+        let w = Matrix::from_rows(vec![vec![1.0, 0.0, 0.0, 0.0], vec![0.0, 0.0, 0.0, 1.0]]);
         let p = workload_based_partition(&w, 0, 2);
         // Groups: {cell0}, {cell1, cell2}, {cell3} → 3 groups.
         assert_eq!(p.rows(), 3);

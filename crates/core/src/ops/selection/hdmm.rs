@@ -26,7 +26,10 @@ pub struct HdmmOptions {
 
 impl Default for HdmmOptions {
     fn default() -> Self {
-        HdmmOptions { passes: 3, max_opt_domain: 256 }
+        HdmmOptions {
+            passes: 3,
+            max_opt_domain: 256,
+        }
     }
 }
 
@@ -282,7 +285,13 @@ mod tests {
     fn large_domain_uses_coarsening() {
         let n = 2048;
         let w = Matrix::prefix(n);
-        let a = hdmm_1d(&w, &HdmmOptions { passes: 1, max_opt_domain: 64 });
+        let a = hdmm_1d(
+            &w,
+            &HdmmOptions {
+                passes: 1,
+                max_opt_domain: 64,
+            },
+        );
         assert_eq!(a.cols(), n);
         // Full-rank: the identity block guarantees solvability.
         let x: Vec<f64> = (0..n).map(|i| (i % 13) as f64).collect();
@@ -294,7 +303,13 @@ mod tests {
     fn kron_strategy_matches_factor_shapes() {
         let f1 = Matrix::prefix(8);
         let f2 = Matrix::identity(4);
-        let a = hdmm_kron(&[f1, f2], &HdmmOptions { passes: 1, max_opt_domain: 64 });
+        let a = hdmm_kron(
+            &[f1, f2],
+            &HdmmOptions {
+                passes: 1,
+                max_opt_domain: 64,
+            },
+        );
         assert_eq!(a.cols(), 32);
     }
 

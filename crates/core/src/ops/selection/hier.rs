@@ -118,7 +118,10 @@ mod tests {
         let small = hb_branching(64);
         let large = hb_branching(1 << 20);
         assert!(small >= 2);
-        assert!(large >= small, "branching should not shrink: {small} vs {large}");
+        assert!(
+            large >= small,
+            "branching should not shrink: {small} vs {large}"
+        );
     }
 
     #[test]

@@ -89,7 +89,10 @@ pub fn privbayes_select(
             exponential_mechanism(rng, &scores, 1.0, eps_step.max(f64::MIN_POSITIVE))
         };
         let mut order = vec![first];
-        let mut cliques = vec![Clique { child: first, parents: Vec::new() }];
+        let mut cliques = vec![Clique {
+            child: first,
+            parents: Vec::new(),
+        }];
 
         while order.len() < d {
             // Candidates: (remaining attr X, parent set Π ⊆ order, |Π| ≤ k).
@@ -128,8 +131,10 @@ pub fn mutual_information(table: &Table, child: usize, parents: &[usize]) -> f64
     let names: Vec<&str> = schema.attributes().iter().map(|a| a.name()).collect();
     let child_col = table.column(names[child]);
     let parent_cols: Vec<&[u32]> = parents.iter().map(|&p| table.column(names[p])).collect();
-    let parent_sizes: Vec<usize> =
-        parents.iter().map(|&p| schema.attributes()[p].size()).collect();
+    let parent_sizes: Vec<usize> = parents
+        .iter()
+        .map(|&p| schema.attributes()[p].size())
+        .collect();
     let child_size = schema.attributes()[child].size();
 
     // Joint histogram over (Π, X).
@@ -194,7 +199,11 @@ mod tests {
         let mut t = Table::empty(schema);
         for _ in 0..rows {
             let a = rng.random_range(0..4u32);
-            let b = if rng.random_bool(0.9) { a } else { rng.random_range(0..4u32) };
+            let b = if rng.random_bool(0.9) {
+                a
+            } else {
+                rng.random_range(0..4u32)
+            };
             let c = rng.random_range(0..4u32);
             t.push_row(&[a, b, c]);
         }
@@ -230,8 +239,7 @@ mod tests {
             let net = privbayes_select(&k, k.root(), 2, 50.0).unwrap();
             // Somewhere in the network, a and b must be linked.
             let linked = net.cliques.iter().any(|c| {
-                (c.child == 0 && c.parents.contains(&1))
-                    || (c.child == 1 && c.parents.contains(&0))
+                (c.child == 0 && c.parents.contains(&1)) || (c.child == 1 && c.parents.contains(&0))
             });
             if linked {
                 found += 1;

@@ -6,7 +6,7 @@
 //! via the exponential mechanism (implemented with the Gumbel-max trick,
 //! which is exactly equivalent).
 
-use ektelo_matrix::Matrix;
+use ektelo_matrix::{Matrix, Workspace};
 
 use crate::kernel::noise::exponential_mechanism;
 use crate::kernel::{EktError, ProtectedKernel, Result, SourceVar};
@@ -27,13 +27,24 @@ pub fn worst_approx(
         return Err(EktError::InvalidArgument("empty workload".into()));
     }
     if workload.cols() != x_hat.len() {
-        return Err(EktError::ShapeMismatch { expected: x_hat.len(), found: workload.cols() });
+        return Err(EktError::ShapeMismatch {
+            expected: x_hat.len(),
+            found: workload.cols(),
+        });
     }
     kernel.charge(sv, eps)?;
-    let est = workload.matvec(x_hat);
+    // Both workload evaluations (public estimate, private truth) share one
+    // workspace; the truth answers are overwritten in place with the
+    // per-query deviation scores.
+    let mut ws = Workspace::for_matrix(workload);
+    let mut est = vec![0.0; workload.rows()];
+    workload.matvec_into(x_hat, &mut est, &mut ws);
     kernel.with_vector(sv, move |x, rng| {
-        let truth = workload.matvec(x);
-        let scores: Vec<f64> = truth.iter().zip(&est).map(|(t, e)| (t - e).abs()).collect();
+        let mut scores = vec![0.0; workload.rows()];
+        workload.matvec_into(x, &mut scores, &mut ws);
+        for (s, e) in scores.iter_mut().zip(&est) {
+            *s = (*s - e).abs();
+        }
         exponential_mechanism(rng, &scores, score_sensitivity, eps)
     })
 }

@@ -115,17 +115,24 @@ fn worst_approx_on_empty_workload_fails() {
 fn errors_are_displayable_and_stable() {
     // Error messages are part of the public API surface (plans report
     // them); keep them informative.
-    let e = EktError::BudgetExceeded { requested: 0.5, remaining: 0.25 };
+    let e = EktError::BudgetExceeded {
+        requested: 0.5,
+        remaining: 0.25,
+    };
     let s = format!("{e}");
     assert!(s.contains("0.5") && s.contains("0.25"), "{s}");
-    let e = EktError::ShapeMismatch { expected: 4, found: 5 };
+    let e = EktError::ShapeMismatch {
+        expected: 4,
+        found: 5,
+    };
     assert!(format!("{e}").contains("expected 4"));
 }
 
 #[test]
 fn failed_measurement_leaves_history_clean() {
     let k = ProtectedKernel::init_from_vector(vec![1.0; 4], 0.5, 0);
-    k.vector_laplace(k.root(), &Matrix::identity(4), 0.5).unwrap();
+    k.vector_laplace(k.root(), &Matrix::identity(4), 0.5)
+        .unwrap();
     assert_eq!(k.measurement_count(), 1);
     // Over budget: must not append to the history.
     let _ = k.vector_laplace(k.root(), &Matrix::identity(4), 0.5);
@@ -144,7 +151,11 @@ fn deep_transformation_chains_stay_consistent() {
     k.vector_laplace(r2, &Matrix::identity(4), 0.5).unwrap();
     assert!((k.budget_spent() - 0.5).abs() < 1e-12);
     let m = &k.measurements()[0];
-    assert_eq!(m.query.cols(), 32, "lineage must map back to the 32-cell base");
+    assert_eq!(
+        m.query.cols(),
+        32,
+        "lineage must map back to the 32-cell base"
+    );
     // The effective query sums blocks of 8 original cells.
     let row0 = m.query.row(0);
     assert_eq!(row0.iter().sum::<f64>(), 8.0);
@@ -153,7 +164,8 @@ fn deep_transformation_chains_stay_consistent() {
 #[test]
 fn split_then_reduce_composes() {
     let k = ProtectedKernel::init_from_vector(vec![2.0; 12], 1.0, 0);
-    let split = ektelo_matrix::partition_from_labels(2, &(0..12).map(|i| i / 6).collect::<Vec<_>>());
+    let split =
+        ektelo_matrix::partition_from_labels(2, &(0..12).map(|i| i / 6).collect::<Vec<_>>());
     let parts = k.split_by_partition(k.root(), &split).unwrap();
     let inner = ektelo_matrix::partition_from_labels(2, &(0..6).map(|i| i / 3).collect::<Vec<_>>());
     for part in parts {

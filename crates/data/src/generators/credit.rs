@@ -25,13 +25,7 @@ pub const CREDIT_PREDICTOR_DOMAIN: usize = 7 * 4 * 56 * 11;
 /// `x3` (education, 7), `x4` (marriage, 4), `x5` (age bins, 56),
 /// `x6` (repayment status, 11).
 pub fn credit_schema() -> Schema {
-    Schema::from_sizes(&[
-        ("default", 2),
-        ("x3", 7),
-        ("x4", 4),
-        ("x5", 56),
-        ("x6", 11),
-    ])
+    Schema::from_sizes(&[("default", 2), ("x3", 7), ("x4", 4), ("x5", 56), ("x6", 11)])
 }
 
 /// Generates the synthetic credit table (deterministic in `seed`).
@@ -57,7 +51,9 @@ pub fn credit_default_sized(rows: usize, seed: u64) -> Table {
         // Repayment status −2..8 coded as 0..11; most clients pay on time.
         let x6 = sample_categorical(
             &mut rng,
-            &[0.12, 0.10, 0.45, 0.18, 0.07, 0.04, 0.02, 0.01, 0.005, 0.003, 0.002],
+            &[
+                0.12, 0.10, 0.45, 0.18, 0.07, 0.04, 0.02, 0.01, 0.005, 0.003, 0.002,
+            ],
         );
 
         // Logistic ground truth: repayment delays dominate, education and
@@ -101,8 +97,7 @@ mod tests {
     #[test]
     fn label_rate_is_plausible() {
         let t = credit_default_sized(30_000, 1);
-        let rate =
-            t.column("default").iter().map(|&v| v as f64).sum::<f64>() / t.num_rows() as f64;
+        let rate = t.column("default").iter().map(|&v| v as f64).sum::<f64>() / t.num_rows() as f64;
         // UCI data has ~22% default rate; accept a broad band.
         assert!(rate > 0.10 && rate < 0.40, "default rate {rate}");
     }

@@ -144,7 +144,12 @@ pub fn dpbench_suite(n: usize, scale: f64, seed: u64) -> Vec<(&'static str, Vec<
     DPBENCH_SHAPES
         .iter()
         .enumerate()
-        .map(|(i, &s)| (shape_name(s), shape_1d(s, n, scale, seed.wrapping_add(i as u64))))
+        .map(|(i, &s)| {
+            (
+                shape_name(s),
+                shape_1d(s, n, scale, seed.wrapping_add(i as u64)),
+            )
+        })
         .collect()
 }
 
@@ -200,7 +205,10 @@ fn weights_to_counts(weights: &[f64], scale: f64, _rng: &mut StdRng) -> Vec<f64>
     if total <= 0.0 {
         return vec![0.0; weights.len()];
     }
-    let mut counts: Vec<f64> = weights.iter().map(|w| (w / total * scale).floor()).collect();
+    let mut counts: Vec<f64> = weights
+        .iter()
+        .map(|w| (w / total * scale).floor())
+        .collect();
     let assigned: f64 = counts.iter().sum();
     let mut leftover = (scale - assigned) as usize;
     // Distribute remaining units to the largest fractional parts.

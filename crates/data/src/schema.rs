@@ -53,7 +53,9 @@ impl Schema {
                 );
             }
         }
-        Schema { attrs: Arc::new(attrs) }
+        Schema {
+            attrs: Arc::new(attrs),
+        }
     }
 
     /// Convenience constructor from `(name, size)` pairs.
@@ -79,9 +81,9 @@ impl Schema {
     /// The full vectorized domain size (product of attribute domains).
     /// Panics on overflow — such a domain cannot be vectorized anyway.
     pub fn domain_size(&self) -> usize {
-        self.attrs
-            .iter()
-            .fold(1usize, |acc, a| acc.checked_mul(a.size()).expect("domain size overflow"))
+        self.attrs.iter().fold(1usize, |acc, a| {
+            acc.checked_mul(a.size()).expect("domain size overflow")
+        })
     }
 
     /// Index of the attribute named `name`.

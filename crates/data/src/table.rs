@@ -105,9 +105,15 @@ impl Table {
     pub fn split_by_partition(&self, attr: &str, labels: &[Option<usize>]) -> Vec<Table> {
         let col = self.schema.require(attr);
         let attr_size = self.schema.attributes()[col].size();
-        assert_eq!(labels.len(), attr_size, "label table must cover the attribute domain");
+        assert_eq!(
+            labels.len(),
+            attr_size,
+            "label table must cover the attribute domain"
+        );
         let parts = labels.iter().flatten().copied().max().map_or(0, |m| m + 1);
-        let mut out: Vec<Table> = (0..parts).map(|_| Table::empty(self.schema.clone())).collect();
+        let mut out: Vec<Table> = (0..parts)
+            .map(|_| Table::empty(self.schema.clone()))
+            .collect();
         let mut row = vec![0u32; self.schema.arity()];
         for i in 0..self.num_rows() {
             for (slot, c) in row.iter_mut().zip(&self.columns) {

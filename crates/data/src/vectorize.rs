@@ -36,10 +36,7 @@ mod tests {
     #[test]
     fn counts_rows_per_cell() {
         let schema = Schema::from_sizes(&[("a", 2), ("b", 2)]);
-        let t = Table::from_rows(
-            schema,
-            &[vec![0, 0], vec![0, 0], vec![1, 1], vec![0, 1]],
-        );
+        let t = Table::from_rows(schema, &[vec![0, 0], vec![0, 0], vec![1, 1], vec![0, 1]]);
         assert_eq!(vectorize(&t), vec![2.0, 1.0, 0.0, 1.0]);
     }
 

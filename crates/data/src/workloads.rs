@@ -119,7 +119,13 @@ pub fn marginal(sizes: &[usize], keep: &[bool]) -> Matrix {
     let factors = sizes
         .iter()
         .zip(keep)
-        .map(|(&n, &k)| if k { Matrix::identity(n) } else { Matrix::total(n) })
+        .map(|(&n, &k)| {
+            if k {
+                Matrix::identity(n)
+            } else {
+                Matrix::total(n)
+            }
+        })
         .collect();
     Matrix::kron_list(factors)
 }
@@ -186,7 +192,10 @@ mod tests {
         let d = w.to_dense();
         for q in 0..m {
             let row = d.row_slice(q);
-            assert!(row.iter().all(|&v| v == 0.0 || v == 1.0), "row {q}: {row:?}");
+            assert!(
+                row.iter().all(|&v| v == 0.0 || v == 1.0),
+                "row {q}: {row:?}"
+            );
             // The support must be a full rectangle: check the bounding box
             // has exactly as many ones as its area.
             let mut rmin = rows;
@@ -205,7 +214,11 @@ mod tests {
                     }
                 }
             }
-            assert_eq!(count, (rmax - rmin + 1) * (cmax - cmin + 1), "row {q} not a rectangle");
+            assert_eq!(
+                count,
+                (rmax - rmin + 1) * (cmax - cmin + 1),
+                "row {q} not a rectangle"
+            );
         }
     }
 

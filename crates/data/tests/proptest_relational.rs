@@ -13,20 +13,18 @@ fn arb_schema() -> impl Strategy<Value = Schema> {
 
 fn arb_table(schema: Schema, max_rows: usize) -> impl Strategy<Value = Table> {
     let sizes = schema.sizes();
-    prop::collection::vec(
-        prop::collection::vec(0u32..16, sizes.len()),
-        0..max_rows,
-    )
-    .prop_map(move |raw| {
-        let mut t = Table::empty(schema.clone());
-        for mut row in raw {
-            for (v, &s) in row.iter_mut().zip(&sizes) {
-                *v %= s as u32;
+    prop::collection::vec(prop::collection::vec(0u32..16, sizes.len()), 0..max_rows).prop_map(
+        move |raw| {
+            let mut t = Table::empty(schema.clone());
+            for mut row in raw {
+                for (v, &s) in row.iter_mut().zip(&sizes) {
+                    *v %= s as u32;
+                }
+                t.push_row(&row);
             }
-            t.push_row(&row);
-        }
-        t
-    })
+            t
+        },
+    )
 }
 
 fn arb_predicate() -> impl Strategy<Value = Predicate> {

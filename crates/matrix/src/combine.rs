@@ -102,7 +102,10 @@ impl Matrix {
         match self {
             Matrix::Identity { n } => Matrix::Identity { n: *n },
             Matrix::Diagonal(d) => Matrix::Diagonal(d.clone()),
-            Matrix::Ones { rows, cols } => Matrix::Ones { rows: *cols, cols: *rows },
+            Matrix::Ones { rows, cols } => Matrix::Ones {
+                rows: *cols,
+                cols: *rows,
+            },
             Matrix::Prefix { n } => Matrix::Suffix { n: *n },
             Matrix::Suffix { n } => Matrix::Prefix { n: *n },
             Matrix::Kronecker(a, b) => Matrix::kron(a.transpose(), b.transpose()),
@@ -124,10 +127,14 @@ impl Matrix {
         }
         let n = self.cols();
         let mut out = DenseMatrix::zeros(n, n);
+        let mut ws = crate::Workspace::for_matrix(self);
         let mut e = vec![0.0; n];
+        let mut ae = vec![0.0; self.rows()];
+        let mut col = vec![0.0; n];
         for j in 0..n {
             e[j] = 1.0;
-            let col = self.rmatvec(&self.matvec(&e));
+            self.matvec_into(&e, &mut ae, &mut ws);
+            self.rmatvec_into(&ae, &mut col, &mut ws);
             for (i, &v) in col.iter().enumerate() {
                 out.set(i, j, v);
             }
@@ -143,7 +150,10 @@ impl Matrix {
     /// Panics if `self` is not a valid partition matrix (each column with
     /// exactly one `1`). Use [`Matrix::is_partition`] to check first.
     pub fn partition_pinv(&self) -> Matrix {
-        assert!(self.is_partition(), "partition_pinv requires a partition matrix");
+        assert!(
+            self.is_partition(),
+            "partition_pinv requires a partition matrix"
+        );
         let sizes = self.abs_col_sums_of_transpose();
         let inv: Vec<f64> = sizes.iter().map(|&s| 1.0 / s).collect();
         Matrix::product(self.transpose(), Matrix::diagonal(inv))
@@ -184,7 +194,11 @@ pub fn partition_from_labels(num_groups: usize, labels: &[usize]) -> Matrix {
             (g, j, 1.0)
         })
         .collect();
-    Matrix::sparse(CsrMatrix::from_triplets(num_groups, labels.len(), &triplets))
+    Matrix::sparse(CsrMatrix::from_triplets(
+        num_groups,
+        labels.len(),
+        &triplets,
+    ))
 }
 
 #[cfg(test)]
@@ -218,8 +232,14 @@ mod tests {
 
     #[test]
     fn transpose_closed_forms() {
-        assert!(matches!(Matrix::prefix(4).transpose(), Matrix::Suffix { n: 4 }));
-        assert!(matches!(Matrix::suffix(4).transpose(), Matrix::Prefix { n: 4 }));
+        assert!(matches!(
+            Matrix::prefix(4).transpose(),
+            Matrix::Suffix { n: 4 }
+        ));
+        assert!(matches!(
+            Matrix::suffix(4).transpose(),
+            Matrix::Prefix { n: 4 }
+        ));
         assert!(matches!(
             Matrix::prefix(4).transpose().transpose(),
             Matrix::Prefix { n: 4 }
@@ -230,7 +250,10 @@ mod tests {
 
     #[test]
     fn gram_matches_dense() {
-        let w = Matrix::vstack(vec![Matrix::prefix(4), Matrix::scaled(2.0, Matrix::identity(4))]);
+        let w = Matrix::vstack(vec![
+            Matrix::prefix(4),
+            Matrix::scaled(2.0, Matrix::identity(4)),
+        ]);
         let g = w.gram_dense();
         let wd = w.to_dense();
         let gd = wd.gram();

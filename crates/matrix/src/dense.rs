@@ -44,7 +44,11 @@ impl DenseMatrix {
             assert_eq!(row.len(), c, "all rows must have equal length");
             data.extend_from_slice(row);
         }
-        DenseMatrix { rows: r, cols: c, data }
+        DenseMatrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// The n×n identity in dense form.
@@ -250,7 +254,10 @@ mod tests {
         let a = sample();
         let b = DenseMatrix::from_rows(vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]]);
         let c = a.matmul(&b);
-        assert_eq!(c, DenseMatrix::from_rows(vec![vec![4.0, 5.0], vec![10.0, 11.0]]));
+        assert_eq!(
+            c,
+            DenseMatrix::from_rows(vec![vec![4.0, 5.0], vec![10.0, 11.0]])
+        );
     }
 
     #[test]

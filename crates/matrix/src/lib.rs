@@ -50,6 +50,7 @@ mod rect;
 mod sensitivity;
 mod sparse;
 mod wavelet;
+mod workspace;
 
 pub use combine::partition_from_labels;
 pub use dense::DenseMatrix;
@@ -57,6 +58,7 @@ pub use materialize::Repr;
 pub use range::RangeQueries;
 pub use rect::RectQueries2D;
 pub use sparse::CsrMatrix;
+pub use workspace::Workspace;
 
 use std::sync::Arc;
 

@@ -128,7 +128,10 @@ mod tests {
         roundtrip(&Matrix::wavelet(7));
         roundtrip(&Matrix::range_queries(6, vec![(0, 2), (1, 6)]));
         roundtrip(&Matrix::diagonal(vec![2.0, -1.0, 0.5]));
-        roundtrip(&Matrix::vstack(vec![Matrix::identity(4), Matrix::wavelet(4)]));
+        roundtrip(&Matrix::vstack(vec![
+            Matrix::identity(4),
+            Matrix::wavelet(4),
+        ]));
         roundtrip(&Matrix::product(Matrix::total(4), Matrix::prefix(4)));
         roundtrip(&Matrix::kron(Matrix::prefix(3), Matrix::identity(2)));
         roundtrip(&Matrix::scaled(0.25, Matrix::suffix(4)));

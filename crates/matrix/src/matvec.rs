@@ -1,28 +1,74 @@
 //! Matrix–vector products (`A·x`) and transpose products (`Aᵀ·y`) — the two
 //! primitive methods everything else in EKTELO reduces to (paper §7.3).
+//!
+//! The engine is allocation-free: the public `*_into` entry points carve all
+//! transient storage out of a caller-provided [`Workspace`] arena (sized by
+//! the planning pass in [`crate::workspace`]) and the recursion over the
+//! combinator tree splits disjoint sub-slices off that arena instead of
+//! allocating per node. [`Matrix::matvec`] / [`Matrix::rmatvec`] remain as
+//! thin allocating wrappers with unchanged semantics.
+//!
+//! With the `parallel` feature enabled, large `Union` products evaluate
+//! their independent blocks on multiple threads and Kronecker products
+//! apply the right factor to row-chunks in parallel (via
+//! `std::thread::scope`; the offline build environment has no rayon).
+//! The parallel paths allocate per-thread scratch and are used only above
+//! a size threshold; the serial paths stay allocation-free.
 
 use crate::wavelet::{wavelet_matvec, wavelet_rmatvec};
-use crate::Matrix;
+use crate::{Matrix, Workspace};
 
 impl Matrix {
-    /// `A · x` as a fresh vector.
+    /// `A · x` as a fresh vector (allocating convenience wrapper).
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         let mut out = vec![0.0; self.rows()];
-        self.matvec_into(x, &mut out);
+        self.matvec_into(x, &mut out, &mut Workspace::new());
         out
     }
 
-    /// `Aᵀ · y` as a fresh vector.
+    /// `Aᵀ · y` as a fresh vector (allocating convenience wrapper).
     pub fn rmatvec(&self, y: &[f64]) -> Vec<f64> {
         let mut out = vec![0.0; self.cols()];
-        self.rmatvec_into(y, &mut out);
+        self.rmatvec_into(y, &mut out, &mut Workspace::new());
         out
     }
 
-    /// `out = A · x`.
-    pub fn matvec_into(&self, x: &[f64], out: &mut [f64]) {
+    /// `out = A · x`, drawing all transient storage from `ws`.
+    ///
+    /// After `ws` has grown to this matrix's requirement (at most one
+    /// allocation, typically done up front via [`Workspace::for_matrix`]),
+    /// repeated calls perform zero heap allocations.
+    pub fn matvec_into(&self, x: &[f64], out: &mut [f64], ws: &mut Workspace) {
         assert_eq!(x.len(), self.cols(), "matvec: x has wrong length");
         assert_eq!(out.len(), self.rows(), "matvec: out has wrong length");
+        let scratch = ws.slice(self.matvec_scratch());
+        self.matvec_rec(x, out, scratch);
+    }
+
+    /// `out = Aᵀ · y`, drawing all transient storage from `ws`.
+    pub fn rmatvec_into(&self, y: &[f64], out: &mut [f64], ws: &mut Workspace) {
+        assert_eq!(y.len(), self.rows(), "rmatvec: y has wrong length");
+        assert_eq!(out.len(), self.cols(), "rmatvec: out has wrong length");
+        let scratch = ws.slice(self.rmatvec_scratch());
+        self.rmatvec_rec(y, out, scratch);
+    }
+
+    /// `out += Aᵀ · y` — the accumulating variant of
+    /// [`Matrix::rmatvec_into`]. Sparse-structure-aware: a CSR block
+    /// scatter-adds its `nnz` entries, and products push the accumulation
+    /// into their right factor, so a `Union` of narrow blocks costs the sum
+    /// of block sizes rather than `O(blocks · n)`.
+    pub fn rmatvec_add(&self, y: &[f64], out: &mut [f64], ws: &mut Workspace) {
+        assert_eq!(y.len(), self.rows(), "rmatvec_add: y has wrong length");
+        assert_eq!(out.len(), self.cols(), "rmatvec_add: out has wrong length");
+        let scratch = ws.slice(self.rmatvec_add_scratch());
+        self.rmatvec_add_rec(y, out, scratch);
+    }
+
+    /// Recursive worker for `out = A·x`. `scratch` must hold at least
+    /// [`Matrix::matvec_scratch`] scalars; nodes carve what they need off
+    /// the front and pass the rest down.
+    pub(crate) fn matvec_rec(&self, x: &[f64], out: &mut [f64], scratch: &mut [f64]) {
         match self {
             Matrix::Dense(d) => d.matvec_into(x, out),
             Matrix::Sparse(s) => s.matvec_into(x, out),
@@ -51,35 +97,39 @@ impl Matrix {
                 }
             }
             Matrix::Wavelet { .. } => wavelet_matvec(x, out),
-            Matrix::Range(r) => r.matvec_into(x, out),
-            Matrix::Rect2D(r) => r.matvec_into(x, out),
+            Matrix::Range(r) => r.matvec_rec(x, out, scratch),
+            Matrix::Rect2D(r) => r.matvec_rec(x, out, scratch),
             Matrix::Union(blocks) => {
+                #[cfg(feature = "parallel")]
+                if parallel::union_matvec(blocks, x, out) {
+                    return;
+                }
                 let mut offset = 0;
                 for b in blocks {
                     let m = b.rows();
-                    b.matvec_into(x, &mut out[offset..offset + m]);
+                    b.matvec_rec(x, &mut out[offset..offset + m], scratch);
                     offset += m;
                 }
             }
             Matrix::Product(a, b) => {
-                let t = b.matvec(x);
-                a.matvec_into(&t, out);
+                let (t, rest) = scratch.split_at_mut(b.rows());
+                b.matvec_rec(x, t, rest);
+                a.matvec_rec(t, out, rest);
             }
-            Matrix::Kronecker(a, b) => kron_matvec(a, b, x, out),
+            Matrix::Kronecker(a, b) => kron_matvec(a, b, x, out, scratch),
             Matrix::Scaled(c, a) => {
-                a.matvec_into(x, out);
+                a.matvec_rec(x, out, scratch);
                 for o in out.iter_mut() {
                     *o *= c;
                 }
             }
-            Matrix::Transpose(a) => a.rmatvec_into(x, out),
+            Matrix::Transpose(a) => a.rmatvec_rec(x, out, scratch),
         }
     }
 
-    /// `out = Aᵀ · y`.
-    pub fn rmatvec_into(&self, y: &[f64], out: &mut [f64]) {
-        assert_eq!(y.len(), self.rows(), "rmatvec: y has wrong length");
-        assert_eq!(out.len(), self.cols(), "rmatvec: out has wrong length");
+    /// Recursive worker for `out = Aᵀ·y`; `scratch` must hold at least
+    /// [`Matrix::rmatvec_scratch`] scalars.
+    pub(crate) fn rmatvec_rec(&self, y: &[f64], out: &mut [f64], scratch: &mut [f64]) {
         match self {
             Matrix::Dense(d) => d.rmatvec_into(y, out),
             Matrix::Sparse(s) => s.rmatvec_into(y, out),
@@ -109,8 +159,8 @@ impl Matrix {
                 }
             }
             Matrix::Wavelet { .. } => wavelet_rmatvec(y, out),
-            Matrix::Range(r) => r.rmatvec_into(y, out),
-            Matrix::Rect2D(r) => r.rmatvec_into(y, out),
+            Matrix::Range(r) => r.rmatvec_rec(y, out, scratch),
+            Matrix::Rect2D(r) => r.rmatvec_rec(y, out, scratch),
             Matrix::Union(blocks) => {
                 // Unionᵀ is a horizontal stack: contributions accumulate.
                 // Scatter-adding per block keeps the cost proportional to
@@ -120,35 +170,29 @@ impl Matrix {
                 let mut offset = 0;
                 for b in blocks {
                     let m = b.rows();
-                    b.rmatvec_add(&y[offset..offset + m], out);
+                    b.rmatvec_add_rec(&y[offset..offset + m], out, scratch);
                     offset += m;
                 }
             }
             Matrix::Product(a, b) => {
-                let t = a.rmatvec(y);
-                b.rmatvec_into(&t, out);
+                let (t, rest) = scratch.split_at_mut(b.rows());
+                a.rmatvec_rec(y, t, rest);
+                b.rmatvec_rec(t, out, rest);
             }
-            Matrix::Kronecker(a, b) => kron_rmatvec(a, b, y, out),
+            Matrix::Kronecker(a, b) => kron_rmatvec(a, b, y, out, scratch),
             Matrix::Scaled(c, a) => {
-                a.rmatvec_into(y, out);
+                a.rmatvec_rec(y, out, scratch);
                 for o in out.iter_mut() {
                     *o *= c;
                 }
             }
-            Matrix::Transpose(a) => a.matvec_into(y, out),
+            Matrix::Transpose(a) => a.matvec_rec(y, out, scratch),
         }
     }
-}
 
-impl Matrix {
-    /// `out += Aᵀ · y` — the accumulating variant of
-    /// [`Matrix::rmatvec_into`]. Sparse-structure-aware: a CSR block
-    /// scatter-adds its `nnz` entries, and products push the accumulation
-    /// into their right factor, so a `Union` of narrow blocks costs the sum
-    /// of block sizes rather than `O(blocks · n)`.
-    pub fn rmatvec_add(&self, y: &[f64], out: &mut [f64]) {
-        assert_eq!(y.len(), self.rows(), "rmatvec_add: y has wrong length");
-        assert_eq!(out.len(), self.cols(), "rmatvec_add: out has wrong length");
+    /// Recursive worker for `out += Aᵀ·y`; `scratch` must hold at least
+    /// [`Matrix::rmatvec_add_scratch`] scalars.
+    fn rmatvec_add_rec(&self, y: &[f64], out: &mut [f64], scratch: &mut [f64]) {
         match self {
             Matrix::Sparse(s) => {
                 for (i, &yi) in y.iter().enumerate() {
@@ -171,34 +215,40 @@ impl Matrix {
                 }
             }
             Matrix::Product(a, b) => {
-                let t = a.rmatvec(y);
-                b.rmatvec_add(&t, out);
+                let (t, rest) = scratch.split_at_mut(b.rows());
+                a.rmatvec_rec(y, t, rest);
+                b.rmatvec_add_rec(t, out, rest);
             }
             Matrix::Scaled(c, a) => {
-                let scaled: Vec<f64> = y.iter().map(|&v| c * v).collect();
-                a.rmatvec_add(&scaled, out);
+                let (scaled, rest) = scratch.split_at_mut(y.len());
+                for (s, &yi) in scaled.iter_mut().zip(y) {
+                    *s = c * yi;
+                }
+                a.rmatvec_add_rec(scaled, out, rest);
             }
             Matrix::Union(blocks) => {
                 let mut offset = 0;
                 for b in blocks {
                     let m = b.rows();
-                    b.rmatvec_add(&y[offset..offset + m], out);
+                    b.rmatvec_add_rec(&y[offset..offset + m], out, scratch);
                     offset += m;
                 }
             }
             Matrix::Transpose(a) => {
                 // (Aᵀ)ᵀ y = A y, accumulated.
-                let t = a.matvec(y);
-                for (o, &ti) in out.iter_mut().zip(&t) {
+                let (t, rest) = scratch.split_at_mut(a.rows());
+                a.matvec_rec(y, t, rest);
+                for (o, &ti) in out.iter_mut().zip(t.iter()) {
                     *o += ti;
                 }
             }
             // Dense blocks and the remaining implicit types touch all of
-            // `out` anyway; a temporary costs nothing extra asymptotically.
+            // `out` anyway; a dense temporary costs nothing extra
+            // asymptotically.
             _ => {
-                let mut tmp = vec![0.0; out.len()];
-                self.rmatvec_into(y, &mut tmp);
-                for (o, &t) in out.iter_mut().zip(&tmp) {
+                let (tmp, rest) = scratch.split_at_mut(out.len());
+                self.rmatvec_rec(y, tmp, rest);
+                for (o, &t) in out.iter_mut().zip(tmp.iter()) {
                     *o += t;
                 }
             }
@@ -208,21 +258,28 @@ impl Matrix {
 
 /// `out = (A ⊗ B) x` using the vec-trick: reshape x as an `nA×nB` matrix X,
 /// compute `T = X·Bᵀ` (apply B to every row), then `out = A·T` columnwise.
-/// Cost: `nA·Time(B) + mB·Time(A)` (paper Table 3).
-fn kron_matvec(a: &Matrix, b: &Matrix, x: &[f64], out: &mut [f64]) {
+/// Cost: `nA·Time(B) + mB·Time(A)` (paper Table 3). All temporaries come
+/// out of `scratch`.
+fn kron_matvec(a: &Matrix, b: &Matrix, x: &[f64], out: &mut [f64], scratch: &mut [f64]) {
     let (ma, na) = a.shape();
     let (mb, nb) = b.shape();
-    let mut t = vec![0.0; na * mb];
-    for i in 0..na {
-        b.matvec_into(&x[i * nb..(i + 1) * nb], &mut t[i * mb..(i + 1) * mb]);
+    let (t, rest) = scratch.split_at_mut(na * mb);
+    #[cfg(feature = "parallel")]
+    let stage1_done = parallel::kron_apply_rows(b, x, t, na, nb, mb);
+    #[cfg(not(feature = "parallel"))]
+    let stage1_done = false;
+    if !stage1_done {
+        for i in 0..na {
+            b.matvec_rec(&x[i * nb..(i + 1) * nb], &mut t[i * mb..(i + 1) * mb], rest);
+        }
     }
-    let mut col = vec![0.0; na];
-    let mut ocol = vec![0.0; ma];
+    let (col, rest) = rest.split_at_mut(na);
+    let (ocol, rest) = rest.split_at_mut(ma);
     for q in 0..mb {
         for i in 0..na {
             col[i] = t[i * mb + q];
         }
-        a.matvec_into(&col, &mut ocol);
+        a.matvec_rec(col, ocol, rest);
         for p in 0..ma {
             out[p * mb + q] = ocol[p];
         }
@@ -230,23 +287,139 @@ fn kron_matvec(a: &Matrix, b: &Matrix, x: &[f64], out: &mut [f64]) {
 }
 
 /// `out = (A ⊗ B)ᵀ y = (Aᵀ ⊗ Bᵀ) y`; mirror of [`kron_matvec`].
-fn kron_rmatvec(a: &Matrix, b: &Matrix, y: &[f64], out: &mut [f64]) {
+fn kron_rmatvec(a: &Matrix, b: &Matrix, y: &[f64], out: &mut [f64], scratch: &mut [f64]) {
     let (ma, na) = a.shape();
     let (mb, nb) = b.shape();
-    let mut t = vec![0.0; ma * nb];
-    for p in 0..ma {
-        b.rmatvec_into(&y[p * mb..(p + 1) * mb], &mut t[p * nb..(p + 1) * nb]);
+    let (t, rest) = scratch.split_at_mut(ma * nb);
+    #[cfg(feature = "parallel")]
+    let stage1_done = parallel::kron_apply_rows_t(b, y, t, ma, mb, nb);
+    #[cfg(not(feature = "parallel"))]
+    let stage1_done = false;
+    if !stage1_done {
+        for p in 0..ma {
+            b.rmatvec_rec(&y[p * mb..(p + 1) * mb], &mut t[p * nb..(p + 1) * nb], rest);
+        }
     }
-    let mut col = vec![0.0; ma];
-    let mut ocol = vec![0.0; na];
+    let (col, rest) = rest.split_at_mut(ma);
+    let (ocol, rest) = rest.split_at_mut(na);
     for j in 0..nb {
         for p in 0..ma {
             col[p] = t[p * nb + j];
         }
-        a.rmatvec_into(&col, &mut ocol);
+        a.rmatvec_rec(col, ocol, rest);
         for i in 0..na {
             out[i * nb + j] = ocol[i];
         }
+    }
+}
+
+/// Multi-threaded evaluation of independent sub-products, behind the
+/// `parallel` feature. Built on `std::thread::scope` (the offline build
+/// environment cannot vendor rayon); threads allocate their own scratch, so
+/// these paths trade strict allocation-freedom for parallel speedup and are
+/// only taken above a work threshold.
+#[cfg(feature = "parallel")]
+mod parallel {
+    use crate::Matrix;
+
+    /// Don't spin up threads for products cheaper than this many scalar ops.
+    const MIN_PAR_WORK: usize = 1 << 14;
+
+    fn threads() -> usize {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    }
+
+    /// `Union` matvec with one thread per chunk of blocks. Returns `false`
+    /// (caller falls back to serial) when below threshold.
+    pub(super) fn union_matvec(blocks: &[Matrix], x: &[f64], out: &mut [f64]) -> bool {
+        let nthreads = threads().min(blocks.len());
+        if nthreads < 2 || out.len() * 2 + x.len() < MIN_PAR_WORK {
+            return false;
+        }
+        // Split `out` into per-block slices up front.
+        let mut jobs: Vec<(&Matrix, &mut [f64])> = Vec::with_capacity(blocks.len());
+        let mut rem = out;
+        for b in blocks {
+            let (head, tail) = rem.split_at_mut(b.rows());
+            jobs.push((b, head));
+            rem = tail;
+        }
+        // Round-robin chunks keep per-thread work balanced enough for the
+        // homogeneous blocks striped plans produce.
+        let chunk = jobs.len().div_ceil(nthreads);
+        std::thread::scope(|s| {
+            for group in jobs.chunks_mut(chunk) {
+                s.spawn(move || {
+                    let need = group
+                        .iter()
+                        .map(|(b, _)| b.matvec_scratch())
+                        .max()
+                        .unwrap_or(0);
+                    let mut scratch = vec![0.0; need];
+                    for (b, o) in group {
+                        b.matvec_rec(x, o, &mut scratch);
+                    }
+                });
+            }
+        });
+        true
+    }
+
+    /// Stage 1 of the Kronecker vec-trick — applying `b` to each of the
+    /// `na` rows of the reshaped input — parallelized over row chunks.
+    pub(super) fn kron_apply_rows(
+        b: &Matrix,
+        x: &[f64],
+        t: &mut [f64],
+        na: usize,
+        nb: usize,
+        mb: usize,
+    ) -> bool {
+        let nthreads = threads().min(na);
+        if nthreads < 2 || na * (nb + mb) < MIN_PAR_WORK {
+            return false;
+        }
+        let rows_per = na.div_ceil(nthreads);
+        std::thread::scope(|s| {
+            for (c, tchunk) in t.chunks_mut(rows_per * mb).enumerate() {
+                let x = &x[c * rows_per * nb..];
+                s.spawn(move || {
+                    let mut scratch = vec![0.0; b.matvec_scratch()];
+                    for (i, trow) in tchunk.chunks_mut(mb).enumerate() {
+                        b.matvec_rec(&x[i * nb..(i + 1) * nb], trow, &mut scratch);
+                    }
+                });
+            }
+        });
+        true
+    }
+
+    /// Transpose-direction mirror of [`kron_apply_rows`].
+    pub(super) fn kron_apply_rows_t(
+        b: &Matrix,
+        y: &[f64],
+        t: &mut [f64],
+        ma: usize,
+        mb: usize,
+        nb: usize,
+    ) -> bool {
+        let nthreads = threads().min(ma);
+        if nthreads < 2 || ma * (nb + mb) < MIN_PAR_WORK {
+            return false;
+        }
+        let rows_per = ma.div_ceil(nthreads);
+        std::thread::scope(|s| {
+            for (c, tchunk) in t.chunks_mut(rows_per * nb).enumerate() {
+                let y = &y[c * rows_per * mb..];
+                s.spawn(move || {
+                    let mut scratch = vec![0.0; b.rmatvec_scratch()];
+                    for (p, trow) in tchunk.chunks_mut(nb).enumerate() {
+                        b.rmatvec_rec(&y[p * mb..(p + 1) * mb], trow, &mut scratch);
+                    }
+                });
+            }
+        });
+        true
     }
 }
 
@@ -300,7 +473,8 @@ mod tests {
         for m in cases {
             let y: Vec<f64> = (0..m.rows()).map(|i| i as f64 - 1.5).collect();
             let mut acc = vec![1.0; m.cols()];
-            m.rmatvec_add(&y, &mut acc);
+            let mut ws = Workspace::new();
+            m.rmatvec_add(&y, &mut acc, &mut ws);
             let direct = m.rmatvec(&y);
             for (a, d) in acc.iter().zip(&direct) {
                 assert!((a - (d + 1.0)).abs() < 1e-12, "mismatch for {m:?}");
@@ -321,7 +495,10 @@ mod tests {
     fn product_composes() {
         // Total · Prefix = [n, n-1, ..., 1] as a row
         let p = Matrix::product(Matrix::total(5), Matrix::prefix(5));
-        assert_eq!(p.matvec(&x5()), vec![1.0 * 5.0 + 2.0 * 4.0 + 3.0 * 3.0 + 4.0 * 2.0 + 5.0]);
+        assert_eq!(
+            p.matvec(&x5()),
+            vec![1.0 * 5.0 + 2.0 * 4.0 + 3.0 * 3.0 + 4.0 * 2.0 + 5.0]
+        );
     }
 
     #[test]
@@ -378,5 +555,72 @@ mod tests {
             }
         }
         assert_eq!(w.matvec(&x), expect);
+    }
+
+    /// The parallel paths only engage above `MIN_PAR_WORK`; these cases are
+    /// sized past the threshold so `--features parallel` actually executes
+    /// the threaded chunking (below-threshold per-block evaluation stays
+    /// serial and serves as the reference).
+    #[test]
+    fn large_union_matches_per_block_evaluation() {
+        let n = 1usize << 13;
+        let blocks = vec![
+            Matrix::wavelet(n),
+            Matrix::prefix(n),
+            Matrix::scaled(0.5, Matrix::suffix(n)),
+            Matrix::product(Matrix::prefix(n), Matrix::wavelet(n)),
+        ];
+        let u = Matrix::vstack(blocks.clone());
+        let x: Vec<f64> = (0..n).map(|i| (i % 13) as f64 - 6.0).collect();
+        let got = u.matvec(&x);
+        let expect: Vec<f64> = blocks.iter().flat_map(|b| b.matvec(&x)).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn large_kron_matches_materialized() {
+        // na*(nb+mb) = 128*256 exceeds the parallel threshold in both
+        // directions.
+        let a = Matrix::prefix(128);
+        let b = Matrix::wavelet(128);
+        let k = Matrix::kron(a, b);
+        let sparse = Matrix::sparse(k.to_sparse());
+        let x: Vec<f64> = (0..k.cols())
+            .map(|i| ((i * 31) % 17) as f64 - 8.0)
+            .collect();
+        let got = k.matvec(&x);
+        let expect = sparse.matvec(&x);
+        for (g, e) in got.iter().zip(&expect) {
+            assert!((g - e).abs() < 1e-9, "kron matvec diverged");
+        }
+        let y: Vec<f64> = (0..k.rows())
+            .map(|i| ((i * 7) % 23) as f64 - 11.0)
+            .collect();
+        let got_t = k.rmatvec(&y);
+        let expect_t = sparse.rmatvec(&y);
+        for (g, e) in got_t.iter().zip(&expect_t) {
+            assert!((g - e).abs() < 1e-9, "kron rmatvec diverged");
+        }
+    }
+
+    #[test]
+    fn shared_workspace_reused_across_directions() {
+        let m = Matrix::vstack(vec![
+            Matrix::product(Matrix::prefix(6), Matrix::wavelet(6)),
+            Matrix::kron(Matrix::total(2), Matrix::prefix(3)),
+        ]);
+        let mut ws = Workspace::for_matrix(&m);
+        let cap_after_plan = ws.capacity();
+        let x: Vec<f64> = (0..6).map(|i| i as f64).collect();
+        let mut out = vec![0.0; m.rows()];
+        let mut back = vec![0.0; m.cols()];
+        for _ in 0..3 {
+            m.matvec_into(&x, &mut out, &mut ws);
+            m.rmatvec_into(&out, &mut back, &mut ws);
+        }
+        // The planning pass sized the arena once; evaluation never grew it.
+        assert_eq!(ws.capacity(), cap_after_plan);
+        assert_eq!(out, m.matvec(&x));
+        assert_eq!(back, m.rmatvec(&out));
     }
 }

@@ -23,7 +23,10 @@ impl RangeQueries {
         let ranges = ranges
             .into_iter()
             .map(|(lo, hi)| {
-                assert!(lo < hi && hi <= n, "invalid range [{lo}, {hi}) for domain {n}");
+                assert!(
+                    lo < hi && hi <= n,
+                    "invalid range [{lo}, {hi}) for domain {n}"
+                );
                 (lo as u32, hi as u32)
             })
             .collect();
@@ -42,19 +45,34 @@ impl RangeQueries {
 
     /// The underlying half-open intervals.
     pub fn ranges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
-        self.ranges.iter().map(|&(lo, hi)| (lo as usize, hi as usize))
+        self.ranges
+            .iter()
+            .map(|&(lo, hi)| (lo as usize, hi as usize))
+    }
+
+    /// Scratch scalars needed by the product kernels: one prefix-sum or
+    /// difference array of `n + 1` entries.
+    pub(crate) fn scratch_len(&self) -> usize {
+        self.n + 1
     }
 
     /// `out[k] = Σ_{i ∈ [lo_k, hi_k)} x[i]` via one prefix-sum pass.
     pub fn matvec_into(&self, x: &[f64], out: &mut [f64]) {
+        let mut scratch = vec![0.0; self.scratch_len()];
+        self.matvec_rec(x, out, &mut scratch);
+    }
+
+    /// [`Self::matvec_into`] with caller-provided scratch (≥
+    /// [`Self::scratch_len`] scalars); performs no allocation.
+    pub(crate) fn matvec_rec(&self, x: &[f64], out: &mut [f64], scratch: &mut [f64]) {
         assert_eq!(x.len(), self.n, "matvec dimension mismatch");
         assert_eq!(out.len(), self.ranges.len(), "matvec output mismatch");
-        let mut prefix = Vec::with_capacity(self.n + 1);
-        prefix.push(0.0);
+        let prefix = &mut scratch[..self.n + 1];
+        prefix[0] = 0.0;
         let mut acc = 0.0;
-        for &v in x {
+        for (p, &v) in prefix[1..].iter_mut().zip(x) {
             acc += v;
-            prefix.push(acc);
+            *p = acc;
         }
         for (o, &(lo, hi)) in out.iter_mut().zip(&self.ranges) {
             *o = prefix[hi as usize] - prefix[lo as usize];
@@ -63,16 +81,24 @@ impl RangeQueries {
 
     /// `out = Wᵀ y` via a difference array.
     pub fn rmatvec_into(&self, y: &[f64], out: &mut [f64]) {
+        let mut scratch = vec![0.0; self.scratch_len()];
+        self.rmatvec_rec(y, out, &mut scratch);
+    }
+
+    /// [`Self::rmatvec_into`] with caller-provided scratch (≥
+    /// [`Self::scratch_len`] scalars); performs no allocation.
+    pub(crate) fn rmatvec_rec(&self, y: &[f64], out: &mut [f64], scratch: &mut [f64]) {
         assert_eq!(y.len(), self.ranges.len(), "rmatvec dimension mismatch");
         assert_eq!(out.len(), self.n, "rmatvec output mismatch");
-        let mut diff = vec![0.0; self.n + 1];
+        let diff = &mut scratch[..self.n + 1];
+        diff.fill(0.0);
         for (&(lo, hi), &yk) in self.ranges.iter().zip(y) {
             diff[lo as usize] += yk;
             diff[hi as usize] -= yk;
         }
         let mut acc = 0.0;
-        for (o, d) in out.iter_mut().zip(&diff[..self.n]) {
-            acc += d;
+        for (o, d) in out.iter_mut().zip(diff[..self.n].iter()) {
+            acc += *d;
             *o = acc;
         }
     }

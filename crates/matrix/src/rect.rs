@@ -61,14 +61,28 @@ impl RectQueries2D {
             .map(|&(a, b, c, d)| (a as usize, b as usize, c as usize, d as usize))
     }
 
+    /// Scratch scalars needed by the product kernels: one padded
+    /// `(rows+1)×(cols+1)` prefix-sum or difference array.
+    pub(crate) fn scratch_len(&self) -> usize {
+        (self.rows + 1) * (self.cols + 1)
+    }
+
     /// `out[k] = Σ x[rect_k]` via one 2-D prefix-sum pass.
     pub fn matvec_into(&self, x: &[f64], out: &mut [f64]) {
+        let mut scratch = vec![0.0; self.scratch_len()];
+        self.matvec_rec(x, out, &mut scratch);
+    }
+
+    /// [`Self::matvec_into`] with caller-provided scratch (≥
+    /// [`Self::scratch_len`] scalars); performs no allocation.
+    pub(crate) fn matvec_rec(&self, x: &[f64], out: &mut [f64], scratch: &mut [f64]) {
         assert_eq!(x.len(), self.domain(), "matvec dimension mismatch");
         assert_eq!(out.len(), self.rects.len(), "matvec output mismatch");
         let (r, c) = (self.rows, self.cols);
         // prefix[(i, j)] = sum over [0,i)×[0,j); padded to (r+1)×(c+1).
         let stride = c + 1;
-        let mut prefix = vec![0.0f64; (r + 1) * stride];
+        let prefix = &mut scratch[..(r + 1) * stride];
+        prefix.fill(0.0);
         for i in 0..r {
             let mut rowacc = 0.0;
             for j in 0..c {
@@ -85,22 +99,35 @@ impl RectQueries2D {
 
     /// `out = Wᵀ y` via a 2-D difference array.
     pub fn rmatvec_into(&self, y: &[f64], out: &mut [f64]) {
+        let mut scratch = vec![0.0; self.scratch_len()];
+        self.rmatvec_rec(y, out, &mut scratch);
+    }
+
+    /// [`Self::rmatvec_into`] with caller-provided scratch (≥
+    /// [`Self::scratch_len`] scalars); performs no allocation.
+    pub(crate) fn rmatvec_rec(&self, y: &[f64], out: &mut [f64], scratch: &mut [f64]) {
         assert_eq!(y.len(), self.rects.len(), "rmatvec dimension mismatch");
         assert_eq!(out.len(), self.domain(), "rmatvec output mismatch");
-        self.accumulate(y.iter().copied(), out);
+        self.accumulate(y.iter().copied(), out, scratch);
     }
 
     /// Exact column sums (entries are 0/1) in `O(n + m)`.
     pub fn col_sums(&self) -> Vec<f64> {
         let mut out = vec![0.0; self.domain()];
-        self.accumulate(std::iter::repeat_n(1.0, self.rects.len()), &mut out);
+        let mut scratch = vec![0.0; self.scratch_len()];
+        self.accumulate(
+            std::iter::repeat_n(1.0, self.rects.len()),
+            &mut out,
+            &mut scratch,
+        );
         out
     }
 
-    fn accumulate(&self, values: impl Iterator<Item = f64>, out: &mut [f64]) {
+    fn accumulate(&self, values: impl Iterator<Item = f64>, out: &mut [f64], scratch: &mut [f64]) {
         let (r, c) = (self.rows, self.cols);
         let stride = c + 1;
-        let mut diff = vec![0.0f64; (r + 1) * stride];
+        let diff = &mut scratch[..(r + 1) * stride];
+        diff.fill(0.0);
         for (&(r1, r2, c1, c2), v) in self.rects.iter().zip(values) {
             let (r1, r2, c1, c2) = (r1 as usize, r2 as usize, c1 as usize, c2 as usize);
             diff[r1 * stride + c1] += v;
@@ -139,7 +166,11 @@ mod tests {
     use crate::CsrMatrix;
 
     fn sample() -> RectQueries2D {
-        RectQueries2D::new(4, 5, vec![(0, 2, 0, 2), (1, 4, 2, 5), (0, 4, 0, 5), (2, 3, 1, 2)])
+        RectQueries2D::new(
+            4,
+            5,
+            vec![(0, 2, 0, 2), (1, 4, 2, 5), (0, 4, 0, 5), (2, 3, 1, 2)],
+        )
     }
 
     fn x20() -> Vec<f64> {

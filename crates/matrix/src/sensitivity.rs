@@ -247,7 +247,10 @@ mod tests {
         let abs_cols = d.map(f64::abs).abs_pow_col_sums(1);
         let got = m.abs_col_sums();
         for (g, e) in got.iter().zip(&abs_cols) {
-            assert!((g - e).abs() < 1e-10, "abs col sums mismatch: {got:?} vs {abs_cols:?}");
+            assert!(
+                (g - e).abs() < 1e-10,
+                "abs col sums mismatch: {got:?} vs {abs_cols:?}"
+            );
         }
         let sq_cols = d.abs_pow_col_sums(2);
         let got2 = m.sqr_col_sums();
@@ -282,10 +285,7 @@ mod tests {
         check_against_dense(&Matrix::kron(Matrix::wavelet(4), Matrix::total(3)));
         check_against_dense(&Matrix::scaled(-2.5, Matrix::prefix(4)));
         check_against_dense(&Matrix::prefix(4).transpose());
-        check_against_dense(&Matrix::product(
-            Matrix::total(4),
-            Matrix::prefix(4),
-        ));
+        check_against_dense(&Matrix::product(Matrix::total(4), Matrix::prefix(4)));
         // Product with negative entries forces materialization.
         check_against_dense(&Matrix::product(
             Matrix::from_rows(vec![vec![1.0, -1.0]]),
@@ -300,7 +300,7 @@ mod tests {
         assert_eq!(Matrix::total(10).l1_sensitivity(), 1.0);
         assert_eq!(Matrix::prefix(10).l1_sensitivity(), 10.0);
         assert_eq!(Matrix::wavelet(8).l1_sensitivity(), 4.0); // log2(8)+1
-        // H2-style: identity + total has sensitivity 2.
+                                                              // H2-style: identity + total has sensitivity 2.
         let h = Matrix::vstack(vec![Matrix::identity(4), Matrix::total(4)]);
         assert_eq!(h.l1_sensitivity(), 2.0);
         // Kron multiplies sensitivities.

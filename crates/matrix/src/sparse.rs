@@ -68,7 +68,13 @@ impl CsrMatrix {
             }
             indptr.push(indices.len());
         }
-        CsrMatrix { rows, cols, indptr, indices, data }
+        CsrMatrix {
+            rows,
+            cols,
+            indptr,
+            indices,
+            data,
+        }
     }
 
     /// Builds from per-row `(col, value)` lists (columns need not be sorted).
@@ -89,7 +95,13 @@ impl CsrMatrix {
             }
             indptr.push(indices.len());
         }
-        CsrMatrix { rows: nrows, cols, indptr, indices, data }
+        CsrMatrix {
+            rows: nrows,
+            cols,
+            indptr,
+            indices,
+            data,
+        }
     }
 
     /// The n×n sparse identity.
@@ -283,7 +295,13 @@ impl CsrMatrix {
             indices.extend_from_slice(&b.indices);
             data.extend_from_slice(&b.data);
         }
-        CsrMatrix { rows, cols, indptr, indices, data }
+        CsrMatrix {
+            rows,
+            cols,
+            indptr,
+            indices,
+            data,
+        }
     }
 
     /// Kronecker product `self ⊗ other` in CSR form.
@@ -309,7 +327,13 @@ impl CsrMatrix {
                 indptr.push(indices.len());
             }
         }
-        CsrMatrix { rows, cols, indptr, indices, data }
+        CsrMatrix {
+            rows,
+            cols,
+            indptr,
+            indices,
+            data,
+        }
     }
 
     /// Applies `f` to every stored value.

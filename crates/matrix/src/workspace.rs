@@ -1,0 +1,210 @@
+//! Scratch-space planning for allocation-free matrix evaluation.
+//!
+//! Every combinator in the [`Matrix`] algebra needs transient storage to
+//! evaluate a product: `Product` stores the intermediate vector, `Kronecker`
+//! stores the reshaped partial products, `Range`/`Rect2D` need a prefix-sum
+//! or difference array, and the accumulating transpose product needs
+//! per-node temporaries. The original engine allocated these with `Vec` at
+//! every tree node on every call — thousands of allocator round-trips per
+//! solver iteration. Instead, a [`Workspace`] owns one flat `f64` arena
+//! sized by a one-time *planning pass* over the combinator tree
+//! ([`Matrix::matvec_scratch`] / [`Matrix::rmatvec_scratch`]); evaluation
+//! then carves disjoint sub-slices off that arena with `split_at_mut` as it
+//! recurses, so the steady state performs **zero heap allocations**.
+//!
+//! ```
+//! use ektelo_matrix::{Matrix, Workspace};
+//!
+//! let m = Matrix::product(Matrix::prefix(4), Matrix::wavelet(4));
+//! let mut ws = Workspace::for_matrix(&m); // one-time planning + allocation
+//! let x = [1.0, 2.0, 3.0, 4.0];
+//! let mut out = [0.0; 4];
+//! for _ in 0..1000 {
+//!     m.matvec_into(&x, &mut out, &mut ws); // no allocation in this loop
+//! }
+//! assert_eq!(out[0], 10.0);
+//! ```
+
+use crate::Matrix;
+
+/// A reusable scratch arena for [`Matrix::matvec_into`],
+/// [`Matrix::rmatvec_into`] and [`Matrix::rmatvec_add`].
+///
+/// A `Workspace` may be shared freely across different matrices and both
+/// product directions: it grows monotonically to the largest requirement it
+/// has seen and never shrinks. Constructing one with [`Workspace::for_matrix`]
+/// performs the planning pass and the single allocation up front, which is
+/// what iterative solvers do once per solve.
+#[derive(Clone, Debug, Default)]
+pub struct Workspace {
+    buf: Vec<f64>,
+}
+
+impl Workspace {
+    /// An empty workspace; it will size itself lazily on first use.
+    pub fn new() -> Self {
+        Workspace::default()
+    }
+
+    /// A workspace pre-sized for both `m·x` and `mᵀ·y` products of `m`
+    /// (the planning pass of the one-time setup).
+    pub fn for_matrix(m: &Matrix) -> Self {
+        let mut ws = Workspace::new();
+        ws.reserve(m.matvec_scratch().max(m.rmatvec_scratch()));
+        ws
+    }
+
+    /// Grows the arena to at least `len` scalars.
+    pub fn reserve(&mut self, len: usize) {
+        if self.buf.len() < len {
+            self.buf.resize(len, 0.0);
+        }
+    }
+
+    /// Current arena size in scalars.
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// The first `len` scalars of the arena, growing it if needed. Contents
+    /// are unspecified; callers must not read before writing.
+    pub(crate) fn slice(&mut self, len: usize) -> &mut [f64] {
+        self.reserve(len);
+        &mut self.buf[..len]
+    }
+}
+
+impl Matrix {
+    /// Scalars of scratch space [`Matrix::matvec_into`] needs for this
+    /// matrix — the planning pass over the combinator tree. `O(tree size)`.
+    pub fn matvec_scratch(&self) -> usize {
+        match self {
+            Matrix::Dense(..)
+            | Matrix::Sparse(..)
+            | Matrix::Diagonal(..)
+            | Matrix::Identity { .. }
+            | Matrix::Ones { .. }
+            | Matrix::Prefix { .. }
+            | Matrix::Suffix { .. }
+            | Matrix::Wavelet { .. } => 0,
+            Matrix::Range(r) => r.scratch_len(),
+            Matrix::Rect2D(r) => r.scratch_len(),
+            Matrix::Union(blocks) => blocks.iter().map(Matrix::matvec_scratch).max().unwrap_or(0),
+            // t = B·x (len = B.rows), then A applied to t.
+            Matrix::Product(a, b) => b.rows() + a.matvec_scratch().max(b.matvec_scratch()),
+            // t: na×mb partials, then per-output-column gather/apply
+            // buffers col (na) and ocol (ma) while A runs.
+            Matrix::Kronecker(a, b) => {
+                let (ma, na) = a.shape();
+                let mb = b.rows();
+                na * mb + b.matvec_scratch().max(na + ma + a.matvec_scratch())
+            }
+            Matrix::Scaled(_, a) => a.matvec_scratch(),
+            Matrix::Transpose(a) => a.rmatvec_scratch(),
+        }
+    }
+
+    /// Scalars of scratch space [`Matrix::rmatvec_into`] needs.
+    pub fn rmatvec_scratch(&self) -> usize {
+        match self {
+            Matrix::Dense(..)
+            | Matrix::Sparse(..)
+            | Matrix::Diagonal(..)
+            | Matrix::Identity { .. }
+            | Matrix::Ones { .. }
+            | Matrix::Prefix { .. }
+            | Matrix::Suffix { .. }
+            | Matrix::Wavelet { .. } => 0,
+            Matrix::Range(r) => r.scratch_len(),
+            Matrix::Rect2D(r) => r.scratch_len(),
+            // Unionᵀ scatter-adds per block.
+            Matrix::Union(blocks) => blocks
+                .iter()
+                .map(Matrix::rmatvec_add_scratch)
+                .max()
+                .unwrap_or(0),
+            // t = Aᵀ·y (len = A.cols = B.rows), then Bᵀ applied to t.
+            Matrix::Product(a, b) => b.rows() + a.rmatvec_scratch().max(b.rmatvec_scratch()),
+            // Mirror of the matvec case with shapes transposed.
+            Matrix::Kronecker(a, b) => {
+                let (ma, na) = a.shape();
+                let nb = b.cols();
+                ma * nb + b.rmatvec_scratch().max(ma + na + a.rmatvec_scratch())
+            }
+            Matrix::Scaled(_, a) => a.rmatvec_scratch(),
+            Matrix::Transpose(a) => a.matvec_scratch(),
+        }
+    }
+
+    /// Scalars of scratch space [`Matrix::rmatvec_add`] needs.
+    pub(crate) fn rmatvec_add_scratch(&self) -> usize {
+        match self {
+            Matrix::Sparse(..) | Matrix::Identity { .. } | Matrix::Diagonal(..) => 0,
+            Matrix::Product(a, b) => b.rows() + a.rmatvec_scratch().max(b.rmatvec_add_scratch()),
+            Matrix::Scaled(_, a) => self.rows() + a.rmatvec_add_scratch(),
+            Matrix::Union(blocks) => blocks
+                .iter()
+                .map(Matrix::rmatvec_add_scratch)
+                .max()
+                .unwrap_or(0),
+            Matrix::Transpose(a) => a.rows() + a.matvec_scratch(),
+            // Remaining shapes compute into a dense temporary of the full
+            // output width, then accumulate.
+            _ => self.cols() + self.rmatvec_scratch(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaves_need_no_scratch() {
+        assert_eq!(Matrix::identity(64).matvec_scratch(), 0);
+        assert_eq!(Matrix::prefix(64).rmatvec_scratch(), 0);
+        assert_eq!(Matrix::wavelet(64).matvec_scratch(), 0);
+    }
+
+    #[test]
+    fn product_needs_intermediate() {
+        let m = Matrix::product(Matrix::prefix(8), Matrix::wavelet(8));
+        assert_eq!(m.matvec_scratch(), 8);
+        assert_eq!(m.rmatvec_scratch(), 8);
+    }
+
+    #[test]
+    fn nested_products_take_max_of_children() {
+        // A·(B·C): outer needs rows(B·C)=8 plus inner's 8.
+        let inner = Matrix::product(Matrix::prefix(8), Matrix::wavelet(8));
+        let m = Matrix::product(Matrix::suffix(8), inner);
+        assert_eq!(m.matvec_scratch(), 16);
+    }
+
+    #[test]
+    fn union_takes_max_not_sum() {
+        let m = Matrix::vstack(vec![
+            Matrix::product(Matrix::prefix(8), Matrix::wavelet(8)),
+            Matrix::product(Matrix::suffix(8), Matrix::wavelet(8)),
+            Matrix::identity(8),
+        ]);
+        assert_eq!(m.matvec_scratch(), 8);
+    }
+
+    #[test]
+    fn workspace_grows_monotonically() {
+        let mut ws = Workspace::new();
+        assert_eq!(ws.capacity(), 0);
+        ws.reserve(10);
+        ws.reserve(4);
+        assert_eq!(ws.capacity(), 10);
+    }
+
+    #[test]
+    fn for_matrix_covers_both_directions() {
+        let m = Matrix::kron(Matrix::prefix(4), Matrix::ones(2, 8));
+        let ws = Workspace::for_matrix(&m);
+        assert!(ws.capacity() >= m.matvec_scratch());
+        assert!(ws.capacity() >= m.rmatvec_scratch());
+    }
+}

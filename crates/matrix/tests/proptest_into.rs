@@ -1,0 +1,153 @@
+//! Property tests for the in-place evaluation engine: on randomly
+//! generated combinator trees, `matvec_into` / `rmatvec_into` with a
+//! shared [`Workspace`] must produce **bit-identical** results to the
+//! allocating `matvec` / `rmatvec` wrappers (they are required to be thin
+//! wrappers, so even the floating-point operation order must agree), and
+//! `rmatvec_add` must accumulate exactly `rmatvec`'s output.
+
+use ektelo_matrix::{Matrix, Workspace};
+use proptest::prelude::*;
+
+/// Random combinator trees over a fixed column count so compositions
+/// typecheck: implicit leaves, ranges, diagonals, then unions / products /
+/// scalings / transposes stacked `depth` levels deep.
+fn arb_tree(cols: usize, depth: u32) -> BoxedStrategy<Matrix> {
+    let leaf = prop_oneof![
+        Just(Matrix::identity(cols)),
+        Just(Matrix::prefix(cols)),
+        Just(Matrix::suffix(cols)),
+        Just(Matrix::wavelet(cols)),
+        (1usize..=3).prop_map(move |m| Matrix::ones(m, cols)),
+        prop::collection::vec((0usize..cols, 1usize..=cols), 1..6).prop_map(move |pairs| {
+            let ranges: Vec<(usize, usize)> = pairs
+                .into_iter()
+                .map(|(lo, len)| (lo.min(cols - 1), (lo + len).clamp(lo + 1, cols).min(cols)))
+                .filter(|&(lo, hi)| lo < hi)
+                .collect();
+            if ranges.is_empty() {
+                Matrix::total(cols)
+            } else {
+                Matrix::range_queries(cols, ranges)
+            }
+        }),
+        prop::collection::vec(-2.0f64..2.0, cols).prop_map(Matrix::diagonal),
+    ];
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    let inner = arb_tree(cols, depth - 1);
+    prop_oneof![
+        leaf,
+        prop::collection::vec(arb_tree(cols, depth - 1), 1..4).prop_map(Matrix::vstack),
+        (inner.clone(), -2.0f64..2.0).prop_map(|(m, c)| Matrix::scaled(c, m)),
+        // Square sub-expressions can be composed and transposed without
+        // breaking the column invariant.
+        (inner.clone(), inner.clone()).prop_map(|(a, b)| {
+            if a.cols() == a.rows() && b.rows() == b.cols() {
+                Matrix::product(a, b)
+            } else {
+                a
+            }
+        }),
+        inner.prop_map(|m| if m.rows() == m.cols() {
+            m.transpose()
+        } else {
+            m
+        }),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// matvec_into bit-matches the allocating matvec on random trees.
+    #[test]
+    fn matvec_into_bit_matches(
+        m in arb_tree(7, 3),
+        x in prop::collection::vec(-4.0f64..4.0, 7),
+    ) {
+        let expect = m.matvec(&x);
+        let mut ws = Workspace::for_matrix(&m);
+        let mut got = vec![0.0; m.rows()];
+        m.matvec_into(&x, &mut got, &mut ws);
+        prop_assert_eq!(&got, &expect, "matvec_into diverged on {:?}", m);
+        // A second evaluation through the same (now warm) workspace must
+        // not be affected by scratch contents left behind by the first.
+        m.matvec_into(&x, &mut got, &mut ws);
+        prop_assert_eq!(&got, &expect, "warm-workspace re-evaluation diverged");
+    }
+
+    /// rmatvec_into bit-matches the allocating rmatvec on random trees.
+    #[test]
+    fn rmatvec_into_bit_matches(m in arb_tree(7, 3)) {
+        let y: Vec<f64> = (0..m.rows()).map(|i| (i as f64) * 0.37 - 1.0).collect();
+        let expect = m.rmatvec(&y);
+        let mut ws = Workspace::for_matrix(&m);
+        let mut got = vec![0.0; m.cols()];
+        m.rmatvec_into(&y, &mut got, &mut ws);
+        prop_assert_eq!(&got, &expect, "rmatvec_into diverged on {:?}", m);
+        m.rmatvec_into(&y, &mut got, &mut ws);
+        prop_assert_eq!(&got, &expect, "warm-workspace re-evaluation diverged");
+    }
+
+    /// rmatvec_add accumulates exactly rmatvec's output on top of the
+    /// existing contents.
+    #[test]
+    fn rmatvec_add_accumulates_exactly(m in arb_tree(6, 2)) {
+        let y: Vec<f64> = (0..m.rows()).map(|i| (i as f64) - 2.0).collect();
+        let direct = m.rmatvec(&y);
+        let mut ws = Workspace::new();
+        let mut acc = vec![3.0; m.cols()];
+        m.rmatvec_add(&y, &mut acc, &mut ws);
+        for (a, d) in acc.iter().zip(&direct) {
+            prop_assert!((a - (d + 3.0)).abs() < 1e-12, "rmatvec_add mismatch on {:?}", m);
+        }
+    }
+
+    /// One shared workspace serves different matrices and both directions
+    /// without cross-contamination.
+    #[test]
+    fn workspace_shared_across_matrices(
+        a in arb_tree(6, 2),
+        b in arb_tree(6, 2),
+        x in prop::collection::vec(-3.0f64..3.0, 6),
+    ) {
+        let mut ws = Workspace::new();
+        let mut out_a = vec![0.0; a.rows()];
+        let mut out_b = vec![0.0; b.rows()];
+        a.matvec_into(&x, &mut out_a, &mut ws);
+        b.matvec_into(&x, &mut out_b, &mut ws);
+        prop_assert_eq!(&out_a, &a.matvec(&x));
+        prop_assert_eq!(&out_b, &b.matvec(&x));
+        // Interleave directions.
+        let ya: Vec<f64> = (0..a.rows()).map(|i| i as f64 * 0.5).collect();
+        let mut back = vec![0.0; a.cols()];
+        a.rmatvec_into(&ya, &mut back, &mut ws);
+        prop_assert_eq!(&back, &a.rmatvec(&ya));
+    }
+
+    /// Kronecker products (which reshape through the workspace most
+    /// aggressively) bit-match on random dense factors.
+    #[test]
+    fn kron_into_bit_matches(
+        av in prop::collection::vec(-2.0f64..2.0, 6),
+        bv in prop::collection::vec(-2.0f64..2.0, 6),
+    ) {
+        let a = Matrix::from_rows(av.chunks(3).map(<[f64]>::to_vec).collect());
+        let b = Matrix::from_rows(bv.chunks(2).map(<[f64]>::to_vec).collect());
+        let k = Matrix::kron(a, b);
+        let x: Vec<f64> = (0..k.cols()).map(|i| (i as f64) * 0.3 - 1.0).collect();
+        let expect = k.matvec(&x);
+        let mut ws = Workspace::for_matrix(&k);
+        let mut got = vec![0.0; k.rows()];
+        k.matvec_into(&x, &mut got, &mut ws);
+        prop_assert_eq!(&got, &expect);
+
+        let y: Vec<f64> = (0..k.rows()).map(|i| (i as f64) * 0.7).collect();
+        let expect_t = k.rmatvec(&y);
+        let mut got_t = vec![0.0; k.cols()];
+        k.rmatvec_into(&y, &mut got_t, &mut ws);
+        prop_assert_eq!(&got_t, &expect_t);
+    }
+}

@@ -136,13 +136,24 @@ mod tests {
     use ektelo_data::generators::{shape_1d, Shape1D};
 
     fn profile(domain: usize, eps: f64, scale: f64, w: WorkloadClass) -> TaskProfile {
-        TaskProfile { domain, eps, expected_scale: scale, workload: w }
+        TaskProfile {
+            domain,
+            eps,
+            expected_scale: scale,
+            workload: w,
+        }
     }
 
     #[test]
     fn classification_of_common_workloads() {
-        assert_eq!(classify_workload(&Matrix::identity(8)), WorkloadClass::PointQueries);
-        assert_eq!(classify_workload(&Matrix::prefix(8)), WorkloadClass::RangeQueries);
+        assert_eq!(
+            classify_workload(&Matrix::identity(8)),
+            WorkloadClass::PointQueries
+        );
+        assert_eq!(
+            classify_workload(&Matrix::prefix(8)),
+            WorkloadClass::RangeQueries
+        );
         assert_eq!(
             classify_workload(&ektelo_data::workloads::random_range(64, 10, 1)),
             WorkloadClass::RangeQueries
@@ -201,7 +212,10 @@ mod tests {
             let (k, r) = kernel_for_histogram(&sparse, eps_low, seed + 10);
             e_id += rmse(&sparse, &plan_identity(&k, r, eps_low).unwrap().x_hat);
         }
-        assert!(e_ahp < e_id, "AHP ({e_ahp}) must beat Identity ({e_id}) in its regime");
+        assert!(
+            e_ahp < e_id,
+            "AHP ({e_ahp}) must beat Identity ({e_id}) in its regime"
+        );
 
         // Dense high-snr range regime → HB beats Uniform trivially; check
         // HB runs and is recommended.

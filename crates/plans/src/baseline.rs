@@ -18,7 +18,9 @@ fn select_measure_infer(
 ) -> PlanResult {
     let start = kernel.measurement_count();
     kernel.vector_laplace(x, strategy, eps)?;
-    Ok(PlanOutcome { x_hat: infer_ls(kernel, start, LsSolver::Iterative) })
+    Ok(PlanOutcome {
+        x_hat: infer_ls(kernel, start, LsSolver::Iterative),
+    })
 }
 
 /// Plan #1 — Identity (Dwork et al. 2006): `SI LM`.
@@ -141,7 +143,10 @@ mod tests {
         let truth = w.matvec(&x);
         let mut errs = std::collections::HashMap::new();
         for (name, plan) in [
-            ("identity", plan_identity as fn(&ProtectedKernel, SourceVar, f64) -> PlanResult),
+            (
+                "identity",
+                plan_identity as fn(&ProtectedKernel, SourceVar, f64) -> PlanResult,
+            ),
             ("h2", plan_h2),
             ("privelet", plan_privelet),
             ("hb", plan_hb),

@@ -26,7 +26,9 @@ pub fn plan_ahp(kernel: &ProtectedKernel, x: SourceVar, eps: f64, rho: f64) -> P
     let reduced = kernel.reduce_by_partition(x, &p)?;
     let groups = kernel.vector_len(reduced)?;
     kernel.vector_laplace(reduced, &selection::identity(groups), shares[1])?;
-    Ok(PlanOutcome { x_hat: infer_ls(kernel, start, LsSolver::Iterative) })
+    Ok(PlanOutcome {
+        x_hat: infer_ls(kernel, start, LsSolver::Iterative),
+    })
 }
 
 /// Plan #9 — DAWA (Li et al. 2014): `PD TR SG LM LS`.
@@ -52,7 +54,9 @@ pub fn plan_dawa(
         .unwrap_or_default();
     let strategy = selection::greedy_h(groups, &bucket_ranges);
     kernel.vector_laplace(reduced, &strategy, shares[1])?;
-    Ok(PlanOutcome { x_hat: infer_ls(kernel, start, LsSolver::Iterative) })
+    Ok(PlanOutcome {
+        x_hat: infer_ls(kernel, start, LsSolver::Iterative),
+    })
 }
 
 #[cfg(test)]

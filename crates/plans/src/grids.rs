@@ -20,7 +20,9 @@ pub fn plan_quad_tree(
 ) -> PlanResult {
     let start = kernel.measurement_count();
     kernel.vector_laplace(x, &quad_tree(shape.0, shape.1), eps)?;
-    Ok(PlanOutcome { x_hat: infer_ls(kernel, start, LsSolver::Iterative) })
+    Ok(PlanOutcome {
+        x_hat: infer_ls(kernel, start, LsSolver::Iterative),
+    })
 }
 
 /// Plan #11 — UniformGrid (Qardaji et al. 2013): `SU LM LS`.
@@ -35,7 +37,9 @@ pub fn plan_uniform_grid(
     let g = uniform_grid_size(shape.0, shape.1, expected_total, eps);
     let start = kernel.measurement_count();
     kernel.vector_laplace(x, &uniform_grid(shape.0, shape.1, g), eps)?;
-    Ok(PlanOutcome { x_hat: infer_ls(kernel, start, LsSolver::Iterative) })
+    Ok(PlanOutcome {
+        x_hat: infer_ls(kernel, start, LsSolver::Iterative),
+    })
 }
 
 /// Plan #12 — AdaptiveGrid (Qardaji et al. 2013):
@@ -60,7 +64,9 @@ pub fn plan_adaptive_grid(
 
     // Round 1: coarse uniform grid (half Qardaji's size constant, as in
     // the AG paper's first stage).
-    let g1 = uniform_grid_size(rows, cols, expected_total, shares[0]).div_ceil(2).max(1);
+    let g1 = uniform_grid_size(rows, cols, expected_total, shares[0])
+        .div_ceil(2)
+        .max(1);
     let coarse = uniform_grid(rows, cols, g1);
     let y1 = kernel.vector_laplace(x, &coarse, shares[0])?;
 
@@ -77,7 +83,9 @@ pub fn plan_adaptive_grid(
     debug_assert!((fine.l1_sensitivity() - 1.0).abs() < 1e-9);
     kernel.vector_laplace(x, &fine, shares[1])?;
 
-    Ok(PlanOutcome { x_hat: infer_ls(kernel, start, LsSolver::Iterative) })
+    Ok(PlanOutcome {
+        x_hat: infer_ls(kernel, start, LsSolver::Iterative),
+    })
 }
 
 /// Plan #12, literal form: AdaptiveGrid with an explicit
@@ -100,7 +108,9 @@ pub fn plan_adaptive_grid_split(
     let start = kernel.measurement_count();
 
     // Round 1: coarse grid measurement (as in the one-shot variant).
-    let g1 = uniform_grid_size(rows, cols, expected_total, shares[0]).div_ceil(2).max(1);
+    let g1 = uniform_grid_size(rows, cols, expected_total, shares[0])
+        .div_ceil(2)
+        .max(1);
     let coarse = uniform_grid(rows, cols, g1);
     let y1 = kernel.vector_laplace(x, &coarse, shares[0])?;
 
@@ -117,7 +127,9 @@ pub fn plan_adaptive_grid_split(
         let strategy = Matrix::rect_queries(h, w, local);
         kernel.vector_laplace(*part, &strategy, shares[1])?;
     }
-    Ok(PlanOutcome { x_hat: infer_ls(kernel, start, LsSolver::Iterative) })
+    Ok(PlanOutcome {
+        x_hat: infer_ls(kernel, start, LsSolver::Iterative),
+    })
 }
 
 #[cfg(test)]
@@ -172,7 +184,10 @@ mod tests {
             err_split += rmse(&x, &b.x_hat);
         }
         let ratio = err_split / err_one;
-        assert!((0.5..2.0).contains(&ratio), "variants diverge: {err_split} vs {err_one}");
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "variants diverge: {err_split} vs {err_one}"
+        );
     }
 
     #[test]
@@ -197,9 +212,13 @@ mod tests {
         let mut err_ag = 0.0;
         for seed in 0..4 {
             let (k, root) = kernel_for_histogram(&x, eps, seed);
-            let ug = plan_uniform_grid(&k, root, (128, 128), 1e5, eps).unwrap().x_hat;
+            let ug = plan_uniform_grid(&k, root, (128, 128), 1e5, eps)
+                .unwrap()
+                .x_hat;
             let (k, root) = kernel_for_histogram(&x, eps, seed + 10);
-            let ag = plan_adaptive_grid(&k, root, (128, 128), 1e5, eps).unwrap().x_hat;
+            let ag = plan_adaptive_grid(&k, root, (128, 128), 1e5, eps)
+                .unwrap()
+                .x_hat;
             let e = |xh: &[f64]| {
                 let est = truth_w.matvec(xh);
                 rmse(&tw, &est)

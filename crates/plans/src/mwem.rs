@@ -43,7 +43,11 @@ pub struct MwemOptions {
 
 impl Default for MwemOptions {
     fn default() -> Self {
-        MwemOptions { rounds: 10, total: 1.0, mw_iterations: 30 }
+        MwemOptions {
+            rounds: 10,
+            total: 1.0,
+            mw_iterations: 30,
+        }
     }
 }
 
@@ -55,7 +59,15 @@ pub fn plan_mwem(
     eps: f64,
     opts: &MwemOptions,
 ) -> PlanResult {
-    mwem_impl(kernel, x, workload, eps, opts, false, MwemInference::MultWeights)
+    mwem_impl(
+        kernel,
+        x,
+        workload,
+        eps,
+        opts,
+        false,
+        MwemInference::MultWeights,
+    )
 }
 
 /// Plan #18 — variant b: `I:( SW SH2 LM MW )` (augmented selection).
@@ -66,7 +78,15 @@ pub fn plan_mwem_variant_b(
     eps: f64,
     opts: &MwemOptions,
 ) -> PlanResult {
-    mwem_impl(kernel, x, workload, eps, opts, true, MwemInference::MultWeights)
+    mwem_impl(
+        kernel,
+        x,
+        workload,
+        eps,
+        opts,
+        true,
+        MwemInference::MultWeights,
+    )
 }
 
 /// Plan #19 — variant c: `I:( SW LM NLS )` (NNLS + known total).
@@ -77,7 +97,15 @@ pub fn plan_mwem_variant_c(
     eps: f64,
     opts: &MwemOptions,
 ) -> PlanResult {
-    mwem_impl(kernel, x, workload, eps, opts, false, MwemInference::NnlsKnownTotal)
+    mwem_impl(
+        kernel,
+        x,
+        workload,
+        eps,
+        opts,
+        false,
+        MwemInference::NnlsKnownTotal,
+    )
 }
 
 /// Plan #20 — variant d: `I:( SW SH2 LM NLS )` (both improvements).
@@ -88,7 +116,15 @@ pub fn plan_mwem_variant_d(
     eps: f64,
     opts: &MwemOptions,
 ) -> PlanResult {
-    mwem_impl(kernel, x, workload, eps, opts, true, MwemInference::NnlsKnownTotal)
+    mwem_impl(
+        kernel,
+        x,
+        workload,
+        eps,
+        opts,
+        true,
+        MwemInference::NnlsKnownTotal,
+    )
 }
 
 fn mwem_impl(
@@ -135,12 +171,9 @@ fn run_inference(
     x: SourceVar,
 ) -> Result<Vec<f64>> {
     Ok(match infer {
-        MwemInference::MultWeights => inference::mult_weights_inference(
-            measurements,
-            opts.total,
-            None,
-            opts.mw_iterations,
-        ),
+        MwemInference::MultWeights => {
+            inference::mult_weights_inference(measurements, opts.total, None, opts.mw_iterations)
+        }
         MwemInference::NnlsKnownTotal => {
             let n = measurements[0].query.cols();
             let mut ms = measurements.to_vec();
@@ -148,7 +181,10 @@ fn run_inference(
             ms.push(known_total_measurement(n, opts.total, x, scale));
             inference::non_negative_least_squares_opts(
                 &ms,
-                &ektelo_solvers::NnlsOptions { max_iters: 600, tol: 1e-7 },
+                &ektelo_solvers::NnlsOptions {
+                    max_iters: 600,
+                    tol: 1e-7,
+                },
             )
         }
     })
@@ -198,7 +234,11 @@ mod tests {
     use ektelo_data::workloads::random_range;
 
     fn opts(total: f64) -> MwemOptions {
-        MwemOptions { rounds: 6, total, mw_iterations: 30 }
+        MwemOptions {
+            rounds: 6,
+            total,
+            mw_iterations: 30,
+        }
     }
 
     #[test]
@@ -216,7 +256,10 @@ mod tests {
         let w = random_range(64, 32, 0);
         let (k, root) = kernel_for_histogram(&x, 1.0, 0);
         plan_mwem_variant_b(&k, root, &w, 1.0, &opts(1000.0)).unwrap();
-        assert!((k.budget_spent() - 1.0).abs() < 1e-9, "augmentation must be free");
+        assert!(
+            (k.budget_spent() - 1.0).abs() < 1e-9,
+            "augmentation must be free"
+        );
     }
 
     #[test]
@@ -253,7 +296,9 @@ mod tests {
             let (k, root) = kernel_for_histogram(&x, 0.5, seed);
             let xa = plan_mwem(&k, root, &w, 0.5, &opts(total)).unwrap().x_hat;
             let (k, root) = kernel_for_histogram(&x, 0.5, seed + 50);
-            let xd = plan_mwem_variant_d(&k, root, &w, 0.5, &opts(total)).unwrap().x_hat;
+            let xd = plan_mwem_variant_d(&k, root, &w, 0.5, &opts(total))
+                .unwrap()
+                .x_hat;
             let e = |xh: &[f64]| {
                 let est = w.matvec(xh);
                 truth
@@ -279,6 +324,9 @@ mod tests {
         let (k, root) = kernel_for_histogram(&x, 1.0, 3);
         let out = plan_mwem(&k, root, &w, 1.0, &opts(800.0)).unwrap();
         let total: f64 = out.x_hat.iter().sum();
-        assert!((total - 800.0).abs() < 1.0, "MW preserves the assumed total, got {total}");
+        assert!(
+            (total - 800.0).abs() < 1.0,
+            "MW preserves the assumed total, got {total}"
+        );
     }
 }

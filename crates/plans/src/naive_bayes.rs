@@ -53,7 +53,12 @@ pub fn nb_specs(arity: usize) -> Vec<Vec<bool>> {
 
 /// The NB workload matrix: the union of the 2k+1 histogram marginals.
 pub fn nb_workload(sizes: &[usize]) -> Matrix {
-    Matrix::vstack(nb_specs(sizes.len()).iter().map(|k| marginal(sizes, k)).collect())
+    Matrix::vstack(
+        nb_specs(sizes.len())
+            .iter()
+            .map(|k| marginal(sizes, k))
+            .collect(),
+    )
 }
 
 /// Extracts [`NbHistograms`] from a full-domain estimate.
@@ -166,9 +171,11 @@ impl NaiveBayesModel {
             .map(|(counts, &size)| {
                 let mut out = vec![0.0; 2 * size];
                 for y in 0..2 {
-                    let denom: f64 =
-                        counts[y * size..(y + 1) * size].iter().map(|&c| c.max(0.0)).sum::<f64>()
-                            + ALPHA * size as f64;
+                    let denom: f64 = counts[y * size..(y + 1) * size]
+                        .iter()
+                        .map(|&c| c.max(0.0))
+                        .sum::<f64>()
+                        + ALPHA * size as f64;
                     for v in 0..size {
                         let c = counts[y * size + v].max(0.0) + ALPHA;
                         out[y * size + v] = (c / denom).ln();
@@ -177,12 +184,20 @@ impl NaiveBayesModel {
                 out
             })
             .collect();
-        NaiveBayesModel { log_prior, log_cond, sizes: predictor_sizes.to_vec() }
+        NaiveBayesModel {
+            log_prior,
+            log_cond,
+            sizes: predictor_sizes.to_vec(),
+        }
     }
 
     /// The log-odds `log P(y=1 | x) − log P(y=0 | x)`.
     pub fn score(&self, predictors: &[u32]) -> f64 {
-        assert_eq!(predictors.len(), self.sizes.len(), "predictor arity mismatch");
+        assert_eq!(
+            predictors.len(),
+            self.sizes.len(),
+            "predictor arity mismatch"
+        );
         let mut s = self.log_prior[1] - self.log_prior[0];
         for ((lc, &size), &v) in self.log_cond.iter().zip(&self.sizes).zip(predictors) {
             let v = (v as usize).min(size - 1);
@@ -269,11 +284,9 @@ mod tests {
 
     #[test]
     fn auc_of_perfect_and_random_rankings() {
-        let perfect: Vec<(f64, bool)> =
-            (0..100).map(|i| (i as f64, i >= 50)).collect();
+        let perfect: Vec<(f64, bool)> = (0..100).map(|i| (i as f64, i >= 50)).collect();
         assert_eq!(auc(&perfect), 1.0);
-        let inverted: Vec<(f64, bool)> =
-            (0..100).map(|i| (-(i as f64), i >= 50)).collect();
+        let inverted: Vec<(f64, bool)> = (0..100).map(|i| (-(i as f64), i >= 50)).collect();
         assert_eq!(auc(&inverted), 0.0);
         let constant: Vec<(f64, bool)> = (0..100).map(|i| (0.0, i % 2 == 0)).collect();
         assert_eq!(auc(&constant), 0.5);
@@ -306,7 +319,10 @@ mod tests {
         let high = (0..3).map(|s| run(1.0, s)).sum::<f64>() / 3.0;
         let low = (0..3).map(|s| run(0.001, s)).sum::<f64>() / 3.0;
         assert!(high > 0.65, "high-eps AUC {high}");
-        assert!(low < high, "low-eps ({low}) must not beat high-eps ({high})");
+        assert!(
+            low < high,
+            "low-eps ({low}) must not beat high-eps ({high})"
+        );
     }
 
     #[test]
@@ -349,7 +365,7 @@ mod tests {
         let mut a_id = 0.0;
         for seed in 0..reps {
             let run = |plan: fn(&ProtectedKernel, SourceVar, f64) -> Result<NbHistograms>,
-                           s: u64| {
+                       s: u64| {
                 let k = ProtectedKernel::init(train.clone(), eps, s);
                 let h = plan(&k, k.root(), eps).unwrap();
                 auc(&score_table(&NaiveBayesModel::fit(&h, &sizes[1..]), &test))

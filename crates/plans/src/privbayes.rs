@@ -29,7 +29,10 @@ pub struct PrivBayesOptions {
 
 impl Default for PrivBayesOptions {
     fn default() -> Self {
-        PrivBayesOptions { max_parents: 2, select_share: 0.3 }
+        PrivBayesOptions {
+            max_parents: 2,
+            select_share: 0.3,
+        }
     }
 }
 
@@ -95,7 +98,9 @@ pub fn plan_privbayes_ls(
     opts: &PrivBayesOptions,
 ) -> PlanResult {
     let (_net, _x, start, _sizes) = select_and_measure(kernel, table, eps, opts)?;
-    Ok(PlanOutcome { x_hat: infer_ls(kernel, start, LsSolver::Iterative) })
+    Ok(PlanOutcome {
+        x_hat: infer_ls(kernel, start, LsSolver::Iterative),
+    })
 }
 
 /// Fits the Bayesian-network model from noisy clique marginals and
@@ -107,7 +112,11 @@ fn bn_joint_estimate(
     marginals: &[Vec<f64>],
 ) -> Vec<f64> {
     let d = sizes.len();
-    let n_total: f64 = marginals[0].iter().map(|&v| v.max(0.0)).sum::<f64>().max(1.0);
+    let n_total: f64 = marginals[0]
+        .iter()
+        .map(|&v| v.max(0.0))
+        .sum::<f64>()
+        .max(1.0);
 
     // CPDs per clique: P(child = v | parents = u), Laplace-smoothed.
     // Stored as lookup over the clique's joint assignment.
@@ -170,7 +179,10 @@ fn sum_over_child(
     sizes: &[usize],
     coords: &[usize],
 ) -> f64 {
-    let child_pos = set.iter().position(|&a| a == child).expect("child in its own clique");
+    let child_pos = set
+        .iter()
+        .position(|&a| a == child)
+        .expect("child in its own clique");
     let mut total = 0.0;
     for v in 0..sizes[child] {
         let mut idx = 0usize;
@@ -196,7 +208,11 @@ mod tests {
         let mut t = Table::empty(schema);
         for _ in 0..rows {
             let a = rng.random_range(0..4u32);
-            let b = if rng.random_bool(0.8) { a } else { rng.random_range(0..4u32) };
+            let b = if rng.random_bool(0.8) {
+                a
+            } else {
+                rng.random_range(0..4u32)
+            };
             let c = rng.random_range(0..3u32);
             t.push_row(&[a, b, c]);
         }

@@ -28,7 +28,10 @@ pub struct SelectLsOptions {
 
 impl Default for SelectLsOptions {
     fn default() -> Self {
-        SelectLsOptions { small_domain: 80, dawa_rho: 0.25 }
+        SelectLsOptions {
+            small_domain: 80,
+            dawa_rho: 0.25,
+        }
     }
 }
 
@@ -44,7 +47,10 @@ pub fn plan_select_ls(
     eps: f64,
     opts: &SelectLsOptions,
 ) -> PlanResult {
-    assert!(!specs.is_empty(), "SelectLS needs at least one marginal spec");
+    assert!(
+        !specs.is_empty(),
+        "SelectLS needs at least one marginal spec"
+    );
     let per_spec = eps / specs.len() as f64;
     let start = kernel.measurement_count();
     for keep in specs {
@@ -63,7 +69,9 @@ pub fn plan_select_ls(
             kernel.vector_laplace(reduced, &Matrix::identity(m), per_spec)?;
         }
     }
-    Ok(PlanOutcome { x_hat: infer_ls(kernel, start, LsSolver::Iterative) })
+    Ok(PlanOutcome {
+        x_hat: infer_ls(kernel, start, LsSolver::Iterative),
+    })
 }
 
 #[cfg(test)]

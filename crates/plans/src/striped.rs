@@ -33,7 +33,9 @@ pub fn plan_hb_striped(
     for stripe in stripes {
         kernel.vector_laplace(stripe, &strategy, eps)?;
     }
-    Ok(PlanOutcome { x_hat: infer_ls(kernel, start, LsSolver::Iterative) })
+    Ok(PlanOutcome {
+        x_hat: infer_ls(kernel, start, LsSolver::Iterative),
+    })
 }
 
 /// Plan #14 — DAWA-Striped: `PS TP[ PD TR SG LM ] LS`.
@@ -57,15 +59,16 @@ pub fn plan_dawa_striped(
     let p = stripe_partition(sizes, attr);
     let stripes = kernel.split_by_partition(x, &p)?;
     for stripe in stripes {
-        let bucket_p =
-            dawa_partition(kernel, stripe, shares[0], &DawaOptions::new(shares[1]))?;
+        let bucket_p = dawa_partition(kernel, stripe, shares[0], &DawaOptions::new(shares[1]))?;
         let reduced = kernel.reduce_by_partition(stripe, &bucket_p)?;
         let groups = kernel.vector_len(reduced)?;
         let bounds = interval_partition_bounds(&bucket_p);
         let ranges = map_ranges_to_buckets(stripe_ranges, &bounds);
         kernel.vector_laplace(reduced, &greedy_h(groups, &ranges), shares[1])?;
     }
-    Ok(PlanOutcome { x_hat: infer_ls(kernel, start, LsSolver::Iterative) })
+    Ok(PlanOutcome {
+        x_hat: infer_ls(kernel, start, LsSolver::Iterative),
+    })
 }
 
 /// Plan #16 — HB-Striped_kron (Algorithm 6): `SS LM LS`. The
@@ -81,7 +84,9 @@ pub fn plan_hb_striped_kron(
     let start = kernel.measurement_count();
     let strategy = stripe_select(sizes, attr, hb);
     kernel.vector_laplace(x, &strategy, eps)?;
-    Ok(PlanOutcome { x_hat: infer_ls(kernel, start, LsSolver::Iterative) })
+    Ok(PlanOutcome {
+        x_hat: infer_ls(kernel, start, LsSolver::Iterative),
+    })
 }
 
 #[cfg(test)]

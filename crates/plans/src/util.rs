@@ -45,10 +45,7 @@ pub fn interval_partition_bounds(p: &Matrix) -> Vec<usize> {
 
 /// Maps 1-D range queries on the original domain onto bucket indices of a
 /// contiguous partition (for running Greedy-H on DAWA's reduced domain).
-pub fn map_ranges_to_buckets(
-    ranges: &[(usize, usize)],
-    bounds: &[usize],
-) -> Vec<(usize, usize)> {
+pub fn map_ranges_to_buckets(ranges: &[(usize, usize)], bounds: &[usize]) -> Vec<(usize, usize)> {
     let bucket_of = |cell: usize| -> usize {
         // bounds is sorted; find the bucket containing `cell`.
         match bounds.binary_search(&cell) {
@@ -111,7 +108,10 @@ pub fn relative_total_scale(measurements: &[ektelo_core::MeasuredQuery]) -> f64 
 /// (guards against silent over/under-spending in multi-stage plans).
 pub fn split_budget(eps: f64, shares: &[f64]) -> Vec<f64> {
     let total: f64 = shares.iter().sum();
-    assert!(total > 0.0 && shares.iter().all(|&s| s > 0.0), "invalid budget shares");
+    assert!(
+        total > 0.0 && shares.iter().all(|&s| s > 0.0),
+        "invalid budget shares"
+    );
     shares.iter().map(|&s| eps * s / total).collect()
 }
 

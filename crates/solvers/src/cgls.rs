@@ -5,9 +5,10 @@
 //! that tests can cross-validate one against the other and so the benchmark
 //! harness can report solver-choice sensitivity.
 
-use ektelo_matrix::Matrix;
+use ektelo_matrix::{Matrix, Workspace};
 
 use crate::lsqr::{LsqrOptions, LsqrResult};
+use crate::util::{dot, norm2};
 
 /// Solves `min_x ‖Ax − b‖₂` with CGLS. Options and result types are shared
 /// with [`crate::lsqr`].
@@ -16,10 +17,16 @@ pub fn cgls(a: &Matrix, b: &[f64], opts: &LsqrOptions) -> LsqrResult {
     assert_eq!(b.len(), m, "cgls: rhs length mismatch");
 
     let mut x = vec![0.0; n];
+
+    // One workspace + fixed buffers: the inner loop is allocation-free.
+    let mut ws = Workspace::for_matrix(a);
+    let mut q = vec![0.0; m];
+
     let mut r = b.to_vec(); // r = b − A x (x = 0)
-    let mut s = a.rmatvec(&r); // s = Aᵀ r
+    let mut s = vec![0.0; n]; // s = Aᵀ r
+    a.rmatvec_into(&r, &mut s, &mut ws);
     let mut p = s.clone();
-    let mut gamma: f64 = s.iter().map(|&v| v * v).sum();
+    let mut gamma: f64 = dot(&s, &s);
     let gamma0 = gamma;
     if gamma == 0.0 {
         let rn = norm2(&r);
@@ -33,8 +40,8 @@ pub fn cgls(a: &Matrix, b: &[f64], opts: &LsqrOptions) -> LsqrResult {
     let mut iterations = 0;
     for it in 1..=opts.max_iters {
         iterations = it;
-        let q = a.matvec(&p);
-        let qq: f64 = q.iter().map(|&v| v * v).sum();
+        a.matvec_into(&p, &mut q, &mut ws);
+        let qq = dot(&q, &q);
         if qq == 0.0 {
             break;
         }
@@ -45,8 +52,8 @@ pub fn cgls(a: &Matrix, b: &[f64], opts: &LsqrOptions) -> LsqrResult {
         for (ri, &qi) in r.iter_mut().zip(&q) {
             *ri -= alpha * qi;
         }
-        s = a.rmatvec(&r);
-        let gamma_new: f64 = s.iter().map(|&v| v * v).sum();
+        a.rmatvec_into(&r, &mut s, &mut ws);
+        let gamma_new = dot(&s, &s);
         if gamma_new <= opts.atol * opts.atol * gamma0 {
             gamma = gamma_new;
             break;
@@ -66,10 +73,6 @@ pub fn cgls(a: &Matrix, b: &[f64], opts: &LsqrOptions) -> LsqrResult {
     }
 }
 
-fn norm2(v: &[f64]) -> f64 {
-    v.iter().map(|&x| x * x).sum::<f64>().sqrt()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -80,7 +83,9 @@ mod tests {
     fn agrees_with_lsqr_on_hierarchical_strategy() {
         let n = 32;
         let a = Matrix::vstack(vec![Matrix::identity(n), Matrix::wavelet(n)]);
-        let b: Vec<f64> = (0..a.rows()).map(|i| ((i * 2654435761) % 97) as f64 / 10.0).collect();
+        let b: Vec<f64> = (0..a.rows())
+            .map(|i| ((i * 2654435761) % 97) as f64 / 10.0)
+            .collect();
         let opts = LsqrOptions::default();
         let x1 = cgls(&a, &b, &opts).x;
         let x2 = lsqr(&a, &b, &opts).x;

@@ -30,6 +30,7 @@ pub mod lsqr;
 pub mod mw;
 pub mod nnls;
 pub mod power;
+pub mod util;
 
 pub use cgls::cgls;
 pub use cholesky::{cholesky_factor, cholesky_solve, direct_least_squares};

@@ -7,7 +7,9 @@
 //! build the same Krylov space and share the `O(k · Time(A))` complexity
 //! that Fig. 5 measures (see DESIGN.md for the substitution note).
 
-use ektelo_matrix::Matrix;
+use ektelo_matrix::{Matrix, Workspace};
+
+use crate::util::{norm2, scale};
 
 /// Stopping parameters for [`lsqr`].
 #[derive(Clone, Debug)]
@@ -56,6 +58,13 @@ pub fn lsqr(a: &Matrix, b: &[f64], opts: &LsqrOptions) -> LsqrResult {
 
     let mut x = vec![0.0; n];
 
+    // One workspace + fixed iteration buffers: the inner loop below
+    // performs zero heap allocations (the paper's `O(k · Time(M))`
+    // inference depends on the matvec being the only per-iteration cost).
+    let mut ws = Workspace::for_matrix(a);
+    let mut av = vec![0.0; m];
+    let mut atu = vec![0.0; n];
+
     // β₁ u₁ = b
     let mut u = b.to_vec();
     let mut beta = norm2(&u);
@@ -69,7 +78,8 @@ pub fn lsqr(a: &Matrix, b: &[f64], opts: &LsqrOptions) -> LsqrResult {
     scale(&mut u, 1.0 / beta);
 
     // α₁ v₁ = Aᵀ u₁
-    let mut v = a.rmatvec(&u);
+    let mut v = vec![0.0; n];
+    a.rmatvec_into(&u, &mut v, &mut ws);
     let mut alpha = norm2(&v);
     if alpha == 0.0 {
         return LsqrResult {
@@ -92,7 +102,7 @@ pub fn lsqr(a: &Matrix, b: &[f64], opts: &LsqrOptions) -> LsqrResult {
 
         // Continue the bidiagonalization:
         //   β u = A v − α u ;  α v = Aᵀ u − β v
-        let av = a.matvec(&v);
+        a.matvec_into(&v, &mut av, &mut ws);
         for (ui, &avi) in u.iter_mut().zip(&av) {
             *ui = avi - alpha * *ui;
         }
@@ -100,7 +110,7 @@ pub fn lsqr(a: &Matrix, b: &[f64], opts: &LsqrOptions) -> LsqrResult {
         if beta > 0.0 {
             scale(&mut u, 1.0 / beta);
         }
-        let atu = a.rmatvec(&u);
+        a.rmatvec_into(&u, &mut atu, &mut ws);
         for (vi, &atui) in v.iter_mut().zip(&atu) {
             *vi = atui - beta * *vi;
         }
@@ -153,16 +163,6 @@ pub fn lsqr_weighted(a: &Matrix, b: &[f64], weights: &[f64], opts: &LsqrOptions)
     lsqr(&wa, &wb, opts)
 }
 
-fn norm2(v: &[f64]) -> f64 {
-    v.iter().map(|&x| x * x).sum::<f64>().sqrt()
-}
-
-fn scale(v: &mut [f64], c: f64) {
-    for x in v {
-        *x *= c;
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -207,14 +207,11 @@ mod tests {
             Matrix::wavelet(n),
             Matrix::total(n),
         ]);
-        let b: Vec<f64> = (0..a.rows()).map(|i| ((i * 7919) % 13) as f64 - 6.0).collect();
-        let r = lsqr(&a, &b, &LsqrOptions::default());
-        let residual: Vec<f64> = a
-            .matvec(&r.x)
-            .iter()
-            .zip(&b)
-            .map(|(p, q)| p - q)
+        let b: Vec<f64> = (0..a.rows())
+            .map(|i| ((i * 7919) % 13) as f64 - 6.0)
             .collect();
+        let r = lsqr(&a, &b, &LsqrOptions::default());
+        let residual: Vec<f64> = a.matvec(&r.x).iter().zip(&b).map(|(p, q)| p - q).collect();
         let grad = a.rmatvec(&residual);
         let gnorm = norm2(&grad);
         assert!(gnorm < 1e-6, "normal equations violated: ‖Aᵀr‖ = {gnorm}");

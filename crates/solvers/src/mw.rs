@@ -7,7 +7,9 @@
 //! the batched gradient form). Closely related to maximum-entropy
 //! inference; effective when measurements are incomplete (paper §5.5).
 
-use ektelo_matrix::Matrix;
+use ektelo_matrix::{Matrix, Workspace};
+
+use crate::util::normalize_mass;
 
 /// Options for [`mult_weights`].
 #[derive(Clone, Debug)]
@@ -38,37 +40,30 @@ pub fn mult_weights(m: &Matrix, y: &[f64], x0: &[f64], opts: &MwOptions) -> Vec<
     assert!(opts.total > 0.0, "mw: total must be positive");
 
     let mut x = x0.to_vec();
-    normalize(&mut x, opts.total);
+    normalize_mass(&mut x, opts.total);
+
+    // One workspace + fixed buffers: each MW pass is allocation-free (MWEM
+    // re-runs this loop every round, so the savings compound).
+    let mut ws = Workspace::for_matrix(m);
+    let mut err = vec![0.0; rows];
+    let mut g = vec![0.0; n];
 
     for _ in 0..opts.iterations {
         // Batched update (paper Table 1): g = Mᵀ(y − M x̂) scaled by 1/(2N).
-        let mut err = m.matvec(&x);
+        m.matvec_into(&x, &mut err, &mut ws);
         for (e, &yi) in err.iter_mut().zip(y) {
             *e = yi - *e;
         }
-        let g = m.rmatvec(&err);
+        m.rmatvec_into(&err, &mut g, &mut ws);
         for (xi, &gi) in x.iter_mut().zip(&g) {
             // Clamp the exponent for numerical robustness on extreme
             // residuals (matches practical MWEM implementations).
             let e = (gi / (2.0 * opts.total)).clamp(-50.0, 50.0);
             *xi *= e.exp();
         }
-        normalize(&mut x, opts.total);
+        normalize_mass(&mut x, opts.total);
     }
     x
-}
-
-fn normalize(x: &mut [f64], total: f64) {
-    let sum: f64 = x.iter().sum();
-    if sum > 0.0 {
-        let scale = total / sum;
-        for xi in x {
-            *xi *= scale;
-        }
-    } else {
-        let uniform = total / x.len() as f64;
-        x.fill(uniform);
-    }
 }
 
 #[cfg(test)]
@@ -81,7 +76,15 @@ mod tests {
         let m = Matrix::identity(4);
         let y = [5.0, 0.0, 3.0, 2.0];
         let x0 = vec![2.5; 4];
-        let x = mult_weights(&m, &y, &x0, &MwOptions { iterations: 20, total: 10.0 });
+        let x = mult_weights(
+            &m,
+            &y,
+            &x0,
+            &MwOptions {
+                iterations: 20,
+                total: 10.0,
+            },
+        );
         let sum: f64 = x.iter().sum();
         assert!((sum - 10.0).abs() < 1e-9);
     }
@@ -91,7 +94,15 @@ mod tests {
         let m = Matrix::identity(4);
         let y = [4.0, 0.0, 3.0, 3.0];
         let x0 = vec![2.5; 4];
-        let x = mult_weights(&m, &y, &x0, &MwOptions { iterations: 300, total: 10.0 });
+        let x = mult_weights(
+            &m,
+            &y,
+            &x0,
+            &MwOptions {
+                iterations: 300,
+                total: 10.0,
+            },
+        );
         for (xi, yi) in x.iter().zip(&y) {
             assert!((xi - yi).abs() < 0.15, "{x:?}");
         }
@@ -105,16 +116,35 @@ mod tests {
         let m = Matrix::range_queries(4, vec![(0, 2)]);
         let y = [6.0];
         let x0 = vec![2.0; 4];
-        let x = mult_weights(&m, &y, &x0, &MwOptions { iterations: 200, total: 8.0 });
+        let x = mult_weights(
+            &m,
+            &y,
+            &x0,
+            &MwOptions {
+                iterations: 200,
+                total: 8.0,
+            },
+        );
         assert!((x[0] - x[1]).abs() < 1e-9, "uniformity within group: {x:?}");
-        assert!((x[2] - x[3]).abs() < 1e-9, "uniformity outside group: {x:?}");
+        assert!(
+            (x[2] - x[3]).abs() < 1e-9,
+            "uniformity outside group: {x:?}"
+        );
         assert!((x[0] + x[1] - 6.0).abs() < 0.1, "measured mass: {x:?}");
     }
 
     #[test]
     fn zero_estimate_resets_to_uniform() {
         let m = Matrix::identity(2);
-        let x = mult_weights(&m, &[1.0, 1.0], &[0.0, 0.0], &MwOptions { iterations: 5, total: 2.0 });
+        let x = mult_weights(
+            &m,
+            &[1.0, 1.0],
+            &[0.0, 0.0],
+            &MwOptions {
+                iterations: 5,
+                total: 2.0,
+            },
+        );
         let sum: f64 = x.iter().sum();
         assert!((sum - 2.0).abs() < 1e-9);
     }

@@ -8,9 +8,10 @@
 //! size comes from a power-iteration estimate of `‖A‖₂²` (the gradient's
 //! Lipschitz constant).
 
-use ektelo_matrix::Matrix;
+use ektelo_matrix::{Matrix, Workspace};
 
 use crate::power::spectral_norm_estimate;
+use crate::util::norm2;
 
 /// Options for [`nnls`].
 #[derive(Clone, Debug)]
@@ -43,26 +44,32 @@ pub fn nnls(a: &Matrix, y: &[f64], opts: &NnlsOptions) -> Vec<f64> {
     };
     let step = 1.0 / lipschitz;
 
-    let aty = a.rmatvec(y);
-    let grad_scale: f64 = aty.iter().map(|&v| v * v).sum::<f64>().sqrt();
+    // One workspace + fixed buffers: the FISTA loop is allocation-free.
+    let mut ws = Workspace::for_matrix(a);
+    let mut r = vec![0.0; m];
+    let mut grad = vec![0.0; n];
+
+    let mut aty = vec![0.0; n];
+    a.rmatvec_into(y, &mut aty, &mut ws);
+    let grad_scale = norm2(&aty);
     if grad_scale == 0.0 {
         return vec![0.0; n];
     }
 
     let mut x = vec![0.0; n];
+    let mut x_new = vec![0.0; n];
     let mut z = x.clone(); // extrapolated point
     let mut t = 1.0f64;
 
     for _ in 0..opts.max_iters {
         // ∇f(z) = Aᵀ(Az − y)
-        let mut r = a.matvec(&z);
+        a.matvec_into(&z, &mut r, &mut ws);
         for (ri, &yi) in r.iter_mut().zip(y) {
             *ri -= yi;
         }
-        let grad = a.rmatvec(&r);
+        a.rmatvec_into(&r, &mut grad, &mut ws);
 
         // Projected gradient step from z.
-        let mut x_new = vec![0.0; n];
         for i in 0..n {
             x_new[i] = (z[i] - step * grad[i]).max(0.0);
         }
@@ -86,7 +93,7 @@ pub fn nnls(a: &Matrix, y: &[f64], opts: &NnlsOptions) -> Vec<f64> {
             z[i] = x_new[i] + beta * (x_new[i] - x[i]);
         }
         t = t_new;
-        x = x_new;
+        std::mem::swap(&mut x, &mut x_new);
 
         if pg <= opts.tol * grad_scale {
             break;
@@ -135,7 +142,14 @@ mod tests {
         // At the optimum: grad_i ≥ 0 where x_i = 0, grad_i ≈ 0 where x_i > 0.
         let a = Matrix::vstack(vec![Matrix::prefix(8), Matrix::identity(8)]);
         let y: Vec<f64> = (0..a.rows()).map(|i| ((i * 13) % 7) as f64 - 3.0).collect();
-        let x = nnls(&a, &y, &NnlsOptions { max_iters: 20_000, tol: 1e-12 });
+        let x = nnls(
+            &a,
+            &y,
+            &NnlsOptions {
+                max_iters: 20_000,
+                tol: 1e-12,
+            },
+        );
         let mut r = a.matvec(&x);
         for (ri, &yi) in r.iter_mut().zip(&y) {
             *ri -= yi;

@@ -4,7 +4,9 @@
 //! starts from an all-ones vector with a fixed perturbation so results are
 //! reproducible without threading an RNG through the solvers.
 
-use ektelo_matrix::Matrix;
+use ektelo_matrix::{Matrix, Workspace};
+
+use crate::util::normalize_l2;
 
 /// Estimates `‖A‖₂` (largest singular value) with `iters` rounds of power
 /// iteration on `AᵀA`. The estimate converges from below; callers using it
@@ -19,29 +21,25 @@ pub fn spectral_norm_estimate(a: &Matrix, iters: usize) -> f64 {
     let mut v: Vec<f64> = (0..n)
         .map(|i| 1.0 + 0.01 * (((i as u64).wrapping_mul(2654435761) % 97) as f64 / 97.0))
         .collect();
-    normalize(&mut v);
+    normalize_l2(&mut v);
+
+    // One workspace + fixed buffers: the iteration is allocation-free.
+    let mut ws = Workspace::for_matrix(a);
+    let mut av = vec![0.0; a.rows()];
+    let mut atav = vec![0.0; n];
+
     let mut sigma = 0.0;
     for _ in 0..iters.max(1) {
-        let av = a.matvec(&v);
-        let mut atav = a.rmatvec(&av);
-        let norm = normalize(&mut atav);
+        a.matvec_into(&v, &mut av, &mut ws);
+        a.rmatvec_into(&av, &mut atav, &mut ws);
+        let norm = normalize_l2(&mut atav);
         if norm == 0.0 {
             return 0.0;
         }
         sigma = norm.sqrt();
-        v = atav;
+        std::mem::swap(&mut v, &mut atav);
     }
     sigma * 1.01
-}
-
-fn normalize(v: &mut [f64]) -> f64 {
-    let norm = v.iter().map(|&x| x * x).sum::<f64>().sqrt();
-    if norm > 0.0 {
-        for x in v.iter_mut() {
-            *x /= norm;
-        }
-    }
-    norm
 }
 
 #[cfg(test)]

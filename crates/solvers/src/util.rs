@@ -1,0 +1,75 @@
+//! Small dense-vector kernels shared by every solver.
+//!
+//! Each solver used to carry private copies of these; they are deduplicated
+//! here so the numerics (and any future SIMD treatment) live in one place.
+
+/// Euclidean norm `‖v‖₂`.
+pub fn norm2(v: &[f64]) -> f64 {
+    dot(v, v).sqrt()
+}
+
+/// Inner product `⟨a, b⟩`.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+/// In-place scaling `v ← c·v`.
+pub fn scale(v: &mut [f64], c: f64) {
+    for x in v {
+        *x *= c;
+    }
+}
+
+/// Normalizes `v` to unit Euclidean length in place, returning the original
+/// norm (leaves `v` untouched when zero).
+pub fn normalize_l2(v: &mut [f64]) -> f64 {
+    let norm = norm2(v);
+    if norm > 0.0 {
+        scale(v, 1.0 / norm);
+    }
+    norm
+}
+
+/// Normalizes `x` to sum to `total` in place; resets to uniform mass when
+/// the current sum is non-positive (the multiplicative-weights convention).
+pub fn normalize_mass(x: &mut [f64], total: f64) {
+    let sum: f64 = x.iter().sum();
+    if sum > 0.0 {
+        scale(x, total / sum);
+    } else {
+        let uniform = total / x.len() as f64;
+        x.fill(uniform);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norm_and_dot() {
+        assert_eq!(norm2(&[3.0, 4.0]), 5.0);
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn normalize_unit() {
+        let mut v = vec![3.0, 4.0];
+        assert_eq!(normalize_l2(&mut v), 5.0);
+        assert!((norm2(&v) - 1.0).abs() < 1e-15);
+        let mut z = vec![0.0, 0.0];
+        assert_eq!(normalize_l2(&mut z), 0.0);
+        assert_eq!(z, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn normalize_mass_resets_on_zero() {
+        let mut x = vec![0.0; 4];
+        normalize_mass(&mut x, 8.0);
+        assert_eq!(x, vec![2.0; 4]);
+        let mut y = vec![1.0, 3.0];
+        normalize_mass(&mut y, 8.0);
+        assert_eq!(y, vec![2.0, 6.0]);
+    }
+}

@@ -1,0 +1,226 @@
+//! Empirical proof of the allocation-free solver contract (ISSUE 1
+//! acceptance): running a solver for more iterations must not perform a
+//! single additional heap allocation — every per-iteration buffer comes
+//! from the one-time setup (solution/direction vectors plus one
+//! [`ektelo_matrix::Workspace`] arena).
+//!
+//! Verified with a counting global allocator: allocations are counted for
+//! a short solve and a long solve on the same system; the difference must
+//! be exactly zero.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ektelo_matrix::Matrix;
+use ektelo_solvers::{cgls, lsqr, mult_weights, nnls, LsqrOptions, MwOptions, NnlsOptions};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+/// A combinator-tree strategy exercising Product, Union, Scaled and the
+/// implicit leaves — every scratch-hungry evaluation path.
+fn strategy(n: usize) -> Matrix {
+    Matrix::vstack(vec![
+        Matrix::identity(n),
+        Matrix::product(Matrix::prefix(n), Matrix::wavelet(n)),
+        Matrix::scaled(0.5, Matrix::suffix(n)),
+        Matrix::range_queries(n, (0..n / 2).map(|i| (2 * i, 2 * i + 2)).collect()),
+    ])
+}
+
+/// Noisy, inconsistent right-hand side so iterative solvers never converge
+/// exactly (which would truncate the iteration count).
+fn rhs(rows: usize) -> Vec<f64> {
+    (0..rows)
+        .map(|i| ((i * 7919) % 101) as f64 - 50.0)
+        .collect()
+}
+
+fn count<F: FnOnce()>(f: F) -> u64 {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    f();
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn lsqr_inner_loop_is_allocation_free() {
+    let a = strategy(128);
+    let b = rhs(a.rows());
+    // Warm up once so lazily initialized runtime structures don't count.
+    let _ = lsqr(
+        &a,
+        &b,
+        &LsqrOptions {
+            max_iters: 2,
+            atol: 0.0,
+        },
+    );
+    let short = count(|| {
+        lsqr(
+            &a,
+            &b,
+            &LsqrOptions {
+                max_iters: 5,
+                atol: 0.0,
+            },
+        );
+    });
+    let long = count(|| {
+        lsqr(
+            &a,
+            &b,
+            &LsqrOptions {
+                max_iters: 50,
+                atol: 0.0,
+            },
+        );
+    });
+    assert_eq!(short, long, "lsqr allocates per iteration");
+    assert!(long > 0, "setup should allocate the workspace once");
+}
+
+#[test]
+fn cgls_inner_loop_is_allocation_free() {
+    let a = strategy(128);
+    let b = rhs(a.rows());
+    let _ = cgls(
+        &a,
+        &b,
+        &LsqrOptions {
+            max_iters: 2,
+            atol: 0.0,
+        },
+    );
+    let short = count(|| {
+        cgls(
+            &a,
+            &b,
+            &LsqrOptions {
+                max_iters: 5,
+                atol: 0.0,
+            },
+        );
+    });
+    let long = count(|| {
+        cgls(
+            &a,
+            &b,
+            &LsqrOptions {
+                max_iters: 50,
+                atol: 0.0,
+            },
+        );
+    });
+    assert_eq!(short, long, "cgls allocates per iteration");
+}
+
+#[test]
+fn nnls_inner_loop_is_allocation_free() {
+    let a = strategy(64);
+    let b = rhs(a.rows());
+    let _ = nnls(
+        &a,
+        &b,
+        &NnlsOptions {
+            max_iters: 2,
+            tol: 0.0,
+        },
+    );
+    let short = count(|| {
+        nnls(
+            &a,
+            &b,
+            &NnlsOptions {
+                max_iters: 5,
+                tol: 0.0,
+            },
+        );
+    });
+    let long = count(|| {
+        nnls(
+            &a,
+            &b,
+            &NnlsOptions {
+                max_iters: 50,
+                tol: 0.0,
+            },
+        );
+    });
+    assert_eq!(short, long, "nnls allocates per iteration");
+}
+
+#[test]
+fn mult_weights_inner_loop_is_allocation_free() {
+    let m = strategy(64);
+    let y = rhs(m.rows());
+    let x0 = vec![1.0; 64];
+    let _ = mult_weights(
+        &m,
+        &y,
+        &x0,
+        &MwOptions {
+            iterations: 2,
+            total: 64.0,
+        },
+    );
+    let short = count(|| {
+        mult_weights(
+            &m,
+            &y,
+            &x0,
+            &MwOptions {
+                iterations: 5,
+                total: 64.0,
+            },
+        );
+    });
+    let long = count(|| {
+        mult_weights(
+            &m,
+            &y,
+            &x0,
+            &MwOptions {
+                iterations: 50,
+                total: 64.0,
+            },
+        );
+    });
+    assert_eq!(short, long, "mult_weights allocates per iteration");
+}
+
+#[test]
+fn matvec_into_with_warm_workspace_is_allocation_free() {
+    let m = strategy(256);
+    let x: Vec<f64> = (0..256).map(|i| i as f64).collect();
+    let mut out = vec![0.0; m.rows()];
+    let mut back = vec![0.0; m.cols()];
+    let mut ws = ektelo_matrix::Workspace::for_matrix(&m);
+    m.matvec_into(&x, &mut out, &mut ws); // warm
+    let allocs = count(|| {
+        for _ in 0..100 {
+            m.matvec_into(&x, &mut out, &mut ws);
+            m.rmatvec_into(&out, &mut back, &mut ws);
+        }
+    });
+    assert_eq!(allocs, 0, "warm matvec_into/rmatvec_into must not allocate");
+}

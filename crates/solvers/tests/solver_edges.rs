@@ -45,19 +45,34 @@ fn nnls_all_negative_rhs_is_zero() {
 #[test]
 fn mw_zero_iterations_returns_normalized_start() {
     let m = Matrix::identity(3);
-    let x = mult_weights(&m, &[1.0, 2.0, 3.0], &[1.0, 1.0, 2.0], &MwOptions {
-        iterations: 0,
-        total: 8.0,
-    });
+    let x = mult_weights(
+        &m,
+        &[1.0, 2.0, 3.0],
+        &[1.0, 1.0, 2.0],
+        &MwOptions {
+            iterations: 0,
+            total: 8.0,
+        },
+    );
     assert!((x.iter().sum::<f64>() - 8.0).abs() < 1e-12);
-    assert!((x[2] / x[0] - 2.0).abs() < 1e-12, "relative shape preserved");
+    assert!(
+        (x[2] / x[0] - 2.0).abs() < 1e-12,
+        "relative shape preserved"
+    );
 }
 
 #[test]
 fn iteration_cap_is_respected() {
     let a = Matrix::vstack(vec![Matrix::prefix(64), Matrix::identity(64)]);
     let b: Vec<f64> = (0..a.rows()).map(|i| (i % 7) as f64).collect();
-    let r = lsqr(&a, &b, &LsqrOptions { max_iters: 3, atol: 0.0 });
+    let r = lsqr(
+        &a,
+        &b,
+        &LsqrOptions {
+            max_iters: 3,
+            atol: 0.0,
+        },
+    );
     assert!(r.iterations <= 3);
 }
 

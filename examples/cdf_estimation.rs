@@ -51,6 +51,13 @@ fn main() {
         .zip(&cdf)
         .map(|(t, e)| (t - e).abs())
         .fold(0.0f64, f64::max);
-    println!("\nmax absolute CDF error: {max_err:.1} of {} group members", group.num_rows());
-    println!("budget spent: {:.2} (cap {:.2})", kernel.budget_spent(), kernel.eps_total());
+    println!(
+        "\nmax absolute CDF error: {max_err:.1} of {} group members",
+        group.num_rows()
+    );
+    println!(
+        "budget spent: {:.2} (cap {:.2})",
+        kernel.budget_spent(),
+        kernel.eps_total()
+    );
 }

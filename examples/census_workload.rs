@@ -55,7 +55,12 @@ fn main() {
     let err = |x_hat: &[f64]| {
         let t = workload.matvec(&x_true);
         let e = workload.matvec(x_hat);
-        (t.iter().zip(&e).map(|(a, b)| (a - b) * (a - b)).sum::<f64>() / t.len() as f64).sqrt()
+        (t.iter()
+            .zip(&e)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            / t.len() as f64)
+            .sqrt()
     };
 
     // Identity baseline.
@@ -78,5 +83,8 @@ fn main() {
     let ranges: Vec<(usize, usize)> = (1..=10).map(|i| (0, i * sizes[0] / 10)).collect();
     let dawa = plan_dawa_striped(&k, x, &sizes, 0, &ranges, eps, 0.25).expect("dawa striped");
     println!("DAWA-Striped  per-query RMSE: {:>8.2}", err(&dawa.x_hat));
-    println!("\nbudget spent by the last plan: {:.3} (cap {eps})", k.budget_spent());
+    println!(
+        "\nbudget spent by the last plan: {:.3} (cap {eps})",
+        k.budget_spent()
+    );
 }

@@ -49,7 +49,11 @@ fn main() {
     let (light, heavy_part) = (parts[0], parts[1]);
 
     kernel
-        .vector_laplace(light, &Matrix::total(kernel.vector_len(light).unwrap()), eps * 0.75)
+        .vector_laplace(
+            light,
+            &Matrix::total(kernel.vector_len(light).unwrap()),
+            eps * 0.75,
+        )
         .expect("light total");
     let p = dawa_partition(
         &kernel,
@@ -60,7 +64,11 @@ fn main() {
     .expect("dawa");
     let buckets = kernel.reduce_by_partition(heavy_part, &p).expect("reduce");
     kernel
-        .vector_laplace(buckets, &greedy_h(kernel.vector_len(buckets).unwrap(), &[]), eps * 0.5)
+        .vector_laplace(
+            buckets,
+            &greedy_h(kernel.vector_len(buckets).unwrap(), &[]),
+            eps * 0.5,
+        )
         .expect("heavy measure");
 
     // Global inference over *all* measurements from both phases.

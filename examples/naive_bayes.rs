@@ -25,7 +25,11 @@ fn main() {
     // Non-private reference.
     let h = nb_unperturbed(&train);
     let model = NaiveBayesModel::fit(&h, &sizes[1..]);
-    println!("{:<22} AUC {:.3}", "Unperturbed", auc(&score_table(&model, &test)));
+    println!(
+        "{:<22} AUC {:.3}",
+        "Unperturbed",
+        auc(&score_table(&model, &test))
+    );
 
     for eps in [0.01, 0.1] {
         println!("--- eps = {eps} ---");

@@ -17,7 +17,11 @@ fn main() {
     let mut table = Table::empty(schema);
     for i in 0..1000u32 {
         // A bimodal population: young adults and retirees.
-        let age = if i % 3 == 0 { 12 + (i % 4) } else { 2 + (i % 5) };
+        let age = if i % 3 == 0 {
+            12 + (i % 4)
+        } else {
+            2 + (i % 5)
+        };
         table.push_row(&[age.min(15)]);
     }
 
@@ -44,7 +48,11 @@ fn main() {
     // Measurement: Vector Laplace auto-calibrates noise to the strategy's
     // sensitivity and charges the budget (Algorithm 2 of the paper).
     kernel.vector_laplace(x, &strategy, 0.8).expect("measure");
-    println!("budget spent: {:.2}, remaining: {:.2}", kernel.budget_spent(), kernel.budget_remaining());
+    println!(
+        "budget spent: {:.2}, remaining: {:.2}",
+        kernel.budget_spent(),
+        kernel.budget_remaining()
+    );
 
     // Inference (free): least squares over everything measured so far.
     let x_hat = least_squares(&kernel.measurements(), LsSolver::Iterative);

@@ -1,0 +1,27 @@
+//! Minimal offline shim of the `parking_lot` API surface used by this
+//! workspace: a [`Mutex`] whose `lock()` returns the guard directly.
+//! Backed by `std::sync::Mutex`; a poisoned lock (a panic while held)
+//! propagates the poison panic, matching the fail-fast intent.
+
+use std::sync::MutexGuard;
+
+/// A mutex whose `lock` never returns a `Result`.
+#[derive(Debug, Default)]
+pub struct Mutex<T>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Wraps a value.
+    pub fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Acquires the lock, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().expect("mutex poisoned")
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().expect("mutex poisoned")
+    }
+}

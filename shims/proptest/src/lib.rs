@@ -1,0 +1,130 @@
+//! Minimal, dependency-free shim of the `proptest` API surface used by this
+//! workspace (the build environment cannot reach crates.io).
+//!
+//! Semantics: strategies generate random values from a deterministic
+//! generator; the [`proptest!`] macro runs each property for
+//! `ProptestConfig::cases` generated inputs and panics on the first
+//! failure, reporting the failing assertion. Shrinking is not implemented —
+//! failures report the assertion message rather than a minimal
+//! counterexample — but generation covers the same value space, so the
+//! properties exercised are identical.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The usual glob-import surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, ValueTree};
+    pub use crate::test_runner::{ProptestConfig, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the current
+/// case (with formatted message) instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {}", stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{:?} == {:?}`", l, r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return ::std::result::Result::Err(format!("assertion failed: `{:?} != {:?}`", l, r));
+        }
+    }};
+}
+
+/// Chooses uniformly between several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Defines `#[test]` functions that run a body over generated inputs:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn prop(x in 0usize..10, v in prop::collection::vec(-1.0f64..1.0, 5)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident ( $($arg:pat in $strat:expr),* $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut runner = $crate::test_runner::TestRunner::new(config);
+                for case in 0..runner.cases() {
+                    $(let $arg = $crate::strategy::Strategy::gen_value(
+                        &$strat, runner.rng());)*
+                    let outcome: ::std::result::Result<(), ::std::string::String> =
+                        (|| { $body Ok(()) })();
+                    if let ::std::result::Result::Err(msg) = outcome {
+                        panic!("proptest case {} failed: {}", case, msg);
+                    }
+                }
+            }
+        )*
+    };
+}

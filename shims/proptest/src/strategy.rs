@@ -1,0 +1,198 @@
+//! The strategy algebra: value generation plus the combinators this
+//! workspace uses (`prop_map`, `prop_recursive`, unions, boxing).
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use crate::test_runner::TestRunner;
+
+/// A generated value holder (shrinking is not implemented in this shim, so
+/// a tree is just its current value).
+pub trait ValueTree {
+    /// The value type.
+    type Value;
+
+    /// The value this tree currently represents.
+    fn current(&self) -> Self::Value;
+}
+
+/// Trivial [`ValueTree`] wrapping one generated value.
+pub struct ShimTree<V: Clone>(V);
+
+impl<V: Clone> ValueTree for ShimTree<V> {
+    type Value = V;
+
+    fn current(&self) -> V {
+        self.0.clone()
+    }
+}
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Clone + Debug;
+
+    /// Generates one value.
+    fn gen_value(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Generates a value tree (shim: a single value, never fails).
+    fn new_tree(&self, runner: &mut TestRunner) -> Result<ShimTree<Self::Value>, String>
+    where
+        Self: Sized,
+    {
+        Ok(ShimTree(self.gen_value(runner.rng())))
+    }
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: Clone + Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy behind a cheaply clonable handle.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+
+    /// Builds recursive values: `recurse` receives a strategy for smaller
+    /// instances (including `self` as the base case) and returns one for
+    /// larger instances; applied `depth` times. `_desired_size` and
+    /// `_expected_branch` are accepted for API compatibility.
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+    {
+        let mut strat = self.boxed();
+        for _ in 0..depth {
+            strat = recurse(strat).boxed();
+        }
+        strat
+    }
+}
+
+/// A type-erased, clonable strategy handle.
+pub struct BoxedStrategy<V>(Rc<dyn Strategy<Value = V>>);
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<V: Clone + Debug> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn gen_value(&self, rng: &mut StdRng) -> V {
+        self.0.gen_value(rng)
+    }
+}
+
+/// Always generates a clone of the wrapped value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn gen_value(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: Clone + Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn gen_value(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.gen_value(rng))
+    }
+}
+
+/// Uniform choice among several boxed strategies (see `prop_oneof!`).
+pub struct Union<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V: Clone + Debug> Union<V> {
+    /// A union over `arms`; panics if empty.
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! requires at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V: Clone + Debug + 'static> Strategy for Union<V> {
+    type Value = V;
+
+    fn gen_value(&self, rng: &mut StdRng) -> V {
+        let i = rng.random_range(0..self.arms.len());
+        self.arms[i].gen_value(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn gen_value(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.gen_value(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+}

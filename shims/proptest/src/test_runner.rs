@@ -1,0 +1,57 @@
+//! Test-runner state: configuration and the deterministic generator that
+//! drives strategies.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// How many cases each property runs, plus room for future knobs.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated inputs per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Drives strategy generation for one property.
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: StdRng,
+}
+
+impl TestRunner {
+    /// A runner with the given config and a fixed seed (runs are always
+    /// reproducible in this shim).
+    pub fn new(config: ProptestConfig) -> Self {
+        TestRunner {
+            config,
+            rng: StdRng::seed_from_u64(0xEC7E10),
+        }
+    }
+
+    /// A deterministic default-config runner.
+    pub fn deterministic() -> Self {
+        TestRunner::new(ProptestConfig::default())
+    }
+
+    /// Number of cases to run.
+    pub fn cases(&self) -> u32 {
+        self.config.cases
+    }
+
+    /// The generator strategies draw from.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}

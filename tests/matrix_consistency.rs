@@ -39,7 +39,11 @@ fn arb_matrix(cols: usize, depth: u32) -> BoxedStrategy<Matrix> {
         (inner.clone(), -2.0f64..2.0).prop_map(|(m, c)| Matrix::scaled(c, m)),
         // Transpose only when it preserves the column count (square),
         // otherwise the expression's shape invariant breaks.
-        inner.prop_map(|m| if m.rows() == m.cols() { m.transpose() } else { m }),
+        inner.prop_map(|m| if m.rows() == m.cols() {
+            m.transpose()
+        } else {
+            m
+        }),
     ]
     .boxed()
 }

@@ -35,9 +35,16 @@ fn all_1d_plans_run_and_spend_exactly() {
     let w = random_range(n, 64, 4);
     let eps = 1.0;
     let total: f64 = x.iter().sum();
-    let mwem_opts = MwemOptions { rounds: 4, total, mw_iterations: 20 };
+    let mwem_opts = MwemOptions {
+        rounds: 4,
+        total,
+        mw_iterations: 20,
+    };
 
-    type Named = (&'static str, Box<dyn Fn(&ProtectedKernel, SourceVar) -> PlanResult>);
+    type Named = (
+        &'static str,
+        Box<dyn Fn(&ProtectedKernel, SourceVar) -> PlanResult>,
+    );
     let w2 = w.clone();
     let plans: Vec<Named> = vec![
         ("1 identity", Box::new(move |k, x| plan_identity(k, x, eps))),
@@ -90,7 +97,13 @@ fn all_2d_plans_run_and_spend_exactly() {
     let x = gauss_blobs_2d(r, c, 3, 100_000.0, 5);
     let eps = 0.5;
     let (k, root) = kernel_for_histogram(&x, eps, 1);
-    check(plan_quad_tree(&k, root, (r, c), eps), &k, r * c, eps, "10 quadtree");
+    check(
+        plan_quad_tree(&k, root, (r, c), eps),
+        &k,
+        r * c,
+        eps,
+        "10 quadtree",
+    );
     let (k, root) = kernel_for_histogram(&x, eps, 2);
     check(
         plan_uniform_grid(&k, root, (r, c), 1e5, eps),
@@ -176,6 +189,9 @@ fn estimates_beat_the_zero_baseline() {
             .map(|(a, b)| (a - b) * (a - b))
             .sum::<f64>()
             .sqrt();
-        assert!(err < zero_err / 10.0, "plan barely beats zero estimate: {err} vs {zero_err}");
+        assert!(
+            err < zero_err / 10.0,
+            "plan barely beats zero estimate: {err} vs {zero_err}"
+        );
     }
 }

@@ -123,6 +123,46 @@ fn bench_solver_iteration_products(c: &mut Criterion) {
             black_box((av[0], atu[0]))
         })
     });
+
+    // Cached-plan entries (ISSUE 2): the workspace path above is now
+    // plan-cached; price the cache by forcing a planning pass per
+    // iteration pair, and measure a lineage-shaped system (a measurement
+    // query composed with an 8-deep transformation lineage — the shape
+    // `stack_measurements` hands the solvers) where the chain plan's
+    // ping-pong buffers shrink the working set.
+    group.bench_function(BenchmarkId::new("workspace_replan", n), |b| {
+        b.iter(|| {
+            ws.invalidate_plans();
+            strategy.matvec_into(&v, &mut av, &mut ws);
+            strategy.rmatvec_into(&u, &mut atu, &mut ws);
+            black_box((av[0], atu[0]))
+        })
+    });
+
+    let mut lineage =
+        ektelo_matrix::Matrix::diagonal((0..n).map(|i| 1.0 + (i % 3) as f64 * 0.25).collect());
+    for k in 0..8 {
+        let next = match k % 3 {
+            0 => ektelo_matrix::Matrix::prefix(n),
+            1 => ektelo_matrix::Matrix::diagonal(
+                (0..n).map(|i| 1.0 - (i % 5) as f64 * 0.1).collect(),
+            ),
+            _ => ektelo_matrix::Matrix::suffix(n),
+        };
+        lineage = ektelo_matrix::Matrix::Product(Box::new(next), Box::new(lineage));
+    }
+    let system = ektelo_matrix::Matrix::product(h2(n), lineage);
+    let mut lws = Workspace::for_matrix(&system);
+    let su: Vec<f64> = (0..system.rows()).map(|i| (i % 13) as f64).collect();
+    let mut sav = vec![0.0; system.rows()];
+    let mut satu = vec![0.0; system.cols()];
+    group.bench_function(BenchmarkId::new("lineage_cached_plan", n), |b| {
+        b.iter(|| {
+            system.matvec_into(&v, &mut sav, &mut lws);
+            system.rmatvec_into(&su, &mut satu, &mut lws);
+            black_box((sav[0], satu[0]))
+        })
+    });
     group.finish();
 }
 

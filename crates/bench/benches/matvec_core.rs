@@ -131,6 +131,42 @@ fn seed_engine_matvec_into(m: &Matrix, x: &[f64], out: &mut [f64]) {
     }
 }
 
+/// PR 1's workspace engine, reconstructed for product-chain shapes: the
+/// nested recursion carved **one intermediate per `Product`** off a
+/// pre-sized arena (`matvec_scratch`), so a k-product lineage dragged k
+/// live n-buffers through every call. PR 2's chain plan ping-pongs two.
+/// Leaf kernels are identical to the library's, so the delta isolates the
+/// buffer-assignment change.
+fn pr1_engine_matvec(m: &Matrix, x: &[f64], out: &mut [f64], scratch: &mut [f64]) {
+    match m {
+        Matrix::Product(a, b) => {
+            let (t, rest) = scratch.split_at_mut(b.rows());
+            pr1_engine_matvec(b, x, t, rest);
+            pr1_engine_matvec(a, t, out, rest);
+        }
+        Matrix::Diagonal(d) => {
+            for ((o, &di), &xi) in out.iter_mut().zip(d.iter()).zip(x) {
+                *o = di * xi;
+            }
+        }
+        Matrix::Prefix { .. } => {
+            let mut acc = 0.0;
+            for (o, &xi) in out.iter_mut().zip(x) {
+                acc += xi;
+                *o = acc;
+            }
+        }
+        Matrix::Suffix { .. } => {
+            let mut acc = 0.0;
+            for (o, &xi) in out.iter_mut().rev().zip(x.iter().rev()) {
+                acc += xi;
+                *o = acc;
+            }
+        }
+        other => panic!("pr1 engine reconstruction covers lineage shapes only, got {other:?}"),
+    }
+}
+
 /// The allocation-free engine claim (paper §7 / ISSUE 1 acceptance): a
 /// combinator tree at n = 2^16 evaluated three ways — the seed engine
 /// (fresh `Vec` at every combinator node), the current allocating wrapper
@@ -211,6 +247,48 @@ fn bench_workspace_reuse(c: &mut Criterion) {
                 })
             },
         );
+        // PR 1 engine reference on the lineage shape (same run, same
+        // machine — the honest before/after for the ISSUE 2 acceptance:
+        // cached-plan matvec vs the one-intermediate-per-product engine).
+        if shape == "lineage" {
+            let mut pr1_scratch = vec![0.0; tree.matvec_scratch()];
+            group.bench_with_input(
+                BenchmarkId::new(format!("{shape}/pr1_workspace_engine"), n),
+                tree,
+                |b, m| {
+                    b.iter(|| {
+                        pr1_engine_matvec(m, &x, &mut out, &mut pr1_scratch);
+                        black_box(out[0])
+                    })
+                },
+            );
+        }
+        // Explicit cached-plan entry (ISSUE 2): identical to `workspace`
+        // now that plans are memoized, named separately so the cross-PR
+        // trajectory can track the planned engine from this PR onward.
+        group.bench_with_input(
+            BenchmarkId::new(format!("{shape}/cached_plan"), n),
+            tree,
+            |b, m| {
+                b.iter(|| {
+                    m.matvec_into(&x, &mut out, &mut ws);
+                    black_box(out[0])
+                })
+            },
+        );
+        // The anti-benchmark: force a planning pass on every call to
+        // price what the cache removes from solver inner loops.
+        group.bench_with_input(
+            BenchmarkId::new(format!("{shape}/replan_every_call"), n),
+            tree,
+            |b, m| {
+                b.iter(|| {
+                    ws.invalidate_plans();
+                    m.matvec_into(&x, &mut out, &mut ws);
+                    black_box(out[0])
+                })
+            },
+        );
         // Transpose direction exercises the scatter-add path.
         let y: Vec<f64> = (0..tree.rows()).map(|i| (i % 5) as f64).collect();
         group.bench_with_input(
@@ -233,6 +311,74 @@ fn bench_workspace_reuse(c: &mut Criterion) {
     group.finish();
 }
 
+/// Transpose/scatter-direction benches for the `parallel` feature (ISSUE
+/// 2): a striped union (per-worker accumulators with deterministic merge)
+/// and a large Kronecker (row- then column-chunked stages). Built without
+/// the feature these measure the serial planned engine — the committed
+/// `BENCH_matvec_core.json` is produced with `--features parallel`, and
+/// the `serial_blocks` reference is computed per block (below the work
+/// threshold) so it stays single-threaded in both configurations.
+fn bench_parallel_rmatvec(c: &mut Criterion) {
+    let n = 1usize << 16;
+    let stripes = 64;
+    let width = n / stripes;
+    let blocks: Vec<Matrix> = (0..stripes)
+        .map(|s| {
+            let idx: Vec<usize> = (s * width..(s + 1) * width).collect();
+            Matrix::product(Matrix::wavelet(width), Matrix::select_rows(n, &idx))
+        })
+        .collect();
+    let union = Matrix::vstack(blocks.clone());
+    let y: Vec<f64> = (0..union.rows()).map(|i| (i % 7) as f64 - 3.0).collect();
+
+    let mut group = c.benchmark_group("parallel_rmatvec");
+    group.sample_size(30);
+
+    let mut ws = Workspace::for_matrix(&union);
+    let mut back = vec![0.0; n];
+    group.bench_with_input(
+        BenchmarkId::new("union_striped/rmatvec_into", n),
+        &union,
+        |b, m| {
+            b.iter(|| {
+                m.rmatvec_into(&y, &mut back, &mut ws);
+                black_box(back[0])
+            })
+        },
+    );
+    // Serial reference: scatter block by block through the same planned
+    // engine (each block is below the parallel threshold).
+    let mut block_ws: Vec<Workspace> = blocks.iter().map(Workspace::for_matrix).collect();
+    group.bench_function(BenchmarkId::new("union_striped/serial_blocks", n), |b| {
+        b.iter(|| {
+            back.fill(0.0);
+            let mut offset = 0;
+            for (blk, ws) in blocks.iter().zip(block_ws.iter_mut()) {
+                let rows = blk.rows();
+                blk.rmatvec_add(&y[offset..offset + rows], &mut back, ws);
+                offset += rows;
+            }
+            black_box(back[0])
+        })
+    });
+
+    let kron = Matrix::kron(Matrix::prefix(256), Matrix::wavelet(256));
+    let ky: Vec<f64> = (0..kron.rows()).map(|i| (i % 11) as f64 - 5.0).collect();
+    let mut kws = Workspace::for_matrix(&kron);
+    let mut kback = vec![0.0; kron.cols()];
+    group.bench_with_input(
+        BenchmarkId::new("kron_256x256/rmatvec_into", kron.cols()),
+        &kron,
+        |b, m| {
+            b.iter(|| {
+                m.rmatvec_into(&ky, &mut kback, &mut kws);
+                black_box(kback[0])
+            })
+        },
+    );
+    group.finish();
+}
+
 // `bench_workspace_reuse` must run first: the seed engine's dominant cost
 // is mmap/munmap churn on its large per-node temporaries (glibc unmaps
 // >128 KiB frees while the dynamic mmap threshold is cold — exactly the
@@ -241,6 +387,7 @@ fn bench_workspace_reuse(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_workspace_reuse,
+    bench_parallel_rmatvec,
     bench_core_matrices,
     bench_kron,
     bench_sensitivity

@@ -14,7 +14,7 @@ pub use error::{EktError, Result};
 pub use state::MeasuredQuery;
 
 use ektelo_data::{vectorize as t_vectorize, Predicate, Schema, Table};
-use ektelo_matrix::Matrix;
+use ektelo_matrix::{Matrix, Workspace};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -389,6 +389,123 @@ impl ProtectedKernel {
         Ok(answers)
     }
 
+    /// Batched `Vector Laplace`: answers one query set per source, exactly
+    /// as a sequential loop of [`ProtectedKernel::vector_laplace`] calls
+    /// would — same budget charges, same measurement history, and **the
+    /// same noise draws in the same order**, so the answers are
+    /// bit-identical to the sequential loop regardless of the `parallel`
+    /// feature. What the batch form buys is that the exact (pre-noise)
+    /// answers, which depend only on the data and not on the privacy RNG,
+    /// are computed outside the sequential section — with the `parallel`
+    /// feature they evaluate on worker threads. This is the engine behind
+    /// the striped plans of §9.2: hundreds of per-stripe measurements
+    /// whose matvec work parallelizes while privacy randomness stays
+    /// ordered.
+    ///
+    /// Failure semantics: requests are validated and charged in order; if
+    /// request `k` fails, requests `0..k` have been charged and recorded
+    /// (matching the sequential loop) and `k..` have not.
+    pub fn vector_laplace_batch(
+        &self,
+        reqs: &[(SourceVar, &Matrix, f64)],
+    ) -> Result<Vec<Vec<f64>>> {
+        // Phase 1 (no privacy side effects): snapshot each source vector
+        // and compute sensitivities. Invalid requests surface here only if
+        // phase 2 reaches them, mirroring the sequential loop's ordering.
+        let snapshots: Vec<Result<(Vec<f64>, f64)>> = {
+            let st = self.state.lock();
+            reqs.iter()
+                .map(|&(sv, m, eps)| {
+                    if eps <= 0.0 {
+                        return Err(EktError::InvalidArgument(format!(
+                            "non-positive epsilon {eps}"
+                        )));
+                    }
+                    let x = st.vector(sv.0)?;
+                    if m.cols() != x.len() {
+                        return Err(EktError::ShapeMismatch {
+                            expected: x.len(),
+                            found: m.cols(),
+                        });
+                    }
+                    let sensitivity = m.l1_sensitivity();
+                    if sensitivity == 0.0 {
+                        return Err(EktError::InvalidArgument(
+                            "measurement matrix has zero sensitivity (no queries touch the data)"
+                                .into(),
+                        ));
+                    }
+                    Ok((x.to_vec(), sensitivity))
+                })
+                .collect()
+        };
+
+        // Phase 2 (pure compute, outside the lock): the exact answers.
+        // Each entry is independent, so with the `parallel` feature the
+        // valid requests evaluate on scoped worker threads. Every worker
+        // (and the serial path) reuses one Workspace across its requests,
+        // so same-shaped stripe strategies share a single evaluation plan
+        // instead of re-planning per stripe.
+        let mut exacts: Vec<Option<Vec<f64>>> = snapshots
+            .iter()
+            .map(|s| s.as_ref().ok().map(|_| Vec::new()))
+            .collect();
+        #[cfg(feature = "parallel")]
+        {
+            let nthreads = std::thread::available_parallelism().map_or(1, |p| p.get());
+            let total_cells: usize = snapshots
+                .iter()
+                .filter_map(|s| s.as_ref().ok().map(|(x, _)| x.len()))
+                .sum();
+            if reqs.len() >= 2 && nthreads >= 2 && total_cells >= 4096 {
+                let chunk = reqs.len().div_ceil(nthreads);
+                std::thread::scope(|scope| {
+                    for (echunk, (rchunk, schunk)) in exacts
+                        .chunks_mut(chunk)
+                        .zip(reqs.chunks(chunk).zip(snapshots.chunks(chunk)))
+                    {
+                        scope.spawn(move || fill_exact_answers(rchunk, schunk, echunk));
+                    }
+                });
+            } else {
+                fill_exact_answers(reqs, &snapshots, &mut exacts);
+            }
+        }
+        #[cfg(not(feature = "parallel"))]
+        fill_exact_answers(reqs, &snapshots, &mut exacts);
+
+        // Phase 3 (sequential, under the lock): charge budgets, draw noise
+        // in request order, record history — the privacy-ordered section.
+        let mut st = self.state.lock();
+        let mut out = Vec::with_capacity(reqs.len());
+        for ((&(sv, m, eps), snap), exact) in reqs.iter().zip(snapshots).zip(exacts) {
+            let (_, sensitivity) = snap?;
+            st.request(sv.0, eps, None)?;
+            let scale = sensitivity / eps;
+            let answers: Vec<f64> = exact
+                .expect("valid request has an exact answer")
+                .into_iter()
+                .map(|v| v + noise::laplace(&mut st.rng, scale))
+                .collect();
+            if let (Some(base), Some(lineage)) =
+                (st.nodes[sv.0].base, st.nodes[sv.0].lineage.clone())
+            {
+                let effective = match &lineage {
+                    Matrix::Identity { .. } => m.clone(),
+                    _ => Matrix::product(m.clone(), lineage),
+                };
+                st.history.push(MeasuredQuery {
+                    base: SourceVar(base),
+                    query: effective,
+                    answers: answers.clone(),
+                    noise_scale: scale,
+                });
+            }
+            out.push(answers);
+        }
+        Ok(out)
+    }
+
     /// `NoisyCount` (paper §5.2): the table cardinality plus
     /// `Laplace(1/ε)` noise.
     pub fn noisy_count(&self, sv: SourceVar, eps: f64) -> Result<f64> {
@@ -526,6 +643,26 @@ impl ProtectedKernel {
         let mut st = self.state.lock();
         let seed: u64 = st.rng.random();
         StdRng::seed_from_u64(seed)
+    }
+}
+
+/// Fills the exact (pre-noise) answer for every valid request slot:
+/// `exacts[i] = reqs[i].matrix · snapshots[i].vector`. Shared by the
+/// serial and per-worker parallel paths of
+/// [`ProtectedKernel::vector_laplace_batch`]; one reused [`Workspace`]
+/// means same-shaped strategies (every stripe of HB-Striped) plan once.
+fn fill_exact_answers(
+    reqs: &[(SourceVar, &Matrix, f64)],
+    snapshots: &[Result<(Vec<f64>, f64)>],
+    exacts: &mut [Option<Vec<f64>>],
+) {
+    let mut ws = Workspace::new();
+    for (e, (&(_, m, _), snap)) in exacts.iter_mut().zip(reqs.iter().zip(snapshots)) {
+        if let (Some(slot), Ok((x, _))) = (e.as_mut(), snap.as_ref()) {
+            let mut out = vec![0.0; m.rows()];
+            m.matvec_into(x, &mut out, &mut ws);
+            *slot = out;
+        }
     }
 }
 
@@ -680,6 +817,57 @@ mod tests {
             k.vector_laplace(x, &Matrix::identity(8), 1.0).unwrap()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn batch_is_bit_identical_to_sequential_loop() {
+        let p = partition_from_labels(4, &[0, 0, 1, 1, 2, 2, 3, 3]);
+        let strategy = Matrix::vstack(vec![Matrix::identity(2), Matrix::total(2)]);
+
+        // Sequential reference.
+        let k1 = simple_kernel(1.0);
+        let x1 = k1.vectorize(k1.root()).unwrap();
+        let parts1 = k1.split_by_partition(x1, &p).unwrap();
+        let seq: Vec<Vec<f64>> = parts1
+            .iter()
+            .map(|&s| k1.vector_laplace(s, &strategy, 0.5).unwrap())
+            .collect();
+
+        // Batched run on an identically seeded kernel.
+        let k2 = simple_kernel(1.0);
+        let x2 = k2.vectorize(k2.root()).unwrap();
+        let parts2 = k2.split_by_partition(x2, &p).unwrap();
+        let reqs: Vec<(SourceVar, &Matrix, f64)> =
+            parts2.iter().map(|&s| (s, &strategy, 0.5)).collect();
+        let batch = k2.vector_laplace_batch(&reqs).unwrap();
+
+        assert_eq!(seq, batch, "batch must reproduce the sequential draws");
+        assert_eq!(k1.budget_spent(), k2.budget_spent());
+        let h1 = k1.measurements();
+        let h2 = k2.measurements();
+        assert_eq!(h1.len(), h2.len());
+        for (a, b) in h1.iter().zip(&h2) {
+            assert_eq!(a.answers, b.answers);
+            assert_eq!(a.noise_scale, b.noise_scale);
+            assert_eq!(a.base, b.base);
+        }
+    }
+
+    #[test]
+    fn batch_failure_matches_sequential_prefix_semantics() {
+        let k = simple_kernel(1.0);
+        let x = k.vectorize(k.root()).unwrap();
+        let p = partition_from_labels(2, &[0, 0, 0, 0, 1, 1, 1, 1]);
+        let parts = k.split_by_partition(x, &p).unwrap();
+        let good = Matrix::identity(4);
+        let bad = Matrix::identity(7); // wrong width for a 4-cell stripe
+        let reqs = vec![(parts[0], &good, 0.5), (parts[1], &bad, 0.5)];
+        let err = k.vector_laplace_batch(&reqs).unwrap_err();
+        assert!(matches!(err, EktError::ShapeMismatch { .. }));
+        // The first request went through before the failure, like the
+        // sequential loop.
+        assert_eq!(k.measurements().len(), 1);
+        assert!((k.budget_spent() - 0.5).abs() < 1e-12);
     }
 
     #[test]

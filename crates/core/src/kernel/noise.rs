@@ -55,6 +55,14 @@ pub fn exponential_mechanism(
         "exponential mechanism over empty candidate set"
     );
     assert!(sensitivity > 0.0 && eps > 0.0);
+    // A NaN score would never win the Gumbel-max scan (NaN comparisons are
+    // false), silently biasing the mechanism toward index 0 — a privacy
+    // *and* correctness bug. Fail loudly instead.
+    assert!(
+        scores.iter().all(|s| s.is_finite()),
+        "exponential mechanism requires finite scores, got {:?}",
+        scores.iter().find(|s| !s.is_finite()).unwrap()
+    );
     let mut best = 0;
     let mut best_val = f64::NEG_INFINITY;
     for (i, &s) in scores.iter().enumerate() {
@@ -70,15 +78,21 @@ pub fn exponential_mechanism(
 /// A draw from the two-sided geometric distribution with parameter
 /// `alpha = exp(−eps/sensitivity)`: the discrete analogue of the Laplace
 /// mechanism, immune to the floating-point attack for integer counts.
+///
+/// Construction: the **difference of two i.i.d. one-sided geometrics**,
+/// `X = G₁ − G₂` with `P(G = k) = (1 − α) αᵏ` for `k ≥ 0`. The difference
+/// is symmetric with `P(X = k) ∝ α^|k|` and variance `2α / (1 − α)²`
+/// (twice the one-sided variance `α / (1 − α)²`), which the distribution
+/// test checks against the sample variance.
 pub fn two_sided_geometric(rng: &mut StdRng, eps_over_sens: f64) -> i64 {
     assert!(eps_over_sens > 0.0);
-    let alpha = (-eps_over_sens).exp();
-    if alpha <= 0.0 {
-        return 0;
-    }
-    // Sample sign and magnitude: P(X = k) ∝ alpha^|k|.
-    // Magnitude ~ Geometric over {0, 1, …} conditioned to avoid double-
-    // counting zero: standard construction via two one-sided geometrics.
+    // Mathematically alpha = exp(−x) < 1 for x > 0, but for
+    // x ≲ 1.1e-16 the f64 result rounds to exactly 1.0, making
+    // ln(alpha) = 0 and the geometric draws collapse to a deterministic
+    // zero — i.e. *no noise at essentially zero epsilon*. Clamp just
+    // below 1 so the sampler degrades to astronomically wide (not
+    // absent) noise instead.
+    let alpha = (-eps_over_sens).exp().min(1.0 - f64::EPSILON);
     let g1 = one_sided_geometric(rng, alpha);
     let g2 = one_sided_geometric(rng, alpha);
     g1 - g2
@@ -150,6 +164,56 @@ mod tests {
         let sum: i64 = (0..n).map(|_| two_sided_geometric(&mut r, 0.5)).sum();
         let mean = sum as f64 / n as f64;
         assert!(mean.abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn geometric_variance_matches_difference_construction() {
+        // Var(G₁ − G₂) = 2α/(1−α)² for the difference-of-geometrics
+        // construction; a sign-and-magnitude sampler that double-counted
+        // zero (what the doc comment used to describe) would disagree.
+        let mut r = rng();
+        let n = 200_000usize;
+        for eps_over_sens in [0.25f64, 0.5, 1.0] {
+            let alpha = (-eps_over_sens).exp();
+            let expect = 2.0 * alpha / ((1.0 - alpha) * (1.0 - alpha));
+            let samples: Vec<f64> = (0..n)
+                .map(|_| two_sided_geometric(&mut r, eps_over_sens) as f64)
+                .collect();
+            let mean = samples.iter().sum::<f64>() / n as f64;
+            let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+            assert!(
+                (var - expect).abs() < 0.05 * expect,
+                "eps/sens {eps_over_sens}: sample variance {var} vs expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn geometric_still_noisy_at_vanishing_epsilon() {
+        // exp(-1e-17) rounds to 1.0 in f64; without the clamp the sampler
+        // would return exactly 0 forever — zero noise at zero epsilon.
+        let mut r = rng();
+        let draws: Vec<i64> = (0..10)
+            .map(|_| two_sided_geometric(&mut r, 1e-17))
+            .collect();
+        assert!(
+            draws.iter().any(|&d| d != 0),
+            "vanishing epsilon must give (huge) noise, not none: {draws:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "finite scores")]
+    fn exponential_mechanism_rejects_nan_scores() {
+        let mut r = rng();
+        let _ = exponential_mechanism(&mut r, &[1.0, f64::NAN, 3.0], 1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite scores")]
+    fn exponential_mechanism_rejects_infinite_scores() {
+        let mut r = rng();
+        let _ = exponential_mechanism(&mut r, &[f64::INFINITY, 0.0], 1.0, 1.0);
     }
 
     #[test]

@@ -113,10 +113,23 @@ pub fn thresholding(measurements: &[MeasuredQuery], threshold: f64) -> Vec<f64> 
 }
 
 /// Evaluates a workload on an estimate and returns per-query answers.
-/// (For repeated evaluation against many estimates, call
-/// `Matrix::matvec_into` with a reused [`Workspace`] directly.)
+/// (For repeated evaluation against many estimates, use
+/// [`answer_workload_into`] with a reused [`Workspace`].)
 pub fn answer_workload(workload: &Matrix, x_hat: &[f64]) -> Vec<f64> {
     workload.matvec(x_hat)
+}
+
+/// In-place variant of [`answer_workload`] for loops that score many
+/// estimates against one workload (MWEM rounds, error sweeps): the
+/// workspace caches the workload's evaluation plan and scratch arena, so
+/// every call after the first is allocation- and planning-free.
+pub fn answer_workload_into(
+    workload: &Matrix,
+    x_hat: &[f64],
+    answers: &mut [f64],
+    ws: &mut Workspace,
+) {
+    workload.matvec_into(x_hat, answers, ws);
 }
 
 /// Tree-based least squares for *binary hierarchical* measurements (Hay
@@ -277,6 +290,20 @@ mod tests {
         let x = mult_weights_inference(&ms, 4.0, None, 100);
         assert!((x.iter().sum::<f64>() - 4.0).abs() < 1e-9);
         assert!(x[0] > 2.0, "{x:?}");
+    }
+
+    #[test]
+    fn answer_workload_into_matches_allocating_form() {
+        let w = Matrix::vstack(vec![Matrix::prefix(6), Matrix::total(6)]);
+        let mut ws = Workspace::for_matrix(&w);
+        let mut out = vec![0.0; w.rows()];
+        for round in 0..3 {
+            let x: Vec<f64> = (0..6).map(|i| (i + round) as f64).collect();
+            answer_workload_into(&w, &x, &mut out, &mut ws);
+            assert_eq!(out, answer_workload(&w, &x));
+        }
+        // One plan, reused across rounds.
+        assert_eq!(ws.plan_cache_builds(), 1);
     }
 
     #[test]

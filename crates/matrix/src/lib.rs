@@ -45,6 +45,7 @@ mod combine;
 mod dense;
 mod materialize;
 mod matvec;
+mod plan;
 mod range;
 mod rect;
 mod sensitivity;
@@ -55,6 +56,7 @@ mod workspace;
 pub use combine::partition_from_labels;
 pub use dense::DenseMatrix;
 pub use materialize::Repr;
+pub use plan::plan_builds;
 pub use range::RangeQueries;
 pub use rect::RectQueries2D;
 pub use sparse::CsrMatrix;

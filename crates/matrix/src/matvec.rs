@@ -1,32 +1,44 @@
 //! Matrix–vector products (`A·x`) and transpose products (`Aᵀ·y`) — the two
 //! primitive methods everything else in EKTELO reduces to (paper §7.3).
 //!
-//! The engine is allocation-free: the public `*_into` entry points carve all
-//! transient storage out of a caller-provided [`Workspace`] arena (sized by
-//! the planning pass in [`crate::workspace`]) and the recursion over the
-//! combinator tree splits disjoint sub-slices off that arena instead of
-//! allocating per node. [`Matrix::matvec`] / [`Matrix::rmatvec`] remain as
+//! The engine is allocation-free **and** planning-free in steady state: the
+//! public `*_into` entry points fetch a memoized [`crate::plan::EvalPlan`]
+//! from the caller-provided [`Workspace`] (built once per matrix), reserve
+//! the full multi-direction scratch requirement up front, and then recurse
+//! over the combinator tree guided by the plan's per-node records — no
+//! `rows()`/scratch recomputation, no arena growth, no allocator traffic.
+//! Right-nested `Product` chains (transformation lineages) evaluate through
+//! two ping-pong buffers instead of one intermediate per product, shrinking
+//! the hot working set. [`Matrix::matvec`] / [`Matrix::rmatvec`] remain as
 //! thin allocating wrappers with unchanged semantics.
 //!
-//! With the `parallel` feature enabled, large `Union` products evaluate
-//! their independent blocks on multiple threads and Kronecker products
-//! apply the right factor to row-chunks in parallel (via
-//! `std::thread::scope`; the offline build environment has no rayon).
-//! The parallel paths allocate per-thread scratch and are used only above
-//! a size threshold; the serial paths stay allocation-free.
+//! With the `parallel` feature enabled, plan-time chunk decisions drive
+//! multi-threaded evaluation in **both** directions: `Union` blocks and
+//! Kronecker row-chunks in the forward direction; `Union` scatter-adds
+//! (per-worker accumulators merged in fixed chunk order at the barrier)
+//! and Kronecker column-chunks in the transpose direction. Chunk counts
+//! are fixed when the plan is built, so threaded results are deterministic
+//! run-to-run (via `std::thread::scope`; the offline build environment has
+//! no rayon). The parallel paths allocate per-worker scratch and engage
+//! only above a size threshold; the serial paths stay allocation-free.
 
+use crate::plan::{ChainPlan, KronPlan, NodePlan};
 use crate::wavelet::{wavelet_matvec, wavelet_rmatvec};
 use crate::{Matrix, Workspace};
 
 impl Matrix {
-    /// `A · x` as a fresh vector (allocating convenience wrapper).
+    /// `A · x` as a fresh vector (allocating convenience wrapper). Each
+    /// call plans from scratch and discards the plan; loops should hold a
+    /// [`Workspace`] and call [`Matrix::matvec_into`] instead.
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         let mut out = vec![0.0; self.rows()];
         self.matvec_into(x, &mut out, &mut Workspace::new());
         out
     }
 
-    /// `Aᵀ · y` as a fresh vector (allocating convenience wrapper).
+    /// `Aᵀ · y` as a fresh vector (allocating convenience wrapper). Same
+    /// per-call planning cost as [`Matrix::matvec`]; loops should reuse a
+    /// [`Workspace`] via [`Matrix::rmatvec_into`].
     pub fn rmatvec(&self, y: &[f64]) -> Vec<f64> {
         let mut out = vec![0.0; self.cols()];
         self.rmatvec_into(y, &mut out, &mut Workspace::new());
@@ -35,22 +47,26 @@ impl Matrix {
 
     /// `out = A · x`, drawing all transient storage from `ws`.
     ///
-    /// After `ws` has grown to this matrix's requirement (at most one
-    /// allocation, typically done up front via [`Workspace::for_matrix`]),
-    /// repeated calls perform zero heap allocations.
+    /// The first call plans the evaluation and reserves the arena for every
+    /// product direction at once; repeated calls are pure computation —
+    /// zero heap allocations *and* zero planning-pass tree walks.
     pub fn matvec_into(&self, x: &[f64], out: &mut [f64], ws: &mut Workspace) {
-        assert_eq!(x.len(), self.cols(), "matvec: x has wrong length");
-        assert_eq!(out.len(), self.rows(), "matvec: out has wrong length");
-        let scratch = ws.slice(self.matvec_scratch());
-        self.matvec_rec(x, out, scratch);
+        let plan = ws.plan_for(self);
+        assert_eq!(x.len(), plan.cols, "matvec: x has wrong length");
+        assert_eq!(out.len(), plan.rows, "matvec: out has wrong length");
+        ws.reserve(plan.max_scratch());
+        let scratch = ws.slice(plan.mv_scratch);
+        self.matvec_plan(&plan.root, x, out, scratch);
     }
 
     /// `out = Aᵀ · y`, drawing all transient storage from `ws`.
     pub fn rmatvec_into(&self, y: &[f64], out: &mut [f64], ws: &mut Workspace) {
-        assert_eq!(y.len(), self.rows(), "rmatvec: y has wrong length");
-        assert_eq!(out.len(), self.cols(), "rmatvec: out has wrong length");
-        let scratch = ws.slice(self.rmatvec_scratch());
-        self.rmatvec_rec(y, out, scratch);
+        let plan = ws.plan_for(self);
+        assert_eq!(y.len(), plan.rows, "rmatvec: y has wrong length");
+        assert_eq!(out.len(), plan.cols, "rmatvec: out has wrong length");
+        ws.reserve(plan.max_scratch());
+        let scratch = ws.slice(plan.rmv_scratch);
+        self.rmatvec_plan(&plan.root, y, out, scratch);
     }
 
     /// `out += Aᵀ · y` — the accumulating variant of
@@ -59,15 +75,172 @@ impl Matrix {
     /// into their right factor, so a `Union` of narrow blocks costs the sum
     /// of block sizes rather than `O(blocks · n)`.
     pub fn rmatvec_add(&self, y: &[f64], out: &mut [f64], ws: &mut Workspace) {
-        assert_eq!(y.len(), self.rows(), "rmatvec_add: y has wrong length");
-        assert_eq!(out.len(), self.cols(), "rmatvec_add: out has wrong length");
-        let scratch = ws.slice(self.rmatvec_add_scratch());
-        self.rmatvec_add_rec(y, out, scratch);
+        let plan = ws.plan_for(self);
+        assert_eq!(y.len(), plan.rows, "rmatvec_add: y has wrong length");
+        assert_eq!(out.len(), plan.cols, "rmatvec_add: out has wrong length");
+        ws.reserve(plan.max_scratch());
+        let scratch = ws.slice(plan.rmva_scratch);
+        self.rmatvec_add_plan(&plan.root, y, out, scratch);
     }
+
+    // ------------------------------------------------------------------
+    // Planned evaluation: recursion guided by NodePlan records
+    // ------------------------------------------------------------------
+
+    /// Planned worker for `out = A·x`. `scratch` must hold the plan's
+    /// `mv_scratch` scalars; combinator nodes read split offsets and chunk
+    /// decisions from `plan` instead of re-deriving them from the tree.
+    pub(crate) fn matvec_plan(
+        &self,
+        plan: &NodePlan,
+        x: &[f64],
+        out: &mut [f64],
+        scratch: &mut [f64],
+    ) {
+        match (self, plan) {
+            (m, NodePlan::Leaf) => m.matvec_rec(x, out, scratch),
+            (Matrix::Union(blocks), NodePlan::Union(up)) => {
+                #[cfg(feature = "parallel")]
+                if up.par_fwd_chunk > 0 {
+                    parallel::union_matvec(blocks, up, x, out);
+                    return;
+                }
+                let mut offset = 0;
+                for ((b, bp), &m) in blocks.iter().zip(&up.blocks).zip(&up.block_rows) {
+                    b.matvec_plan(bp, x, &mut out[offset..offset + m], scratch);
+                    offset += m;
+                }
+            }
+            (m @ Matrix::Product(..), NodePlan::Chain(cp)) => chain_matvec(m, cp, x, out, scratch),
+            (Matrix::Kronecker(a, b), NodePlan::Kron(kp)) => {
+                kron_matvec_plan(a, b, kp, x, out, scratch)
+            }
+            (Matrix::Scaled(c, a), NodePlan::Scaled { child, .. }) => {
+                a.matvec_plan(child, x, out, scratch);
+                for o in out.iter_mut() {
+                    *o *= c;
+                }
+            }
+            (Matrix::Transpose(a), NodePlan::Transpose { child, .. }) => {
+                a.rmatvec_plan(child, x, out, scratch)
+            }
+            _ => unreachable!(
+                "evaluation plan does not match matrix structure (shape-fingerprint collision)"
+            ),
+        }
+    }
+
+    /// Planned worker for `out = Aᵀ·y`.
+    pub(crate) fn rmatvec_plan(
+        &self,
+        plan: &NodePlan,
+        y: &[f64],
+        out: &mut [f64],
+        scratch: &mut [f64],
+    ) {
+        match (self, plan) {
+            (m, NodePlan::Leaf) => m.rmatvec_rec(y, out, scratch),
+            (Matrix::Union(blocks), NodePlan::Union(up)) => {
+                // Unionᵀ is a horizontal stack: contributions accumulate.
+                #[cfg(feature = "parallel")]
+                if up.par_bwd_chunk > 0 {
+                    out.fill(0.0);
+                    parallel::union_rmatvec_add(blocks, up, y, out);
+                    return;
+                }
+                out.fill(0.0);
+                let mut offset = 0;
+                for ((b, bp), &m) in blocks.iter().zip(&up.blocks).zip(&up.block_rows) {
+                    b.rmatvec_add_plan(bp, &y[offset..offset + m], out, scratch);
+                    offset += m;
+                }
+            }
+            (m @ Matrix::Product(..), NodePlan::Chain(cp)) => {
+                chain_bwd(m, cp, y, out, scratch, false)
+            }
+            (Matrix::Kronecker(a, b), NodePlan::Kron(kp)) => {
+                kron_rmatvec_plan(a, b, kp, y, out, scratch)
+            }
+            (Matrix::Scaled(c, a), NodePlan::Scaled { child, .. }) => {
+                a.rmatvec_plan(child, y, out, scratch);
+                for o in out.iter_mut() {
+                    *o *= c;
+                }
+            }
+            (Matrix::Transpose(a), NodePlan::Transpose { child, .. }) => {
+                a.matvec_plan(child, y, out, scratch)
+            }
+            _ => unreachable!(
+                "evaluation plan does not match matrix structure (shape-fingerprint collision)"
+            ),
+        }
+    }
+
+    /// Planned worker for `out += Aᵀ·y`.
+    pub(crate) fn rmatvec_add_plan(
+        &self,
+        plan: &NodePlan,
+        y: &[f64],
+        out: &mut [f64],
+        scratch: &mut [f64],
+    ) {
+        match (self, plan) {
+            (m, NodePlan::Leaf) => m.rmatvec_add_rec(y, out, scratch),
+            (Matrix::Union(blocks), NodePlan::Union(up)) => {
+                #[cfg(feature = "parallel")]
+                if up.par_bwd_chunk > 0 {
+                    parallel::union_rmatvec_add(blocks, up, y, out);
+                    return;
+                }
+                let mut offset = 0;
+                for ((b, bp), &m) in blocks.iter().zip(&up.blocks).zip(&up.block_rows) {
+                    b.rmatvec_add_plan(bp, &y[offset..offset + m], out, scratch);
+                    offset += m;
+                }
+            }
+            (m @ Matrix::Product(..), NodePlan::Chain(cp)) => {
+                chain_bwd(m, cp, y, out, scratch, true)
+            }
+            (Matrix::Scaled(c, a), NodePlan::Scaled { rows, child }) => {
+                debug_assert_eq!(y.len(), *rows);
+                let (scaled, rest) = scratch.split_at_mut(*rows);
+                for (s, &yi) in scaled.iter_mut().zip(y) {
+                    *s = c * yi;
+                }
+                a.rmatvec_add_plan(child, scaled, out, rest);
+            }
+            (Matrix::Transpose(a), NodePlan::Transpose { child_rows, child }) => {
+                // (Aᵀ)ᵀ y = A y, accumulated.
+                let (t, rest) = scratch.split_at_mut(*child_rows);
+                a.matvec_plan(child, y, t, rest);
+                for (o, &ti) in out.iter_mut().zip(t.iter()) {
+                    *o += ti;
+                }
+            }
+            // Kronecker scatter-adds through a dense temporary of the full
+            // output width (it touches all of `out` anyway).
+            (m @ Matrix::Kronecker(..), kp @ NodePlan::Kron(..)) => {
+                let (tmp, rest) = scratch.split_at_mut(out.len());
+                m.rmatvec_plan(kp, y, tmp, rest);
+                for (o, &t) in out.iter_mut().zip(tmp.iter()) {
+                    *o += t;
+                }
+            }
+            _ => unreachable!(
+                "evaluation plan does not match matrix structure (shape-fingerprint collision)"
+            ),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Unplanned serial recursion: leaf kernels and the sizing reference
+    // ------------------------------------------------------------------
 
     /// Recursive worker for `out = A·x`. `scratch` must hold at least
     /// [`Matrix::matvec_scratch`] scalars; nodes carve what they need off
-    /// the front and pass the rest down.
+    /// the front and pass the rest down. This is the serial reference
+    /// engine: the planned path delegates leaf evaluation here and parallel
+    /// workers never re-enter it with combinator nodes.
     pub(crate) fn matvec_rec(&self, x: &[f64], out: &mut [f64], scratch: &mut [f64]) {
         match self {
             Matrix::Dense(d) => d.matvec_into(x, out),
@@ -100,10 +273,6 @@ impl Matrix {
             Matrix::Range(r) => r.matvec_rec(x, out, scratch),
             Matrix::Rect2D(r) => r.matvec_rec(x, out, scratch),
             Matrix::Union(blocks) => {
-                #[cfg(feature = "parallel")]
-                if parallel::union_matvec(blocks, x, out) {
-                    return;
-                }
                 let mut offset = 0;
                 for b in blocks {
                     let m = b.rows();
@@ -192,7 +361,7 @@ impl Matrix {
 
     /// Recursive worker for `out += Aᵀ·y`; `scratch` must hold at least
     /// [`Matrix::rmatvec_add_scratch`] scalars.
-    fn rmatvec_add_rec(&self, y: &[f64], out: &mut [f64], scratch: &mut [f64]) {
+    pub(crate) fn rmatvec_add_rec(&self, y: &[f64], out: &mut [f64], scratch: &mut [f64]) {
         match self {
             Matrix::Sparse(s) => {
                 for (i, &yi) in y.iter().enumerate() {
@@ -256,22 +425,225 @@ impl Matrix {
     }
 }
 
+// ---------------------------------------------------------------------
+// Product chains: ping-pong buffer evaluation
+// ---------------------------------------------------------------------
+
+/// `out = f_0 · f_1 · … · f_m · x` over a planned chain, using the plan's
+/// ping-pong buffers. The arithmetic sequence is identical to the nested
+/// recursion (each factor applied once, innermost first), so results are
+/// bit-identical — only the intermediate *storage* changes: `min(m, 2)`
+/// buffers instead of `m`.
+fn chain_matvec(node: &Matrix, cp: &ChainPlan, x: &[f64], out: &mut [f64], scratch: &mut [f64]) {
+    let (b0, rest) = scratch.split_at_mut(cp.buf_len);
+    let (b1, rest) = rest.split_at_mut(if cp.bufs == 2 { cp.buf_len } else { 0 });
+    let (f0, tail) = match node {
+        Matrix::Product(a, b) => (&**a, &**b),
+        _ => unreachable!("chain plan on non-product node"),
+    };
+    chain_fwd_tail(tail, cp, 1, x, b0, b1, rest);
+    // out = f_0 · s_1 ; s_1 lives in b0 (odd slot).
+    f0.matvec_plan(&cp.factors[0], &b0[..cp.rows[1]], out, rest);
+}
+
+/// Computes the intermediate `s_idx = f_idx · … · f_m · x` into its
+/// ping-pong slot (odd `idx` → `b0`, even → `b1`). `spine` is the subtree
+/// whose product equals that suffix of the chain.
+fn chain_fwd_tail(
+    spine: &Matrix,
+    cp: &ChainPlan,
+    idx: usize,
+    x: &[f64],
+    b0: &mut [f64],
+    b1: &mut [f64],
+    rest: &mut [f64],
+) {
+    let last = cp.factors.len() - 1;
+    if idx == last {
+        let dst = if cp.bufs == 1 || idx % 2 == 1 { b0 } else { b1 };
+        spine.matvec_plan(&cp.factors[idx], x, &mut dst[..cp.rows[idx]], rest);
+        return;
+    }
+    let (f, tail) = match spine {
+        Matrix::Product(a, b) => (&**a, &**b),
+        _ => unreachable!("chain plan longer than the product spine"),
+    };
+    chain_fwd_tail(tail, cp, idx + 1, x, &mut *b0, &mut *b1, &mut *rest);
+    // s_idx = f_idx · s_{idx+1}; consecutive intermediates alternate slots,
+    // and by the time s_idx is written, s_{idx+2} (which shared its slot)
+    // is dead.
+    let (dst, src) = if idx % 2 == 1 {
+        (&mut *b0, &*b1)
+    } else {
+        (&mut *b1, &*b0)
+    };
+    f.matvec_plan(
+        &cp.factors[idx],
+        &src[..cp.rows[idx + 1]],
+        &mut dst[..cp.rows[idx]],
+        rest,
+    );
+}
+
+/// Transpose-direction chain evaluation, iterative along the spine:
+/// `s_0 = f_0ᵀ y`, `s_j = f_jᵀ s_{j-1}`, finishing with the innermost
+/// factor — plain (`add = false`) or accumulating (`add = true`).
+fn chain_bwd(
+    node: &Matrix,
+    cp: &ChainPlan,
+    y: &[f64],
+    out: &mut [f64],
+    scratch: &mut [f64],
+    add: bool,
+) {
+    let last = cp.factors.len() - 1;
+    let (b0, rest) = scratch.split_at_mut(cp.buf_len);
+    let (b1, rest) = rest.split_at_mut(if cp.bufs == 2 { cp.buf_len } else { 0 });
+    let mut cur = node;
+    for idx in 0..last {
+        let (f, tail) = match cur {
+            Matrix::Product(a, b) => (&**a, &**b),
+            _ => unreachable!("chain plan longer than the product spine"),
+        };
+        // s_idx has length cols(f_idx) = rows(f_{idx+1}); even slots in b0.
+        let dlen = cp.rows[idx + 1];
+        if idx == 0 {
+            let dst = if cp.bufs == 1 || idx.is_multiple_of(2) {
+                &mut *b0
+            } else {
+                &mut *b1
+            };
+            f.rmatvec_plan(&cp.factors[0], y, &mut dst[..dlen], rest);
+        } else {
+            let (dst, src) = if idx.is_multiple_of(2) {
+                (&mut *b0, &*b1)
+            } else {
+                (&mut *b1, &*b0)
+            };
+            f.rmatvec_plan(
+                &cp.factors[idx],
+                &src[..cp.rows[idx]],
+                &mut dst[..dlen],
+                rest,
+            );
+        }
+        cur = tail;
+    }
+    let src = if cp.bufs == 1 || (last - 1).is_multiple_of(2) {
+        &*b0
+    } else {
+        &*b1
+    };
+    let src = &src[..cp.rows[last]];
+    if add {
+        cur.rmatvec_add_plan(&cp.factors[last], src, out, rest);
+    } else {
+        cur.rmatvec_plan(&cp.factors[last], src, out, rest);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Kronecker: planned vec-trick with optional stage parallelism
+// ---------------------------------------------------------------------
+
 /// `out = (A ⊗ B) x` using the vec-trick: reshape x as an `nA×nB` matrix X,
 /// compute `T = X·Bᵀ` (apply B to every row), then `out = A·T` columnwise.
 /// Cost: `nA·Time(B) + mB·Time(A)` (paper Table 3). All temporaries come
-/// out of `scratch`.
-fn kron_matvec(a: &Matrix, b: &Matrix, x: &[f64], out: &mut [f64], scratch: &mut [f64]) {
-    let (ma, na) = a.shape();
-    let (mb, nb) = b.shape();
+/// out of `scratch`; shapes and chunk decisions come from the plan.
+fn kron_matvec_plan(
+    a: &Matrix,
+    b: &Matrix,
+    kp: &KronPlan,
+    x: &[f64],
+    out: &mut [f64],
+    scratch: &mut [f64],
+) {
+    let (ma, na, mb, nb) = (kp.a_rows, kp.a_cols, kp.b_rows, kp.b_cols);
     let (t, rest) = scratch.split_at_mut(na * mb);
     #[cfg(feature = "parallel")]
-    let stage1_done = parallel::kron_apply_rows(b, x, t, na, nb, mb);
+    let stage1_done = kp.par_fwd_rows > 0 && {
+        parallel::kron_apply_rows(b, kp, x, t, nb, mb);
+        true
+    };
     #[cfg(not(feature = "parallel"))]
     let stage1_done = false;
     if !stage1_done {
         for i in 0..na {
-            b.matvec_rec(&x[i * nb..(i + 1) * nb], &mut t[i * mb..(i + 1) * mb], rest);
+            b.matvec_plan(
+                &kp.b,
+                &x[i * nb..(i + 1) * nb],
+                &mut t[i * mb..(i + 1) * mb],
+                rest,
+            );
         }
+    }
+    let (col, rest) = rest.split_at_mut(na);
+    let (ocol, rest) = rest.split_at_mut(ma);
+    for q in 0..mb {
+        for i in 0..na {
+            col[i] = t[i * mb + q];
+        }
+        a.matvec_plan(&kp.a, col, ocol, rest);
+        for p in 0..ma {
+            out[p * mb + q] = ocol[p];
+        }
+    }
+}
+
+/// `out = (A ⊗ B)ᵀ y = (Aᵀ ⊗ Bᵀ) y`; mirror of [`kron_matvec_plan`] with
+/// both stages parallelizable (stage 2 over output column chunks).
+fn kron_rmatvec_plan(
+    a: &Matrix,
+    b: &Matrix,
+    kp: &KronPlan,
+    y: &[f64],
+    out: &mut [f64],
+    scratch: &mut [f64],
+) {
+    let (ma, na, mb, nb) = (kp.a_rows, kp.a_cols, kp.b_rows, kp.b_cols);
+    let (t, rest) = scratch.split_at_mut(ma * nb);
+    #[cfg(feature = "parallel")]
+    let stage1_done = kp.par_bwd_rows > 0 && {
+        parallel::kron_apply_rows_t(b, kp, y, t, mb, nb);
+        true
+    };
+    #[cfg(not(feature = "parallel"))]
+    let stage1_done = false;
+    if !stage1_done {
+        for p in 0..ma {
+            b.rmatvec_plan(
+                &kp.b,
+                &y[p * mb..(p + 1) * mb],
+                &mut t[p * nb..(p + 1) * nb],
+                rest,
+            );
+        }
+    }
+    #[cfg(feature = "parallel")]
+    if kp.par_bwd_cols > 0 {
+        parallel::kron_scatter_cols(a, kp, t, out, ma, na, nb);
+        return;
+    }
+    let (col, rest) = rest.split_at_mut(ma);
+    let (ocol, rest) = rest.split_at_mut(na);
+    for j in 0..nb {
+        for p in 0..ma {
+            col[p] = t[p * nb + j];
+        }
+        a.rmatvec_plan(&kp.a, col, ocol, rest);
+        for i in 0..na {
+            out[i * nb + j] = ocol[i];
+        }
+    }
+}
+
+/// Unplanned serial Kronecker forward product (reference engine).
+fn kron_matvec(a: &Matrix, b: &Matrix, x: &[f64], out: &mut [f64], scratch: &mut [f64]) {
+    let (ma, na) = a.shape();
+    let (mb, nb) = b.shape();
+    let (t, rest) = scratch.split_at_mut(na * mb);
+    for i in 0..na {
+        b.matvec_rec(&x[i * nb..(i + 1) * nb], &mut t[i * mb..(i + 1) * mb], rest);
     }
     let (col, rest) = rest.split_at_mut(na);
     let (ocol, rest) = rest.split_at_mut(ma);
@@ -286,19 +658,13 @@ fn kron_matvec(a: &Matrix, b: &Matrix, x: &[f64], out: &mut [f64], scratch: &mut
     }
 }
 
-/// `out = (A ⊗ B)ᵀ y = (Aᵀ ⊗ Bᵀ) y`; mirror of [`kron_matvec`].
+/// Unplanned serial Kronecker transpose product (reference engine).
 fn kron_rmatvec(a: &Matrix, b: &Matrix, y: &[f64], out: &mut [f64], scratch: &mut [f64]) {
     let (ma, na) = a.shape();
     let (mb, nb) = b.shape();
     let (t, rest) = scratch.split_at_mut(ma * nb);
-    #[cfg(feature = "parallel")]
-    let stage1_done = parallel::kron_apply_rows_t(b, y, t, ma, mb, nb);
-    #[cfg(not(feature = "parallel"))]
-    let stage1_done = false;
-    if !stage1_done {
-        for p in 0..ma {
-            b.rmatvec_rec(&y[p * mb..(p + 1) * mb], &mut t[p * nb..(p + 1) * nb], rest);
-        }
+    for p in 0..ma {
+        b.rmatvec_rec(&y[p * mb..(p + 1) * mb], &mut t[p * nb..(p + 1) * nb], rest);
     }
     let (col, rest) = rest.split_at_mut(ma);
     let (ocol, rest) = rest.split_at_mut(na);
@@ -315,111 +681,173 @@ fn kron_rmatvec(a: &Matrix, b: &Matrix, y: &[f64], out: &mut [f64], scratch: &mu
 
 /// Multi-threaded evaluation of independent sub-products, behind the
 /// `parallel` feature. Built on `std::thread::scope` (the offline build
-/// environment cannot vendor rayon); threads allocate their own scratch, so
-/// these paths trade strict allocation-freedom for parallel speedup and are
-/// only taken above a work threshold.
+/// environment cannot vendor rayon); chunk sizes are fixed in the
+/// evaluation plan, so results are deterministic run-to-run. Workers
+/// allocate their own scratch (and, in the scatter direction, their own
+/// accumulators), so these paths trade strict allocation-freedom for
+/// parallel speedup and are only chosen above a plan-time work threshold.
 #[cfg(feature = "parallel")]
 mod parallel {
+    use crate::plan::{KronPlan, NodePlan, UnionPlan};
     use crate::Matrix;
 
-    /// Don't spin up threads for products cheaper than this many scalar ops.
-    const MIN_PAR_WORK: usize = 1 << 14;
-
-    fn threads() -> usize {
-        std::thread::available_parallelism().map_or(1, |p| p.get())
-    }
-
-    /// `Union` matvec with one thread per chunk of blocks. Returns `false`
-    /// (caller falls back to serial) when below threshold.
-    pub(super) fn union_matvec(blocks: &[Matrix], x: &[f64], out: &mut [f64]) -> bool {
-        let nthreads = threads().min(blocks.len());
-        if nthreads < 2 || out.len() * 2 + x.len() < MIN_PAR_WORK {
-            return false;
-        }
-        // Split `out` into per-block slices up front.
-        let mut jobs: Vec<(&Matrix, &mut [f64])> = Vec::with_capacity(blocks.len());
+    /// `Union` matvec with one worker per plan-time chunk of blocks.
+    /// Blocks write disjoint output spans, so this is bit-identical to the
+    /// serial path.
+    pub(super) fn union_matvec(blocks: &[Matrix], up: &UnionPlan, x: &[f64], out: &mut [f64]) {
+        let mut jobs: Vec<(&Matrix, &NodePlan, &mut [f64])> = Vec::with_capacity(blocks.len());
         let mut rem = out;
-        for b in blocks {
-            let (head, tail) = rem.split_at_mut(b.rows());
-            jobs.push((b, head));
+        for ((b, bp), &rows) in blocks.iter().zip(&up.blocks).zip(&up.block_rows) {
+            let (head, tail) = rem.split_at_mut(rows);
+            jobs.push((b, bp, head));
             rem = tail;
         }
-        // Round-robin chunks keep per-thread work balanced enough for the
-        // homogeneous blocks striped plans produce.
-        let chunk = jobs.len().div_ceil(nthreads);
         std::thread::scope(|s| {
-            for group in jobs.chunks_mut(chunk) {
+            for group in jobs.chunks_mut(up.par_fwd_chunk) {
                 s.spawn(move || {
-                    let need = group
-                        .iter()
-                        .map(|(b, _)| b.matvec_scratch())
-                        .max()
-                        .unwrap_or(0);
-                    let mut scratch = vec![0.0; need];
-                    for (b, o) in group {
-                        b.matvec_rec(x, o, &mut scratch);
+                    let mut scratch = vec![0.0; up.block_mv_scratch];
+                    for (b, bp, o) in group {
+                        b.matvec_plan(bp, x, o, &mut scratch);
                     }
                 });
             }
         });
-        true
     }
 
-    /// Stage 1 of the Kronecker vec-trick — applying `b` to each of the
-    /// `na` rows of the reshaped input — parallelized over row chunks.
+    /// `Unionᵀ` scatter-add over plan-time chunks of blocks: each worker
+    /// accumulates its chunk into a private full-width vector; the
+    /// accumulators are merged **in fixed chunk order** after the barrier,
+    /// so the result is deterministic run-to-run (within one chunk the
+    /// blocks scatter in their serial order; across chunks only the
+    /// grouping of the final sums differs from the serial path, by at most
+    /// the usual f64 rounding).
+    pub(super) fn union_rmatvec_add(blocks: &[Matrix], up: &UnionPlan, y: &[f64], out: &mut [f64]) {
+        let chunk = up.par_bwd_chunk;
+        let cols = out.len();
+        let mut jobs: Vec<(&Matrix, &NodePlan, &[f64])> = Vec::with_capacity(blocks.len());
+        let mut offset = 0;
+        for ((b, bp), &rows) in blocks.iter().zip(&up.blocks).zip(&up.block_rows) {
+            jobs.push((b, bp, &y[offset..offset + rows]));
+            offset += rows;
+        }
+        let nchunks = jobs.len().div_ceil(chunk);
+        let mut accs: Vec<Vec<f64>> = vec![Vec::new(); nchunks];
+        std::thread::scope(|s| {
+            for (group, acc) in jobs.chunks(chunk).zip(accs.iter_mut()) {
+                s.spawn(move || {
+                    let mut local = vec![0.0; cols];
+                    let mut scratch = vec![0.0; up.block_rmva_scratch];
+                    for (b, bp, ys) in group {
+                        b.rmatvec_add_plan(bp, ys, &mut local, &mut scratch);
+                    }
+                    *acc = local;
+                });
+            }
+        });
+        for acc in &accs {
+            for (o, &v) in out.iter_mut().zip(acc) {
+                *o += v;
+            }
+        }
+    }
+
+    /// Stage 1 of the Kronecker forward vec-trick — applying `B` to each of
+    /// the `na` rows of the reshaped input — parallelized over plan-time
+    /// row chunks. Rows write disjoint spans of `t`: bit-identical.
     pub(super) fn kron_apply_rows(
         b: &Matrix,
+        kp: &KronPlan,
         x: &[f64],
         t: &mut [f64],
-        na: usize,
         nb: usize,
         mb: usize,
-    ) -> bool {
-        let nthreads = threads().min(na);
-        if nthreads < 2 || na * (nb + mb) < MIN_PAR_WORK {
-            return false;
-        }
-        let rows_per = na.div_ceil(nthreads);
+    ) {
+        let rows_per = kp.par_fwd_rows;
         std::thread::scope(|s| {
             for (c, tchunk) in t.chunks_mut(rows_per * mb).enumerate() {
                 let x = &x[c * rows_per * nb..];
                 s.spawn(move || {
-                    let mut scratch = vec![0.0; b.matvec_scratch()];
+                    let mut scratch = vec![0.0; kp.b_mv_scratch];
                     for (i, trow) in tchunk.chunks_mut(mb).enumerate() {
-                        b.matvec_rec(&x[i * nb..(i + 1) * nb], trow, &mut scratch);
+                        b.matvec_plan(&kp.b, &x[i * nb..(i + 1) * nb], trow, &mut scratch);
                     }
                 });
             }
         });
-        true
     }
 
-    /// Transpose-direction mirror of [`kron_apply_rows`].
+    /// Transpose-direction mirror of [`kron_apply_rows`] (stage 1 of the
+    /// scatter vec-trick).
     pub(super) fn kron_apply_rows_t(
         b: &Matrix,
+        kp: &KronPlan,
         y: &[f64],
         t: &mut [f64],
-        ma: usize,
         mb: usize,
         nb: usize,
-    ) -> bool {
-        let nthreads = threads().min(ma);
-        if nthreads < 2 || ma * (nb + mb) < MIN_PAR_WORK {
-            return false;
-        }
-        let rows_per = ma.div_ceil(nthreads);
+    ) {
+        let rows_per = kp.par_bwd_rows;
         std::thread::scope(|s| {
             for (c, tchunk) in t.chunks_mut(rows_per * nb).enumerate() {
                 let y = &y[c * rows_per * mb..];
                 s.spawn(move || {
-                    let mut scratch = vec![0.0; b.rmatvec_scratch()];
+                    let mut scratch = vec![0.0; kp.b_rmv_scratch];
                     for (p, trow) in tchunk.chunks_mut(nb).enumerate() {
-                        b.rmatvec_rec(&y[p * mb..(p + 1) * mb], trow, &mut scratch);
+                        b.rmatvec_plan(&kp.b, &y[p * mb..(p + 1) * mb], trow, &mut scratch);
                     }
                 });
             }
         });
-        true
+    }
+
+    /// Stage 2 of the Kronecker transpose product parallelized over
+    /// **output column chunks**: worker `c` computes `Aᵀ` applied to
+    /// columns `[c·w, (c+1)·w)` of the stage-1 partials into a private
+    /// buffer; the buffers are copied into `out` in chunk order after the
+    /// barrier. Every output cell is produced by exactly one worker, so
+    /// this is bit-identical to the serial stage 2.
+    pub(super) fn kron_scatter_cols(
+        a: &Matrix,
+        kp: &KronPlan,
+        t: &[f64],
+        out: &mut [f64],
+        ma: usize,
+        na: usize,
+        nb: usize,
+    ) {
+        let cols_per = kp.par_bwd_cols;
+        let nchunks = nb.div_ceil(cols_per);
+        let mut parts: Vec<Vec<f64>> = vec![Vec::new(); nchunks];
+        std::thread::scope(|s| {
+            for (c, part) in parts.iter_mut().enumerate() {
+                let j0 = c * cols_per;
+                let j1 = (j0 + cols_per).min(nb);
+                s.spawn(move || {
+                    let w = j1 - j0;
+                    let mut buf = vec![0.0; na * w];
+                    let mut col = vec![0.0; ma];
+                    let mut ocol = vec![0.0; na];
+                    let mut scratch = vec![0.0; kp.a_rmv_scratch];
+                    for j in j0..j1 {
+                        for (p, cp) in col.iter_mut().enumerate() {
+                            *cp = t[p * nb + j];
+                        }
+                        a.rmatvec_plan(&kp.a, &col, &mut ocol, &mut scratch);
+                        for (i, &o) in ocol.iter().enumerate() {
+                            buf[i * w + (j - j0)] = o;
+                        }
+                    }
+                    *part = buf;
+                });
+            }
+        });
+        for (c, part) in parts.iter().enumerate() {
+            let j0 = c * cols_per;
+            let w = ((j0 + cols_per).min(nb)) - j0;
+            for i in 0..na {
+                out[i * nb + j0..i * nb + j0 + w].copy_from_slice(&part[i * w..(i + 1) * w]);
+            }
+        }
     }
 }
 
@@ -502,6 +930,67 @@ mod tests {
     }
 
     #[test]
+    fn long_product_chain_matches_step_by_step() {
+        // 5 factors exercise the ping-pong buffers in both directions.
+        let n = 6;
+        let factors = [
+            Matrix::prefix(n),
+            Matrix::diagonal((0..n).map(|i| 1.0 + i as f64 * 0.5).collect()),
+            Matrix::suffix(n),
+            Matrix::wavelet(n),
+            Matrix::diagonal((0..n).map(|i| 2.0 - i as f64 * 0.3).collect()),
+        ];
+        let mut chain = factors[factors.len() - 1].clone();
+        for f in factors[..factors.len() - 1].iter().rev() {
+            chain = Matrix::Product(Box::new(f.clone()), Box::new(chain.clone()));
+        }
+        let x: Vec<f64> = (0..n).map(|i| i as f64 - 2.0).collect();
+        // Reference: apply factors innermost-first, one at a time.
+        let mut expect = x.clone();
+        for f in factors.iter().rev() {
+            expect = f.matvec(&expect);
+        }
+        let mut ws = Workspace::for_matrix(&chain);
+        let mut got = vec![0.0; n];
+        chain.matvec_into(&x, &mut got, &mut ws);
+        assert_eq!(got, expect, "chain matvec diverged");
+
+        let y: Vec<f64> = (0..n).map(|i| (i as f64) * 0.7 - 1.0).collect();
+        let mut expect_t = y.clone();
+        for f in factors.iter() {
+            expect_t = f.rmatvec(&expect_t);
+        }
+        let mut got_t = vec![0.0; n];
+        chain.rmatvec_into(&y, &mut got_t, &mut ws);
+        assert_eq!(got_t, expect_t, "chain rmatvec diverged");
+
+        // Accumulating scatter through the chain.
+        let mut acc = vec![0.25; n];
+        chain.rmatvec_add(&y, &mut acc, &mut ws);
+        for (a, e) in acc.iter().zip(&expect_t) {
+            assert!((a - (e + 0.25)).abs() < 1e-12, "chain rmatvec_add diverged");
+        }
+    }
+
+    #[test]
+    fn chain_scratch_is_smaller_than_nested_recursion() {
+        let n = 64;
+        let mut chain = Matrix::prefix(n);
+        for _ in 0..7 {
+            chain = Matrix::Product(Box::new(Matrix::suffix(n)), Box::new(chain));
+        }
+        let mut ws = Workspace::for_matrix(&chain);
+        // 7 products: the nested recursion would need 7n for matvec; the
+        // ping-pong plan needs 2n (the arena itself covers the widest of
+        // the three directions, still well under the nested requirement).
+        let plan = ws.plan_for(&chain);
+        assert_eq!(plan.mv_scratch, 2 * n);
+        assert_eq!(plan.rmv_scratch, 2 * n);
+        assert!(chain.matvec_scratch() >= 7 * n);
+        assert!(ws.capacity() < chain.matvec_scratch());
+    }
+
+    #[test]
     fn kron_matches_materialized() {
         let a = Matrix::from_rows(vec![vec![1.0, 2.0], vec![0.0, -1.0], vec![3.0, 1.0]]);
         let b = Matrix::from_rows(vec![vec![1.0, 0.0, 2.0], vec![-1.0, 1.0, 0.5]]);
@@ -557,9 +1046,9 @@ mod tests {
         assert_eq!(w.matvec(&x), expect);
     }
 
-    /// The parallel paths only engage above `MIN_PAR_WORK`; these cases are
-    /// sized past the threshold so `--features parallel` actually executes
-    /// the threaded chunking (below-threshold per-block evaluation stays
+    /// The parallel paths only engage above the plan-time work threshold;
+    /// these cases are sized past it so `--features parallel` actually
+    /// executes the threaded chunking (below-threshold evaluation stays
     /// serial and serves as the reference).
     #[test]
     fn large_union_matches_per_block_evaluation() {
@@ -578,9 +1067,43 @@ mod tests {
     }
 
     #[test]
+    fn large_union_rmatvec_matches_per_block_scatter() {
+        // Above the scatter threshold: rows = 4n ≥ 2^14 and rows ≥ cols.
+        let n = 1usize << 12;
+        let blocks = vec![
+            Matrix::wavelet(n),
+            Matrix::prefix(n),
+            Matrix::scaled(0.5, Matrix::suffix(n)),
+            Matrix::product(Matrix::prefix(n), Matrix::wavelet(n)),
+        ];
+        let u = Matrix::vstack(blocks.clone());
+        let y: Vec<f64> = (0..u.rows())
+            .map(|i| ((i * 19) % 11) as f64 - 5.0)
+            .collect();
+        let got = u.rmatvec(&y);
+        // Serial per-block reference.
+        let mut expect = vec![0.0; n];
+        let mut offset = 0;
+        for b in &blocks {
+            let back = b.rmatvec(&y[offset..offset + b.rows()]);
+            for (e, v) in expect.iter_mut().zip(&back) {
+                *e += v;
+            }
+            offset += b.rows();
+        }
+        for (g, e) in got.iter().zip(&expect) {
+            assert!((g - e).abs() < 1e-9, "union rmatvec diverged");
+        }
+        // The threaded merge must be deterministic: a second evaluation
+        // through a fresh workspace is bit-identical.
+        let got2 = u.rmatvec(&y);
+        assert_eq!(got, got2, "threaded union rmatvec is nondeterministic");
+    }
+
+    #[test]
     fn large_kron_matches_materialized() {
         // na*(nb+mb) = 128*256 exceeds the parallel threshold in both
-        // directions.
+        // directions (and nb*(ma+na) the stage-2 column threshold).
         let a = Matrix::prefix(128);
         let b = Matrix::wavelet(128);
         let k = Matrix::kron(a, b);
@@ -601,6 +1124,8 @@ mod tests {
         for (g, e) in got_t.iter().zip(&expect_t) {
             assert!((g - e).abs() < 1e-9, "kron rmatvec diverged");
         }
+        let got_t2 = k.rmatvec(&y);
+        assert_eq!(got_t, got_t2, "threaded kron rmatvec is nondeterministic");
     }
 
     #[test]
@@ -622,5 +1147,8 @@ mod tests {
         assert_eq!(ws.capacity(), cap_after_plan);
         assert_eq!(out, m.matvec(&x));
         assert_eq!(back, m.rmatvec(&out));
+        // And the plan was built exactly once.
+        assert_eq!(ws.plan_cache_builds(), 1);
+        assert!(ws.plan_cache_hits() >= 6);
     }
 }

@@ -1,0 +1,585 @@
+//! Cached evaluation plans for the combinator tree.
+//!
+//! PR 1's engine removed per-call heap allocations but still re-ran the
+//! *planning pass* — the `O(tree)` recursion computing scratch sizes, split
+//! offsets and shapes — on every `matvec_into` call. An [`EvalPlan`] runs
+//! that pass **once** and records everything evaluation needs:
+//!
+//! * per-node **split offsets** (block row ranges of a `Union`, factor
+//!   shapes of a `Kronecker`, intermediate lengths of a `Product` chain),
+//! * the total **scratch requirement** of all three product directions
+//!   (`matvec`, `rmatvec`, `rmatvec_add`), so the arena is reserved in full
+//!   up front and never grows mid-evaluation,
+//! * plan-time **parallel-chunk decisions** for the `parallel` feature
+//!   (thread counts and chunk sizes are fixed when the plan is built, which
+//!   is what makes threaded evaluation deterministic), and
+//! * a **ping-pong buffer assignment** for right-nested `Product` chains:
+//!   a chain of `k` products needs only `min(k, 2)` intermediate buffers
+//!   instead of the `k` the nested recursion carved, shrinking the working
+//!   set of lineage-shaped trees (the shape every kernel-transformed
+//!   source drags through inference) by up to `k/2`×.
+//!
+//! Plans are memoized inside [`crate::Workspace`], keyed by the matrix's
+//! address with a structural-fingerprint fallback, so solver inner loops
+//! perform **zero planning-pass tree walks** in steady state (see the
+//! workspace module docs for the cache's invalidation rules).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::Matrix;
+
+/// Number of plans built process-wide (each build is one planning-pass tree
+/// walk). Exposed through [`plan_builds`] so tests and benchmarks can prove
+/// the steady state performs none.
+static PLAN_BUILDS: AtomicU64 = AtomicU64::new(0);
+
+/// Total evaluation plans built by this process so far.
+///
+/// A solver iterating over a fixed system must not move this counter: the
+/// plan is built once when its [`crate::Workspace`] first sees the matrix
+/// and every later call is a cache hit. Regression tests assert the delta
+/// across extra iterations is exactly zero.
+pub fn plan_builds() -> u64 {
+    PLAN_BUILDS.load(Ordering::Relaxed)
+}
+
+/// Work threshold below which parallel evaluation is never chosen (scalar
+/// ops; spinning up threads costs more than this much arithmetic).
+#[cfg(feature = "parallel")]
+const MIN_PAR_WORK: usize = 1 << 14;
+
+#[cfg(feature = "parallel")]
+fn threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |p| p.get())
+}
+
+/// A fully planned evaluation of one matrix: the per-node records plus the
+/// arena requirement of every direction.
+#[derive(Debug)]
+pub(crate) struct EvalPlan {
+    /// Per-node plan mirroring the combinator tree.
+    pub root: NodePlan,
+    /// Cached shape (saves the `O(tree)` `rows()`/`cols()` walks in the
+    /// entry-point assertions).
+    pub rows: usize,
+    /// See `rows`.
+    pub cols: usize,
+    /// Arena scalars `matvec_into` draws.
+    pub mv_scratch: usize,
+    /// Arena scalars `rmatvec_into` draws.
+    pub rmv_scratch: usize,
+    /// Arena scalars `rmatvec_add` draws.
+    pub rmva_scratch: usize,
+    /// Structural fingerprint of the tree this plan was built for.
+    pub fingerprint: u64,
+}
+
+impl EvalPlan {
+    /// The arena size covering every direction — reserved in full, up
+    /// front, by the `*_into` entry points so evaluation never grows the
+    /// arena mid-solve.
+    pub fn max_scratch(&self) -> usize {
+        self.mv_scratch.max(self.rmv_scratch).max(self.rmva_scratch)
+    }
+
+    /// Builds the plan for `m` (the one-time planning pass).
+    pub fn build(m: &Matrix) -> EvalPlan {
+        PLAN_BUILDS.fetch_add(1, Ordering::Relaxed);
+        let (root, info) = plan_node(m);
+        EvalPlan {
+            root,
+            rows: info.rows,
+            cols: info.cols,
+            mv_scratch: info.mv,
+            rmv_scratch: info.rmv,
+            rmva_scratch: info.rmva,
+            fingerprint: fingerprint(m),
+        }
+    }
+}
+
+/// The per-node evaluation record. Variants mirror the combinator arms of
+/// [`Matrix`]; every leaf (explicit or implicit core matrix) is
+/// [`NodePlan::Leaf`] and evaluates through the unplanned serial kernels.
+#[derive(Debug)]
+pub(crate) enum NodePlan {
+    /// Core/explicit matrices: no tree structure below, `O(1)` planning.
+    Leaf,
+    /// `Union` with per-block row spans and chunk decisions.
+    Union(UnionPlan),
+    /// A maximal right-nested `Product` chain with ping-pong buffers.
+    Chain(ChainPlan),
+    /// `Kronecker` with both factor shapes and stage chunk decisions.
+    Kron(KronPlan),
+    /// `Scaled`; `rows` feeds the `rmatvec_add` temporary.
+    Scaled {
+        /// Rows of the scaled matrix.
+        rows: usize,
+        /// Plan of the inner matrix.
+        child: Box<NodePlan>,
+    },
+    /// Lazy transpose; directions swap when descending.
+    Transpose {
+        /// Rows of the *inner* matrix (length of the `rmatvec_add`
+        /// temporary).
+        child_rows: usize,
+        /// Plan of the inner matrix.
+        child: Box<NodePlan>,
+    },
+}
+
+/// Plan records for one `Union` node.
+// The chunk-decision fields are only read by the threaded evaluators.
+#[cfg_attr(not(feature = "parallel"), allow(dead_code))]
+#[derive(Debug)]
+pub(crate) struct UnionPlan {
+    /// Rows of each block, in order (the split offsets of the stacked
+    /// output/input vector).
+    pub block_rows: Vec<usize>,
+    /// Per-block sub-plans.
+    pub blocks: Vec<NodePlan>,
+    /// Blocks per worker in the forward (matvec) direction; `0` = serial.
+    pub par_fwd_chunk: usize,
+    /// Blocks per worker in the transpose/scatter direction; `0` = serial.
+    pub par_bwd_chunk: usize,
+    /// Largest per-block `matvec` scratch need (sizes the per-worker
+    /// arenas of the parallel forward path).
+    pub block_mv_scratch: usize,
+    /// Largest per-block `rmatvec_add` scratch need (sizes the per-worker
+    /// arenas of the parallel scatter path).
+    pub block_rmva_scratch: usize,
+}
+
+/// Plan records for a maximal right-nested `Product` chain
+/// `f_0 · f_1 · … · f_m` (`m ≥ 1` products, `m + 1` factors).
+#[derive(Debug)]
+pub(crate) struct ChainPlan {
+    /// Sub-plans of the factors `f_0 ..= f_m`, outermost first.
+    pub factors: Vec<NodePlan>,
+    /// `rows(f_j)` for every factor. Intermediate `s_j` (the running
+    /// product applied to the input) has length `rows[j]` in the forward
+    /// direction and `rows[j + 1]` in the transpose direction.
+    pub rows: Vec<usize>,
+    /// Length of one ping-pong buffer: the largest intermediate.
+    pub buf_len: usize,
+    /// Number of ping-pong buffers carved (`1` for a single product,
+    /// else `2` — the liveness argument: evaluating a chain only ever
+    /// needs the previous intermediate and the one being written).
+    pub bufs: usize,
+}
+
+/// Plan records for one `Kronecker` node `A ⊗ B`.
+// The chunk-decision fields are only read by the threaded evaluators.
+#[cfg_attr(not(feature = "parallel"), allow(dead_code))]
+#[derive(Debug)]
+pub(crate) struct KronPlan {
+    /// Shape of `A`.
+    pub a_rows: usize,
+    /// See `a_rows`.
+    pub a_cols: usize,
+    /// Shape of `B`.
+    pub b_rows: usize,
+    /// See `b_rows`.
+    pub b_cols: usize,
+    /// Sub-plan of `A`.
+    pub a: Box<NodePlan>,
+    /// Sub-plan of `B`.
+    pub b: Box<NodePlan>,
+    /// Stage-1 rows per worker, forward direction; `0` = serial.
+    pub par_fwd_rows: usize,
+    /// Stage-1 rows per worker, transpose direction; `0` = serial.
+    pub par_bwd_rows: usize,
+    /// Stage-2 output columns per worker, transpose direction; `0` =
+    /// serial. (The "Kronecker column-chunk" parallel scatter path.)
+    pub par_bwd_cols: usize,
+    /// `matvec` scratch of `B` (sizes per-worker arenas in stage 1).
+    pub b_mv_scratch: usize,
+    /// `rmatvec` scratch of `B`.
+    pub b_rmv_scratch: usize,
+    /// `rmatvec` scratch of `A` (sizes per-worker arenas in stage 2).
+    pub a_rmv_scratch: usize,
+}
+
+/// Planning facts about one subtree.
+#[derive(Clone, Copy, Debug)]
+struct Info {
+    rows: usize,
+    cols: usize,
+    /// `matvec` scratch of the *planned* evaluation (≤ the unplanned
+    /// recursion's requirement; chains shrink it).
+    mv: usize,
+    /// `rmatvec` scratch.
+    rmv: usize,
+    /// `rmatvec_add` scratch.
+    rmva: usize,
+}
+
+fn plan_node(m: &Matrix) -> (NodePlan, Info) {
+    match m {
+        Matrix::Dense(..)
+        | Matrix::Sparse(..)
+        | Matrix::Diagonal(..)
+        | Matrix::Identity { .. }
+        | Matrix::Ones { .. }
+        | Matrix::Prefix { .. }
+        | Matrix::Suffix { .. }
+        | Matrix::Wavelet { .. }
+        | Matrix::Range(..)
+        | Matrix::Rect2D(..) => (
+            NodePlan::Leaf,
+            Info {
+                rows: m.rows(),
+                cols: m.cols(),
+                mv: m.matvec_scratch(),
+                rmv: m.rmatvec_scratch(),
+                rmva: m.rmatvec_add_scratch(),
+            },
+        ),
+        Matrix::Union(blocks) => plan_union(blocks),
+        Matrix::Product(..) => plan_chain(m),
+        Matrix::Kronecker(a, b) => plan_kron(a, b),
+        Matrix::Scaled(_, a) => {
+            let (child, ci) = plan_node(a);
+            let info = Info {
+                rmva: ci.rows + ci.rmva,
+                ..ci
+            };
+            (
+                NodePlan::Scaled {
+                    rows: ci.rows,
+                    child: Box::new(child),
+                },
+                info,
+            )
+        }
+        Matrix::Transpose(a) => {
+            let (child, ci) = plan_node(a);
+            let info = Info {
+                rows: ci.cols,
+                cols: ci.rows,
+                mv: ci.rmv,
+                rmv: ci.mv,
+                rmva: ci.rows + ci.mv,
+            };
+            (
+                NodePlan::Transpose {
+                    child_rows: ci.rows,
+                    child: Box::new(child),
+                },
+                info,
+            )
+        }
+    }
+}
+
+fn plan_union(blocks: &[Matrix]) -> (NodePlan, Info) {
+    let built: Vec<(NodePlan, Info)> = blocks.iter().map(plan_node).collect();
+    let rows: usize = built.iter().map(|(_, i)| i.rows).sum();
+    let cols = built.first().map_or(0, |(_, i)| i.cols);
+    let block_mv = built.iter().map(|(_, i)| i.mv).max().unwrap_or(0);
+    let block_rmva = built.iter().map(|(_, i)| i.rmva).max().unwrap_or(0);
+
+    #[cfg(feature = "parallel")]
+    let (par_fwd_chunk, par_bwd_chunk) = {
+        let nthreads = threads().min(blocks.len());
+        let fwd = if nthreads >= 2 && rows * 2 + cols >= MIN_PAR_WORK {
+            blocks.len().div_ceil(nthreads)
+        } else {
+            0
+        };
+        // The scatter direction pays an extra `threads · cols` for the
+        // per-worker accumulators and their merge, so it needs the stacked
+        // row count itself to clear the threshold.
+        let bwd = if nthreads >= 2 && rows >= MIN_PAR_WORK && rows >= cols {
+            blocks.len().div_ceil(nthreads)
+        } else {
+            0
+        };
+        (fwd, bwd)
+    };
+    #[cfg(not(feature = "parallel"))]
+    let (par_fwd_chunk, par_bwd_chunk) = (0, 0);
+
+    let info = Info {
+        rows,
+        cols,
+        mv: block_mv,
+        rmv: block_rmva,
+        rmva: block_rmva,
+    };
+    (
+        NodePlan::Union(UnionPlan {
+            block_rows: built.iter().map(|(_, i)| i.rows).collect(),
+            blocks: built.into_iter().map(|(p, _)| p).collect(),
+            par_fwd_chunk,
+            par_bwd_chunk,
+            block_mv_scratch: block_mv,
+            block_rmva_scratch: block_rmva,
+        }),
+        info,
+    )
+}
+
+fn plan_chain(m: &Matrix) -> (NodePlan, Info) {
+    // Fold the maximal right spine of `Product` nodes into one chain:
+    // Product(f0, Product(f1, … Product(f_{m-1}, f_m))) — the shape
+    // `Matrix::product` builds for transformation lineages.
+    let mut factors = Vec::new();
+    let mut cur = m;
+    while let Matrix::Product(a, b) = cur {
+        factors.push(plan_node(a));
+        cur = b;
+    }
+    factors.push(plan_node(cur));
+    debug_assert!(factors.len() >= 2);
+
+    let rows: Vec<usize> = factors.iter().map(|(_, i)| i.rows).collect();
+    let cols = factors.last().map_or(0, |(_, i)| i.cols);
+    let nprod = factors.len() - 1;
+    let buf_len = rows[1..].iter().copied().max().unwrap_or(0);
+    let bufs = nprod.min(2);
+
+    let max_mv = factors.iter().map(|(_, i)| i.mv).max().unwrap_or(0);
+    let max_rmv = factors.iter().map(|(_, i)| i.rmv).max().unwrap_or(0);
+    // `rmatvec_add` pushes the accumulation into the innermost factor; the
+    // outer ones run plain `rmatvec`.
+    let max_rmva_path = factors[..nprod]
+        .iter()
+        .map(|(_, i)| i.rmv)
+        .max()
+        .unwrap_or(0)
+        .max(factors[nprod].1.rmva);
+
+    let info = Info {
+        rows: rows[0],
+        cols,
+        mv: bufs * buf_len + max_mv,
+        rmv: bufs * buf_len + max_rmv,
+        rmva: bufs * buf_len + max_rmva_path,
+    };
+    (
+        NodePlan::Chain(ChainPlan {
+            factors: factors.into_iter().map(|(p, _)| p).collect(),
+            rows,
+            buf_len,
+            bufs,
+        }),
+        info,
+    )
+}
+
+fn plan_kron(a: &Matrix, b: &Matrix) -> (NodePlan, Info) {
+    let (ap, ai) = plan_node(a);
+    let (bp, bi) = plan_node(b);
+    let (ma, na) = (ai.rows, ai.cols);
+    let (mb, nb) = (bi.rows, bi.cols);
+
+    #[cfg(feature = "parallel")]
+    let (par_fwd_rows, par_bwd_rows, par_bwd_cols) = {
+        let nt = threads();
+        let fwd = if nt.min(na) >= 2 && na * (nb + mb) >= MIN_PAR_WORK {
+            na.div_ceil(nt.min(na))
+        } else {
+            0
+        };
+        let bwd = if nt.min(ma) >= 2 && ma * (nb + mb) >= MIN_PAR_WORK {
+            ma.div_ceil(nt.min(ma))
+        } else {
+            0
+        };
+        let bwd_cols = if nt.min(nb) >= 2 && nb * (ma + na) >= MIN_PAR_WORK {
+            nb.div_ceil(nt.min(nb))
+        } else {
+            0
+        };
+        (fwd, bwd, bwd_cols)
+    };
+    #[cfg(not(feature = "parallel"))]
+    let (par_fwd_rows, par_bwd_rows, par_bwd_cols) = (0, 0, 0);
+
+    let info = Info {
+        rows: ma * mb,
+        cols: na * nb,
+        mv: na * mb + bi.mv.max(na + ma + ai.mv),
+        rmv: ma * nb + bi.rmv.max(ma + na + ai.rmv),
+        // Kronecker scatter-adds through a dense temporary of the full
+        // output width (same policy as the unplanned recursion).
+        rmva: na * nb + ma * nb + bi.rmv.max(ma + na + ai.rmv),
+    };
+    (
+        NodePlan::Kron(KronPlan {
+            a_rows: ma,
+            a_cols: na,
+            b_rows: mb,
+            b_cols: nb,
+            a: Box::new(ap),
+            b: Box::new(bp),
+            par_fwd_rows,
+            par_bwd_rows,
+            par_bwd_cols,
+            b_mv_scratch: bi.mv,
+            b_rmv_scratch: bi.rmv,
+            a_rmv_scratch: ai.rmv,
+        }),
+        info,
+    )
+}
+
+// ---------------------------------------------------------------------
+// Identity: fingerprints and shallow signatures for the plan cache
+// ---------------------------------------------------------------------
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+#[inline]
+fn mix(h: u64, v: u64) -> u64 {
+    // FNV-1a over the value's bytes, 8 at a time.
+    (h ^ v).wrapping_mul(FNV_PRIME)
+}
+
+/// A structural *shape* fingerprint of the whole tree: combinator
+/// structure plus every dimension the planner reads — and nothing else.
+///
+/// Soundness argument: an [`EvalPlan`] is a pure function of (a) the tree
+/// of combinator discriminants, (b) the dimensions/scratch sizes of each
+/// node, and (c) the process-constant thread count. All of (a) and (b)
+/// feed this hash (payload *values* are irrelevant to planning and are
+/// deliberately not hashed), so any matrix with the same fingerprint can
+/// reuse the same plan — the cache cannot go stale, no matter how
+/// matrices are dropped, rebuilt, cloned or moved. The walk is
+/// allocation-free and costs a few ns per node (two orders of magnitude
+/// below the planning pass it replaces, see the `replan_every_call`
+/// bench entries). A 64-bit collision between the ≤8 resident shapes is
+/// negligible (~2⁻⁵⁸).
+pub(crate) fn fingerprint(m: &Matrix) -> u64 {
+    fn rec(m: &Matrix, mut h: u64) -> u64 {
+        h = mix(h, tag(m));
+        match m {
+            // Explicit payloads hash by their O(1) dimension accessors;
+            // Rect2D additionally by its grid-dependent scratch size
+            // (two grids can share (queries, domain) but not (rows+1)·
+            // (cols+1)).
+            Matrix::Dense(d) => mix(mix(h, d.rows() as u64), d.cols() as u64),
+            Matrix::Sparse(s) => mix(mix(h, s.rows() as u64), s.cols() as u64),
+            Matrix::Diagonal(d) => mix(h, d.len() as u64),
+            Matrix::Range(r) => mix(mix(h, r.num_queries() as u64), r.domain() as u64),
+            Matrix::Rect2D(r) => mix(
+                mix(mix(h, r.num_queries() as u64), r.domain() as u64),
+                r.scratch_len() as u64,
+            ),
+            Matrix::Identity { n }
+            | Matrix::Prefix { n }
+            | Matrix::Suffix { n }
+            | Matrix::Wavelet { n } => mix(h, *n as u64),
+            Matrix::Ones { rows, cols } => mix(mix(h, *rows as u64), *cols as u64),
+            Matrix::Union(blocks) => {
+                h = mix(h, blocks.len() as u64);
+                for b in blocks {
+                    h = rec(b, h);
+                }
+                h
+            }
+            Matrix::Product(a, b) | Matrix::Kronecker(a, b) => rec(b, rec(a, h)),
+            // The scale factor does not affect planning, so equal shapes
+            // share one plan across different scalings.
+            Matrix::Scaled(_, a) => rec(a, h),
+            Matrix::Transpose(a) => rec(a, h),
+        }
+    }
+    rec(m, FNV_OFFSET)
+}
+
+fn tag(m: &Matrix) -> u64 {
+    match m {
+        Matrix::Dense(..) => 1,
+        Matrix::Sparse(..) => 2,
+        Matrix::Diagonal(..) => 3,
+        Matrix::Identity { .. } => 4,
+        Matrix::Ones { .. } => 5,
+        Matrix::Prefix { .. } => 6,
+        Matrix::Suffix { .. } => 7,
+        Matrix::Wavelet { .. } => 8,
+        Matrix::Range(..) => 9,
+        Matrix::Rect2D(..) => 10,
+        Matrix::Union(..) => 11,
+        Matrix::Product(..) => 12,
+        Matrix::Kronecker(..) => 13,
+        Matrix::Scaled(..) => 14,
+        Matrix::Transpose(..) => 15,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_folds_right_spine_and_halves_scratch() {
+        // 4 products over n=8: nested recursion would need 4 intermediate
+        // buffers (32 scalars); the chain plan ping-pongs two.
+        let n = 8;
+        let mut m = Matrix::prefix(n);
+        for _ in 0..4 {
+            m = Matrix::Product(Box::new(Matrix::suffix(n)), Box::new(m));
+        }
+        let plan = EvalPlan::build(&m);
+        match &plan.root {
+            NodePlan::Chain(c) => {
+                assert_eq!(c.factors.len(), 5);
+                assert_eq!(c.buf_len, n);
+                assert_eq!(c.bufs, 2);
+            }
+            other => panic!("expected chain plan, got {other:?}"),
+        }
+        assert_eq!(plan.mv_scratch, 2 * n);
+        assert!(
+            plan.mv_scratch < m.matvec_scratch(),
+            "plan should beat the nested recursion"
+        );
+    }
+
+    #[test]
+    fn single_product_matches_unplanned_requirement() {
+        let m = Matrix::product(Matrix::prefix(8), Matrix::wavelet(8));
+        let plan = EvalPlan::build(&m);
+        assert_eq!(plan.mv_scratch, m.matvec_scratch());
+        assert_eq!(plan.rmv_scratch, m.rmatvec_scratch());
+    }
+
+    #[test]
+    fn union_plan_records_split_offsets() {
+        let m = Matrix::vstack(vec![
+            Matrix::prefix(8),
+            Matrix::total(8),
+            Matrix::identity(8),
+        ]);
+        let plan = EvalPlan::build(&m);
+        match &plan.root {
+            NodePlan::Union(u) => assert_eq!(u.block_rows, vec![8, 1, 8]),
+            other => panic!("expected union plan, got {other:?}"),
+        }
+        assert_eq!(plan.rows, 17);
+        assert_eq!(plan.cols, 8);
+    }
+
+    #[test]
+    fn fingerprint_stable_across_clones_and_distinct_across_shapes() {
+        let a = Matrix::vstack(vec![Matrix::prefix(8), Matrix::wavelet(8)]);
+        let b = a.clone();
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+        let c = Matrix::vstack(vec![Matrix::prefix(8), Matrix::identity(8)]);
+        assert_ne!(fingerprint(&a), fingerprint(&c));
+        assert_ne!(
+            fingerprint(&Matrix::prefix(8)),
+            fingerprint(&Matrix::suffix(8))
+        );
+    }
+
+    #[test]
+    fn build_counter_advances() {
+        let before = plan_builds();
+        let _ = EvalPlan::build(&Matrix::identity(4));
+        assert!(plan_builds() > before);
+    }
+}

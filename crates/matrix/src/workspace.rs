@@ -25,19 +25,55 @@
 //! assert_eq!(out[0], 10.0);
 //! ```
 
+use std::sync::Arc;
+
+use crate::plan::{fingerprint, EvalPlan};
 use crate::Matrix;
 
-/// A reusable scratch arena for [`Matrix::matvec_into`],
-/// [`Matrix::rmatvec_into`] and [`Matrix::rmatvec_add`].
+/// Cached plans kept per workspace. Solvers touch one matrix; MWEM-style
+/// loops a handful. Larger sweeps evict least-recently-used shapes.
+const PLAN_CACHE_CAP: usize = 8;
+
+/// One memoized evaluation plan, keyed by the structural shape
+/// fingerprint of the tree it was planned for.
+#[derive(Clone, Debug)]
+struct PlanSlot {
+    fp: u64,
+    plan: Arc<EvalPlan>,
+}
+
+/// A reusable scratch arena plus evaluation-plan cache for
+/// [`Matrix::matvec_into`], [`Matrix::rmatvec_into`] and
+/// [`Matrix::rmatvec_add`].
 ///
-/// A `Workspace` may be shared freely across different matrices and both
-/// product directions: it grows monotonically to the largest requirement it
-/// has seen and never shrinks. Constructing one with [`Workspace::for_matrix`]
-/// performs the planning pass and the single allocation up front, which is
-/// what iterative solvers do once per solve.
+/// A `Workspace` may be shared freely across different matrices and all
+/// product directions: the arena grows monotonically to the largest
+/// requirement it has seen and never shrinks, and up to 8 evaluation plans
+/// are memoized so repeat evaluations skip the planning pass entirely.
+/// Constructing one with [`Workspace::for_matrix`] performs the planning
+/// pass and the single allocation up front, which is what iterative
+/// solvers do once per solve.
+///
+/// # Plan invalidation rules
+///
+/// There are none to worry about: cached plans are keyed by a structural
+/// *shape* fingerprint (combinator structure plus every dimension the
+/// planner reads — see `plan::fingerprint`), and a plan is a pure
+/// function of exactly that shape, so a cache entry is valid for *any*
+/// matrix with the same fingerprint — dropping, rebuilding, cloning or
+/// moving matrices can never resurrect a stale plan. Each lookup costs
+/// one allocation-free hash walk over the tree (a few ns per node); the
+/// expensive planning pass runs only on a shape the workspace has not
+/// seen, which is what the `plan_builds` counters prove in the
+/// counting-allocator suites. [`Workspace::invalidate_plans`] exists to
+/// release plan memory or to force re-planning in benchmarks, not for
+/// correctness.
 #[derive(Clone, Debug, Default)]
 pub struct Workspace {
     buf: Vec<f64>,
+    plans: Vec<PlanSlot>,
+    hits: u64,
+    builds: u64,
 }
 
 impl Workspace {
@@ -46,11 +82,13 @@ impl Workspace {
         Workspace::default()
     }
 
-    /// A workspace pre-sized for both `m·x` and `mᵀ·y` products of `m`
-    /// (the planning pass of the one-time setup).
+    /// A workspace pre-planned and pre-sized for every product direction of
+    /// `m` (`m·x`, `mᵀ·y` and the accumulating scatter) — the one-time
+    /// setup of iterative solvers.
     pub fn for_matrix(m: &Matrix) -> Self {
         let mut ws = Workspace::new();
-        ws.reserve(m.matvec_scratch().max(m.rmatvec_scratch()));
+        let plan = ws.plan_for(m);
+        ws.reserve(plan.max_scratch());
         ws
     }
 
@@ -66,17 +104,68 @@ impl Workspace {
         self.buf.len()
     }
 
-    /// The first `len` scalars of the arena, growing it if needed. Contents
-    /// are unspecified; callers must not read before writing.
+    /// The evaluation plan for `m`, memoized by structural shape. A
+    /// lookup is one allocation-free fingerprint walk; only a shape this
+    /// workspace has not seen triggers the planning pass.
+    pub(crate) fn plan_for(&mut self, m: &Matrix) -> Arc<EvalPlan> {
+        let fp = fingerprint(m);
+        if let Some(i) = self.plans.iter().position(|s| s.fp == fp) {
+            self.hits += 1;
+            self.plans.swap(0, i); // keep the hot plan in front
+            return Arc::clone(&self.plans[0].plan);
+        }
+        self.builds += 1;
+        let plan = Arc::new(EvalPlan::build(m));
+        debug_assert_eq!(plan.fingerprint, fp);
+        self.plans.insert(
+            0,
+            PlanSlot {
+                fp,
+                plan: Arc::clone(&plan),
+            },
+        );
+        self.plans.truncate(PLAN_CACHE_CAP);
+        plan
+    }
+
+    /// Drops every cached plan (the arena is kept). Never needed for
+    /// correctness — see the type-level docs; useful to release plan
+    /// memory or to force re-planning in benchmarks.
+    pub fn invalidate_plans(&mut self) {
+        self.plans.clear();
+    }
+
+    /// Number of plan-cache hits (fingerprint lookups that skipped the
+    /// planning pass) this workspace has served.
+    pub fn plan_cache_hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of planning passes (plan builds) this workspace has run.
+    pub fn plan_cache_builds(&self) -> u64 {
+        self.builds
+    }
+
+    /// The first `len` scalars of the arena. The `*_into` entry points
+    /// reserve the full multi-direction requirement up front, so this
+    /// never grows the arena mid-evaluation.
     pub(crate) fn slice(&mut self, len: usize) -> &mut [f64] {
-        self.reserve(len);
+        debug_assert!(
+            len <= self.buf.len(),
+            "workspace arena under-reserved: {len} > {}",
+            self.buf.len()
+        );
+        self.reserve(len); // release-mode safety net; no-op when planned
         &mut self.buf[..len]
     }
 }
 
 impl Matrix {
-    /// Scalars of scratch space [`Matrix::matvec_into`] needs for this
-    /// matrix — the planning pass over the combinator tree. `O(tree size)`.
+    /// Scalars of scratch space the *unplanned serial recursion* needs for
+    /// `A·x` — `O(tree size)` to compute. The planned engine
+    /// ([`crate::plan`]) needs at most this much and strictly less on
+    /// product chains; these functions remain the sizing authority for
+    /// leaf nodes and for sub-evaluations that run without a plan.
     pub fn matvec_scratch(&self) -> usize {
         match self {
             Matrix::Dense(..)
@@ -206,5 +295,97 @@ mod tests {
         let ws = Workspace::for_matrix(&m);
         assert!(ws.capacity() >= m.matvec_scratch());
         assert!(ws.capacity() >= m.rmatvec_scratch());
+    }
+
+    #[test]
+    fn plan_cache_hits_on_shape_and_shares_across_clones() {
+        let m = Matrix::vstack(vec![Matrix::prefix(8), Matrix::wavelet(8)]);
+        let mut ws = Workspace::new();
+        let p1 = ws.plan_for(&m);
+        assert_eq!(ws.plan_cache_builds(), 1);
+        let p2 = ws.plan_for(&m);
+        assert_eq!(ws.plan_cache_builds(), 1, "second lookup must not rebuild");
+        assert_eq!(ws.plan_cache_hits(), 1);
+        assert!(Arc::ptr_eq(&p1, &p2));
+        // A clone (and any structurally identical rebuild) shares the
+        // shape fingerprint and therefore the plan.
+        let m2 = m.clone();
+        let p3 = ws.plan_for(&m2);
+        assert_eq!(ws.plan_cache_builds(), 1);
+        assert!(Arc::ptr_eq(&p1, &p3));
+    }
+
+    /// Regression (code review of ISSUE 2): reordered union blocks are a
+    /// different shape and must never share a plan, even when the old
+    /// matrix is dropped and the allocator hands its memory (root value,
+    /// blocks `Vec`, child boxes) to the new one — the scenario that
+    /// broke the address-keyed cache design. Shape-keyed plans are immune
+    /// by construction; this pins the behavior.
+    #[test]
+    fn reordered_union_blocks_never_share_a_plan() {
+        let mut ws = Workspace::new();
+        let x: Vec<f64> = (1..=8).map(|i| i as f64).collect();
+        for round in 0..3 {
+            // Rebuild both shapes each round so drops/reallocations of
+            // structurally different trees interleave on one workspace.
+            let a = Matrix::vstack(vec![Matrix::prefix(8), Matrix::total(8)]);
+            let mut out_a = vec![0.0; a.rows()];
+            a.matvec_into(&x, &mut out_a, &mut ws);
+            assert_eq!(out_a[8], 36.0, "total row of [prefix; total]");
+            assert_eq!(out_a[0], 1.0, "first prefix row (round {round})");
+            drop(a);
+            let b = Matrix::vstack(vec![Matrix::total(8), Matrix::prefix(8)]);
+            let mut out_b = vec![0.0; b.rows()];
+            b.matvec_into(&x, &mut out_b, &mut ws);
+            assert_eq!(out_b[0], 36.0, "total row of [total; prefix]");
+            assert_eq!(out_b[1], 1.0, "first prefix row (round {round})");
+        }
+        // Two shapes, two plans, built exactly once each.
+        assert_eq!(ws.plan_cache_builds(), 2);
+    }
+
+    #[test]
+    fn plan_cache_invalidation_and_capacity_bound() {
+        let mut ws = Workspace::new();
+        let keep: Vec<Matrix> = (1..=12).map(|n| Matrix::prefix(n * 4)).collect();
+        for m in &keep {
+            let _ = ws.plan_for(m);
+        }
+        assert_eq!(ws.plan_cache_builds(), 12);
+        // Capacity bound: the 8 most recent shapes are resident (hits),
+        // the oldest were evicted (a re-lookup rebuilds).
+        for m in &keep[4..] {
+            let _ = ws.plan_for(m);
+        }
+        assert_eq!(ws.plan_cache_builds(), 12, "recent shapes must be resident");
+        let _ = ws.plan_for(&keep[0]);
+        assert_eq!(ws.plan_cache_builds(), 13, "oldest shape must be evicted");
+        // Invalidation: a shape known to be resident right now must
+        // rebuild once the cache is cleared.
+        let _ = ws.plan_for(&keep[11]);
+        assert_eq!(ws.plan_cache_builds(), 13);
+        ws.invalidate_plans();
+        let _ = ws.plan_for(&keep[11]);
+        assert_eq!(
+            ws.plan_cache_builds(),
+            14,
+            "invalidate must force a rebuild"
+        );
+    }
+
+    #[test]
+    fn distinct_matrices_get_distinct_plans() {
+        let a = Matrix::product(Matrix::prefix(8), Matrix::wavelet(8));
+        let b = Matrix::product(Matrix::suffix(8), Matrix::wavelet(8));
+        let mut ws = Workspace::new();
+        let pa = ws.plan_for(&a);
+        let pb = ws.plan_for(&b);
+        assert!(!Arc::ptr_eq(&pa, &pb));
+        assert_eq!(ws.plan_cache_builds(), 2);
+        // Both stay resident: re-lookups are fingerprint hits.
+        let _ = ws.plan_for(&a);
+        let _ = ws.plan_for(&b);
+        assert_eq!(ws.plan_cache_builds(), 2);
+        assert_eq!(ws.plan_cache_hits(), 2);
     }
 }

@@ -1,0 +1,125 @@
+//! Property tests for the sensitivity fast paths (paper §5.2 / Table 1).
+//!
+//! `abs_col_sums` / `abs_row_sums` take a closed-form shortcut when both
+//! product factors are structurally non-negative (`colsums(|AB|) = Bᵀ|A|ᵀ1`)
+//! and fall back to materializing `|AB|` otherwise. The fallback calibrates
+//! Laplace noise for every lineage containing a signed transform (wavelets,
+//! differences, reweightings), so it is checked here against the
+//! explicitly materialized product on factors with negative entries —
+//! sensitivity drift would silently weaken or over-noise every downstream
+//! measurement.
+
+use ektelo_matrix::{DenseMatrix, Matrix};
+use proptest::prelude::*;
+
+/// A small dense factor with entries in [-3, 3] (signed on purpose).
+fn arb_dense(rows: usize, cols: usize) -> BoxedStrategy<Matrix> {
+    prop::collection::vec(-3.0f64..3.0, rows * cols)
+        .prop_map(move |v| Matrix::from_rows(v.chunks(cols).map(<[f64]>::to_vec).collect()))
+        .boxed()
+}
+
+/// Signed implicit factors: the shapes real lineages produce.
+fn arb_signed_square(n: usize) -> BoxedStrategy<Matrix> {
+    prop_oneof![
+        Just(Matrix::wavelet(n)),
+        (-2.0f64..-0.1).prop_map(move |c| Matrix::scaled(c, Matrix::prefix(n))),
+        prop::collection::vec(-2.0f64..2.0, n).prop_map(Matrix::diagonal),
+        Just(Matrix::suffix(n)),
+    ]
+    .boxed()
+}
+
+/// Reference column sums of |M| via full materialization.
+fn dense_abs_col_sums(d: &DenseMatrix) -> Vec<f64> {
+    d.map(f64::abs).abs_pow_col_sums(1)
+}
+
+/// Reference row sums of |M| via full materialization.
+fn dense_abs_row_sums(d: &DenseMatrix) -> Vec<f64> {
+    (0..d.rows())
+        .map(|i| d.row_slice(i).iter().map(|v| v.abs()).sum())
+        .collect()
+}
+
+fn check_product(p: &Matrix) -> Result<(), String> {
+    let d = p.to_dense();
+    let expect_cols = dense_abs_col_sums(&d);
+    let got_cols = p.abs_col_sums();
+    for (g, e) in got_cols.iter().zip(&expect_cols) {
+        prop_assert!(
+            (g - e).abs() < 1e-9,
+            "abs_col_sums drifted: {got_cols:?} vs {expect_cols:?}"
+        );
+    }
+    let expect_rows = dense_abs_row_sums(&d);
+    let got_rows = p.abs_row_sums();
+    for (g, e) in got_rows.iter().zip(&expect_rows) {
+        prop_assert!(
+            (g - e).abs() < 1e-9,
+            "abs_row_sums drifted: {got_rows:?} vs {expect_rows:?}"
+        );
+    }
+    // And therefore the L1 sensitivity itself.
+    let expect_l1 = expect_cols.iter().copied().fold(0.0, f64::max);
+    prop_assert!(
+        (p.l1_sensitivity() - expect_l1).abs() < 1e-9,
+        "l1_sensitivity drifted"
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Products of signed dense factors hit the materializing fallback;
+    /// their column/row sums must match the explicit |AB|.
+    #[test]
+    fn signed_dense_product_matches_materialized(
+        a in arb_dense(4, 5),
+        b in arb_dense(5, 6),
+    ) {
+        check_product(&Matrix::product(a, b))?;
+    }
+
+    /// Signed implicit factors (wavelet, negative scalings, signed
+    /// diagonals) — the lineage shapes — also take the fallback.
+    #[test]
+    fn signed_implicit_product_matches_materialized(
+        a in arb_signed_square(6),
+        b in arb_signed_square(6),
+    ) {
+        check_product(&Matrix::product(a, b))?;
+    }
+
+    /// Mixed case: one non-negative factor does not justify the shortcut;
+    /// the structural check must still route to the fallback and agree.
+    #[test]
+    fn mixed_sign_product_matches_materialized(
+        b in arb_signed_square(5),
+    ) {
+        check_product(&Matrix::product(Matrix::prefix(5), b.clone()))?;
+        check_product(&Matrix::product(b, Matrix::suffix(5)))?;
+    }
+
+    /// Three-factor chains nest a product inside a product; the outer
+    /// fallback must materialize the whole chain correctly.
+    #[test]
+    fn signed_chain_matches_materialized(
+        a in arb_signed_square(5),
+        b in arb_signed_square(5),
+    ) {
+        let chain = Matrix::product(a, Matrix::product(b, Matrix::wavelet(5)));
+        check_product(&chain)?;
+    }
+
+    /// Sanity: when both factors *are* non-negative the shortcut runs and
+    /// still matches the materialized reference.
+    #[test]
+    fn nonneg_shortcut_still_matches(
+        diag in prop::collection::vec(0.0f64..2.0, 6),
+    ) {
+        let p = Matrix::product(Matrix::prefix(6), Matrix::diagonal(diag));
+        check_product(&p)?;
+    }
+}

@@ -7,6 +7,20 @@
 //! When the subplan is data-independent (HB), the whole construction
 //! collapses to a single Kronecker strategy (`HB-Striped_kron`,
 //! Algorithm 6).
+//!
+//! The budget composes in parallel across stripes, and so does the
+//! *compute*: per-stripe measurements go through the kernel's batched
+//! `vector_laplace_batch`, which evaluates the exact per-stripe answers on
+//! worker threads (with the `parallel` feature) while drawing noise
+//! sequentially in stripe order — so the *measurements* are bit-identical
+//! with the feature on or off, and plan outputs are deterministic
+//! run-to-run given the kernel seed. (The final `x_hat` may differ from a
+//! serial build in the last ulps: the solver's threaded Unionᵀ scatter
+//! regroups f64 sums at merge points.) DAWA-Striped
+//! additionally builds its per-stripe Greedy-H strategies (pure public
+//! compute, the dominant per-stripe cost) on worker threads; its
+//! data-adaptive partition selection stays sequential because it consumes
+//! privacy randomness per stripe.
 
 use ektelo_core::kernel::{ProtectedKernel, SourceVar};
 use ektelo_core::ops::inference::LsSolver;
@@ -19,6 +33,11 @@ use crate::util::{
 };
 
 /// Plan #15 — HB-Striped (Algorithm 5): `PS TP[ SHB LM ] LS`.
+///
+/// All stripes share one data-independent HB strategy, so the whole
+/// measurement phase is a single batched call: exact answers evaluate in
+/// parallel (under the `parallel` feature), noise is drawn in stripe
+/// order — bit-identical to the old sequential loop.
 pub fn plan_hb_striped(
     kernel: &ProtectedKernel,
     x: SourceVar,
@@ -30,9 +49,9 @@ pub fn plan_hb_striped(
     let p = stripe_partition(sizes, attr);
     let stripes = kernel.split_by_partition(x, &p)?;
     let strategy = hb(sizes[attr]);
-    for stripe in stripes {
-        kernel.vector_laplace(stripe, &strategy, eps)?;
-    }
+    let reqs: Vec<(SourceVar, &ektelo_matrix::Matrix, f64)> =
+        stripes.iter().map(|&s| (s, &strategy, eps)).collect();
+    kernel.vector_laplace_batch(&reqs)?;
     Ok(PlanOutcome {
         x_hat: infer_ls(kernel, start, LsSolver::Iterative),
     })
@@ -58,17 +77,76 @@ pub fn plan_dawa_striped(
     let start = kernel.measurement_count();
     let p = stripe_partition(sizes, attr);
     let stripes = kernel.split_by_partition(x, &p)?;
+
+    // Phase 1 — per-stripe data-adaptive partitioning (sequential: DAWA's
+    // stage 1 consumes privacy randomness, which must stay in stripe
+    // order for determinism).
+    let mut reduced_vars = Vec::with_capacity(stripes.len());
+    let mut strategy_inputs = Vec::with_capacity(stripes.len());
     for stripe in stripes {
         let bucket_p = dawa_partition(kernel, stripe, shares[0], &DawaOptions::new(shares[1]))?;
         let reduced = kernel.reduce_by_partition(stripe, &bucket_p)?;
         let groups = kernel.vector_len(reduced)?;
         let bounds = interval_partition_bounds(&bucket_p);
         let ranges = map_ranges_to_buckets(stripe_ranges, &bounds);
-        kernel.vector_laplace(reduced, &greedy_h(groups, &ranges), shares[1])?;
+        reduced_vars.push(reduced);
+        strategy_inputs.push((groups, ranges));
     }
+
+    // Phase 2 — per-stripe Greedy-H strategy construction: pure public
+    // compute over the (public) partition outputs, threaded under the
+    // `parallel` feature. Deterministic either way.
+    let strategies = build_greedy_strategies(&strategy_inputs);
+
+    // Phase 3 — one batched measurement over all stripes: exact answers in
+    // parallel, noise sequential in stripe order.
+    let reqs: Vec<(SourceVar, &ektelo_matrix::Matrix, f64)> = reduced_vars
+        .iter()
+        .zip(&strategies)
+        .map(|(&sv, strat)| (sv, strat, shares[1]))
+        .collect();
+    kernel.vector_laplace_batch(&reqs)?;
+
     Ok(PlanOutcome {
         x_hat: infer_ls(kernel, start, LsSolver::Iterative),
     })
+}
+
+/// Builds one Greedy-H strategy per stripe from `(groups, ranges)` inputs.
+#[cfg(not(feature = "parallel"))]
+fn build_greedy_strategies(inputs: &[(usize, Vec<(usize, usize)>)]) -> Vec<ektelo_matrix::Matrix> {
+    inputs
+        .iter()
+        .map(|(groups, ranges)| greedy_h(*groups, ranges))
+        .collect()
+}
+
+/// Threaded variant: stripes are independent and `greedy_h` is pure, so
+/// chunks of stripes build on worker threads; results are written into
+/// per-stripe slots, so the output order (and every matrix in it) is
+/// identical to the serial build.
+#[cfg(feature = "parallel")]
+fn build_greedy_strategies(inputs: &[(usize, Vec<(usize, usize)>)]) -> Vec<ektelo_matrix::Matrix> {
+    let nthreads = std::thread::available_parallelism().map_or(1, |p| p.get());
+    if inputs.len() < 2 || nthreads < 2 {
+        return inputs
+            .iter()
+            .map(|(groups, ranges)| greedy_h(*groups, ranges))
+            .collect();
+    }
+    let chunk = inputs.len().div_ceil(nthreads);
+    let mut out: Vec<ektelo_matrix::Matrix> =
+        vec![ektelo_matrix::Matrix::identity(1); inputs.len()];
+    std::thread::scope(|s| {
+        for (ochunk, ichunk) in out.chunks_mut(chunk).zip(inputs.chunks(chunk)) {
+            s.spawn(move || {
+                for (slot, (groups, ranges)) in ochunk.iter_mut().zip(ichunk) {
+                    *slot = greedy_h(*groups, ranges);
+                }
+            });
+        }
+    });
+    out
 }
 
 /// Plan #16 — HB-Striped_kron (Algorithm 6): `SS LM LS`. The
@@ -132,6 +210,26 @@ mod tests {
         let (k, x, _, sizes) = small_census(2000, 2);
         plan_dawa_striped(&k, x, &sizes, 0, &[], 1.0, 0.25).unwrap();
         assert!((k.budget_spent() - 1.0).abs() < 1e-9);
+    }
+
+    /// The threaded measurement phase must not introduce nondeterminism:
+    /// identical seeds give identical estimates, run to run, with or
+    /// without the `parallel` feature (noise is drawn sequentially in
+    /// stripe order either way).
+    #[test]
+    fn striped_plans_are_deterministic_given_seed() {
+        let run_hb = || {
+            let (k, x, _, sizes) = small_census(3000, 7);
+            plan_hb_striped(&k, x, &sizes, 0, 1.0).unwrap().x_hat
+        };
+        assert_eq!(run_hb(), run_hb());
+        let run_dawa = || {
+            let (k, x, _, sizes) = small_census(3000, 8);
+            plan_dawa_striped(&k, x, &sizes, 0, &[(0, 16)], 1.0, 0.25)
+                .unwrap()
+                .x_hat
+        };
+        assert_eq!(run_dawa(), run_dawa());
     }
 
     #[test]

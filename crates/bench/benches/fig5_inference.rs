@@ -132,6 +132,9 @@ fn bench_solver_iteration_products(c: &mut Criterion) {
     // ping-pong buffers shrink the working set.
     group.bench_function(BenchmarkId::new("workspace_replan", n), |b| {
         b.iter(|| {
+            // Clearing only the workspace fast path would still hit the
+            // process-wide cache (ISSUE 3); clear both to price a replan.
+            ektelo_matrix::plan_cache_clear();
             ws.invalidate_plans();
             strategy.matvec_into(&v, &mut av, &mut ws);
             strategy.rmatvec_into(&u, &mut atu, &mut ws);
@@ -166,10 +169,74 @@ fn bench_solver_iteration_products(c: &mut Criterion) {
     group.finish();
 }
 
+/// ISSUE 3 zero-copy measurement benches. `vector_laplace_batch` now
+/// snapshots source vectors by `Arc` refcount bump (PR 2 deep-cloned each
+/// one to escape the kernel lock) and memoizes the shared strategy's
+/// sensitivity per batch. `exact_answers/*` isolates the snapshot policy
+/// itself: the same per-stripe matvecs with and without a data-sized copy
+/// in front, which is precisely the allocation the `Arc` node
+/// representation removed from the measurement path.
+fn bench_batched_measurement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_batched_measurement");
+    group.sample_size(20);
+
+    let stripes = 64usize;
+    let width = 1usize << 10;
+    let n = stripes * width;
+
+    // End-to-end: one batched call measuring every stripe of a striped
+    // kernel (counts budget, draws noise, records history — the real
+    // measurement path). A huge budget keeps thousands of timed calls
+    // valid.
+    let x = shape_1d(Shape1D::Gaussian, n, 1e6, 5);
+    let k = ProtectedKernel::init_from_vector(x, 1e9, 11);
+    let labels: Vec<usize> = (0..n).map(|i| i / width).collect();
+    let p = ektelo_matrix::partition_from_labels(stripes, &labels);
+    let parts = k.split_by_partition(k.root(), &p).expect("split");
+    let strategy = h2(width);
+    let reqs: Vec<(ektelo_core::SourceVar, &ektelo_matrix::Matrix, f64)> =
+        parts.iter().map(|&s| (s, &strategy, 1e-4)).collect();
+    group.bench_function(
+        BenchmarkId::new("vector_laplace_batch/arc_snapshot", n),
+        |b| b.iter(|| black_box(k.vector_laplace_batch(&reqs).expect("batch").len())),
+    );
+
+    // Isolated snapshot policy: per-stripe exact answers with a deep copy
+    // in front (the PR 2 behavior) vs straight off the shared slice.
+    let data: Vec<Vec<f64>> = (0..stripes)
+        .map(|s| (0..width).map(|i| ((s * width + i) % 17) as f64).collect())
+        .collect();
+    let mut ws = Workspace::for_matrix(&strategy);
+    let mut out = vec![0.0; strategy.rows()];
+    group.bench_function(BenchmarkId::new("exact_answers/deep_clone", n), |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for stripe in &data {
+                let snapshot = stripe.to_vec(); // what Arc nodes removed
+                strategy.matvec_into(&snapshot, &mut out, &mut ws);
+                acc += out[0];
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function(BenchmarkId::new("exact_answers/zero_copy", n), |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for stripe in &data {
+                strategy.matvec_into(stripe, &mut out, &mut ws);
+                acc += out[0];
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_ls_engines,
     bench_nnls_and_tree,
-    bench_solver_iteration_products
+    bench_solver_iteration_products,
+    bench_batched_measurement
 );
 criterion_main!(benches);

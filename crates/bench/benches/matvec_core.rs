@@ -277,12 +277,16 @@ fn bench_workspace_reuse(c: &mut Criterion) {
             },
         );
         // The anti-benchmark: force a planning pass on every call to
-        // price what the cache removes from solver inner loops.
+        // price what the cache removes from solver inner loops. Since
+        // ISSUE 3 the plans live in a process-wide cache, so pricing a
+        // replan takes clearing both the global cache and the workspace
+        // fast path.
         group.bench_with_input(
             BenchmarkId::new(format!("{shape}/replan_every_call"), n),
             tree,
             |b, m| {
                 b.iter(|| {
+                    ektelo_matrix::plan_cache_clear();
                     ws.invalidate_plans();
                     m.matvec_into(&x, &mut out, &mut ws);
                     black_box(out[0])
@@ -379,6 +383,160 @@ fn bench_parallel_rmatvec(c: &mut Criterion) {
     group.finish();
 }
 
+/// ISSUE 3 headline benches: the process-wide plan cache on MWEM-shaped
+/// loops. `mwem_round_loop` rebuilds a growing stacked union every round
+/// (each round's spine is a brand-new shape sharing all-but-one block
+/// with the previous round) and runs a few solver-ish product iterations;
+/// `round_robin_9_shapes` rotates one more strategy shape than the old
+/// per-workspace cap-8 LRU could hold — the eviction pathology that used
+/// to rebuild plans on every single call. Each gets a `replan_baseline`
+/// twin that clears the plan cache where the PR 2 engine would have
+/// missed, pricing exactly what the global cache removes.
+fn bench_plan_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_cache");
+    group.sample_size(30);
+    let n = 1usize << 12;
+    let rounds = 16;
+    let x: Vec<f64> = (0..n).map(|i| (i % 13) as f64).collect();
+
+    // One measurement block per round, shaped like what MWEM inference
+    // actually stacks: the selected query row composed with the source's
+    // transformation lineage — a product chain whose factors (not just
+    // the block) the cache shares across rounds. Payloads differ per
+    // round, shapes don't.
+    let lineage = Matrix::diagonal((0..n).map(|i| 1.0 + (i % 3) as f64 * 0.25).collect());
+    let rows: Vec<Matrix> = (0..rounds)
+        .map(|r| {
+            let triplets: Vec<(usize, usize, f64)> =
+                (r * 32..r * 32 + 24).map(|j| (0, j, 1.0)).collect();
+            Matrix::product(
+                Matrix::sparse(ektelo_matrix::CsrMatrix::from_triplets(1, n, &triplets)),
+                lineage.clone(),
+            )
+        })
+        .collect();
+
+    let run_round_loop = |replan: bool| {
+        let mut ws = Workspace::new();
+        let mut blocks: Vec<Matrix> = Vec::new();
+        let mut acc = 0.0;
+        for row in &rows {
+            if replan {
+                ektelo_matrix::plan_cache_clear();
+                ws.invalidate_plans();
+            }
+            blocks.push(row.clone());
+            let system = Matrix::vstack(blocks.clone());
+            let mut out = vec![0.0; system.rows()];
+            let mut back = vec![0.0; system.cols()];
+            for _ in 0..2 {
+                system.matvec_into(&x, &mut out, &mut ws);
+                system.rmatvec_into(&out, &mut back, &mut ws);
+            }
+            acc += back[0];
+        }
+        acc
+    };
+    group.bench_function(BenchmarkId::new("mwem_round_loop/global_cache", n), |b| {
+        b.iter(|| black_box(run_round_loop(false)))
+    });
+    group.bench_function(
+        BenchmarkId::new("mwem_round_loop/replan_baseline", n),
+        |b| b.iter(|| black_box(run_round_loop(true))),
+    );
+
+    // 9 shapes through one workspace: the old cap-8 LRU rebuilt on every
+    // call once the rotation wrapped.
+    let shapes: Vec<Matrix> = (1..=9)
+        .map(|k| {
+            Matrix::vstack(vec![
+                Matrix::wavelet(n),
+                Matrix::range_queries(n, (0..k * 32).map(|i| (i, i + 2)).collect::<Vec<_>>()),
+            ])
+        })
+        .collect();
+    let mut outs: Vec<Vec<f64>> = shapes.iter().map(|m| vec![0.0; m.rows()]).collect();
+    let mut run_rotation = |replan: bool| {
+        let mut ws = Workspace::new();
+        let mut acc = 0.0;
+        for _ in 0..3 {
+            for (m, out) in shapes.iter().zip(&mut outs) {
+                if replan {
+                    ektelo_matrix::plan_cache_clear();
+                    ws.invalidate_plans();
+                }
+                m.matvec_into(&x, out, &mut ws);
+                acc += out[0];
+            }
+        }
+        acc
+    };
+    group.bench_function(
+        BenchmarkId::new("round_robin_9_shapes/global_cache", n),
+        |b| b.iter(|| black_box(run_rotation(false))),
+    );
+    group.bench_function(
+        BenchmarkId::new("round_robin_9_shapes/replan_baseline", n),
+        |b| b.iter(|| black_box(run_rotation(true))),
+    );
+    group.finish();
+}
+
+/// ISSUE 3 arena-pool benches: warm threaded evaluation drawing worker
+/// scratch/accumulators/panels from the workspace pool. Committed numbers
+/// are produced with `--features parallel` (serial builds measure the
+/// serial planned engine — still pool-free by construction). Tracked
+/// cross-PR against the PR 2 `parallel_rmatvec` entries, whose workers
+/// allocated per call.
+fn bench_arena_pool(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arena_pool");
+    group.sample_size(30);
+
+    let n = 1usize << 16;
+    let stripes = 64;
+    let width = n / stripes;
+    let union = Matrix::vstack(
+        (0..stripes)
+            .map(|s| {
+                let idx: Vec<usize> = (s * width..(s + 1) * width).collect();
+                Matrix::product(Matrix::wavelet(width), Matrix::select_rows(n, &idx))
+            })
+            .collect(),
+    );
+    let x: Vec<f64> = (0..n).map(|i| (i % 13) as f64 - 6.0).collect();
+    let y: Vec<f64> = (0..union.rows()).map(|i| (i % 7) as f64 - 3.0).collect();
+    let mut ws = Workspace::for_matrix(&union);
+    let mut out = vec![0.0; union.rows()];
+    let mut back = vec![0.0; union.cols()];
+    group.bench_function(BenchmarkId::new("union_striped_fwd/pooled", n), |b| {
+        b.iter(|| {
+            union.matvec_into(&x, &mut out, &mut ws);
+            black_box(out[0])
+        })
+    });
+    group.bench_function(BenchmarkId::new("union_striped_scatter/pooled", n), |b| {
+        b.iter(|| {
+            union.rmatvec_into(&y, &mut back, &mut ws);
+            black_box(back[0])
+        })
+    });
+
+    let kron = Matrix::kron(Matrix::prefix(256), Matrix::wavelet(256));
+    let ky: Vec<f64> = (0..kron.rows()).map(|i| (i % 11) as f64 - 5.0).collect();
+    let mut kws = Workspace::for_matrix(&kron);
+    let mut kback = vec![0.0; kron.cols()];
+    group.bench_function(
+        BenchmarkId::new("kron_256x256_scatter/pooled", kron.cols()),
+        |b| {
+            b.iter(|| {
+                kron.rmatvec_into(&ky, &mut kback, &mut kws);
+                black_box(kback[0])
+            })
+        },
+    );
+    group.finish();
+}
+
 // `bench_workspace_reuse` must run first: the seed engine's dominant cost
 // is mmap/munmap churn on its large per-node temporaries (glibc unmaps
 // >128 KiB frees while the dynamic mmap threshold is cold — exactly the
@@ -388,6 +546,8 @@ criterion_group!(
     benches,
     bench_workspace_reuse,
     bench_parallel_rmatvec,
+    bench_plan_cache,
+    bench_arena_pool,
     bench_core_matrices,
     bench_kron,
     bench_sensitivity

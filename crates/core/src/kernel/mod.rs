@@ -13,6 +13,8 @@ mod state;
 pub use error::{EktError, Result};
 pub use state::MeasuredQuery;
 
+use std::sync::Arc;
+
 use ektelo_data::{vectorize as t_vectorize, Predicate, Schema, Table};
 use ektelo_matrix::{Matrix, Workspace};
 use parking_lot::Mutex;
@@ -74,7 +76,7 @@ impl ProtectedKernel {
             history: Vec::new(),
         };
         st.nodes.push(Node {
-            data: NodeData::Vector(x),
+            data: NodeData::Vector(Arc::new(x)),
             parent: None,
             stability: 1.0,
             budget: 0.0,
@@ -224,7 +226,7 @@ impl ProtectedKernel {
         let x = t_vectorize(st.table(sv.0)?);
         let n = x.len();
         let id = st.add_node(Node {
-            data: NodeData::Vector(x),
+            data: NodeData::Vector(Arc::new(x)),
             parent: Some(sv.0),
             stability: 1.0,
             budget: 0.0,
@@ -260,22 +262,26 @@ impl ProtectedKernel {
         m: &Matrix,
         stability: f64,
     ) -> Result<SourceVar> {
+        // Zero-copy snapshot under the lock; the matvec — the expensive
+        // part, threaded under the `parallel` feature — runs outside it.
+        // Sound because node data is immutable and nodes are never
+        // removed, so `sv` and its metadata cannot change in between.
+        let (x, base, lineage) = {
+            let st = self.state.lock();
+            let x = st.vector_arc(sv.0)?;
+            if m.cols() != x.len() {
+                return Err(EktError::ShapeMismatch {
+                    expected: x.len(),
+                    found: m.cols(),
+                });
+            }
+            (x, st.nodes[sv.0].base, st.nodes[sv.0].lineage.clone())
+        };
+        let out = m.matvec(&x);
+        let lineage = lineage.map(|l| Matrix::product(m.clone(), l));
         let mut st = self.state.lock();
-        let x = st.vector(sv.0)?;
-        if m.cols() != x.len() {
-            return Err(EktError::ShapeMismatch {
-                expected: x.len(),
-                found: m.cols(),
-            });
-        }
-        let out = m.matvec(x);
-        let base = st.nodes[sv.0].base;
-        let lineage = st.nodes[sv.0]
-            .lineage
-            .as_ref()
-            .map(|l| Matrix::product(m.clone(), l.clone()));
         Ok(SourceVar(st.add_node(Node {
-            data: NodeData::Vector(out),
+            data: NodeData::Vector(Arc::new(out)),
             parent: Some(sv.0),
             stability,
             budget: 0.0,
@@ -297,7 +303,7 @@ impl ProtectedKernel {
         }
         let groups = partition_groups(p);
         let mut st = self.state.lock();
-        let x = st.vector(sv.0)?;
+        let x = st.vector_arc(sv.0)?;
         if p.cols() != x.len() {
             return Err(EktError::ShapeMismatch {
                 expected: x.len(),
@@ -318,15 +324,12 @@ impl ProtectedKernel {
         let mut out = Vec::with_capacity(groups.len());
         for cells in &groups {
             let selector = Matrix::select_rows(n, cells);
-            let data = {
-                let x = st.vector(sv.0)?;
-                cells.iter().map(|&c| x[c]).collect::<Vec<f64>>()
-            };
+            let data: Vec<f64> = cells.iter().map(|&c| x[c]).collect();
             let lineage = parent_lineage
                 .as_ref()
                 .map(|l| Matrix::product(selector.clone(), l.clone()));
             out.push(SourceVar(st.add_node(Node {
-                data: NodeData::Vector(data),
+                data: NodeData::Vector(Arc::new(data)),
                 parent: Some(dummy),
                 stability: 1.0,
                 budget: 0.0,
@@ -409,11 +412,17 @@ impl ProtectedKernel {
         &self,
         reqs: &[(SourceVar, &Matrix, f64)],
     ) -> Result<Vec<Vec<f64>>> {
-        // Phase 1 (no privacy side effects): snapshot each source vector
-        // and compute sensitivities. Invalid requests surface here only if
-        // phase 2 reaches them, mirroring the sequential loop's ordering.
-        let snapshots: Vec<Result<(Vec<f64>, f64)>> = {
+        // Phase 1 (no privacy side effects): snapshot each source vector —
+        // a refcount bump, not a deep clone; node data is immutable, so the
+        // snapshot stays valid after the lock is dropped — and compute
+        // sensitivities, memoized per distinct matrix reference: striped
+        // plans pass one shared strategy for every stripe, so the
+        // `O(cols)` column-norm computation runs once per batch instead of
+        // once per stripe. Invalid requests surface here only if phase 2
+        // reaches them, mirroring the sequential loop's ordering.
+        let snapshots: Vec<Snapshot> = {
             let st = self.state.lock();
+            let mut sens_memo: Vec<(*const Matrix, f64)> = Vec::new();
             reqs.iter()
                 .map(|&(sv, m, eps)| {
                     if eps <= 0.0 {
@@ -421,21 +430,28 @@ impl ProtectedKernel {
                             "non-positive epsilon {eps}"
                         )));
                     }
-                    let x = st.vector(sv.0)?;
+                    let x = st.vector_arc(sv.0)?;
                     if m.cols() != x.len() {
                         return Err(EktError::ShapeMismatch {
                             expected: x.len(),
                             found: m.cols(),
                         });
                     }
-                    let sensitivity = m.l1_sensitivity();
+                    let sensitivity = match sens_memo.iter().find(|&&(p, _)| std::ptr::eq(p, m)) {
+                        Some(&(_, s)) => s,
+                        None => {
+                            let s = m.l1_sensitivity();
+                            sens_memo.push((m as *const Matrix, s));
+                            s
+                        }
+                    };
                     if sensitivity == 0.0 {
                         return Err(EktError::InvalidArgument(
                             "measurement matrix has zero sensitivity (no queries touch the data)"
                                 .into(),
                         ));
                     }
-                    Ok((x.to_vec(), sensitivity))
+                    Ok((x, sensitivity))
                 })
                 .collect()
         };
@@ -612,12 +628,9 @@ impl ProtectedKernel {
         f: impl FnOnce(&[f64], &mut StdRng) -> T,
     ) -> Result<T> {
         let mut st = self.state.lock();
-        // Split borrows: temporarily move the vector out to appease the
-        // borrow checker while the RNG is borrowed mutably.
-        let data = match &st.nodes[sv.0].data {
-            NodeData::Vector(v) => v.clone(),
-            _ => return Err(EktError::WrongSourceType { expected: "vector" }),
-        };
+        // Zero-copy split borrow: the Arc snapshot keeps the vector alive
+        // while the RNG is borrowed mutably.
+        let data = st.vector_arc(sv.0)?;
         Ok(f(&data, &mut st.rng))
     }
 
@@ -644,7 +657,45 @@ impl ProtectedKernel {
         let seed: u64 = st.rng.random();
         StdRng::seed_from_u64(seed)
     }
+
+    /// Batched charge + snapshot for vetted privacy-critical operators
+    /// that thread their per-source computation (DAWA-Striped's stage 1):
+    /// under **one** lock acquisition, charges every `(source, ε)` request
+    /// in order through Algorithm 2, draws one `u64` from the privacy
+    /// stream (the base of the caller's counter-based per-source RNG
+    /// substreams — drawn *after* the charges, so the stream position is a
+    /// deterministic function of the request sequence), and snapshots each
+    /// source vector by refcount bump.
+    ///
+    /// Failure semantics match a sequential (charge, snapshot) loop: if
+    /// request `k`'s charge fails, requests `0..k` have been charged; if
+    /// its snapshot fails (wrong source type), `0..=k` have been charged —
+    /// exactly what `k` sequential charge-then-use operator calls leave
+    /// behind. On any failure no randomness has been consumed: the base is
+    /// drawn only after every request succeeded.
+    pub(crate) fn charge_and_snapshot_batch(
+        &self,
+        reqs: &[(SourceVar, f64)],
+    ) -> Result<(u64, Vec<Arc<Vec<f64>>>)> {
+        let mut st = self.state.lock();
+        let mut snaps = Vec::with_capacity(reqs.len());
+        for &(sv, eps) in reqs {
+            if eps <= 0.0 {
+                return Err(EktError::InvalidArgument(format!(
+                    "non-positive epsilon {eps}"
+                )));
+            }
+            st.request(sv.0, eps, None)?;
+            snaps.push(st.vector_arc(sv.0)?);
+        }
+        let base: u64 = st.rng.random();
+        Ok((base, snaps))
+    }
 }
+
+/// A zero-copy data snapshot paired with the query's sensitivity
+/// (phase-1 output of [`ProtectedKernel::vector_laplace_batch`]).
+type Snapshot = Result<(Arc<Vec<f64>>, f64)>;
 
 /// Fills the exact (pre-noise) answer for every valid request slot:
 /// `exacts[i] = reqs[i].matrix · snapshots[i].vector`. Shared by the
@@ -653,7 +704,7 @@ impl ProtectedKernel {
 /// means same-shaped strategies (every stripe of HB-Striped) plan once.
 fn fill_exact_answers(
     reqs: &[(SourceVar, &Matrix, f64)],
-    snapshots: &[Result<(Vec<f64>, f64)>],
+    snapshots: &[Snapshot],
     exacts: &mut [Option<Vec<f64>>],
 ) {
     let mut ws = Workspace::new();

@@ -2,6 +2,8 @@
 //! stability tracker and the budget `Request` algorithm (paper §4.4 and
 //! Algorithm 2).
 
+use std::sync::Arc;
+
 use ektelo_data::Table;
 use ektelo_matrix::Matrix;
 use rand::rngs::StdRng;
@@ -9,12 +11,19 @@ use rand::rngs::StdRng;
 use super::error::{EktError, Result};
 
 /// What a transformation-graph node holds.
+///
+/// Vector payloads are `Arc`-shared: node data is immutable once added
+/// (transformations only derive *new* nodes), so operators that need the
+/// data outside the kernel lock — batched measurement, linear transforms,
+/// DAWA's per-stripe stage 1 — snapshot it with a refcount bump instead of
+/// a deep `clone()`, which is what moves their matvecs off the lock's
+/// critical section.
 #[derive(Debug)]
 pub(crate) enum NodeData {
     /// A relational table.
     Table(Table),
-    /// A data vector.
-    Vector(Vec<f64>),
+    /// A data vector (immutable, shareable by refcount).
+    Vector(Arc<Vec<f64>>),
     /// The dummy source introduced by a partition transformation
     /// (paper §4.4: "a partition transformation introduces a special dummy
     /// data source variable").
@@ -129,6 +138,15 @@ impl KernelState {
             _ => Err(EktError::WrongSourceType { expected: "vector" }),
         }
     }
+
+    /// A zero-copy snapshot of a vector source: a refcount bump, valid
+    /// after the kernel lock is released (node data is immutable).
+    pub fn vector_arc(&self, sv: usize) -> Result<Arc<Vec<f64>>> {
+        match &self.nodes[sv].data {
+            NodeData::Vector(v) => Ok(Arc::clone(v)),
+            _ => Err(EktError::WrongSourceType { expected: "vector" }),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -144,7 +162,7 @@ mod tests {
             history: Vec::new(),
         };
         s.add_node(Node {
-            data: NodeData::Vector(vec![0.0; 4]),
+            data: NodeData::Vector(Arc::new(vec![0.0; 4])),
             parent: None,
             stability: 1.0,
             budget: 0.0,
@@ -156,7 +174,7 @@ mod tests {
 
     fn add_child(s: &mut KernelState, parent: usize, stability: f64) -> usize {
         s.add_node(Node {
-            data: NodeData::Vector(vec![0.0; 4]),
+            data: NodeData::Vector(Arc::new(vec![0.0; 4])),
             parent: Some(parent),
             stability,
             budget: 0.0,

@@ -17,6 +17,8 @@
 //! minimizing segmentations agree on uniform-vs-varied regions.
 
 use ektelo_matrix::{partition_from_labels, Matrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 use crate::kernel::noise::laplace;
 use crate::kernel::{ProtectedKernel, Result, SourceVar};
@@ -64,6 +66,115 @@ pub fn dawa_partition(
         let groups = labels.iter().max().map_or(1, |&m| m + 1);
         partition_from_labels(groups, &labels)
     })
+}
+
+/// Batched stage-1 partition selection over many disjoint sources (the
+/// stripes of DAWA-Striped), with **counter-based per-stripe RNG
+/// substreams**.
+///
+/// A sequential loop of [`dawa_partition`] calls draws its per-cell
+/// Laplace noise from the kernel's single privacy stream, which forces
+/// stage 1 to run serially. This batch form charges every stripe in
+/// stripe order and then draws **one** base value from the kernel stream
+/// (all under one lock acquisition); stripe `i` derives its own
+/// substream seed as `splitmix64(base, i)` — a pure function of (base,
+/// counter) — and runs the noisy-histogram + segmentation computation on
+/// an independent RNG. Each stripe's output is therefore independent of
+/// scheduling, so under the `parallel` feature stripes compute on worker
+/// threads **bit-identically** to a sequential loop over the same
+/// substreams (pinned by a regression test). Budget-wise this is exactly
+/// the sequential loop: same charges, same order, same parallel
+/// composition across sibling stripes.
+///
+/// Privacy: each stripe's noisy histogram uses fresh independent Laplace
+/// draws at scale `1/ε`, exactly as [`dawa_partition`]; only *which*
+/// deterministic stream supplies the underlying uniforms changes, and
+/// the substream seeds derive from the kernel's seeded stream, so whole-
+/// experiment reproducibility is preserved.
+pub fn dawa_partition_batch(
+    kernel: &ProtectedKernel,
+    svs: &[SourceVar],
+    eps: f64,
+    opts: &DawaOptions,
+) -> Result<Vec<Matrix>> {
+    let reqs: Vec<(SourceVar, f64)> = svs.iter().map(|&s| (s, eps)).collect();
+    let (base, snaps) = kernel.charge_and_snapshot_batch(&reqs)?;
+    let mut out: Vec<Matrix> = vec![Matrix::identity(1); svs.len()];
+    fill_partitions(&snaps, base, eps, opts, &mut out);
+    Ok(out)
+}
+
+/// SplitMix64 of `base + counter` — the counter-based substream seed
+/// derivation (same finalizer the rand shim uses for seed expansion, so
+/// substreams are as well-mixed as top-level seeds).
+fn substream_seed(base: u64, counter: u64) -> u64 {
+    let mut z = base.wrapping_add(counter.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Stage-1 selection for one stripe from its snapshot and substream seed —
+/// a pure function, which is what makes the threaded batch bit-identical
+/// to the sequential loop.
+fn partition_one_stripe(x: &[f64], seed: u64, eps: f64, opts: &DawaOptions) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let eps2 = opts.eps_stage2.max(f64::MIN_POSITIVE);
+    let noisy: Vec<f64> = x
+        .iter()
+        .map(|&v| v + laplace(&mut rng, 1.0 / eps))
+        .collect();
+    let noise_var = if opts.debias { 2.0 / (eps * eps) } else { 0.0 };
+    let labels = segment(&noisy, 2.0 / (eps2 * eps2), noise_var);
+    let groups = labels.iter().max().map_or(1, |&m| m + 1);
+    partition_from_labels(groups, &labels)
+}
+
+/// Serial reference: stripe `i` computed in order from substream `i`.
+/// Also the comparison arm of the bit-identity regression test.
+fn fill_partitions_serial(
+    snaps: &[std::sync::Arc<Vec<f64>>],
+    base: u64,
+    eps: f64,
+    opts: &DawaOptions,
+    out: &mut [Matrix],
+) {
+    for (i, (x, slot)) in snaps.iter().zip(out.iter_mut()).enumerate() {
+        *slot = partition_one_stripe(x, substream_seed(base, i as u64), eps, opts);
+    }
+}
+
+#[cfg(not(feature = "parallel"))]
+use fill_partitions_serial as fill_partitions;
+
+/// Threaded variant: chunks of stripes compute on scoped workers; each
+/// stripe's output depends only on (snapshot, base, stripe index), so the
+/// results are written into per-stripe slots bit-identically to
+/// [`fill_partitions_serial`].
+#[cfg(feature = "parallel")]
+fn fill_partitions(
+    snaps: &[std::sync::Arc<Vec<f64>>],
+    base: u64,
+    eps: f64,
+    opts: &DawaOptions,
+    out: &mut [Matrix],
+) {
+    let nthreads = std::thread::available_parallelism().map_or(1, |p| p.get());
+    if snaps.len() < 2 || nthreads < 2 {
+        fill_partitions_serial(snaps, base, eps, opts, out);
+        return;
+    }
+    let chunk = snaps.len().div_ceil(nthreads);
+    std::thread::scope(|s| {
+        for (c, (ochunk, schunk)) in out.chunks_mut(chunk).zip(snaps.chunks(chunk)).enumerate() {
+            s.spawn(move || {
+                for (i, (x, slot)) in schunk.iter().zip(ochunk.iter_mut()).enumerate() {
+                    let counter = (c * chunk + i) as u64;
+                    *slot = partition_one_stripe(x, substream_seed(base, counter), eps, opts);
+                }
+            });
+        }
+    });
 }
 
 /// Optimal segmentation into power-of-two-length buckets by DP.
@@ -172,6 +283,123 @@ mod tests {
         let labels = segment(&x, 0.0, 0.0);
         // With no per-bucket cost, singleton buckets are optimal.
         assert_eq!(labels, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    /// ISSUE 3 satellite: the (optionally threaded) batch must be
+    /// **bit-identical** to an explicit sequential loop over the same
+    /// counter-based substreams — charge order, base draw, per-stripe
+    /// partitions and total budget all agree. Run under
+    /// `--features parallel` this pins the threaded path against the
+    /// serial reference; without the feature both arms are serial and the
+    /// test pins the substream protocol itself.
+    #[test]
+    fn batch_is_bit_identical_to_sequential_substream_loop() {
+        use ektelo_matrix::partition_from_labels as labels_p;
+        let make = || {
+            let x: Vec<f64> = (0..96)
+                .map(|i| {
+                    if (i / 24) % 2 == 0 {
+                        5.0
+                    } else {
+                        (i * 37 % 29) as f64
+                    }
+                })
+                .collect();
+            let k = ProtectedKernel::init_from_vector(x, 10.0, 42);
+            let p = labels_p(4, &(0..96).map(|i| i / 24).collect::<Vec<_>>());
+            let stripes = k.split_by_partition(k.root(), &p).unwrap();
+            (k, stripes)
+        };
+        let opts = DawaOptions::new(0.5);
+
+        let (k1, stripes1) = make();
+        let batch = dawa_partition_batch(&k1, &stripes1, 0.5, &opts).unwrap();
+
+        let (k2, stripes2) = make();
+        let reqs: Vec<(SourceVar, f64)> = stripes2.iter().map(|&s| (s, 0.5)).collect();
+        let (base, snaps) = k2.charge_and_snapshot_batch(&reqs).unwrap();
+        let mut seq = vec![Matrix::identity(1); snaps.len()];
+        fill_partitions_serial(&snaps, base, 0.5, &opts, &mut seq);
+
+        assert_eq!(k1.budget_spent(), k2.budget_spent());
+        assert_eq!(batch.len(), seq.len());
+        for (a, b) in batch.iter().zip(&seq) {
+            assert_eq!(a.shape(), b.shape(), "partition shapes diverged");
+            let (da, db) = (a.to_dense(), b.to_dense());
+            for r in 0..a.rows() {
+                assert_eq!(
+                    da.row_slice(r),
+                    db.row_slice(r),
+                    "threaded batch diverged from the sequential substream loop"
+                );
+            }
+        }
+    }
+
+    /// Code-review regression: a failing request in the batch must leave
+    /// the kernel exactly as a sequential charge-then-use loop would —
+    /// requests up to and including the failing one charged, and **no
+    /// privacy randomness consumed** (the substream base is drawn only
+    /// after every request succeeded).
+    #[test]
+    fn failed_batch_charges_prefix_and_consumes_no_randomness() {
+        use ektelo_data::{Schema, Table};
+        let seed = 23;
+        let make = || {
+            let schema = Schema::from_sizes(&[("v", 8)]);
+            let rows: Vec<Vec<u32>> = (0..32).map(|i| vec![i % 8]).collect();
+            let k = ProtectedKernel::init(Table::from_rows(schema, &rows), 10.0, seed);
+            let x = k.vectorize(k.root()).unwrap();
+            (k, x)
+        };
+        let opts = DawaOptions::new(0.5);
+
+        // Kernel A: a failing batch (second source is a table, not a
+        // vector), then a successful one.
+        let (ka, xa) = make();
+        let err = dawa_partition_batch(&ka, &[xa, ka.root()], 0.25, &opts).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::kernel::EktError::WrongSourceType { .. }
+        ));
+        // Both the vector charge and the failing source's charge landed
+        // (the sequential loop charges before it touches the data).
+        assert!((ka.budget_spent() - 0.5).abs() < 1e-12);
+        let parts_a = dawa_partition_batch(&ka, &[xa], 0.25, &opts).unwrap();
+
+        // Kernel B: only the successful batch. Identical seed, identical
+        // draws — the failed attempt must not have advanced the stream.
+        let (kb, xb) = make();
+        let parts_b = dawa_partition_batch(&kb, &[xb], 0.25, &opts).unwrap();
+        assert_eq!(parts_a.len(), parts_b.len());
+        for (a, b) in parts_a.iter().zip(&parts_b) {
+            assert_eq!(a.shape(), b.shape());
+            let (da, db) = (a.to_dense(), b.to_dense());
+            for r in 0..a.rows() {
+                assert_eq!(da.row_slice(r), db.row_slice(r));
+            }
+        }
+    }
+
+    #[test]
+    fn batch_charges_with_parallel_composition_and_is_deterministic() {
+        let x: Vec<f64> = (0..64).map(|i| (i % 7) as f64 * 3.0).collect();
+        let run = || {
+            let k = ProtectedKernel::init_from_vector(x.clone(), 2.0, 9);
+            let p = ektelo_matrix::partition_from_labels(
+                2,
+                &(0..64).map(|i| i / 32).collect::<Vec<_>>(),
+            );
+            let stripes = k.split_by_partition(k.root(), &p).unwrap();
+            let parts = dawa_partition_batch(&k, &stripes, 0.75, &DawaOptions::new(0.5)).unwrap();
+            // Sibling stripes compose in parallel: one ε charge at the root.
+            assert!((k.budget_spent() - 0.75).abs() < 1e-12);
+            parts
+                .iter()
+                .map(|m| (m.rows(), m.cols()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run(), "batch must be deterministic given the seed");
     }
 
     #[test]

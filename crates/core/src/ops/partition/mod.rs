@@ -16,7 +16,7 @@ mod stripe;
 mod workload_based;
 
 pub use ahp::{ahp_partition, AhpOptions};
-pub use dawa::{dawa_partition, DawaOptions};
+pub use dawa::{dawa_partition, dawa_partition_batch, DawaOptions};
 pub use grid::grid_partition;
 pub use stripe::{stripe_partition, stripe_partition_labels};
 pub use workload_based::{workload_based_partition, workload_reduction};

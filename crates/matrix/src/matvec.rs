@@ -2,10 +2,10 @@
 //! primitive methods everything else in EKTELO reduces to (paper §7.3).
 //!
 //! The engine is allocation-free **and** planning-free in steady state: the
-//! public `*_into` entry points fetch a memoized [`crate::plan::EvalPlan`]
-//! from the caller-provided [`Workspace`] (built once per matrix), reserve
-//! the full multi-direction scratch requirement up front, and then recurse
-//! over the combinator tree guided by the plan's per-node records — no
+//! public `*_into` entry points fetch a shared [`crate::plan::EvalPlan`]
+//! (workspace fast path → process-wide plan cache), reserve the
+//! direction's full scratch requirement up front, and then recurse over the
+//! combinator tree guided by the plan's per-node records — no
 //! `rows()`/scratch recomputation, no arena growth, no allocator traffic.
 //! Right-nested `Product` chains (transformation lineages) evaluate through
 //! two ping-pong buffers instead of one intermediate per product, shrinking
@@ -19,11 +19,14 @@
 //! and Kronecker column-chunks in the transpose direction. Chunk counts
 //! are fixed when the plan is built, so threaded results are deterministic
 //! run-to-run (via `std::thread::scope`; the offline build environment has
-//! no rayon). The parallel paths allocate per-worker scratch and engage
-//! only above a size threshold; the serial paths stay allocation-free.
+//! no rayon). Chunk workers borrow their scratch — and, in the scatter
+//! direction, their private accumulators — from the workspace's per-worker
+//! [`crate::workspace::ArenaPool`] (sized at plan time), so the threaded
+//! paths are as allocation-free in steady state as the serial ones.
 
 use crate::plan::{ChainPlan, KronPlan, NodePlan};
 use crate::wavelet::{wavelet_matvec, wavelet_rmatvec};
+use crate::workspace::ArenaPool;
 use crate::{Matrix, Workspace};
 
 impl Matrix {
@@ -47,16 +50,22 @@ impl Matrix {
 
     /// `out = A · x`, drawing all transient storage from `ws`.
     ///
-    /// The first call plans the evaluation and reserves the arena for every
-    /// product direction at once; repeated calls are pure computation —
-    /// zero heap allocations *and* zero planning-pass tree walks.
+    /// The first call plans the evaluation and reserves the arena (and the
+    /// threaded worker pool) for every product direction at once; repeated
+    /// calls are pure computation — zero heap allocations *and* zero
+    /// planning-pass tree walks.
     pub fn matvec_into(&self, x: &[f64], out: &mut [f64], ws: &mut Workspace) {
         let plan = ws.plan_for(self);
         assert_eq!(x.len(), plan.cols, "matvec: x has wrong length");
         assert_eq!(out.len(), plan.rows, "matvec: out has wrong length");
-        ws.reserve(plan.max_scratch());
-        let scratch = ws.slice(plan.mv_scratch);
-        self.matvec_plan(&plan.root, x, out, scratch);
+        // The direction's full requirement, reserved before evaluation
+        // starts — the arena never grows mid-evaluation. (Only this
+        // direction: a matvec-only workload must not pay for the O(cols)
+        // scatter temporary; `Workspace::for_matrix` pre-sizes all three
+        // directions for solvers that alternate.)
+        ws.reserve(plan.mv_scratch);
+        let (scratch, pool) = ws.carve(plan.mv_scratch, plan.pool_workers, plan.pool_arena);
+        self.matvec_plan(&plan.root, x, out, scratch, pool);
     }
 
     /// `out = Aᵀ · y`, drawing all transient storage from `ws`.
@@ -64,9 +73,9 @@ impl Matrix {
         let plan = ws.plan_for(self);
         assert_eq!(y.len(), plan.rows, "rmatvec: y has wrong length");
         assert_eq!(out.len(), plan.cols, "rmatvec: out has wrong length");
-        ws.reserve(plan.max_scratch());
-        let scratch = ws.slice(plan.rmv_scratch);
-        self.rmatvec_plan(&plan.root, y, out, scratch);
+        ws.reserve(plan.rmv_scratch);
+        let (scratch, pool) = ws.carve(plan.rmv_scratch, plan.pool_workers, plan.pool_arena);
+        self.rmatvec_plan(&plan.root, y, out, scratch, pool);
     }
 
     /// `out += Aᵀ · y` — the accumulating variant of
@@ -78,9 +87,9 @@ impl Matrix {
         let plan = ws.plan_for(self);
         assert_eq!(y.len(), plan.rows, "rmatvec_add: y has wrong length");
         assert_eq!(out.len(), plan.cols, "rmatvec_add: out has wrong length");
-        ws.reserve(plan.max_scratch());
-        let scratch = ws.slice(plan.rmva_scratch);
-        self.rmatvec_add_plan(&plan.root, y, out, scratch);
+        ws.reserve(plan.rmva_scratch);
+        let (scratch, pool) = ws.carve(plan.rmva_scratch, plan.pool_workers, plan.pool_arena);
+        self.rmatvec_add_plan(&plan.root, y, out, scratch, pool);
     }
 
     // ------------------------------------------------------------------
@@ -89,40 +98,44 @@ impl Matrix {
 
     /// Planned worker for `out = A·x`. `scratch` must hold the plan's
     /// `mv_scratch` scalars; combinator nodes read split offsets and chunk
-    /// decisions from `plan` instead of re-deriving them from the tree.
+    /// decisions from `plan` instead of re-deriving them from the tree,
+    /// and parallel regions borrow worker arenas from `pool`.
     pub(crate) fn matvec_plan(
         &self,
         plan: &NodePlan,
         x: &[f64],
         out: &mut [f64],
         scratch: &mut [f64],
+        pool: &mut ArenaPool,
     ) {
         match (self, plan) {
             (m, NodePlan::Leaf) => m.matvec_rec(x, out, scratch),
             (Matrix::Union(blocks), NodePlan::Union(up)) => {
                 #[cfg(feature = "parallel")]
-                if up.par_fwd_chunk > 0 {
-                    parallel::union_matvec(blocks, up, x, out);
+                if up.par_fwd_chunk > 0 && !pool.is_nested() {
+                    parallel::union_matvec(blocks, up, x, out, pool);
                     return;
                 }
                 let mut offset = 0;
                 for ((b, bp), &m) in blocks.iter().zip(&up.blocks).zip(&up.block_rows) {
-                    b.matvec_plan(bp, x, &mut out[offset..offset + m], scratch);
+                    b.matvec_plan(&bp.root, x, &mut out[offset..offset + m], scratch, pool);
                     offset += m;
                 }
             }
-            (m @ Matrix::Product(..), NodePlan::Chain(cp)) => chain_matvec(m, cp, x, out, scratch),
+            (m @ Matrix::Product(..), NodePlan::Chain(cp)) => {
+                chain_matvec(m, cp, x, out, scratch, pool)
+            }
             (Matrix::Kronecker(a, b), NodePlan::Kron(kp)) => {
-                kron_matvec_plan(a, b, kp, x, out, scratch)
+                kron_matvec_plan(a, b, kp, x, out, scratch, pool)
             }
             (Matrix::Scaled(c, a), NodePlan::Scaled { child, .. }) => {
-                a.matvec_plan(child, x, out, scratch);
+                a.matvec_plan(child, x, out, scratch, pool);
                 for o in out.iter_mut() {
                     *o *= c;
                 }
             }
             (Matrix::Transpose(a), NodePlan::Transpose { child, .. }) => {
-                a.rmatvec_plan(child, x, out, scratch)
+                a.rmatvec_plan(child, x, out, scratch, pool)
             }
             _ => unreachable!(
                 "evaluation plan does not match matrix structure (shape-fingerprint collision)"
@@ -137,38 +150,39 @@ impl Matrix {
         y: &[f64],
         out: &mut [f64],
         scratch: &mut [f64],
+        pool: &mut ArenaPool,
     ) {
         match (self, plan) {
             (m, NodePlan::Leaf) => m.rmatvec_rec(y, out, scratch),
             (Matrix::Union(blocks), NodePlan::Union(up)) => {
                 // Unionᵀ is a horizontal stack: contributions accumulate.
                 #[cfg(feature = "parallel")]
-                if up.par_bwd_chunk > 0 {
+                if up.par_bwd_chunk > 0 && !pool.is_nested() {
                     out.fill(0.0);
-                    parallel::union_rmatvec_add(blocks, up, y, out);
+                    parallel::union_rmatvec_add(blocks, up, y, out, pool);
                     return;
                 }
                 out.fill(0.0);
                 let mut offset = 0;
                 for ((b, bp), &m) in blocks.iter().zip(&up.blocks).zip(&up.block_rows) {
-                    b.rmatvec_add_plan(bp, &y[offset..offset + m], out, scratch);
+                    b.rmatvec_add_plan(&bp.root, &y[offset..offset + m], out, scratch, pool);
                     offset += m;
                 }
             }
             (m @ Matrix::Product(..), NodePlan::Chain(cp)) => {
-                chain_bwd(m, cp, y, out, scratch, false)
+                chain_bwd(m, cp, y, out, scratch, pool, false)
             }
             (Matrix::Kronecker(a, b), NodePlan::Kron(kp)) => {
-                kron_rmatvec_plan(a, b, kp, y, out, scratch)
+                kron_rmatvec_plan(a, b, kp, y, out, scratch, pool)
             }
             (Matrix::Scaled(c, a), NodePlan::Scaled { child, .. }) => {
-                a.rmatvec_plan(child, y, out, scratch);
+                a.rmatvec_plan(child, y, out, scratch, pool);
                 for o in out.iter_mut() {
                     *o *= c;
                 }
             }
             (Matrix::Transpose(a), NodePlan::Transpose { child, .. }) => {
-                a.matvec_plan(child, y, out, scratch)
+                a.matvec_plan(child, y, out, scratch, pool)
             }
             _ => unreachable!(
                 "evaluation plan does not match matrix structure (shape-fingerprint collision)"
@@ -183,23 +197,24 @@ impl Matrix {
         y: &[f64],
         out: &mut [f64],
         scratch: &mut [f64],
+        pool: &mut ArenaPool,
     ) {
         match (self, plan) {
             (m, NodePlan::Leaf) => m.rmatvec_add_rec(y, out, scratch),
             (Matrix::Union(blocks), NodePlan::Union(up)) => {
                 #[cfg(feature = "parallel")]
-                if up.par_bwd_chunk > 0 {
-                    parallel::union_rmatvec_add(blocks, up, y, out);
+                if up.par_bwd_chunk > 0 && !pool.is_nested() {
+                    parallel::union_rmatvec_add(blocks, up, y, out, pool);
                     return;
                 }
                 let mut offset = 0;
                 for ((b, bp), &m) in blocks.iter().zip(&up.blocks).zip(&up.block_rows) {
-                    b.rmatvec_add_plan(bp, &y[offset..offset + m], out, scratch);
+                    b.rmatvec_add_plan(&bp.root, &y[offset..offset + m], out, scratch, pool);
                     offset += m;
                 }
             }
             (m @ Matrix::Product(..), NodePlan::Chain(cp)) => {
-                chain_bwd(m, cp, y, out, scratch, true)
+                chain_bwd(m, cp, y, out, scratch, pool, true)
             }
             (Matrix::Scaled(c, a), NodePlan::Scaled { rows, child }) => {
                 debug_assert_eq!(y.len(), *rows);
@@ -207,12 +222,12 @@ impl Matrix {
                 for (s, &yi) in scaled.iter_mut().zip(y) {
                     *s = c * yi;
                 }
-                a.rmatvec_add_plan(child, scaled, out, rest);
+                a.rmatvec_add_plan(child, scaled, out, rest, pool);
             }
             (Matrix::Transpose(a), NodePlan::Transpose { child_rows, child }) => {
                 // (Aᵀ)ᵀ y = A y, accumulated.
                 let (t, rest) = scratch.split_at_mut(*child_rows);
-                a.matvec_plan(child, y, t, rest);
+                a.matvec_plan(child, y, t, rest, pool);
                 for (o, &ti) in out.iter_mut().zip(t.iter()) {
                     *o += ti;
                 }
@@ -221,7 +236,7 @@ impl Matrix {
             // output width (it touches all of `out` anyway).
             (m @ Matrix::Kronecker(..), kp @ NodePlan::Kron(..)) => {
                 let (tmp, rest) = scratch.split_at_mut(out.len());
-                m.rmatvec_plan(kp, y, tmp, rest);
+                m.rmatvec_plan(kp, y, tmp, rest, pool);
                 for (o, &t) in out.iter_mut().zip(tmp.iter()) {
                     *o += t;
                 }
@@ -434,21 +449,29 @@ impl Matrix {
 /// recursion (each factor applied once, innermost first), so results are
 /// bit-identical — only the intermediate *storage* changes: `min(m, 2)`
 /// buffers instead of `m`.
-fn chain_matvec(node: &Matrix, cp: &ChainPlan, x: &[f64], out: &mut [f64], scratch: &mut [f64]) {
+fn chain_matvec(
+    node: &Matrix,
+    cp: &ChainPlan,
+    x: &[f64],
+    out: &mut [f64],
+    scratch: &mut [f64],
+    pool: &mut ArenaPool,
+) {
     let (b0, rest) = scratch.split_at_mut(cp.buf_len);
     let (b1, rest) = rest.split_at_mut(if cp.bufs == 2 { cp.buf_len } else { 0 });
     let (f0, tail) = match node {
         Matrix::Product(a, b) => (&**a, &**b),
         _ => unreachable!("chain plan on non-product node"),
     };
-    chain_fwd_tail(tail, cp, 1, x, b0, b1, rest);
+    chain_fwd_tail(tail, cp, 1, x, b0, b1, rest, pool);
     // out = f_0 · s_1 ; s_1 lives in b0 (odd slot).
-    f0.matvec_plan(&cp.factors[0], &b0[..cp.rows[1]], out, rest);
+    f0.matvec_plan(&cp.factors[0].root, &b0[..cp.rows[1]], out, rest, pool);
 }
 
 /// Computes the intermediate `s_idx = f_idx · … · f_m · x` into its
 /// ping-pong slot (odd `idx` → `b0`, even → `b1`). `spine` is the subtree
 /// whose product equals that suffix of the chain.
+#[allow(clippy::too_many_arguments)]
 fn chain_fwd_tail(
     spine: &Matrix,
     cp: &ChainPlan,
@@ -457,18 +480,25 @@ fn chain_fwd_tail(
     b0: &mut [f64],
     b1: &mut [f64],
     rest: &mut [f64],
+    pool: &mut ArenaPool,
 ) {
     let last = cp.factors.len() - 1;
     if idx == last {
         let dst = if cp.bufs == 1 || idx % 2 == 1 { b0 } else { b1 };
-        spine.matvec_plan(&cp.factors[idx], x, &mut dst[..cp.rows[idx]], rest);
+        spine.matvec_plan(
+            &cp.factors[idx].root,
+            x,
+            &mut dst[..cp.rows[idx]],
+            rest,
+            pool,
+        );
         return;
     }
     let (f, tail) = match spine {
         Matrix::Product(a, b) => (&**a, &**b),
         _ => unreachable!("chain plan longer than the product spine"),
     };
-    chain_fwd_tail(tail, cp, idx + 1, x, &mut *b0, &mut *b1, &mut *rest);
+    chain_fwd_tail(tail, cp, idx + 1, x, &mut *b0, &mut *b1, &mut *rest, pool);
     // s_idx = f_idx · s_{idx+1}; consecutive intermediates alternate slots,
     // and by the time s_idx is written, s_{idx+2} (which shared its slot)
     // is dead.
@@ -478,22 +508,25 @@ fn chain_fwd_tail(
         (&mut *b1, &*b0)
     };
     f.matvec_plan(
-        &cp.factors[idx],
+        &cp.factors[idx].root,
         &src[..cp.rows[idx + 1]],
         &mut dst[..cp.rows[idx]],
         rest,
+        pool,
     );
 }
 
 /// Transpose-direction chain evaluation, iterative along the spine:
 /// `s_0 = f_0ᵀ y`, `s_j = f_jᵀ s_{j-1}`, finishing with the innermost
 /// factor — plain (`add = false`) or accumulating (`add = true`).
+#[allow(clippy::too_many_arguments)]
 fn chain_bwd(
     node: &Matrix,
     cp: &ChainPlan,
     y: &[f64],
     out: &mut [f64],
     scratch: &mut [f64],
+    pool: &mut ArenaPool,
     add: bool,
 ) {
     let last = cp.factors.len() - 1;
@@ -513,7 +546,7 @@ fn chain_bwd(
             } else {
                 &mut *b1
             };
-            f.rmatvec_plan(&cp.factors[0], y, &mut dst[..dlen], rest);
+            f.rmatvec_plan(&cp.factors[0].root, y, &mut dst[..dlen], rest, pool);
         } else {
             let (dst, src) = if idx.is_multiple_of(2) {
                 (&mut *b0, &*b1)
@@ -521,10 +554,11 @@ fn chain_bwd(
                 (&mut *b1, &*b0)
             };
             f.rmatvec_plan(
-                &cp.factors[idx],
+                &cp.factors[idx].root,
                 &src[..cp.rows[idx]],
                 &mut dst[..dlen],
                 rest,
+                pool,
             );
         }
         cur = tail;
@@ -536,9 +570,9 @@ fn chain_bwd(
     };
     let src = &src[..cp.rows[last]];
     if add {
-        cur.rmatvec_add_plan(&cp.factors[last], src, out, rest);
+        cur.rmatvec_add_plan(&cp.factors[last].root, src, out, rest, pool);
     } else {
-        cur.rmatvec_plan(&cp.factors[last], src, out, rest);
+        cur.rmatvec_plan(&cp.factors[last].root, src, out, rest, pool);
     }
 }
 
@@ -550,6 +584,7 @@ fn chain_bwd(
 /// compute `T = X·Bᵀ` (apply B to every row), then `out = A·T` columnwise.
 /// Cost: `nA·Time(B) + mB·Time(A)` (paper Table 3). All temporaries come
 /// out of `scratch`; shapes and chunk decisions come from the plan.
+#[allow(clippy::too_many_arguments)]
 fn kron_matvec_plan(
     a: &Matrix,
     b: &Matrix,
@@ -557,12 +592,13 @@ fn kron_matvec_plan(
     x: &[f64],
     out: &mut [f64],
     scratch: &mut [f64],
+    pool: &mut ArenaPool,
 ) {
     let (ma, na, mb, nb) = (kp.a_rows, kp.a_cols, kp.b_rows, kp.b_cols);
     let (t, rest) = scratch.split_at_mut(na * mb);
     #[cfg(feature = "parallel")]
-    let stage1_done = kp.par_fwd_rows > 0 && {
-        parallel::kron_apply_rows(b, kp, x, t, nb, mb);
+    let stage1_done = kp.par_fwd_rows > 0 && !pool.is_nested() && {
+        parallel::kron_apply_rows(b, kp, x, t, nb, mb, pool);
         true
     };
     #[cfg(not(feature = "parallel"))]
@@ -574,6 +610,7 @@ fn kron_matvec_plan(
                 &x[i * nb..(i + 1) * nb],
                 &mut t[i * mb..(i + 1) * mb],
                 rest,
+                pool,
             );
         }
     }
@@ -583,7 +620,7 @@ fn kron_matvec_plan(
         for i in 0..na {
             col[i] = t[i * mb + q];
         }
-        a.matvec_plan(&kp.a, col, ocol, rest);
+        a.matvec_plan(&kp.a, col, ocol, rest, pool);
         for p in 0..ma {
             out[p * mb + q] = ocol[p];
         }
@@ -592,6 +629,7 @@ fn kron_matvec_plan(
 
 /// `out = (A ⊗ B)ᵀ y = (Aᵀ ⊗ Bᵀ) y`; mirror of [`kron_matvec_plan`] with
 /// both stages parallelizable (stage 2 over output column chunks).
+#[allow(clippy::too_many_arguments)]
 fn kron_rmatvec_plan(
     a: &Matrix,
     b: &Matrix,
@@ -599,12 +637,13 @@ fn kron_rmatvec_plan(
     y: &[f64],
     out: &mut [f64],
     scratch: &mut [f64],
+    pool: &mut ArenaPool,
 ) {
     let (ma, na, mb, nb) = (kp.a_rows, kp.a_cols, kp.b_rows, kp.b_cols);
     let (t, rest) = scratch.split_at_mut(ma * nb);
     #[cfg(feature = "parallel")]
-    let stage1_done = kp.par_bwd_rows > 0 && {
-        parallel::kron_apply_rows_t(b, kp, y, t, mb, nb);
+    let stage1_done = kp.par_bwd_rows > 0 && !pool.is_nested() && {
+        parallel::kron_apply_rows_t(b, kp, y, t, mb, nb, pool);
         true
     };
     #[cfg(not(feature = "parallel"))]
@@ -616,12 +655,13 @@ fn kron_rmatvec_plan(
                 &y[p * mb..(p + 1) * mb],
                 &mut t[p * nb..(p + 1) * nb],
                 rest,
+                pool,
             );
         }
     }
     #[cfg(feature = "parallel")]
-    if kp.par_bwd_cols > 0 {
-        parallel::kron_scatter_cols(a, kp, t, out, ma, na, nb);
+    if kp.par_bwd_cols > 0 && !pool.is_nested() {
+        parallel::kron_scatter_cols(a, kp, t, out, ma, na, nb, pool);
         return;
     }
     let (col, rest) = rest.split_at_mut(ma);
@@ -630,7 +670,7 @@ fn kron_rmatvec_plan(
         for p in 0..ma {
             col[p] = t[p * nb + j];
         }
-        a.rmatvec_plan(&kp.a, col, ocol, rest);
+        a.rmatvec_plan(&kp.a, col, ocol, rest, pool);
         for i in 0..na {
             out[i * nb + j] = ocol[i];
         }
@@ -683,31 +723,52 @@ fn kron_rmatvec(a: &Matrix, b: &Matrix, y: &[f64], out: &mut [f64], scratch: &mu
 /// `parallel` feature. Built on `std::thread::scope` (the offline build
 /// environment cannot vendor rayon); chunk sizes are fixed in the
 /// evaluation plan, so results are deterministic run-to-run. Workers
-/// allocate their own scratch (and, in the scatter direction, their own
-/// accumulators), so these paths trade strict allocation-freedom for
-/// parallel speedup and are only chosen above a plan-time work threshold.
+/// borrow their scratch — and, in the scatter direction, their private
+/// accumulators — from the workspace's plan-sized [`ArenaPool`] instead of
+/// allocating, so the threaded paths stay allocation-free in steady state
+/// (the spawn itself costs a few small harness allocations per call; the
+/// `O(n)` buffer traffic is gone). The paths engage only above a plan-time
+/// work threshold. Worker pools are marked *nested*: a parallel-eligible
+/// node under a pooled worker (e.g. the large-union factor of an
+/// `hdmm_kron` strategy) evaluates serially instead of spawning nested
+/// threads and allocating fresh arenas — the outer region already
+/// saturates the machine (gated by `alloc_parallel.rs`).
 #[cfg(feature = "parallel")]
 mod parallel {
-    use crate::plan::{KronPlan, NodePlan, UnionPlan};
+    use super::ArenaPool;
+    use crate::plan::{KronPlan, UnionPlan};
     use crate::Matrix;
 
     /// `Union` matvec with one worker per plan-time chunk of blocks.
     /// Blocks write disjoint output spans, so this is bit-identical to the
     /// serial path.
-    pub(super) fn union_matvec(blocks: &[Matrix], up: &UnionPlan, x: &[f64], out: &mut [f64]) {
-        let mut jobs: Vec<(&Matrix, &NodePlan, &mut [f64])> = Vec::with_capacity(blocks.len());
-        let mut rem = out;
-        for ((b, bp), &rows) in blocks.iter().zip(&up.blocks).zip(&up.block_rows) {
-            let (head, tail) = rem.split_at_mut(rows);
-            jobs.push((b, bp, head));
-            rem = tail;
-        }
+    pub(super) fn union_matvec(
+        blocks: &[Matrix],
+        up: &UnionPlan,
+        x: &[f64],
+        out: &mut [f64],
+        pool: &mut ArenaPool,
+    ) {
+        let chunk = up.par_fwd_chunk;
+        let nchunks = blocks.len().div_ceil(chunk);
+        let arenas = pool.arenas(nchunks, up.block_mv_scratch);
         std::thread::scope(|s| {
-            for group in jobs.chunks_mut(up.par_fwd_chunk) {
+            let mut rem = out;
+            for ((bchunk, pchunk), (rchunk, arena)) in blocks
+                .chunks(chunk)
+                .zip(up.blocks.chunks(chunk))
+                .zip(up.block_rows.chunks(chunk).zip(arenas.iter_mut()))
+            {
+                let span: usize = rchunk.iter().sum();
+                let (head, tail) = rem.split_at_mut(span);
+                rem = tail;
                 s.spawn(move || {
-                    let mut scratch = vec![0.0; up.block_mv_scratch];
-                    for (b, bp, o) in group {
-                        b.matvec_plan(bp, x, o, &mut scratch);
+                    let scratch = &mut arena[..up.block_mv_scratch];
+                    let mut wpool = ArenaPool::for_worker();
+                    let mut off = 0;
+                    for ((b, bp), &m) in bchunk.iter().zip(pchunk).zip(rchunk) {
+                        b.matvec_plan(&bp.root, x, &mut head[off..off + m], scratch, &mut wpool);
+                        off += m;
                     }
                 });
             }
@@ -715,37 +776,49 @@ mod parallel {
     }
 
     /// `Unionᵀ` scatter-add over plan-time chunks of blocks: each worker
-    /// accumulates its chunk into a private full-width vector; the
-    /// accumulators are merged **in fixed chunk order** after the barrier,
-    /// so the result is deterministic run-to-run (within one chunk the
-    /// blocks scatter in their serial order; across chunks only the
-    /// grouping of the final sums differs from the serial path, by at most
-    /// the usual f64 rounding).
-    pub(super) fn union_rmatvec_add(blocks: &[Matrix], up: &UnionPlan, y: &[f64], out: &mut [f64]) {
+    /// accumulates its chunk into a private full-width accumulator carved
+    /// from its pool arena; the accumulators are merged **in fixed chunk
+    /// order** after the barrier, so the result is deterministic
+    /// run-to-run (within one chunk the blocks scatter in their serial
+    /// order; across chunks only the grouping of the final sums differs
+    /// from the serial path, by at most the usual f64 rounding).
+    pub(super) fn union_rmatvec_add(
+        blocks: &[Matrix],
+        up: &UnionPlan,
+        y: &[f64],
+        out: &mut [f64],
+        pool: &mut ArenaPool,
+    ) {
         let chunk = up.par_bwd_chunk;
         let cols = out.len();
-        let mut jobs: Vec<(&Matrix, &NodePlan, &[f64])> = Vec::with_capacity(blocks.len());
-        let mut offset = 0;
-        for ((b, bp), &rows) in blocks.iter().zip(&up.blocks).zip(&up.block_rows) {
-            jobs.push((b, bp, &y[offset..offset + rows]));
-            offset += rows;
-        }
-        let nchunks = jobs.len().div_ceil(chunk);
-        let mut accs: Vec<Vec<f64>> = vec![Vec::new(); nchunks];
+        let nchunks = blocks.len().div_ceil(chunk);
+        let per = cols + up.block_rmva_scratch;
+        let arenas = pool.arenas(nchunks, per);
         std::thread::scope(|s| {
-            for (group, acc) in jobs.chunks(chunk).zip(accs.iter_mut()) {
+            let mut offset = 0;
+            for ((bchunk, pchunk), (rchunk, arena)) in blocks
+                .chunks(chunk)
+                .zip(up.blocks.chunks(chunk))
+                .zip(up.block_rows.chunks(chunk).zip(arenas.iter_mut()))
+            {
+                let span: usize = rchunk.iter().sum();
+                let ys = &y[offset..offset + span];
+                offset += span;
                 s.spawn(move || {
-                    let mut local = vec![0.0; cols];
-                    let mut scratch = vec![0.0; up.block_rmva_scratch];
-                    for (b, bp, ys) in group {
-                        b.rmatvec_add_plan(bp, ys, &mut local, &mut scratch);
+                    let (local, scratch) = arena[..per].split_at_mut(cols);
+                    local.fill(0.0); // the arena is reused across calls
+                    let mut wpool = ArenaPool::for_worker();
+                    let mut off = 0;
+                    for ((b, bp), &m) in bchunk.iter().zip(pchunk).zip(rchunk) {
+                        b.rmatvec_add_plan(&bp.root, &ys[off..off + m], local, scratch, &mut wpool);
+                        off += m;
                     }
-                    *acc = local;
                 });
             }
         });
-        for acc in &accs {
-            for (o, &v) in out.iter_mut().zip(acc) {
+        // Deterministic fixed-order merge of the per-worker accumulators.
+        for arena in arenas.iter().take(nchunks) {
+            for (o, &v) in out.iter_mut().zip(&arena[..cols]) {
                 *o += v;
             }
         }
@@ -761,15 +834,19 @@ mod parallel {
         t: &mut [f64],
         nb: usize,
         mb: usize,
+        pool: &mut ArenaPool,
     ) {
         let rows_per = kp.par_fwd_rows;
+        let nchunks = t.len().div_ceil(rows_per * mb);
+        let arenas = pool.arenas(nchunks, kp.b_mv_scratch);
         std::thread::scope(|s| {
-            for (c, tchunk) in t.chunks_mut(rows_per * mb).enumerate() {
+            for ((c, tchunk), arena) in t.chunks_mut(rows_per * mb).enumerate().zip(arenas) {
                 let x = &x[c * rows_per * nb..];
                 s.spawn(move || {
-                    let mut scratch = vec![0.0; kp.b_mv_scratch];
+                    let scratch = &mut arena[..kp.b_mv_scratch];
+                    let mut wpool = ArenaPool::for_worker();
                     for (i, trow) in tchunk.chunks_mut(mb).enumerate() {
-                        b.matvec_plan(&kp.b, &x[i * nb..(i + 1) * nb], trow, &mut scratch);
+                        b.matvec_plan(&kp.b, &x[i * nb..(i + 1) * nb], trow, scratch, &mut wpool);
                     }
                 });
             }
@@ -785,15 +862,19 @@ mod parallel {
         t: &mut [f64],
         mb: usize,
         nb: usize,
+        pool: &mut ArenaPool,
     ) {
         let rows_per = kp.par_bwd_rows;
+        let nchunks = t.len().div_ceil(rows_per * nb);
+        let arenas = pool.arenas(nchunks, kp.b_rmv_scratch);
         std::thread::scope(|s| {
-            for (c, tchunk) in t.chunks_mut(rows_per * nb).enumerate() {
+            for ((c, tchunk), arena) in t.chunks_mut(rows_per * nb).enumerate().zip(arenas) {
                 let y = &y[c * rows_per * mb..];
                 s.spawn(move || {
-                    let mut scratch = vec![0.0; kp.b_rmv_scratch];
+                    let scratch = &mut arena[..kp.b_rmv_scratch];
+                    let mut wpool = ArenaPool::for_worker();
                     for (p, trow) in tchunk.chunks_mut(nb).enumerate() {
-                        b.rmatvec_plan(&kp.b, &y[p * mb..(p + 1) * mb], trow, &mut scratch);
+                        b.rmatvec_plan(&kp.b, &y[p * mb..(p + 1) * mb], trow, scratch, &mut wpool);
                     }
                 });
             }
@@ -803,9 +884,10 @@ mod parallel {
     /// Stage 2 of the Kronecker transpose product parallelized over
     /// **output column chunks**: worker `c` computes `Aᵀ` applied to
     /// columns `[c·w, (c+1)·w)` of the stage-1 partials into a private
-    /// buffer; the buffers are copied into `out` in chunk order after the
-    /// barrier. Every output cell is produced by exactly one worker, so
-    /// this is bit-identical to the serial stage 2.
+    /// panel carved from its pool arena; the panels are copied into `out`
+    /// in chunk order after the barrier. Every output cell is produced by
+    /// exactly one worker, so this is bit-identical to the serial stage 2.
+    #[allow(clippy::too_many_arguments)]
     pub(super) fn kron_scatter_cols(
         a: &Matrix,
         kp: &KronPlan,
@@ -814,38 +896,42 @@ mod parallel {
         ma: usize,
         na: usize,
         nb: usize,
+        pool: &mut ArenaPool,
     ) {
         let cols_per = kp.par_bwd_cols;
         let nchunks = nb.div_ceil(cols_per);
-        let mut parts: Vec<Vec<f64>> = vec![Vec::new(); nchunks];
+        // Per-worker arena layout: [na·w panel | ma gather col | na out col
+        // | A's rmatvec scratch].
+        let per = na * cols_per + ma + na + kp.a_rmv_scratch;
+        let arenas = pool.arenas(nchunks, per);
         std::thread::scope(|s| {
-            for (c, part) in parts.iter_mut().enumerate() {
+            for (c, arena) in arenas.iter_mut().enumerate() {
                 let j0 = c * cols_per;
                 let j1 = (j0 + cols_per).min(nb);
                 s.spawn(move || {
                     let w = j1 - j0;
-                    let mut buf = vec![0.0; na * w];
-                    let mut col = vec![0.0; ma];
-                    let mut ocol = vec![0.0; na];
-                    let mut scratch = vec![0.0; kp.a_rmv_scratch];
+                    let (buf, rest) = arena[..per].split_at_mut(na * cols_per);
+                    let (col, rest) = rest.split_at_mut(ma);
+                    let (ocol, scratch) = rest.split_at_mut(na);
+                    let mut wpool = ArenaPool::for_worker();
                     for j in j0..j1 {
                         for (p, cp) in col.iter_mut().enumerate() {
                             *cp = t[p * nb + j];
                         }
-                        a.rmatvec_plan(&kp.a, &col, &mut ocol, &mut scratch);
+                        a.rmatvec_plan(&kp.a, col, ocol, scratch, &mut wpool);
                         for (i, &o) in ocol.iter().enumerate() {
                             buf[i * w + (j - j0)] = o;
                         }
                     }
-                    *part = buf;
                 });
             }
         });
-        for (c, part) in parts.iter().enumerate() {
+        for (c, arena) in arenas.iter().enumerate() {
             let j0 = c * cols_per;
             let w = ((j0 + cols_per).min(nb)) - j0;
+            let buf = &arena[..na * cols_per];
             for i in 0..na {
-                out[i * nb + j0..i * nb + j0 + w].copy_from_slice(&part[i * w..(i + 1) * w]);
+                out[i * nb + j0..i * nb + j0 + w].copy_from_slice(&buf[i * w..i * w + w]);
             }
         }
     }
@@ -1098,6 +1184,14 @@ mod tests {
         // through a fresh workspace is bit-identical.
         let got2 = u.rmatvec(&y);
         assert_eq!(got, got2, "threaded union rmatvec is nondeterministic");
+        // And a *reused* (pool-warm) workspace must also be bit-identical:
+        // stale accumulator contents in pool arenas would surface here.
+        let mut ws = Workspace::for_matrix(&u);
+        let mut out = vec![0.0; n];
+        u.rmatvec_into(&y, &mut out, &mut ws);
+        assert_eq!(got, out);
+        u.rmatvec_into(&y, &mut out, &mut ws);
+        assert_eq!(got, out, "pool reuse changed the scatter result");
     }
 
     #[test]
@@ -1126,6 +1220,13 @@ mod tests {
         }
         let got_t2 = k.rmatvec(&y);
         assert_eq!(got_t, got_t2, "threaded kron rmatvec is nondeterministic");
+        // Pool-warm reuse must match too (stage-2 panels live in arenas).
+        let mut ws = Workspace::for_matrix(&k);
+        let mut out = vec![0.0; k.cols()];
+        k.rmatvec_into(&y, &mut out, &mut ws);
+        assert_eq!(got_t, out);
+        k.rmatvec_into(&y, &mut out, &mut ws);
+        assert_eq!(got_t, out, "pool reuse changed the kron scatter result");
     }
 
     #[test]
@@ -1147,8 +1248,8 @@ mod tests {
         assert_eq!(ws.capacity(), cap_after_plan);
         assert_eq!(out, m.matvec(&x));
         assert_eq!(back, m.rmatvec(&out));
-        // And the plan was built exactly once.
-        assert_eq!(ws.plan_cache_builds(), 1);
+        // And every lookup after the first was a cache hit.
+        assert!(ws.plan_cache_builds() <= 1);
         assert!(ws.plan_cache_hits() >= 6);
     }
 }

@@ -1,0 +1,203 @@
+//! Process-wide, sharded evaluation-plan cache.
+//!
+//! PR 2 memoized [`EvalPlan`]s per [`crate::Workspace`] (cap-8 LRU), which
+//! left two hot-path taxes on the table:
+//!
+//! * **Cross-workspace rebuilds.** Every solver, batch worker and plan
+//!   phase that constructed its own workspace re-planned shapes the
+//!   process had already planned — and a workspace touching more than 8
+//!   shapes (nine round-robined strategies, an MWEM sweep) evicted and
+//!   rebuilt plans on *every* call.
+//! * **Per-round spine rebuilds.** MWEM-style loops rebuild a stacked
+//!   `Union` each round that shares all-but-one block with the previous
+//!   round, but a whole-tree cache can only miss on the new spine and
+//!   re-walk every block.
+//!
+//! This module replaces that with one process-wide cache keyed purely by
+//! the structural shape fingerprint ([`crate::plan::fingerprint`]), and
+//! [`crate::plan`] fingerprints **per child** on `Union` blocks and
+//! `Product`-chain factors, so a rebuilt spine reassembles from cached
+//! block plans in `O(blocks)` without re-walking any shared subtree.
+//!
+//! Design notes:
+//!
+//! * **Entries never go stale** — a plan is a pure function of the shape
+//!   that keys it (see the soundness argument on `fingerprint`), so there
+//!   is no invalidation protocol, only an optional [`plan_cache_clear`]
+//!   for benchmarks that want to price re-planning.
+//! * **Sharding.** The map is split into [`SHARDS`] independent
+//!   `Mutex<HashMap>` shards selected by fingerprint bits, so concurrent
+//!   workspaces rarely contend; solver inner loops never reach the shards
+//!   at all thanks to the workspace-local single-entry fast path.
+//! * **Exactly-once builds.** Each map slot holds a `OnceLock`: racing
+//!   threads that miss on the same shape agree on one canonical
+//!   `Arc<EvalPlan>` and only one of them runs the planning pass (the
+//!   shard lock is *not* held while building, so recursive child builds
+//!   cannot deadlock).
+//! * **Bounded entry count.** A shard that accumulates [`SHARD_CAP`]
+//!   shapes is cleared wholesale before the next insert — a bound on
+//!   *entries*, not bytes: leaf plans are a few hundred bytes but a
+//!   `Union` spine plan is `O(blocks)`, so a process that keeps stacking
+//!   ever-larger spines (a very long MWEM run) can retain
+//!   `O(rounds²)`-ish plan memory until the cap trips. The cap keeps
+//!   that bounded and a clear only costs transient rebuilds, never
+//!   correctness; a size-aware eviction policy is a ROADMAP item.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::plan::EvalPlan;
+use crate::Matrix;
+
+/// Number of independent cache shards (power of two).
+const SHARDS: usize = 16;
+
+/// Resident shapes per shard before the shard is wholesale-cleared.
+const SHARD_CAP: usize = 4096;
+
+type Slot = Arc<OnceLock<Arc<EvalPlan>>>;
+
+static CACHE: OnceLock<Vec<Mutex<HashMap<u64, Slot>>>> = OnceLock::new();
+
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+static SHARED_SUBPLANS: AtomicU64 = AtomicU64::new(0);
+
+fn shards() -> &'static [Mutex<HashMap<u64, Slot>>] {
+    CACHE.get_or_init(|| (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect())
+}
+
+fn shard(fp: u64) -> &'static Mutex<HashMap<u64, Slot>> {
+    // The fingerprint is an FNV-1a product whose low bits are well mixed.
+    &shards()[(fp as usize) & (SHARDS - 1)]
+}
+
+fn lock(
+    m: &'static Mutex<HashMap<u64, Slot>>,
+) -> std::sync::MutexGuard<'static, HashMap<u64, Slot>> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The cached plan for `m` under fingerprint `fp`, building it exactly
+/// once process-wide on a miss. Returns `(plan, built)` where `built` is
+/// true iff *this* call ran the planning pass.
+pub(crate) fn get_or_build(m: &Matrix, fp: u64) -> (Arc<EvalPlan>, bool) {
+    let slot: Slot = {
+        let mut map = lock(shard(fp));
+        if !map.contains_key(&fp) && map.len() >= SHARD_CAP {
+            map.clear();
+        }
+        Arc::clone(map.entry(fp).or_default())
+    };
+    let mut built = false;
+    let plan = slot.get_or_init(|| {
+        built = true;
+        Arc::new(EvalPlan::build_new(m, fp))
+    });
+    if built {
+        MISSES.fetch_add(1, Ordering::Relaxed);
+    } else {
+        HITS.fetch_add(1, Ordering::Relaxed);
+    }
+    (Arc::clone(plan), built)
+}
+
+/// Records that a `Union`-block / `Product`-factor lookup was served from
+/// the cache (the per-child sharing the MWEM round loop relies on).
+pub(crate) fn note_shared_subplan() {
+    SHARED_SUBPLANS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A snapshot of the process-wide plan-cache counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Lookups served from the cache without building (includes child
+    /// lookups during spine assembly).
+    pub hits: u64,
+    /// Lookups that had to run the planning pass.
+    pub misses: u64,
+    /// The subset of `hits` that were `Union`-block or `Product`-factor
+    /// lookups during spine assembly — each one is a whole subtree walk
+    /// the per-child sharing avoided.
+    pub shared_subplans: u64,
+    /// Shapes currently resident across all shards.
+    pub entries: usize,
+}
+
+/// Current process-wide plan-cache counters. Counters are cumulative for
+/// the process; tests and benchmarks diff two snapshots.
+pub fn plan_cache_stats() -> PlanCacheStats {
+    PlanCacheStats {
+        hits: HITS.load(Ordering::Relaxed),
+        misses: MISSES.load(Ordering::Relaxed),
+        shared_subplans: SHARED_SUBPLANS.load(Ordering::Relaxed),
+        entries: shards().iter().map(|s| lock(s).len()).sum(),
+    }
+}
+
+/// Drops every cached plan process-wide. Never needed for correctness
+/// (entries cannot go stale); benchmarks call this to price what the
+/// cache removes. Workspaces holding a fast-path `Arc` keep evaluating
+/// their plan unaffected — pair with [`crate::Workspace::invalidate_plans`]
+/// to force a full re-plan.
+pub fn plan_cache_clear() {
+    for s in shards() {
+        lock(s).clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::fingerprint;
+
+    // Shapes here use dimensions unique to this file so counter assertions
+    // are immune to sibling tests sharing the process-wide cache.
+
+    #[test]
+    fn exactly_one_build_per_shape_across_threads() {
+        let m = Matrix::vstack(vec![Matrix::prefix(377), Matrix::wavelet(377)]);
+        let fp = fingerprint(&m);
+        let plans: Vec<(Arc<EvalPlan>, bool)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let m = m.clone();
+                    s.spawn(move || get_or_build(&m, fingerprint(&m)))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let builds = plans.iter().filter(|(_, b)| *b).count();
+        assert_eq!(builds, 1, "racing lookups must agree on one build");
+        for (p, _) in &plans {
+            assert!(Arc::ptr_eq(p, &plans[0].0), "all threads share one plan");
+        }
+        // And a later lookup is a hit on the same canonical Arc.
+        let (again, built) = get_or_build(&m, fp);
+        assert!(!built);
+        assert!(Arc::ptr_eq(&again, &plans[0].0));
+    }
+
+    #[test]
+    fn clear_forces_a_rebuild() {
+        let m = Matrix::prefix(5419);
+        let (_, built_first) = get_or_build(&m, fingerprint(&m));
+        assert!(built_first);
+        let (_, built_again) = get_or_build(&m, fingerprint(&m));
+        assert!(!built_again);
+        plan_cache_clear();
+        let (_, built_after_clear) = get_or_build(&m, fingerprint(&m));
+        assert!(built_after_clear, "clear must drop residency");
+    }
+
+    #[test]
+    fn stats_track_entries() {
+        let before = plan_cache_stats();
+        let m = Matrix::suffix(7451);
+        let _ = get_or_build(&m, fingerprint(&m));
+        let after = plan_cache_stats();
+        assert!(after.misses > before.misses);
+        assert!(after.entries >= 1);
+    }
+}

@@ -10,7 +10,11 @@
 //! sized by a one-time *planning pass* over the combinator tree
 //! ([`Matrix::matvec_scratch`] / [`Matrix::rmatvec_scratch`]); evaluation
 //! then carves disjoint sub-slices off that arena with `split_at_mut` as it
-//! recurses, so the steady state performs **zero heap allocations**.
+//! recurses, so the steady state performs **zero heap allocations**. With
+//! the `parallel` feature the workspace additionally owns a pool of
+//! per-worker arenas (sized at plan time) that threaded chunk workers
+//! borrow instead of allocating, extending the same guarantee to the
+//! threaded paths.
 //!
 //! ```
 //! use ektelo_matrix::{Matrix, Workspace};
@@ -28,31 +32,86 @@
 use std::sync::Arc;
 
 use crate::plan::{fingerprint, EvalPlan};
-use crate::Matrix;
+use crate::{plan_cache, Matrix};
 
-/// Cached plans kept per workspace. Solvers touch one matrix; MWEM-style
-/// loops a handful. Larger sweeps evict least-recently-used shapes.
-const PLAN_CACHE_CAP: usize = 8;
-
-/// One memoized evaluation plan, keyed by the structural shape
-/// fingerprint of the tree it was planned for.
-#[derive(Clone, Debug)]
-struct PlanSlot {
-    fp: u64,
-    plan: Arc<EvalPlan>,
+/// A pool of per-worker scratch arenas for the threaded evaluation paths.
+///
+/// Parallel `Union`/`Kronecker` chunk workers used to allocate their
+/// scratch (and, in the scatter direction, their private accumulators) on
+/// every call. The pool keeps one monotonically growing arena per worker
+/// slot inside the [`Workspace`]; the evaluation plan records how many
+/// workers and how large an arena the tree can ever demand
+/// (`pool_workers` / `pool_arena`), the entry points size the pool up
+/// front, and the parallel regions borrow disjoint `&mut [f64]` views —
+/// zero steady-state allocations on the threaded paths too.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct ArenaPool {
+    arenas: Vec<Vec<f64>>,
+    /// Set on the pools handed to chunk workers: a parallel region nested
+    /// under a pooled worker evaluates serially instead (no nested thread
+    /// spawns, no per-call worker allocations — the shapes that hit this,
+    /// e.g. Kronecker-of-large-Union strategies, already saturate the
+    /// machine with the outer region's workers).
+    #[cfg_attr(not(feature = "parallel"), allow(dead_code))]
+    nested: bool,
 }
 
-/// A reusable scratch arena plus evaluation-plan cache for
-/// [`Matrix::matvec_into`], [`Matrix::rmatvec_into`] and
+impl ArenaPool {
+    /// The pool a chunk worker carries: empty, and marked nested so any
+    /// parallel region below it falls back to the serial path.
+    #[cfg(feature = "parallel")]
+    pub(crate) fn for_worker() -> Self {
+        ArenaPool {
+            arenas: Vec::new(),
+            nested: true,
+        }
+    }
+
+    /// True inside a pooled chunk worker (see `for_worker`).
+    #[cfg(feature = "parallel")]
+    pub(crate) fn is_nested(&self) -> bool {
+        self.nested
+    }
+    /// Grows the pool to at least `workers` arenas of at least `len`
+    /// scalars each. A no-op once the pool has reached the plan-recorded
+    /// requirement.
+    pub(crate) fn ensure(&mut self, workers: usize, len: usize) {
+        if self.arenas.len() < workers {
+            self.arenas.resize_with(workers, Vec::new);
+        }
+        for a in &mut self.arenas[..workers] {
+            if a.len() < len {
+                a.resize(len, 0.0);
+            }
+        }
+    }
+
+    /// The first `workers` arenas as a mutable slice of backing vectors
+    /// (each at least `len` long — `ensure`d here as a release-mode safety
+    /// net; a correctly planned pool never grows). Workers index disjoint
+    /// elements, and callers may re-read the arenas after the thread scope
+    /// ends (the deterministic fixed-order merges do exactly that).
+    #[cfg(feature = "parallel")]
+    pub(crate) fn arenas(&mut self, workers: usize, len: usize) -> &mut [Vec<f64>] {
+        self.ensure(workers, len);
+        &mut self.arenas[..workers]
+    }
+}
+
+/// A reusable scratch arena, per-worker arena pool and evaluation-plan
+/// fast path for [`Matrix::matvec_into`], [`Matrix::rmatvec_into`] and
 /// [`Matrix::rmatvec_add`].
 ///
 /// A `Workspace` may be shared freely across different matrices and all
 /// product directions: the arena grows monotonically to the largest
-/// requirement it has seen and never shrinks, and up to 8 evaluation plans
-/// are memoized so repeat evaluations skip the planning pass entirely.
-/// Constructing one with [`Workspace::for_matrix`] performs the planning
-/// pass and the single allocation up front, which is what iterative
-/// solvers do once per solve.
+/// requirement it has seen and never shrinks. Evaluation plans live in the
+/// **process-wide** plan cache ([`crate::plan_cache`]), shared by every
+/// workspace and every thread; the workspace keeps a single-entry
+/// fingerprint→plan fast path so solver inner loops — which hammer one
+/// shape — never touch the shared cache's locks. Constructing one with
+/// [`Workspace::for_matrix`] performs the planning lookup and the arena
+/// and pool allocations up front, which is what iterative solvers do once
+/// per solve.
 ///
 /// # Plan invalidation rules
 ///
@@ -61,17 +120,19 @@ struct PlanSlot {
 /// planner reads — see `plan::fingerprint`), and a plan is a pure
 /// function of exactly that shape, so a cache entry is valid for *any*
 /// matrix with the same fingerprint — dropping, rebuilding, cloning or
-/// moving matrices can never resurrect a stale plan. Each lookup costs
-/// one allocation-free hash walk over the tree (a few ns per node); the
-/// expensive planning pass runs only on a shape the workspace has not
-/// seen, which is what the `plan_builds` counters prove in the
-/// counting-allocator suites. [`Workspace::invalidate_plans`] exists to
-/// release plan memory or to force re-planning in benchmarks, not for
-/// correctness.
+/// moving matrices can never resurrect a stale plan, in this workspace or
+/// any other. Each lookup costs one allocation-free hash walk over the
+/// tree (a few ns per node); the expensive planning pass runs only on a
+/// shape the *process* has not seen, which is what the `plan_builds`
+/// counters prove in the counting-allocator suites.
+/// [`Workspace::invalidate_plans`] drops the fast path only; pair it with
+/// [`crate::plan_cache_clear`] to force re-planning in benchmarks.
 #[derive(Clone, Debug, Default)]
 pub struct Workspace {
     buf: Vec<f64>,
-    plans: Vec<PlanSlot>,
+    pool: ArenaPool,
+    /// Single-entry lock-free fast path into the process-wide plan cache.
+    fast: Option<(u64, Arc<EvalPlan>)>,
     hits: u64,
     builds: u64,
 }
@@ -84,11 +145,14 @@ impl Workspace {
 
     /// A workspace pre-planned and pre-sized for every product direction of
     /// `m` (`m·x`, `mᵀ·y` and the accumulating scatter) — the one-time
-    /// setup of iterative solvers.
+    /// setup of iterative solvers. The per-worker arena pool of the
+    /// `parallel` feature is also filled here, so threaded steady-state
+    /// evaluation performs no allocations either.
     pub fn for_matrix(m: &Matrix) -> Self {
         let mut ws = Workspace::new();
         let plan = ws.plan_for(m);
         ws.reserve(plan.max_scratch());
+        ws.pool.ensure(plan.pool_workers, plan.pool_arena);
         ws
     }
 
@@ -99,64 +163,75 @@ impl Workspace {
         }
     }
 
-    /// Current arena size in scalars.
+    /// Current arena size in scalars (the flat serial arena; per-worker
+    /// pool arenas are counted separately).
     pub fn capacity(&self) -> usize {
         self.buf.len()
     }
 
-    /// The evaluation plan for `m`, memoized by structural shape. A
-    /// lookup is one allocation-free fingerprint walk; only a shape this
-    /// workspace has not seen triggers the planning pass.
+    /// The evaluation plan for `m`: the workspace's single-entry fast path
+    /// when the shape matches the previous call (lock-free — the solver
+    /// inner-loop case), otherwise the process-wide shared cache. Only a
+    /// shape the whole process has never seen triggers the planning pass.
     pub(crate) fn plan_for(&mut self, m: &Matrix) -> Arc<EvalPlan> {
         let fp = fingerprint(m);
-        if let Some(i) = self.plans.iter().position(|s| s.fp == fp) {
-            self.hits += 1;
-            self.plans.swap(0, i); // keep the hot plan in front
-            return Arc::clone(&self.plans[0].plan);
+        if let Some((cached_fp, plan)) = &self.fast {
+            if *cached_fp == fp {
+                self.hits += 1;
+                return Arc::clone(plan);
+            }
         }
-        self.builds += 1;
-        let plan = Arc::new(EvalPlan::build(m));
+        let (plan, built) = plan_cache::get_or_build(m, fp);
         debug_assert_eq!(plan.fingerprint, fp);
-        self.plans.insert(
-            0,
-            PlanSlot {
-                fp,
-                plan: Arc::clone(&plan),
-            },
-        );
-        self.plans.truncate(PLAN_CACHE_CAP);
+        if built {
+            self.builds += 1;
+        } else {
+            self.hits += 1;
+        }
+        self.fast = Some((fp, Arc::clone(&plan)));
         plan
     }
 
-    /// Drops every cached plan (the arena is kept). Never needed for
-    /// correctness — see the type-level docs; useful to release plan
-    /// memory or to force re-planning in benchmarks.
+    /// Drops the workspace's plan fast path (the arena and pool are kept).
+    /// Never needed for correctness — see the type-level docs; the
+    /// process-wide cache still serves the shape, so pair with
+    /// [`crate::plan_cache_clear`] to genuinely force re-planning in
+    /// benchmarks.
     pub fn invalidate_plans(&mut self) {
-        self.plans.clear();
+        self.fast = None;
     }
 
-    /// Number of plan-cache hits (fingerprint lookups that skipped the
-    /// planning pass) this workspace has served.
+    /// Number of plan lookups this workspace served without running a
+    /// planning pass (fast-path and shared-cache hits).
     pub fn plan_cache_hits(&self) -> u64 {
         self.hits
     }
 
-    /// Number of planning passes (plan builds) this workspace has run.
+    /// Number of plan lookups by this workspace that had to run the
+    /// planning pass (the shape was new to the whole process).
     pub fn plan_cache_builds(&self) -> u64 {
         self.builds
     }
 
-    /// The first `len` scalars of the arena. The `*_into` entry points
-    /// reserve the full multi-direction requirement up front, so this
-    /// never grows the arena mid-evaluation.
-    pub(crate) fn slice(&mut self, len: usize) -> &mut [f64] {
+    /// The first `len` scalars of the arena plus the per-worker pool,
+    /// split-borrowed so planned evaluation can carry both down the
+    /// recursion. The `*_into` entry points reserve the direction's full
+    /// requirement (and pool) before evaluation starts, so this never
+    /// grows anything mid-evaluation.
+    pub(crate) fn carve(
+        &mut self,
+        len: usize,
+        pool_workers: usize,
+        pool_arena: usize,
+    ) -> (&mut [f64], &mut ArenaPool) {
         debug_assert!(
             len <= self.buf.len(),
             "workspace arena under-reserved: {len} > {}",
             self.buf.len()
         );
         self.reserve(len); // release-mode safety net; no-op when planned
-        &mut self.buf[..len]
+        self.pool.ensure(pool_workers, pool_arena);
+        (&mut self.buf[..len], &mut self.pool)
     }
 }
 
@@ -248,6 +323,11 @@ impl Matrix {
 mod tests {
     use super::*;
 
+    // Dimensions in these tests are unique to this file (and distinct per
+    // test): the plan cache is process-wide and the harness runs tests
+    // concurrently, so reusing a shape another test builds would turn this
+    // workspace's "build" into a "hit" and flake the counter assertions.
+
     #[test]
     fn leaves_need_no_scratch() {
         assert_eq!(Matrix::identity(64).matvec_scratch(), 0);
@@ -299,7 +379,7 @@ mod tests {
 
     #[test]
     fn plan_cache_hits_on_shape_and_shares_across_clones() {
-        let m = Matrix::vstack(vec![Matrix::prefix(8), Matrix::wavelet(8)]);
+        let m = Matrix::vstack(vec![Matrix::prefix(184), Matrix::wavelet(184)]);
         let mut ws = Workspace::new();
         let p1 = ws.plan_for(&m);
         assert_eq!(ws.plan_cache_builds(), 1);
@@ -313,6 +393,53 @@ mod tests {
         let p3 = ws.plan_for(&m2);
         assert_eq!(ws.plan_cache_builds(), 1);
         assert!(Arc::ptr_eq(&p1, &p3));
+    }
+
+    /// The satellite of ISSUE 3: two workspaces — and two scoped worker
+    /// threads with their own workspaces — evaluating the same shape must
+    /// observe one `EvalPlan` build and pointer-identical plans.
+    #[test]
+    fn plans_shared_across_workspaces_and_threads() {
+        let m = Matrix::vstack(vec![
+            Matrix::product(Matrix::prefix(232), Matrix::wavelet(232)),
+            Matrix::identity(232),
+        ]);
+        let mut w1 = Workspace::new();
+        let mut w2 = Workspace::new();
+        let p1 = w1.plan_for(&m);
+        let p2 = w2.plan_for(&m);
+        assert!(Arc::ptr_eq(&p1, &p2), "workspaces must share one plan");
+        assert_eq!(
+            w1.plan_cache_builds() + w2.plan_cache_builds(),
+            1,
+            "exactly one of the two lookups runs the planning pass"
+        );
+        let thread_plans: Vec<Arc<EvalPlan>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let m = m.clone();
+                    s.spawn(move || {
+                        let mut ws = Workspace::new();
+                        let plan = ws.plan_for(&m);
+                        // The worker actually evaluates through the shared
+                        // plan, not just fetches it.
+                        let x: Vec<f64> = (0..m.cols()).map(|i| i as f64).collect();
+                        let mut out = vec![0.0; m.rows()];
+                        m.matvec_into(&x, &mut out, &mut ws);
+                        // Identity block starts at row 232: row 233 = x[1].
+                        assert_eq!(out[233], 1.0);
+                        plan
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for p in &thread_plans {
+            assert!(
+                Arc::ptr_eq(p, &p1),
+                "scoped workers must observe the same shared plan"
+            );
+        }
     }
 
     /// Regression (code review of ISSUE 2): reordered union blocks are a
@@ -340,49 +467,52 @@ mod tests {
             assert_eq!(out_b[0], 36.0, "total row of [total; prefix]");
             assert_eq!(out_b[1], 1.0, "first prefix row (round {round})");
         }
-        // Two shapes, two plans, built exactly once each.
-        assert_eq!(ws.plan_cache_builds(), 2);
     }
 
+    /// The PR-2 pathology this PR removes: more shapes than the old cap-8
+    /// per-workspace LRU could hold, round-robined through one workspace,
+    /// used to rebuild plans on *every* call. With the process-wide cache
+    /// every shape stays resident, and invalidating the workspace fast
+    /// path does not lose residency either.
     #[test]
-    fn plan_cache_invalidation_and_capacity_bound() {
+    fn many_shapes_round_robin_without_eviction() {
         let mut ws = Workspace::new();
-        let keep: Vec<Matrix> = (1..=12).map(|n| Matrix::prefix(n * 4)).collect();
-        for m in &keep {
+        let shapes: Vec<Matrix> = (0..12).map(|i| Matrix::prefix(1000 + i * 4)).collect();
+        for m in &shapes {
             let _ = ws.plan_for(m);
         }
         assert_eq!(ws.plan_cache_builds(), 12);
-        // Capacity bound: the 8 most recent shapes are resident (hits),
-        // the oldest were evicted (a re-lookup rebuilds).
-        for m in &keep[4..] {
-            let _ = ws.plan_for(m);
+        // Three more full rotations: every lookup is a hit.
+        for _ in 0..3 {
+            for m in &shapes {
+                let _ = ws.plan_for(m);
+            }
         }
-        assert_eq!(ws.plan_cache_builds(), 12, "recent shapes must be resident");
-        let _ = ws.plan_for(&keep[0]);
-        assert_eq!(ws.plan_cache_builds(), 13, "oldest shape must be evicted");
-        // Invalidation: a shape known to be resident right now must
-        // rebuild once the cache is cleared.
-        let _ = ws.plan_for(&keep[11]);
-        assert_eq!(ws.plan_cache_builds(), 13);
-        ws.invalidate_plans();
-        let _ = ws.plan_for(&keep[11]);
         assert_eq!(
             ws.plan_cache_builds(),
-            14,
-            "invalidate must force a rebuild"
+            12,
+            "round-robined shapes must stay resident (no cap-8 eviction)"
         );
+        // Fast-path invalidation only forgets the workspace's last shape;
+        // the process-wide cache still serves everything without a build.
+        ws.invalidate_plans();
+        for m in &shapes {
+            let _ = ws.plan_for(m);
+        }
+        assert_eq!(ws.plan_cache_builds(), 12);
     }
 
     #[test]
     fn distinct_matrices_get_distinct_plans() {
-        let a = Matrix::product(Matrix::prefix(8), Matrix::wavelet(8));
-        let b = Matrix::product(Matrix::suffix(8), Matrix::wavelet(8));
+        let a = Matrix::product(Matrix::prefix(296), Matrix::wavelet(296));
+        let b = Matrix::product(Matrix::suffix(296), Matrix::wavelet(296));
         let mut ws = Workspace::new();
         let pa = ws.plan_for(&a);
         let pb = ws.plan_for(&b);
         assert!(!Arc::ptr_eq(&pa, &pb));
         assert_eq!(ws.plan_cache_builds(), 2);
-        // Both stay resident: re-lookups are fingerprint hits.
+        // Both stay resident: re-lookups are hits (one through the global
+        // cache, one through the restored fast path).
         let _ = ws.plan_for(&a);
         let _ = ws.plan_for(&b);
         assert_eq!(ws.plan_cache_builds(), 2);

@@ -1,0 +1,190 @@
+//! Counting-allocator proof that the **threaded** evaluation paths are
+//! allocation-free in steady state (ISSUE 3 tentpole: the per-worker
+//! arena pool).
+//!
+//! Before the pool, every parallel region allocated per call: per-worker
+//! scratch vectors, full-width scatter accumulators, Kronecker stage-2
+//! output panels — all `O(n)` buffers. The pool moves every one of them
+//! into the `Workspace`, sized at plan time.
+//!
+//! The counter here tracks allocations of **at least one page
+//! (4096 bytes)**: the buffers named above are tens-to-hundreds of KiB at
+//! the sizes that clear the parallel work threshold, while the only
+//! allocations the threaded steady state still performs are the `std`
+//! spawn harness's small per-thread bookkeeping (closure box, join
+//! packet — well under a page each, and impossible to elide without a
+//! bespoke thread pool). So "zero large allocations" is exactly the
+//! buffer-freedom guarantee, measured robustly.
+//!
+//! The suite passes with and without `--features parallel` (without the
+//! feature the serial engine is trivially buffer-allocation-free too);
+//! CI runs it under the feature, where the sizes below engage every
+//! threaded region.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ektelo_matrix::{plan_builds, Matrix, Workspace};
+
+/// Allocations of at least this many bytes are counted. One page: small
+/// enough that any real data buffer at threaded sizes counts, large
+/// enough to ignore the spawn harness's fixed bookkeeping.
+const LARGE: usize = 4096;
+
+struct CountingAllocator;
+
+static LARGE_ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if layout.size() >= LARGE {
+            LARGE_ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if new_size >= LARGE {
+            LARGE_ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+/// The counter is process-global but the harness runs tests on concurrent
+/// threads; hold this gate so counting windows never overlap.
+static GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn serialized() -> std::sync::MutexGuard<'static, ()> {
+    GATE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Minimum count of `f` over a few repetitions (sibling-thread noise is
+/// additive; a genuine steady-state allocation shows up in every rep).
+fn count_large<F: FnMut()>(mut f: F) -> u64 {
+    let mut best = u64::MAX;
+    for _ in 0..3 {
+        let before = LARGE_ALLOCATIONS.load(Ordering::Relaxed);
+        f();
+        best = best.min(LARGE_ALLOCATIONS.load(Ordering::Relaxed) - before);
+    }
+    best
+}
+
+/// Striped union sized past the parallel thresholds in both directions:
+/// forward needs `2·rows + cols ≥ 2^14`, scatter needs `rows ≥ 2^14` and
+/// `rows ≥ cols`.
+fn striped_union() -> Matrix {
+    let n = 1usize << 12;
+    Matrix::vstack(vec![
+        Matrix::wavelet(n),
+        Matrix::prefix(n),
+        Matrix::scaled(0.5, Matrix::suffix(n)),
+        Matrix::product(Matrix::prefix(n), Matrix::wavelet(n)),
+    ])
+}
+
+#[test]
+fn threaded_union_both_directions_no_large_allocations_when_warm() {
+    let _serial = serialized();
+    let u = striped_union();
+    let mut ws = Workspace::for_matrix(&u);
+    let x: Vec<f64> = (0..u.cols()).map(|i| (i % 13) as f64 - 6.0).collect();
+    let y: Vec<f64> = (0..u.rows()).map(|i| (i % 7) as f64 - 3.0).collect();
+    let mut out = vec![0.0; u.rows()];
+    let mut back = vec![0.0; u.cols()];
+    // Warm both directions: plans resolved, arena and pool at full size.
+    u.matvec_into(&x, &mut out, &mut ws);
+    u.rmatvec_into(&y, &mut back, &mut ws);
+    let builds = plan_builds();
+    let large = count_large(|| {
+        for _ in 0..10 {
+            u.matvec_into(&x, &mut out, &mut ws);
+            u.rmatvec_into(&y, &mut back, &mut ws);
+        }
+    });
+    assert_eq!(
+        large, 0,
+        "warm threaded union evaluation must not allocate worker buffers"
+    );
+    assert_eq!(plan_builds(), builds, "steady state must not re-plan");
+    // Correctness untouched by the pooled buffers.
+    assert_eq!(out, u.matvec(&x));
+    assert_eq!(back, u.rmatvec(&y));
+}
+
+/// Code-review regression: a Kronecker whose factor is itself a
+/// parallel-eligible union (the `hdmm_kron`/`stripe_select` shape). The
+/// outer region's chunk workers must evaluate the inner union *serially*
+/// (nested parallelism is suppressed at the worker boundary) — without
+/// that, every row application inside every worker would allocate fresh
+/// worker arenas and spawn nested threads.
+#[test]
+fn kron_of_parallel_union_stays_buffer_allocation_free() {
+    let _serial = serialized();
+    let w = 1usize << 12;
+    let inner = Matrix::vstack((0..4).map(|_| Matrix::wavelet(w)).collect());
+    let k = Matrix::kron(Matrix::prefix(4), inner.clone());
+    let mut ws = Workspace::for_matrix(&k);
+    let x: Vec<f64> = (0..k.cols()).map(|i| ((i * 13) % 7) as f64 - 3.0).collect();
+    let mut out = vec![0.0; k.rows()];
+    k.matvec_into(&x, &mut out, &mut ws);
+    let large = count_large(|| {
+        for _ in 0..5 {
+            k.matvec_into(&x, &mut out, &mut ws);
+        }
+    });
+    assert_eq!(
+        large, 0,
+        "nested parallel regions must not allocate worker buffers per call"
+    );
+    // Independent reference: t_i = inner · x_i per reshaped input row,
+    // then prefix over the rows (A = prefix(4)).
+    let (mb, nb) = inner.shape();
+    let mut t = vec![vec![0.0; mb]; 4];
+    for (i, ti) in t.iter_mut().enumerate() {
+        *ti = inner.matvec(&x[i * nb..(i + 1) * nb]);
+    }
+    for p in 0..4 {
+        for q in 0..mb {
+            let expect: f64 = (0..=p).map(|i| t[i][q]).sum();
+            assert!(
+                (out[p * mb + q] - expect).abs() < 1e-9,
+                "nested-suppressed kron diverged at ({p},{q})"
+            );
+        }
+    }
+}
+
+#[test]
+fn threaded_kron_no_large_allocations_when_warm() {
+    let _serial = serialized();
+    // 128×128 factors clear the row-chunk and column-chunk thresholds.
+    let k = Matrix::kron(Matrix::prefix(128), Matrix::wavelet(128));
+    let mut ws = Workspace::for_matrix(&k);
+    let x: Vec<f64> = (0..k.cols()).map(|i| ((i * 31) % 17) as f64).collect();
+    let y: Vec<f64> = (0..k.rows()).map(|i| ((i * 7) % 23) as f64).collect();
+    let mut out = vec![0.0; k.rows()];
+    let mut back = vec![0.0; k.cols()];
+    k.matvec_into(&x, &mut out, &mut ws);
+    k.rmatvec_into(&y, &mut back, &mut ws);
+    let large = count_large(|| {
+        for _ in 0..5 {
+            k.matvec_into(&x, &mut out, &mut ws);
+            k.rmatvec_into(&y, &mut back, &mut ws);
+        }
+    });
+    assert_eq!(
+        large, 0,
+        "warm threaded Kronecker evaluation must not allocate stage buffers or panels"
+    );
+    assert_eq!(out, k.matvec(&x));
+    assert_eq!(back, k.rmatvec(&y));
+}

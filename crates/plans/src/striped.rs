@@ -18,13 +18,16 @@
 //! serial build in the last ulps: the solver's threaded Unionᵀ scatter
 //! regroups f64 sums at merge points.) DAWA-Striped
 //! additionally builds its per-stripe Greedy-H strategies (pure public
-//! compute, the dominant per-stripe cost) on worker threads; its
-//! data-adaptive partition selection stays sequential because it consumes
-//! privacy randomness per stripe.
+//! compute, the dominant per-stripe cost) on worker threads, and its
+//! data-adaptive stage-1 partition selection threads too: the kernel
+//! charges stripes in order and derives counter-based per-stripe RNG
+//! substreams from its privacy stream, so each stripe's selection is a
+//! pure function of (snapshot, substream) and the threaded batch is
+//! bit-identical to a sequential loop over the same substreams.
 
 use ektelo_core::kernel::{ProtectedKernel, SourceVar};
 use ektelo_core::ops::inference::LsSolver;
-use ektelo_core::ops::partition::{dawa_partition, stripe_partition, DawaOptions};
+use ektelo_core::ops::partition::{dawa_partition_batch, stripe_partition, DawaOptions};
 use ektelo_core::ops::selection::{greedy_h, hb, stripe_select};
 
 use crate::util::{
@@ -78,16 +81,20 @@ pub fn plan_dawa_striped(
     let p = stripe_partition(sizes, attr);
     let stripes = kernel.split_by_partition(x, &p)?;
 
-    // Phase 1 — per-stripe data-adaptive partitioning (sequential: DAWA's
-    // stage 1 consumes privacy randomness, which must stay in stripe
-    // order for determinism).
+    // Phase 1 — per-stripe data-adaptive partitioning, batched: the
+    // kernel charges every stripe in stripe order and hands out
+    // counter-based per-stripe RNG substreams, so the noisy-histogram +
+    // segmentation work threads under the `parallel` feature while
+    // remaining bit-identical to a sequential loop over the same
+    // substreams (ROADMAP's "thread DAWA stage 1" item).
+    let bucket_ps =
+        dawa_partition_batch(kernel, &stripes, shares[0], &DawaOptions::new(shares[1]))?;
     let mut reduced_vars = Vec::with_capacity(stripes.len());
     let mut strategy_inputs = Vec::with_capacity(stripes.len());
-    for stripe in stripes {
-        let bucket_p = dawa_partition(kernel, stripe, shares[0], &DawaOptions::new(shares[1]))?;
-        let reduced = kernel.reduce_by_partition(stripe, &bucket_p)?;
+    for (stripe, bucket_p) in stripes.iter().zip(&bucket_ps) {
+        let reduced = kernel.reduce_by_partition(*stripe, bucket_p)?;
         let groups = kernel.vector_len(reduced)?;
-        let bounds = interval_partition_bounds(&bucket_p);
+        let bounds = interval_partition_bounds(bucket_p);
         let ranges = map_ranges_to_buckets(stripe_ranges, &bounds);
         reduced_vars.push(reduced);
         strategy_inputs.push((groups, ranges));

@@ -33,6 +33,11 @@ pub enum EktError {
     },
     /// Any other invalid argument (empty workload, non-positive ε, …).
     InvalidArgument(String),
+    /// A plan spec failed validation or execution-time typing (operator
+    /// graph API): a node referenced a value of the wrong kind, or the
+    /// spec declared an impossible configuration. Data-independent by
+    /// construction — specs are public objects.
+    InvalidPlan(String),
 }
 
 impl fmt::Display for EktError {
@@ -54,6 +59,7 @@ impl fmt::Display for EktError {
                 write!(f, "shape mismatch: expected {expected}, found {found}")
             }
             EktError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            EktError::InvalidPlan(msg) => write!(f, "invalid plan: {msg}"),
         }
     }
 }

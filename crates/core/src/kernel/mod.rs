@@ -4,7 +4,8 @@
 //! `ε_tot`. Plans hold only [`SourceVar`] handles; the actual tables and
 //! vectors never leave the kernel. Transformations derive new sources and
 //! record their stability; query operators draw calibrated noise and charge
-//! the budget through Algorithm 2 (see [`state`]'s `request`).
+//! the budget through Algorithm 2 (see the private `state` module's
+//! `request`).
 
 mod error;
 pub mod noise;
@@ -27,12 +28,50 @@ use state::{KernelState, Node, NodeData};
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct SourceVar(pub(crate) usize);
 
+/// Upper bound on idle [`Workspace`]s the kernel retains for reuse —
+/// enough for every worker of a threaded batch plus the serial paths,
+/// small enough that a burst of batches cannot pin unbounded arena memory.
+const WORKSPACE_POOL_CAP: usize = 32;
+
+/// A pool of reusable [`Workspace`]s owned by the kernel.
+///
+/// `vector_laplace_batch` workers (and single-shot operators like
+/// worst-approx) used to construct a fresh `Workspace` per call, paying
+/// the arena growth and plan fast-path warmup every time. The pool hands
+/// out warm workspaces instead: a checkout pops one (or creates one if
+/// the pool is empty), and the restore pushes it back with its arena and
+/// single-entry plan fast path intact, so repeated batch calls over the
+/// same strategies do zero arena reallocation. The pool lock is separate
+/// from the kernel state lock and held only for the push/pop.
+#[derive(Default)]
+struct WorkspacePool {
+    slots: Mutex<Vec<Workspace>>,
+}
+
+impl WorkspacePool {
+    fn checkout(&self) -> Workspace {
+        self.slots.lock().pop().unwrap_or_default()
+    }
+
+    fn restore(&self, ws: Workspace) {
+        let mut slots = self.slots.lock();
+        if slots.len() < WORKSPACE_POOL_CAP {
+            slots.push(ws);
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.slots.lock().len()
+    }
+}
+
 /// The protected kernel: owns the private data, the transformation graph,
 /// the budget trackers and the privacy RNG. All methods take `&self`; the
 /// state sits behind a mutex so plans can be ordinary single-threaded code
 /// while benchmark sweeps run kernels on worker threads.
 pub struct ProtectedKernel {
     state: Mutex<KernelState>,
+    ws_pool: WorkspacePool,
 }
 
 impl ProtectedKernel {
@@ -47,6 +86,7 @@ impl ProtectedKernel {
         let mut st = KernelState {
             nodes: Vec::new(),
             eps_total,
+            reserved: 0.0,
             rng: StdRng::seed_from_u64(seed),
             history: Vec::new(),
         };
@@ -60,6 +100,7 @@ impl ProtectedKernel {
         });
         ProtectedKernel {
             state: Mutex::new(st),
+            ws_pool: WorkspacePool::default(),
         }
     }
 
@@ -72,6 +113,7 @@ impl ProtectedKernel {
         let mut st = KernelState {
             nodes: Vec::new(),
             eps_total,
+            reserved: 0.0,
             rng: StdRng::seed_from_u64(seed),
             history: Vec::new(),
         };
@@ -85,6 +127,7 @@ impl ProtectedKernel {
         });
         ProtectedKernel {
             state: Mutex::new(st),
+            ws_pool: WorkspacePool::default(),
         }
     }
 
@@ -104,10 +147,106 @@ impl ProtectedKernel {
         self.state.lock().spent()
     }
 
-    /// Budget still available at the root.
+    /// Budget still available to a new charge or reservation at the
+    /// root: total minus spent minus outstanding reservation holds (a
+    /// charge sized by this figure is admissible; held budget belongs to
+    /// already-admitted plans).
     pub fn budget_remaining(&self) -> f64 {
         let st = self.state.lock();
-        (st.eps_total - st.spent()).max(0.0)
+        (st.eps_total - st.spent() - st.reserved).max(0.0)
+    }
+
+    /// Root budget currently held by outstanding [`BudgetReservation`]s
+    /// (public: reservations are made before any data is touched).
+    pub fn budget_reserved(&self) -> f64 {
+        self.state.lock().reserved
+    }
+
+    // ------------------------------------------------------------------
+    // Budget reservation (plan-graph session admission)
+    // ------------------------------------------------------------------
+
+    /// Reserves `eps` of root budget for a pre-accounted plan, failing
+    /// with [`EktError::BudgetExceeded`] — before any data access — if
+    /// the budget already spent plus existing reservations cannot cover
+    /// it. While the reservation is held, ordinary charges (from any
+    /// session) only see `ε_tot − reserved`; the holder releases slices
+    /// via [`BudgetReservation::unlock`] right before issuing the
+    /// corresponding charges, so concurrent sessions cannot take an
+    /// admitted plan's *unredeemed* budget. Note the unlock and its
+    /// paired charge are two lock acquisitions: a concurrent charge
+    /// racing into that single-operation window can still steal the
+    /// just-released slice (a reservation-aware charge pathway that
+    /// redeems atomically is a ROADMAP item). Dropping the reservation
+    /// releases whatever remains.
+    ///
+    /// The admission decision depends only on `eps`, prior charges and
+    /// prior reservations — all data-independent — so rejecting leaks
+    /// nothing (same argument as Algorithm 2's budget check).
+    pub fn reserve_budget(&self, eps: f64) -> Result<BudgetReservation<'_>> {
+        if eps < 0.0 {
+            return Err(EktError::InvalidArgument(format!(
+                "negative reservation {eps}"
+            )));
+        }
+        const EPS_TOL: f64 = 1e-9;
+        let mut st = self.state.lock();
+        let committed = st.spent() + st.reserved;
+        if committed + eps > st.eps_total * (1.0 + EPS_TOL) + EPS_TOL {
+            return Err(EktError::BudgetExceeded {
+                requested: eps,
+                remaining: (st.eps_total - committed).max(0.0),
+            });
+        }
+        st.reserved += eps;
+        Ok(BudgetReservation {
+            kernel: self,
+            remaining: std::cell::Cell::new(eps),
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Reusable workspaces (kernel-owned scratch for batch/operator calls)
+    // ------------------------------------------------------------------
+
+    /// Checks a warm [`Workspace`] out of the kernel's pool (or creates a
+    /// fresh one when the pool is empty). Pair with
+    /// [`ProtectedKernel::workspace_restore`]; used by the batched
+    /// measurement path and scratch-hungry vetted operators so repeated
+    /// calls reuse arenas instead of rebuilding them.
+    pub(crate) fn workspace_checkout(&self) -> Workspace {
+        self.ws_pool.checkout()
+    }
+
+    /// Returns a workspace to the pool for the next checkout.
+    pub(crate) fn workspace_restore(&self, ws: Workspace) {
+        self.ws_pool.restore(ws);
+    }
+
+    /// Number of idle pooled workspaces (observability for tests and
+    /// capacity tuning; the count is bounded by a small internal cap).
+    pub fn workspace_pool_len(&self) -> usize {
+        self.ws_pool.len()
+    }
+
+    /// The product of stability factors along the transformation chain
+    /// from `sv` up to the root (public metadata: stabilities derive from
+    /// the sequence of operator calls, not the data). An upper bound on
+    /// how much a unit of budget charged at `sv` can cost at the root —
+    /// exact when no partition variable above `sv` carries prior sibling
+    /// charges.
+    pub fn stability_to_root(&self, sv: SourceVar) -> f64 {
+        let st = self.state.lock();
+        let mut s = 1.0;
+        let mut node = sv.0;
+        loop {
+            s *= st.nodes[node].stability;
+            match st.nodes[node].parent {
+                Some(p) => node = p,
+                None => break,
+            }
+        }
+        s
     }
 
     /// The schema of a table source (public metadata).
@@ -475,20 +614,21 @@ impl ProtectedKernel {
                 .sum();
             if reqs.len() >= 2 && nthreads >= 2 && total_cells >= 4096 {
                 let chunk = reqs.len().div_ceil(nthreads);
+                let pool = &self.ws_pool;
                 std::thread::scope(|scope| {
                     for (echunk, (rchunk, schunk)) in exacts
                         .chunks_mut(chunk)
                         .zip(reqs.chunks(chunk).zip(snapshots.chunks(chunk)))
                     {
-                        scope.spawn(move || fill_exact_answers(rchunk, schunk, echunk));
+                        scope.spawn(move || fill_exact_answers(rchunk, schunk, echunk, pool));
                     }
                 });
             } else {
-                fill_exact_answers(reqs, &snapshots, &mut exacts);
+                fill_exact_answers(reqs, &snapshots, &mut exacts, &self.ws_pool);
             }
         }
         #[cfg(not(feature = "parallel"))]
-        fill_exact_answers(reqs, &snapshots, &mut exacts);
+        fill_exact_answers(reqs, &snapshots, &mut exacts, &self.ws_pool);
 
         // Phase 3 (sequential, under the lock): charge budgets, draw noise
         // in request order, record history — the privacy-ordered section.
@@ -693,6 +833,43 @@ impl ProtectedKernel {
     }
 }
 
+/// A hold on root budget granted by [`ProtectedKernel::reserve_budget`].
+///
+/// While held, the reserved amount is subtracted from the budget visible
+/// to ordinary charges (the root case of Algorithm 2). The holder calls
+/// [`BudgetReservation::unlock`] with each pre-accounted slice just
+/// before issuing the charge that consumes it; dropping the reservation
+/// releases whatever was never unlocked.
+pub struct BudgetReservation<'k> {
+    kernel: &'k ProtectedKernel,
+    remaining: std::cell::Cell<f64>,
+}
+
+impl BudgetReservation<'_> {
+    /// Budget still held by this reservation.
+    pub fn remaining(&self) -> f64 {
+        self.remaining.get()
+    }
+
+    /// Releases up to `eps` of the hold back into the charge-visible
+    /// budget (clamped to what this reservation still holds). Called
+    /// right before the charge the slice was reserved for.
+    pub fn unlock(&self, eps: f64) {
+        let slice = eps.max(0.0).min(self.remaining.get());
+        if slice > 0.0 {
+            self.remaining.set(self.remaining.get() - slice);
+            let mut st = self.kernel.state.lock();
+            st.reserved = (st.reserved - slice).max(0.0);
+        }
+    }
+}
+
+impl Drop for BudgetReservation<'_> {
+    fn drop(&mut self) {
+        self.unlock(f64::INFINITY);
+    }
+}
+
 /// A zero-copy data snapshot paired with the query's sensitivity
 /// (phase-1 output of [`ProtectedKernel::vector_laplace_batch`]).
 type Snapshot = Result<(Arc<Vec<f64>>, f64)>;
@@ -702,12 +879,16 @@ type Snapshot = Result<(Arc<Vec<f64>>, f64)>;
 /// serial and per-worker parallel paths of
 /// [`ProtectedKernel::vector_laplace_batch`]; one reused [`Workspace`]
 /// means same-shaped strategies (every stripe of HB-Striped) plan once.
+/// The workspace comes from the kernel's pool and goes back afterwards,
+/// so *across* batch calls the arena and plan fast path stay warm too —
+/// a second call with the same strategies allocates no scratch at all.
 fn fill_exact_answers(
     reqs: &[(SourceVar, &Matrix, f64)],
     snapshots: &[Snapshot],
     exacts: &mut [Option<Vec<f64>>],
+    pool: &WorkspacePool,
 ) {
-    let mut ws = Workspace::new();
+    let mut ws = pool.checkout();
     for (e, (&(_, m, _), snap)) in exacts.iter_mut().zip(reqs.iter().zip(snapshots)) {
         if let (Some(slot), Ok((x, _))) = (e.as_mut(), snap.as_ref()) {
             let mut out = vec![0.0; m.rows()];
@@ -715,6 +896,7 @@ fn fill_exact_answers(
             *slot = out;
         }
     }
+    pool.restore(ws);
 }
 
 /// Extracts per-group cell lists from a partition matrix: group g holds the

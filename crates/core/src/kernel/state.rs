@@ -66,6 +66,14 @@ pub struct MeasuredQuery {
 pub(crate) struct KernelState {
     pub nodes: Vec<Node>,
     pub eps_total: f64,
+    /// Root budget currently held by outstanding [`super::BudgetReservation`]s.
+    /// Reserved budget is invisible to ordinary requests: the root case of
+    /// [`KernelState::request`] only admits charges into
+    /// `eps_total - reserved`. A reservation holder releases slices of its
+    /// hold just before issuing the corresponding charges, so a
+    /// pre-accounted plan executes against budget no concurrent session
+    /// can take from under it.
+    pub reserved: f64,
     pub rng: StdRng,
     pub history: Vec<MeasuredQuery>,
 }
@@ -86,12 +94,14 @@ impl KernelState {
         const EPS_TOL: f64 = 1e-9;
         match self.nodes[sv].parent {
             None => {
-                // Case 1: sv is the root.
+                // Case 1: sv is the root. Outstanding reservations shrink
+                // the budget visible to this request.
+                let avail = self.eps_total - self.reserved;
                 let b = self.nodes[sv].budget;
-                if b + sigma > self.eps_total * (1.0 + EPS_TOL) + EPS_TOL {
+                if b + sigma > avail * (1.0 + EPS_TOL) + EPS_TOL {
                     Err(EktError::BudgetExceeded {
                         requested: sigma,
-                        remaining: (self.eps_total - b).max(0.0),
+                        remaining: (avail - b).max(0.0),
                     })
                 } else {
                     self.nodes[sv].budget += sigma;
@@ -158,6 +168,7 @@ mod tests {
         let mut s = KernelState {
             nodes: Vec::new(),
             eps_total: eps,
+            reserved: 0.0,
             rng: StdRng::seed_from_u64(0),
             history: Vec::new(),
         };

@@ -99,6 +99,39 @@ pub fn mult_weights_inference(
     mult_weights(&m, &y, &x0, &MwOptions { iterations, total })
 }
 
+/// Appends a high-confidence "known total" pseudo-measurement (paper
+/// §5.5: public facts enter inference as near-noiseless answers).
+///
+/// `noise_scale` should be small *relative to the real measurements* (one
+/// to two orders of magnitude below their noise scales), not absolutely
+/// tiny: inference weights rows by inverse noise scale, and an extreme
+/// ratio destroys the conditioning of the iterative solvers. Use
+/// [`relative_total_scale`] to derive a safe value.
+pub fn known_total_measurement(
+    n: usize,
+    total: f64,
+    base: crate::kernel::SourceVar,
+    noise_scale: f64,
+) -> MeasuredQuery {
+    MeasuredQuery {
+        base,
+        query: Matrix::total(n),
+        answers: vec![total],
+        noise_scale: noise_scale.max(f64::MIN_POSITIVE),
+    }
+}
+
+/// A known-total noise scale 10× more precise than the most precise real
+/// measurement — enough to pin the total without wrecking conditioning.
+pub fn relative_total_scale(measurements: &[MeasuredQuery]) -> f64 {
+    measurements
+        .iter()
+        .map(|m| m.noise_scale)
+        .fold(f64::INFINITY, f64::min)
+        .min(1e6)
+        / 10.0
+}
+
 /// Thresholding inference ("HR" in Fig. 1): for identity-style
 /// measurements, clamp negatives to zero and zero-out any estimate below
 /// `threshold` (a denoising heuristic for sparse data vectors).

@@ -22,6 +22,7 @@
 //! charge the budget before touching anything private. Everything else is
 //! Public and works on public inputs only.
 
+pub mod graph;
 pub mod inference;
 pub mod partition;
 pub mod selection;

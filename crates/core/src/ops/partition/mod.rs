@@ -33,6 +33,54 @@ pub fn marginal_partition(sizes: &[usize], keep: &[bool]) -> Matrix {
     p
 }
 
+/// Extracts contiguous bucket boundaries from a 1-D interval partition
+/// matrix (as produced by DAWA): returns `buckets + 1` cut positions.
+/// Panics if the partition is not contiguous.
+pub fn interval_partition_bounds(p: &Matrix) -> Vec<usize> {
+    let sp = p.to_sparse();
+    let n = sp.cols();
+    let mut label_of = vec![usize::MAX; n];
+    for g in 0..sp.rows() {
+        for (c, _) in sp.row_entries(g) {
+            label_of[c] = g;
+        }
+    }
+    let mut bounds = vec![0usize];
+    for j in 1..n {
+        if label_of[j] != label_of[j - 1] {
+            bounds.push(j);
+        }
+    }
+    bounds.push(n);
+    // Verify contiguity: number of cuts must equal number of groups + 1.
+    assert_eq!(
+        bounds.len(),
+        sp.rows() + 1,
+        "partition is not a contiguous interval partition"
+    );
+    bounds
+}
+
+/// Maps 1-D range queries on the original domain onto bucket indices of a
+/// contiguous partition (for running Greedy-H on DAWA's reduced domain).
+pub fn map_ranges_to_buckets(ranges: &[(usize, usize)], bounds: &[usize]) -> Vec<(usize, usize)> {
+    let bucket_of = |cell: usize| -> usize {
+        // bounds is sorted; find the bucket containing `cell`.
+        match bounds.binary_search(&cell) {
+            Ok(i) => i.min(bounds.len() - 2),
+            Err(i) => i - 1,
+        }
+    };
+    ranges
+        .iter()
+        .map(|&(lo, hi)| {
+            let b_lo = bucket_of(lo);
+            let b_hi = bucket_of(hi - 1) + 1;
+            (b_lo, b_hi)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

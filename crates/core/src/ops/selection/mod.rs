@@ -3,7 +3,7 @@
 //! A query selection operator outputs a set of linear queries in matrix
 //! form — the *strategy* handed to `Vector Laplace`. Most are Public (they
 //! depend only on domain size or workload); [`worst_approx`] and
-//! [`privbayes`] consult the private data and are Private→Public.
+//! [`privbayes_select`] consult the private data and are Private→Public.
 
 mod greedy_h;
 mod grids;

@@ -6,7 +6,7 @@
 //! via the exponential mechanism (implemented with the Gumbel-max trick,
 //! which is exactly equivalent).
 
-use ektelo_matrix::{Matrix, Workspace};
+use ektelo_matrix::Matrix;
 
 use crate::kernel::noise::exponential_mechanism;
 use crate::kernel::{EktError, ProtectedKernel, Result, SourceVar};
@@ -33,20 +33,31 @@ pub fn worst_approx(
         });
     }
     kernel.charge(sv, eps)?;
+    // Surface a wrong source type *before* checking a workspace out of
+    // the pool: the closure below moves the workspace, so an error from
+    // `with_vector` would drop it instead of restoring it.
+    kernel.vector_len(sv)?;
     // Both workload evaluations (public estimate, private truth) share one
     // workspace; the truth answers are overwritten in place with the
-    // per-query deviation scores.
-    let mut ws = Workspace::for_matrix(workload);
+    // per-query deviation scores. The workspace comes from the kernel's
+    // pool, so MWEM's round loop — which calls this once per round with
+    // the same workload — reuses one warm arena instead of rebuilding it.
+    let mut ws = kernel.workspace_checkout();
     let mut est = vec![0.0; workload.rows()];
     workload.matvec_into(x_hat, &mut est, &mut ws);
-    kernel.with_vector(sv, move |x, rng| {
+    let (idx, ws) = kernel.with_vector(sv, move |x, rng| {
         let mut scores = vec![0.0; workload.rows()];
         workload.matvec_into(x, &mut scores, &mut ws);
         for (s, e) in scores.iter_mut().zip(&est) {
             *s = (*s - e).abs();
         }
-        exponential_mechanism(rng, &scores, score_sensitivity, eps)
-    })
+        (
+            exponential_mechanism(rng, &scores, score_sensitivity, eps),
+            ws,
+        )
+    })?;
+    kernel.workspace_restore(ws);
+    Ok(idx)
 }
 
 #[cfg(test)]

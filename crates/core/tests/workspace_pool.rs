@@ -1,0 +1,72 @@
+//! Gate for kernel-owned workspace reuse (ROADMAP PR-3 open item):
+//! `vector_laplace_batch` and scratch-hungry vetted operators must check
+//! warm `Workspace`s out of the kernel's pool instead of building a
+//! fresh one per call, so repeated batch calls pay zero arena setup.
+//!
+//! The observable: the pool's idle count stabilizes after the first call
+//! and never grows on subsequent identical calls. A regression that
+//! creates fresh workspaces (instead of popping pooled ones) keeps
+//! pushing new entries on restore, so the count climbs call after call.
+
+use ektelo_core::kernel::{ProtectedKernel, SourceVar};
+use ektelo_matrix::{partition_from_labels, Matrix};
+
+/// Cells per stripe — big enough that the batch's parallel path (when
+/// the `parallel` feature is on) engages its worker threads.
+const STRIPE: usize = 1 << 12;
+const STRIPES: usize = 8;
+
+fn striped_kernel() -> (ProtectedKernel, Vec<SourceVar>) {
+    let n = STRIPE * STRIPES;
+    let x: Vec<f64> = (0..n).map(|i| (i % 7) as f64).collect();
+    let k = ProtectedKernel::init_from_vector(x, 1000.0, 23);
+    let labels: Vec<usize> = (0..n).map(|i| i / STRIPE).collect();
+    let p = partition_from_labels(STRIPES, &labels);
+    let stripes = k.split_by_partition(k.root(), &p).unwrap();
+    (k, stripes)
+}
+
+#[test]
+fn batch_calls_reuse_kernel_owned_workspaces() {
+    let (k, stripes) = striped_kernel();
+    // A scratch-bearing strategy (Prefix needs a running-sum buffer), so
+    // workspace reuse actually carries a warm arena between calls.
+    let strategy = Matrix::prefix(STRIPE);
+    let reqs: Vec<(SourceVar, &Matrix, f64)> =
+        stripes.iter().map(|&s| (s, &strategy, 0.01)).collect();
+
+    assert_eq!(k.workspace_pool_len(), 0, "pool starts empty");
+    k.vector_laplace_batch(&reqs).unwrap();
+    let warm = k.workspace_pool_len();
+    assert!(
+        warm >= 1,
+        "the batch must return its workspaces to the pool"
+    );
+
+    for _ in 0..5 {
+        k.vector_laplace_batch(&reqs).unwrap();
+        assert_eq!(
+            k.workspace_pool_len(),
+            warm,
+            "identical batch calls must reuse the pooled workspaces, not create more"
+        );
+    }
+}
+
+#[test]
+fn worst_approx_reuses_the_pooled_workspace() {
+    use ektelo_core::ops::selection::worst_approx;
+    let k = ProtectedKernel::init_from_vector(vec![3.0; 256], 10.0, 5);
+    let w = Matrix::prefix(256);
+    let x_hat = vec![3.0; 256];
+    worst_approx(&k, k.root(), &w, &x_hat, 1.0, 0.1).unwrap();
+    assert_eq!(k.workspace_pool_len(), 1);
+    for _ in 0..4 {
+        worst_approx(&k, k.root(), &w, &x_hat, 1.0, 0.1).unwrap();
+        assert_eq!(
+            k.workspace_pool_len(),
+            1,
+            "MWEM-style repeated selection shares one warm workspace"
+        );
+    }
+}

@@ -12,7 +12,7 @@
 //! * [`schema`] — attributes, schemas and the row-major cell encoding;
 //! * [`table`] — a columnar table with the PINQ-style transformations;
 //! * [`predicate`] — condition formulas `ϕ` for `Where` (paper Def. 3.1);
-//! * [`vectorize`] — `T-Vectorize`: table → data vector (paper §5.1);
+//! * [`vectorize()`] — `T-Vectorize`: table → data vector (paper §5.1);
 //! * [`generators`] — synthetic datasets standing in for the paper's
 //!   evaluation data (DPBench 1-D suite, CPS Census, Credit Default —
 //!   see DESIGN.md §2 for the substitution rationale);

@@ -58,7 +58,7 @@ pub use combine::partition_from_labels;
 pub use dense::DenseMatrix;
 pub use materialize::Repr;
 pub use plan::plan_builds;
-pub use plan_cache::{plan_cache_clear, plan_cache_stats, PlanCacheStats};
+pub use plan_cache::{plan_cache_clear, plan_cache_stats, PlanCacheStats, PLAN_CACHE_SHARDS};
 pub use range::RangeQueries;
 pub use rect::RectQueries2D;
 pub use sparse::CsrMatrix;

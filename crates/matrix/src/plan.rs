@@ -46,7 +46,7 @@ use crate::Matrix;
 static PLAN_BUILDS: AtomicU64 = AtomicU64::new(0);
 
 /// Total planning-pass tree walks this process has run (see
-/// [`PLAN_BUILDS`] for what counts as one).
+/// `PLAN_BUILDS` for what counts as one).
 ///
 /// A solver iterating over a fixed system must not move this counter: the
 /// plan is built once — the first time *any* workspace in the process sees
@@ -99,6 +99,16 @@ impl EvalPlan {
     /// arena mid-solve.
     pub fn max_scratch(&self) -> usize {
         self.mv_scratch.max(self.rmv_scratch).max(self.rmva_scratch)
+    }
+
+    /// Approximate heap bytes owned *directly* by this plan: its struct
+    /// plus every inline node record, counting `Arc`-shared sub-plans
+    /// (`Union` blocks, `Product`-chain factors) at pointer size only —
+    /// the cache holds those as entries of their own, so summing
+    /// `direct_bytes` over all cached entries approximates total
+    /// resident plan memory without double counting shared subtrees.
+    pub(crate) fn direct_bytes(&self) -> usize {
+        std::mem::size_of::<EvalPlan>() + self.root.direct_bytes()
     }
 
     /// The shared cached plan for `m`: a process-wide cache hit, or the
@@ -177,6 +187,29 @@ pub(crate) enum NodePlan {
         /// Plan of the inner matrix.
         child: Box<NodePlan>,
     },
+}
+
+impl NodePlan {
+    /// Heap bytes owned by this node record and its *inline* children
+    /// (see [`EvalPlan::direct_bytes`] for the sharing convention).
+    fn direct_bytes(&self) -> usize {
+        let node = std::mem::size_of::<NodePlan>();
+        match self {
+            NodePlan::Leaf => 0,
+            NodePlan::Union(u) => {
+                u.block_rows.capacity() * std::mem::size_of::<usize>()
+                    + u.blocks.capacity() * std::mem::size_of::<Arc<EvalPlan>>()
+            }
+            NodePlan::Chain(c) => {
+                c.factors.capacity() * std::mem::size_of::<Arc<EvalPlan>>()
+                    + c.rows.capacity() * std::mem::size_of::<usize>()
+            }
+            NodePlan::Kron(k) => 2 * node + k.a.direct_bytes() + k.b.direct_bytes(),
+            NodePlan::Scaled { child, .. } | NodePlan::Transpose { child, .. } => {
+                node + child.direct_bytes()
+            }
+        }
+    }
 }
 
 /// Plan records for one `Union` node. Block sub-plans are `Arc`-shared

@@ -50,8 +50,13 @@ use std::sync::{Arc, Mutex, OnceLock};
 use crate::plan::EvalPlan;
 use crate::Matrix;
 
-/// Number of independent cache shards (power of two).
-const SHARDS: usize = 16;
+/// Number of independent cache shards (power of two). Public so the
+/// per-shard byte breakdown in [`PlanCacheStats`] has a stable, nameable
+/// dimension.
+pub const PLAN_CACHE_SHARDS: usize = 16;
+
+/// Internal alias for the shard count.
+const SHARDS: usize = PLAN_CACHE_SHARDS;
 
 /// Resident shapes per shard before the shard is wholesale-cleared.
 const SHARD_CAP: usize = 4096;
@@ -123,16 +128,40 @@ pub struct PlanCacheStats {
     pub shared_subplans: u64,
     /// Shapes currently resident across all shards.
     pub entries: usize,
+    /// Approximate heap bytes of all resident plans (each entry's
+    /// *direct* footprint; `Arc`-shared sub-plans — union blocks, chain
+    /// factors — count at pointer size in their parents and in full only
+    /// at their own entry, so shared subtrees are not double counted).
+    /// The measurable baseline for byte-weighted eviction policies.
+    pub resident_bytes: usize,
+    /// `resident_bytes` broken down per shard — the granularity at which
+    /// the cap-and-clear (and any future size-aware eviction) operates.
+    pub shard_bytes: [usize; PLAN_CACHE_SHARDS],
 }
 
 /// Current process-wide plan-cache counters. Counters are cumulative for
-/// the process; tests and benchmarks diff two snapshots.
+/// the process; tests and benchmarks diff two snapshots. Byte figures
+/// walk the resident entries (bounded by `SHARD_CAP` per shard), so this
+/// is a stats call, not a hot-path probe.
 pub fn plan_cache_stats() -> PlanCacheStats {
+    let mut entries = 0;
+    let mut shard_bytes = [0usize; PLAN_CACHE_SHARDS];
+    for (bytes, s) in shard_bytes.iter_mut().zip(shards()) {
+        let map = lock(s);
+        entries += map.len();
+        *bytes = map
+            .values()
+            .filter_map(|slot| slot.get())
+            .map(|plan| plan.direct_bytes())
+            .sum();
+    }
     PlanCacheStats {
         hits: HITS.load(Ordering::Relaxed),
         misses: MISSES.load(Ordering::Relaxed),
         shared_subplans: SHARED_SUBPLANS.load(Ordering::Relaxed),
-        entries: shards().iter().map(|s| lock(s).len()).sum(),
+        entries,
+        resident_bytes: shard_bytes.iter().sum(),
+        shard_bytes,
     }
 }
 
@@ -155,8 +184,17 @@ mod tests {
     // Shapes here use dimensions unique to this file so counter assertions
     // are immune to sibling tests sharing the process-wide cache.
 
+    /// Tests that clear the cache or assert on global residency must not
+    /// interleave (the test harness runs them on concurrent threads).
+    static RESIDENCY: Mutex<()> = Mutex::new(());
+
+    fn residency_lock() -> std::sync::MutexGuard<'static, ()> {
+        RESIDENCY.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     #[test]
     fn exactly_one_build_per_shape_across_threads() {
+        let _serial = residency_lock();
         let m = Matrix::vstack(vec![Matrix::prefix(377), Matrix::wavelet(377)]);
         let fp = fingerprint(&m);
         let plans: Vec<(Arc<EvalPlan>, bool)> = std::thread::scope(|s| {
@@ -181,6 +219,7 @@ mod tests {
 
     #[test]
     fn clear_forces_a_rebuild() {
+        let _serial = residency_lock();
         let m = Matrix::prefix(5419);
         let (_, built_first) = get_or_build(&m, fingerprint(&m));
         assert!(built_first);
@@ -193,11 +232,44 @@ mod tests {
 
     #[test]
     fn stats_track_entries() {
+        let _serial = residency_lock();
         let before = plan_cache_stats();
         let m = Matrix::suffix(7451);
         let _ = get_or_build(&m, fingerprint(&m));
         let after = plan_cache_stats();
         assert!(after.misses > before.misses);
         assert!(after.entries >= 1);
+    }
+
+    #[test]
+    fn stats_weigh_resident_bytes_per_shard() {
+        // A leaf plan weighs a fixed struct size; a union spine adds
+        // per-block records, so its entry must weigh more — the signal a
+        // byte-weighted eviction policy needs. Dimensions unique to this
+        // test keep the assertions immune to cache sharing, and the
+        // residency lock keeps `clear_forces_a_rebuild` from evicting the
+        // entries between the builds and the stats snapshot.
+        let _serial = residency_lock();
+        let leaf = Matrix::prefix(9973);
+        let (leaf_plan, _) = get_or_build(&leaf, fingerprint(&leaf));
+        let spine = Matrix::vstack(vec![Matrix::prefix(4201); 39]);
+        let (spine_plan, _) = get_or_build(&spine, fingerprint(&spine));
+        assert!(
+            spine_plan.direct_bytes() > leaf_plan.direct_bytes(),
+            "39-block spine ({}) must outweigh a leaf ({})",
+            spine_plan.direct_bytes(),
+            leaf_plan.direct_bytes()
+        );
+
+        let stats = plan_cache_stats();
+        assert!(
+            stats.resident_bytes >= leaf_plan.direct_bytes() + spine_plan.direct_bytes(),
+            "resident bytes must cover at least the entries just built"
+        );
+        assert_eq!(
+            stats.resident_bytes,
+            stats.shard_bytes.iter().sum::<usize>(),
+            "total must equal the per-shard breakdown"
+        );
     }
 }

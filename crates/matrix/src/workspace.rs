@@ -105,7 +105,7 @@ impl ArenaPool {
 /// A `Workspace` may be shared freely across different matrices and all
 /// product directions: the arena grows monotonically to the largest
 /// requirement it has seen and never shrinks. Evaluation plans live in the
-/// **process-wide** plan cache ([`crate::plan_cache`]), shared by every
+/// **process-wide** plan cache (the private `plan_cache` module), shared by every
 /// workspace and every thread; the workspace keeps a single-entry
 /// fingerprint→plan fast path so solver inner loops — which hammer one
 /// shape — never touch the shared cache's locks. Constructing one with
@@ -238,7 +238,7 @@ impl Workspace {
 impl Matrix {
     /// Scalars of scratch space the *unplanned serial recursion* needs for
     /// `A·x` — `O(tree size)` to compute. The planned engine
-    /// ([`crate::plan`]) needs at most this much and strictly less on
+    /// (the private `plan` module) needs at most this much and strictly less on
     /// product chains; these functions remain the sizing authority for
     /// leaf nodes and for sub-evaluations that run without a plan.
     pub fn matvec_scratch(&self) -> usize {

@@ -1,29 +1,48 @@
 //! Data-independent plans (Fig. 2, Plans #1–#6 and #13).
 //!
 //! All share the idiom the paper highlights: *Query selection → Query (LM)
-//! → Inference (LS)*, differing only in the selection operator.
+//! → Inference (LS)*, differing only in the selection operator. Since the
+//! operator-graph migration each plan is expressed as a [`PlanSpec`]
+//! (signature `S· LM LS`) and executed through [`PlanExecutor`], which
+//! pre-accounts the exact ε before the kernel is touched; the functions
+//! here remain the stable entry points.
 
 use ektelo_core::kernel::{ProtectedKernel, SourceVar};
+use ektelo_core::ops::graph::{PlanBuilder, PlanExecutor, PlanSpec, SourceRef, StrategyRef};
 use ektelo_core::ops::inference::LsSolver;
 use ektelo_core::ops::selection;
 use ektelo_matrix::Matrix;
 
-use crate::util::{infer_ls, workload_ranges, PlanOutcome, PlanResult};
+use crate::util::{workload_ranges, PlanOutcome, PlanResult};
 
-fn select_measure_infer(
+/// Builds the shared `select → measure → infer-LS` spec with the
+/// selection node supplied by `select`.
+fn select_measure_infer_spec(
+    select: impl FnOnce(&mut PlanBuilder, SourceRef) -> StrategyRef,
+    eps: f64,
+) -> PlanSpec {
+    let mut b = PlanBuilder::new();
+    let x = b.input();
+    let s = select(&mut b, x);
+    b.measure_laplace(x, s, eps);
+    let e = b.infer_least_squares(LsSolver::Iterative);
+    b.finish(e)
+}
+
+fn run(
     kernel: &ProtectedKernel,
     x: SourceVar,
-    strategy: &Matrix,
+    select: impl FnOnce(&mut PlanBuilder, SourceRef) -> StrategyRef,
     eps: f64,
 ) -> PlanResult {
-    let start = kernel.measurement_count();
-    kernel.vector_laplace(x, strategy, eps)?;
+    let spec = select_measure_infer_spec(select, eps);
+    let report = PlanExecutor::new(kernel).run(&spec, x)?;
     Ok(PlanOutcome {
-        x_hat: infer_ls(kernel, start, LsSolver::Iterative),
+        x_hat: report.x_hat,
     })
 }
 
-/// Plan #1 — Identity (Dwork et al. 2006): `SI LM`.
+/// Plan #1 — Identity (Dwork et al. 2006): `SI LM LS`.
 ///
 /// ```
 /// use ektelo_core::kernel::ProtectedKernel;
@@ -35,32 +54,27 @@ fn select_measure_infer(
 /// assert!((k.budget_spent() - 1.0).abs() < 1e-12);
 /// ```
 pub fn plan_identity(kernel: &ProtectedKernel, x: SourceVar, eps: f64) -> PlanResult {
-    let n = kernel.vector_len(x)?;
-    select_measure_infer(kernel, x, &selection::identity(n), eps)
+    run(kernel, x, |b, x| b.select_identity(x), eps)
 }
 
 /// Plan #6 — Uniform: `ST LM LS` (estimate the total, assume uniformity).
 pub fn plan_uniform(kernel: &ProtectedKernel, x: SourceVar, eps: f64) -> PlanResult {
-    let n = kernel.vector_len(x)?;
-    select_measure_infer(kernel, x, &selection::total(n), eps)
+    run(kernel, x, |b, x| b.select_total(x), eps)
 }
 
 /// Plan #2 — Privelet (Xiao et al. 2010): `SP LM LS`.
 pub fn plan_privelet(kernel: &ProtectedKernel, x: SourceVar, eps: f64) -> PlanResult {
-    let n = kernel.vector_len(x)?;
-    select_measure_infer(kernel, x, &selection::privelet(n), eps)
+    run(kernel, x, |b, x| b.select_privelet(x), eps)
 }
 
 /// Plan #3 — Hierarchical H2 (Hay et al. 2010): `SH2 LM LS`.
 pub fn plan_h2(kernel: &ProtectedKernel, x: SourceVar, eps: f64) -> PlanResult {
-    let n = kernel.vector_len(x)?;
-    select_measure_infer(kernel, x, &selection::h2(n), eps)
+    run(kernel, x, |b, x| b.select_h2(x), eps)
 }
 
 /// Plan #4 — Hierarchical-opt HB (Qardaji et al. 2013): `SHB LM LS`.
 pub fn plan_hb(kernel: &ProtectedKernel, x: SourceVar, eps: f64) -> PlanResult {
-    let n = kernel.vector_len(x)?;
-    select_measure_infer(kernel, x, &selection::hb(n), eps)
+    run(kernel, x, |b, x| b.select_hb(x), eps)
 }
 
 /// Plan #5 — Greedy-H (Li et al. 2014): `SG LM LS`. Adapts the hierarchy
@@ -72,9 +86,8 @@ pub fn plan_greedy_h(
     workload: &Matrix,
     eps: f64,
 ) -> PlanResult {
-    let n = kernel.vector_len(x)?;
     let ranges = workload_ranges(workload).unwrap_or_default();
-    select_measure_infer(kernel, x, &selection::greedy_h(n, &ranges), eps)
+    run(kernel, x, |b, x| b.select_greedy_h(x, &ranges), eps)
 }
 
 /// Plan #13 — HDMM (McKenna et al. 2018): `SHD LM LS`. Optimizes the
@@ -86,7 +99,7 @@ pub fn plan_hdmm(
     eps: f64,
 ) -> PlanResult {
     let strategy = selection::hdmm_1d(workload, &selection::HdmmOptions::default());
-    select_measure_infer(kernel, x, &strategy, eps)
+    run(kernel, x, |b, _| b.select_fixed(strategy, "SHD"), eps)
 }
 
 /// HDMM over a multi-dimensional domain with per-factor workloads
@@ -98,7 +111,7 @@ pub fn plan_hdmm_kron(
     eps: f64,
 ) -> PlanResult {
     let strategy = selection::hdmm_kron(factors, &selection::HdmmOptions::default());
-    select_measure_infer(kernel, x, &strategy, eps)
+    run(kernel, x, |b, _| b.select_fixed(strategy, "SHD"), eps)
 }
 
 #[cfg(test)]
@@ -193,5 +206,31 @@ mod tests {
         let (k, root) = kernel_for_histogram(&x, 0.5, 0);
         plan_identity(&k, root, 0.5).unwrap();
         assert!(plan_h2(&k, root, 0.1).is_err());
+    }
+
+    #[test]
+    fn baseline_signatures_render_from_the_graph() {
+        let sigs: Vec<String> = [
+            select_measure_infer_spec(|b, x| b.select_identity(x), 1.0),
+            select_measure_infer_spec(|b, x| b.select_total(x), 1.0),
+            select_measure_infer_spec(|b, x| b.select_privelet(x), 1.0),
+            select_measure_infer_spec(|b, x| b.select_h2(x), 1.0),
+            select_measure_infer_spec(|b, x| b.select_hb(x), 1.0),
+            select_measure_infer_spec(|b, x| b.select_greedy_h(x, &[]), 1.0),
+        ]
+        .iter()
+        .map(|s| s.signature())
+        .collect();
+        assert_eq!(
+            sigs,
+            [
+                "SI LM LS",
+                "ST LM LS",
+                "SP LM LS",
+                "SH2 LM LS",
+                "SHB LM LS",
+                "SG LM LS"
+            ]
+        );
     }
 }

@@ -13,21 +13,19 @@
 //! * **variant c** (#19): replace MW inference with NNLS plus a
 //!   high-confidence total;
 //! * **variant d** (#20): both.
+//!
+//! All four run through the operator-graph API: the whole family is one
+//! [`MwemLoopOp`] adaptive-loop node (`I:( SW [SH2] LM MW|NLS )`) whose
+//! per-round budgets are declared in the spec, so the executor
+//! pre-accounts the loop at exactly `eps` before any kernel call.
 
-use ektelo_core::kernel::{ProtectedKernel, Result, SourceVar};
-use ektelo_core::ops::inference;
-use ektelo_core::ops::selection::worst_approx;
-use ektelo_core::MeasuredQuery;
+use ektelo_core::kernel::{ProtectedKernel, SourceVar};
+use ektelo_core::ops::graph::{
+    MwemLoopOp, MwemRoundInference as MwemInference, PlanBuilder, PlanExecutor, PlanSpec,
+};
 use ektelo_matrix::Matrix;
 
-use crate::util::{known_total_measurement, relative_total_scale, PlanOutcome, PlanResult};
-
-/// Which inference engine closes each round (the c/d variants).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum MwemInference {
-    MultWeights,
-    NnlsKnownTotal,
-}
+use crate::util::{PlanOutcome, PlanResult};
 
 /// Options shared by the MWEM family.
 #[derive(Clone, Debug)]
@@ -127,6 +125,34 @@ pub fn plan_mwem_variant_d(
     )
 }
 
+/// Builds the MWEM adaptive-loop spec (`I:( SW [SH2] LM MW|NLS )`): one
+/// graph node with declared per-round budgets `eps/(2T)` for selection
+/// and measurement, so [`PlanSpec::pre_account`] bounds the loop at
+/// exactly `eps`.
+fn mwem_spec(
+    workload: &Matrix,
+    eps: f64,
+    opts: &MwemOptions,
+    augment: bool,
+    infer: MwemInference,
+) -> PlanSpec {
+    let t = opts.rounds.max(1) as f64;
+    let mut b = PlanBuilder::new();
+    let x = b.input();
+    let e = b.mwem_loop(MwemLoopOp {
+        input: x,
+        workload: workload.clone(),
+        rounds: opts.rounds,
+        eps_select: eps / (2.0 * t),
+        eps_measure: eps / (2.0 * t),
+        augment,
+        inference: infer,
+        total: opts.total,
+        mw_iterations: opts.mw_iterations,
+    });
+    b.finish(e)
+}
+
 fn mwem_impl(
     kernel: &ProtectedKernel,
     x: SourceVar,
@@ -136,94 +162,11 @@ fn mwem_impl(
     augment: bool,
     infer: MwemInference,
 ) -> PlanResult {
-    let n = kernel.vector_len(x)?;
-    let t = opts.rounds.max(1) as f64;
-    let eps_select = eps / (2.0 * t);
-    let eps_measure = eps / (2.0 * t);
-    let start = kernel.measurement_count();
-
-    let mut x_hat = vec![opts.total / n as f64; n];
-    for round in 0..opts.rounds {
-        // SW: worst-approximated workload query (exponential mechanism).
-        let idx = worst_approx(kernel, x, workload, &x_hat, 1.0, eps_select)?;
-        let row = workload.row(idx);
-        let selected = sparse_row(n, &row);
-        let strategy = if augment {
-            augment_with_level(&selected, &row, n, round)
-        } else {
-            selected
-        };
-        // LM: the strategy has sensitivity 1 by construction (disjoint
-        // augmentation), so measuring it costs eps_measure.
-        kernel.vector_laplace(x, &strategy, eps_measure)?;
-
-        // Per-round inference over all measurements so far.
-        let measurements = kernel.measurements_since(start);
-        x_hat = run_inference(&measurements, opts, infer, x)?;
-    }
-    Ok(PlanOutcome { x_hat })
-}
-
-fn run_inference(
-    measurements: &[MeasuredQuery],
-    opts: &MwemOptions,
-    infer: MwemInference,
-    x: SourceVar,
-) -> Result<Vec<f64>> {
-    Ok(match infer {
-        MwemInference::MultWeights => {
-            inference::mult_weights_inference(measurements, opts.total, None, opts.mw_iterations)
-        }
-        MwemInference::NnlsKnownTotal => {
-            let n = measurements[0].query.cols();
-            let mut ms = measurements.to_vec();
-            let scale = relative_total_scale(measurements);
-            ms.push(known_total_measurement(n, opts.total, x, scale));
-            inference::non_negative_least_squares_opts(
-                &ms,
-                &ektelo_solvers::NnlsOptions {
-                    max_iters: 600,
-                    tol: 1e-7,
-                },
-            )
-        }
+    let spec = mwem_spec(workload, eps, opts, augment, infer);
+    let report = PlanExecutor::new(kernel).run(&spec, x)?;
+    Ok(PlanOutcome {
+        x_hat: report.x_hat,
     })
-}
-
-fn sparse_row(n: usize, row: &[f64]) -> Matrix {
-    let triplets: Vec<(usize, usize, f64)> = row
-        .iter()
-        .enumerate()
-        .filter(|&(_, &v)| v != 0.0)
-        .map(|(j, &v)| (0, j, v))
-        .collect();
-    Matrix::sparse(ektelo_matrix::CsrMatrix::from_triplets(1, n, &triplets))
-}
-
-/// Variant b's augmentation: in round `r`, add all dyadic intervals of
-/// length `2^r` that do not intersect the selected query's support. The
-/// union still has L1 sensitivity 1 (disjoint supports), so the
-/// measurement is free relative to the un-augmented plan.
-fn augment_with_level(selected: &Matrix, row: &[f64], n: usize, round: usize) -> Matrix {
-    let len = 1usize << round.min(62);
-    if len > n {
-        return selected.clone();
-    }
-    let mut extra = Vec::new();
-    let mut lo = 0;
-    while lo + len <= n {
-        let hi = lo + len;
-        let intersects = row[lo..hi].iter().any(|&v| v != 0.0);
-        if !intersects {
-            extra.push((lo, hi));
-        }
-        lo += len;
-    }
-    if extra.is_empty() {
-        selected.clone()
-    } else {
-        Matrix::vstack(vec![selected.clone(), Matrix::range_queries(n, extra)])
-    }
 }
 
 #[cfg(test)]
@@ -239,6 +182,42 @@ mod tests {
             total,
             mw_iterations: 30,
         }
+    }
+
+    #[test]
+    fn mwem_specs_render_fig2_signatures() {
+        let w = Matrix::prefix(8);
+        let o = opts(100.0);
+        assert_eq!(
+            mwem_spec(&w, 1.0, &o, false, MwemInference::MultWeights).signature(),
+            "I:( SW LM MW )"
+        );
+        assert_eq!(
+            mwem_spec(&w, 1.0, &o, true, MwemInference::MultWeights).signature(),
+            "I:( SW SH2 LM MW )"
+        );
+        assert_eq!(
+            mwem_spec(&w, 1.0, &o, false, MwemInference::NnlsKnownTotal).signature(),
+            "I:( SW LM NLS )"
+        );
+        assert_eq!(
+            mwem_spec(&w, 1.0, &o, true, MwemInference::NnlsKnownTotal).signature(),
+            "I:( SW SH2 LM NLS )"
+        );
+    }
+
+    #[test]
+    fn mwem_preaccounting_matches_charged_budget_exactly() {
+        let x = shape_1d(Shape1D::Gaussian, 64, 1_000.0, 0);
+        let w = random_range(64, 32, 0);
+        let (k, root) = kernel_for_histogram(&x, 1.0, 0);
+        let spec = mwem_spec(&w, 1.0, &opts(1000.0), false, MwemInference::MultWeights);
+        let pre = spec.pre_account().unwrap().total;
+        let report = PlanExecutor::new(&k).run(&spec, root).unwrap();
+        assert_eq!(
+            pre, report.eps_charged,
+            "static pre-accounting must equal the charged ε bit-for-bit"
+        );
     }
 
     #[test]
@@ -264,14 +243,15 @@ mod tests {
 
     #[test]
     fn augmentation_has_sensitivity_one() {
+        use ektelo_core::ops::graph::{mwem_augment_with_level, mwem_row_strategy};
         let n = 32;
         let mut row = vec![0.0; n];
         for r in row.iter_mut().take(12).skip(4) {
             *r = 1.0;
         }
-        let selected = sparse_row(n, &row);
+        let selected = mwem_row_strategy(n, &row);
         for round in 0..5 {
-            let m = augment_with_level(&selected, &row, n, round);
+            let m = mwem_augment_with_level(&selected, &row, n, round);
             assert!(
                 (m.l1_sensitivity() - 1.0).abs() < 1e-12,
                 "round {round} sensitivity {}",

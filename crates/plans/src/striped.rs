@@ -8,6 +8,12 @@
 //! collapses to a single Kronecker strategy (`HB-Striped_kron`,
 //! Algorithm 6).
 //!
+//! Since the operator-graph migration the striped plans are [`PlanSpec`]s
+//! (`PS TP[ … ] LS`): the stripe partition, split, per-stripe selection
+//! and batched measurement are graph nodes, and the executor pre-accounts
+//! the parallel composition exactly — N stripes at ε cost ε — before any
+//! kernel call.
+//!
 //! The budget composes in parallel across stripes, and so does the
 //! *compute*: per-stripe measurements go through the kernel's batched
 //! `vector_laplace_batch`, which evaluates the exact per-stripe answers on
@@ -26,14 +32,24 @@
 //! bit-identical to a sequential loop over the same substreams.
 
 use ektelo_core::kernel::{ProtectedKernel, SourceVar};
+use ektelo_core::ops::graph::{PlanBuilder, PlanExecutor, PlanSpec};
 use ektelo_core::ops::inference::LsSolver;
-use ektelo_core::ops::partition::{dawa_partition_batch, stripe_partition, DawaOptions};
-use ektelo_core::ops::selection::{greedy_h, hb, stripe_select};
+use ektelo_core::ops::partition::DawaOptions;
+use ektelo_core::ops::selection::{hb, stripe_select};
 
-use crate::util::{
-    infer_ls, interval_partition_bounds, map_ranges_to_buckets, split_budget, PlanOutcome,
-    PlanResult,
-};
+use crate::util::{split_budget, PlanOutcome, PlanResult};
+
+/// The HB-Striped spec: `PS TP[ SHB LM ] LS`.
+fn hb_striped_spec(sizes: &[usize], attr: usize, eps: f64) -> PlanSpec {
+    let mut b = PlanBuilder::new();
+    let x = b.input();
+    let p = b.partition_stripes(sizes, attr);
+    let stripes = b.transform_split(x, p);
+    let s = b.select_hb_shared(stripes);
+    b.measure_laplace_batch_shared(stripes, s, eps);
+    let e = b.infer_least_squares(LsSolver::Iterative);
+    b.finish(e)
+}
 
 /// Plan #15 — HB-Striped (Algorithm 5): `PS TP[ SHB LM ] LS`.
 ///
@@ -48,16 +64,32 @@ pub fn plan_hb_striped(
     attr: usize,
     eps: f64,
 ) -> PlanResult {
-    let start = kernel.measurement_count();
-    let p = stripe_partition(sizes, attr);
-    let stripes = kernel.split_by_partition(x, &p)?;
-    let strategy = hb(sizes[attr]);
-    let reqs: Vec<(SourceVar, &ektelo_matrix::Matrix, f64)> =
-        stripes.iter().map(|&s| (s, &strategy, eps)).collect();
-    kernel.vector_laplace_batch(&reqs)?;
+    let spec = hb_striped_spec(sizes, attr, eps);
+    let report = PlanExecutor::new(kernel).run(&spec, x)?;
     Ok(PlanOutcome {
-        x_hat: infer_ls(kernel, start, LsSolver::Iterative),
+        x_hat: report.x_hat,
     })
+}
+
+/// The DAWA-Striped spec: `PS TP[ PD TR SG LM ] LS`.
+fn dawa_striped_spec(
+    sizes: &[usize],
+    attr: usize,
+    stripe_ranges: &[(usize, usize)],
+    eps: f64,
+    rho: f64,
+) -> PlanSpec {
+    let shares = split_budget(eps, &[rho, 1.0 - rho]);
+    let mut b = PlanBuilder::new();
+    let x = b.input();
+    let p = b.partition_stripes(sizes, attr);
+    let stripes = b.transform_split(x, p);
+    let parts = b.partition_dawa_each(stripes, shares[0], DawaOptions::new(shares[1]));
+    let reduced = b.transform_reduce_each(stripes, parts);
+    let strats = b.select_greedy_h_each(reduced, parts, stripe_ranges);
+    b.measure_laplace_batch_each(reduced, strats, shares[1]);
+    let e = b.infer_least_squares(LsSolver::Iterative);
+    b.finish(e)
 }
 
 /// Plan #14 — DAWA-Striped: `PS TP[ PD TR SG LM ] LS`.
@@ -76,84 +108,11 @@ pub fn plan_dawa_striped(
     eps: f64,
     rho: f64,
 ) -> PlanResult {
-    let shares = split_budget(eps, &[rho, 1.0 - rho]);
-    let start = kernel.measurement_count();
-    let p = stripe_partition(sizes, attr);
-    let stripes = kernel.split_by_partition(x, &p)?;
-
-    // Phase 1 — per-stripe data-adaptive partitioning, batched: the
-    // kernel charges every stripe in stripe order and hands out
-    // counter-based per-stripe RNG substreams, so the noisy-histogram +
-    // segmentation work threads under the `parallel` feature while
-    // remaining bit-identical to a sequential loop over the same
-    // substreams (ROADMAP's "thread DAWA stage 1" item).
-    let bucket_ps =
-        dawa_partition_batch(kernel, &stripes, shares[0], &DawaOptions::new(shares[1]))?;
-    let mut reduced_vars = Vec::with_capacity(stripes.len());
-    let mut strategy_inputs = Vec::with_capacity(stripes.len());
-    for (stripe, bucket_p) in stripes.iter().zip(&bucket_ps) {
-        let reduced = kernel.reduce_by_partition(*stripe, bucket_p)?;
-        let groups = kernel.vector_len(reduced)?;
-        let bounds = interval_partition_bounds(bucket_p);
-        let ranges = map_ranges_to_buckets(stripe_ranges, &bounds);
-        reduced_vars.push(reduced);
-        strategy_inputs.push((groups, ranges));
-    }
-
-    // Phase 2 — per-stripe Greedy-H strategy construction: pure public
-    // compute over the (public) partition outputs, threaded under the
-    // `parallel` feature. Deterministic either way.
-    let strategies = build_greedy_strategies(&strategy_inputs);
-
-    // Phase 3 — one batched measurement over all stripes: exact answers in
-    // parallel, noise sequential in stripe order.
-    let reqs: Vec<(SourceVar, &ektelo_matrix::Matrix, f64)> = reduced_vars
-        .iter()
-        .zip(&strategies)
-        .map(|(&sv, strat)| (sv, strat, shares[1]))
-        .collect();
-    kernel.vector_laplace_batch(&reqs)?;
-
+    let spec = dawa_striped_spec(sizes, attr, stripe_ranges, eps, rho);
+    let report = PlanExecutor::new(kernel).run(&spec, x)?;
     Ok(PlanOutcome {
-        x_hat: infer_ls(kernel, start, LsSolver::Iterative),
+        x_hat: report.x_hat,
     })
-}
-
-/// Builds one Greedy-H strategy per stripe from `(groups, ranges)` inputs.
-#[cfg(not(feature = "parallel"))]
-fn build_greedy_strategies(inputs: &[(usize, Vec<(usize, usize)>)]) -> Vec<ektelo_matrix::Matrix> {
-    inputs
-        .iter()
-        .map(|(groups, ranges)| greedy_h(*groups, ranges))
-        .collect()
-}
-
-/// Threaded variant: stripes are independent and `greedy_h` is pure, so
-/// chunks of stripes build on worker threads; results are written into
-/// per-stripe slots, so the output order (and every matrix in it) is
-/// identical to the serial build.
-#[cfg(feature = "parallel")]
-fn build_greedy_strategies(inputs: &[(usize, Vec<(usize, usize)>)]) -> Vec<ektelo_matrix::Matrix> {
-    let nthreads = std::thread::available_parallelism().map_or(1, |p| p.get());
-    if inputs.len() < 2 || nthreads < 2 {
-        return inputs
-            .iter()
-            .map(|(groups, ranges)| greedy_h(*groups, ranges))
-            .collect();
-    }
-    let chunk = inputs.len().div_ceil(nthreads);
-    let mut out: Vec<ektelo_matrix::Matrix> =
-        vec![ektelo_matrix::Matrix::identity(1); inputs.len()];
-    std::thread::scope(|s| {
-        for (ochunk, ichunk) in out.chunks_mut(chunk).zip(inputs.chunks(chunk)) {
-            s.spawn(move || {
-                for (slot, (groups, ranges)) in ochunk.iter_mut().zip(ichunk) {
-                    *slot = greedy_h(*groups, ranges);
-                }
-            });
-        }
-    });
-    out
 }
 
 /// Plan #16 — HB-Striped_kron (Algorithm 6): `SS LM LS`. The
@@ -166,11 +125,15 @@ pub fn plan_hb_striped_kron(
     attr: usize,
     eps: f64,
 ) -> PlanResult {
-    let start = kernel.measurement_count();
-    let strategy = stripe_select(sizes, attr, hb);
-    kernel.vector_laplace(x, &strategy, eps)?;
+    let mut b = PlanBuilder::new();
+    let x_ref = b.input();
+    let s = b.select_fixed(stripe_select(sizes, attr, hb), "SS");
+    b.measure_laplace(x_ref, s, eps);
+    let e = b.infer_least_squares(LsSolver::Iterative);
+    let spec = b.finish(e);
+    let report = PlanExecutor::new(kernel).run(&spec, x)?;
     Ok(PlanOutcome {
-        x_hat: infer_ls(kernel, start, LsSolver::Iterative),
+        x_hat: report.x_hat,
     })
 }
 
@@ -202,6 +165,30 @@ mod tests {
 
     fn rmse(a: &[f64], b: &[f64]) -> f64 {
         (a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>() / a.len() as f64).sqrt()
+    }
+
+    #[test]
+    fn striped_specs_render_fig2_signatures() {
+        assert_eq!(
+            hb_striped_spec(&[32, 3, 2], 0, 1.0).signature(),
+            "PS TP[ SHB LM ] LS"
+        );
+        assert_eq!(
+            dawa_striped_spec(&[32, 3, 2], 0, &[], 1.0, 0.25).signature(),
+            "PS TP[ PD TR SG LM ] LS"
+        );
+    }
+
+    #[test]
+    fn striped_preaccounting_is_exact_despite_many_stripes() {
+        // 6 stripes all measured with eps=1; parallel composition → the
+        // pre-accounted worst case is 1, and the charged ε matches it
+        // bit for bit.
+        let spec = hb_striped_spec(&[32, 3, 2], 0, 1.0);
+        assert_eq!(spec.pre_account().unwrap().total, 1.0);
+        let (k, x, _, _) = small_census(2000, 1);
+        let report = PlanExecutor::new(&k).run(&spec, x).unwrap();
+        assert_eq!(report.eps_pre_accounted, report.eps_charged);
     }
 
     #[test]

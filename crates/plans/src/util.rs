@@ -15,53 +15,10 @@ pub fn infer_nnls(kernel: &ProtectedKernel, history_start: usize) -> Vec<f64> {
     inference::non_negative_least_squares(&kernel.measurements_since(history_start))
 }
 
-/// Extracts contiguous bucket boundaries from a 1-D interval partition
-/// matrix (as produced by DAWA): returns `buckets + 1` cut positions.
-/// Panics if the partition is not contiguous.
-pub fn interval_partition_bounds(p: &Matrix) -> Vec<usize> {
-    let sp = p.to_sparse();
-    let n = sp.cols();
-    let mut label_of = vec![usize::MAX; n];
-    for g in 0..sp.rows() {
-        for (c, _) in sp.row_entries(g) {
-            label_of[c] = g;
-        }
-    }
-    let mut bounds = vec![0usize];
-    for j in 1..n {
-        if label_of[j] != label_of[j - 1] {
-            bounds.push(j);
-        }
-    }
-    bounds.push(n);
-    // Verify contiguity: number of cuts must equal number of groups + 1.
-    assert_eq!(
-        bounds.len(),
-        sp.rows() + 1,
-        "partition is not a contiguous interval partition"
-    );
-    bounds
-}
-
-/// Maps 1-D range queries on the original domain onto bucket indices of a
-/// contiguous partition (for running Greedy-H on DAWA's reduced domain).
-pub fn map_ranges_to_buckets(ranges: &[(usize, usize)], bounds: &[usize]) -> Vec<(usize, usize)> {
-    let bucket_of = |cell: usize| -> usize {
-        // bounds is sorted; find the bucket containing `cell`.
-        match bounds.binary_search(&cell) {
-            Ok(i) => i.min(bounds.len() - 2),
-            Err(i) => i - 1,
-        }
-    };
-    ranges
-        .iter()
-        .map(|&(lo, hi)| {
-            let b_lo = bucket_of(lo);
-            let b_hi = bucket_of(hi - 1) + 1;
-            (b_lo, b_hi)
-        })
-        .collect()
-}
+// Partition-bucket helpers moved into the trusted operator library so
+// the plan-graph executor (ektelo-core) can share them; re-exported here
+// for the imperative plans and downstream users.
+pub use ektelo_core::ops::partition::{interval_partition_bounds, map_ranges_to_buckets};
 
 /// Extracts the interval list of a range-query workload, if it is one.
 pub fn workload_ranges(w: &Matrix) -> Option<Vec<(usize, usize)>> {
@@ -71,38 +28,9 @@ pub fn workload_ranges(w: &Matrix) -> Option<Vec<(usize, usize)>> {
     }
 }
 
-/// Appends a high-confidence "known total" pseudo-measurement (paper §5.5:
-/// public facts enter inference as near-noiseless answers).
-///
-/// `noise_scale` should be small *relative to the real measurements* (one
-/// to two orders of magnitude below their noise scales), not absolutely
-/// tiny: inference weights rows by inverse noise scale, and an extreme
-/// ratio destroys the conditioning of the iterative solvers. Use
-/// [`relative_total_scale`] to derive a safe value.
-pub fn known_total_measurement(
-    n: usize,
-    total: f64,
-    base: SourceVar,
-    noise_scale: f64,
-) -> ektelo_core::MeasuredQuery {
-    ektelo_core::MeasuredQuery {
-        base,
-        query: Matrix::total(n),
-        answers: vec![total],
-        noise_scale: noise_scale.max(f64::MIN_POSITIVE),
-    }
-}
-
-/// A known-total noise scale 10× more precise than the most precise real
-/// measurement — enough to pin the total without wrecking conditioning.
-pub fn relative_total_scale(measurements: &[ektelo_core::MeasuredQuery]) -> f64 {
-    measurements
-        .iter()
-        .map(|m| m.noise_scale)
-        .fold(f64::INFINITY, f64::min)
-        .min(1e6)
-        / 10.0
-}
+// Known-total helpers moved into `ektelo_core::ops::inference` (the
+// plan-graph MWEM loop needs them); re-exported for compatibility.
+pub use ektelo_core::ops::inference::{known_total_measurement, relative_total_scale};
 
 /// Splits a privacy budget into labelled shares that sum to the original
 /// (guards against silent over/under-spending in multi-stage plans).

@@ -11,7 +11,7 @@ use crate::lsqr::{LsqrOptions, LsqrResult};
 use crate::util::{dot, norm2};
 
 /// Solves `min_x ‖Ax − b‖₂` with CGLS. Options and result types are shared
-/// with [`crate::lsqr`].
+/// with [`crate::lsqr()`].
 pub fn cgls(a: &Matrix, b: &[f64], opts: &LsqrOptions) -> LsqrResult {
     let (m, n) = a.shape();
     assert_eq!(b.len(), m, "cgls: rhs length mismatch");

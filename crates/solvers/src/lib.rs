@@ -11,12 +11,12 @@
 //! implicit matrices this gives `O(k · Time(M))` inference, which is what
 //! Fig. 5 measures. This crate provides:
 //!
-//! * [`lsqr`] — Paige–Saunders LSQR, the default iterative least-squares
+//! * [`lsqr()`] — Paige–Saunders LSQR, the default iterative least-squares
 //!   solver (the paper uses the closely related LSMR; both are Golub–Kahan
 //!   Krylov methods on the normal equations — see DESIGN.md);
-//! * [`cgls`] — conjugate gradient on the normal equations, a second
+//! * [`cgls()`] — conjugate gradient on the normal equations, a second
 //!   independent iterative LS implementation used for cross-checking;
-//! * [`nnls`] — FISTA-accelerated projected gradient for least squares with
+//! * [`nnls()`] — FISTA-accelerated projected gradient for least squares with
 //!   a non-negativity constraint (the paper uses L-BFGS-B; same primitive
 //!   footprint and the same constrained optimum);
 //! * [`mult_weights`] — the multiplicative-weights update rule of MWEM;

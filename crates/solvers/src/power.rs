@@ -1,6 +1,6 @@
 //! Power iteration on `AᵀA` for spectral-norm estimation.
 //!
-//! Used to pick the gradient step size in [`crate::nnls`]. Deterministic:
+//! Used to pick the gradient step size in [`crate::nnls()`]. Deterministic:
 //! starts from an all-ones vector with a fixed perturbation so results are
 //! reproducible without threading an RNG through the solvers.
 

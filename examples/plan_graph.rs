@@ -1,0 +1,124 @@
+//! Plans as data: the typed operator-graph API.
+//!
+//! Builds three plan specs through the typed builder, inspects them —
+//! Fig. 2 signature strings and statically pre-accounted ε — *before*
+//! touching any protected data, executes them against a kernel session,
+//! and shows an over-budget spec being rejected with zero kernel
+//! side effects.
+//!
+//! Run: `cargo run --release --example plan_graph`
+
+use ektelo::core::kernel::ProtectedKernel;
+use ektelo::core::ops::graph::{
+    MwemLoopOp, MwemRoundInference, PlanBuilder, PlanExecutor, PlanSpec,
+};
+use ektelo::core::ops::inference::LsSolver;
+use ektelo::data::generators::{shape_1d, Shape1D};
+use ektelo::matrix::Matrix;
+
+fn identity_spec(eps: f64) -> PlanSpec {
+    let mut b = PlanBuilder::new();
+    let x = b.input();
+    let s = b.select_identity(x);
+    b.measure_laplace(x, s, eps);
+    let e = b.infer_least_squares(LsSolver::Iterative);
+    b.finish(e)
+}
+
+fn hb_striped_spec(sizes: &[usize], attr: usize, eps: f64) -> PlanSpec {
+    let mut b = PlanBuilder::new();
+    let x = b.input();
+    let p = b.partition_stripes(sizes, attr);
+    let stripes = b.transform_split(x, p);
+    let s = b.select_hb_shared(stripes);
+    b.measure_laplace_batch_shared(stripes, s, eps);
+    let e = b.infer_least_squares(LsSolver::Iterative);
+    b.finish(e)
+}
+
+fn mwem_spec(workload: Matrix, rounds: usize, eps: f64, total: f64) -> PlanSpec {
+    let per_round = eps / (2.0 * rounds as f64);
+    let mut b = PlanBuilder::new();
+    let x = b.input();
+    let e = b.mwem_loop(MwemLoopOp {
+        input: x,
+        workload,
+        rounds,
+        eps_select: per_round,
+        eps_measure: per_round,
+        augment: false,
+        inference: MwemRoundInference::MultWeights,
+        total,
+        mw_iterations: 25,
+    });
+    b.finish(e)
+}
+
+fn main() {
+    let n = 256;
+    let x = shape_1d(Shape1D::Bimodal, n, 50_000.0, 11);
+    let total: f64 = x.iter().sum();
+
+    // --- Inspect plans before any data is touched -------------------
+    let specs = vec![
+        identity_spec(0.4),
+        mwem_spec(Matrix::prefix(n), 8, 0.4, total),
+    ];
+    println!("plan catalogue (no kernel involved yet):");
+    for spec in &specs {
+        let cost = spec.pre_account().expect("well-formed spec");
+        println!(
+            "  {:<22}  pre-accounted ε = {:.3}  ({} nodes)",
+            spec.signature(),
+            cost.total,
+            spec.nodes().len()
+        );
+    }
+    let striped = hb_striped_spec(&[64, 4], 0, 0.4);
+    println!(
+        "  {:<22}  pre-accounted ε = {:.3}  (256 stripes cost one ε: parallel composition)",
+        striped.signature(),
+        striped.pre_account().unwrap().total
+    );
+
+    // --- Execute against a session ---------------------------------
+    let kernel = ProtectedKernel::init_from_vector(x.clone(), 1.0, 7);
+    for spec in &specs {
+        let report = PlanExecutor::new(&kernel)
+            .run(spec, kernel.root())
+            .expect("within budget");
+        let rmse = (x
+            .iter()
+            .zip(&report.x_hat)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            / n as f64)
+            .sqrt();
+        // On a fresh session the two are equal bit for bit; with prior
+        // spending on the ledger the subtraction can differ in the last
+        // ulp (see `ExecReport::eps_charged`).
+        assert!((report.eps_charged - report.eps_pre_accounted).abs() < 1e-12);
+        println!(
+            "ran {:<22}  charged ε = {:.3} (matches pre-accounting)  rmse {rmse:.2}",
+            report.signature, report.eps_charged,
+        );
+    }
+
+    // --- Over-budget specs never touch the data ---------------------
+    let history_before = kernel.measurement_count();
+    let greedy = identity_spec(0.5); // only 0.2 of ε remains
+    match PlanExecutor::new(&kernel).run(&greedy, kernel.root()) {
+        Err(e) => println!("over-budget spec rejected up front: {e}"),
+        Ok(_) => unreachable!("0.5 > remaining budget"),
+    }
+    assert_eq!(
+        kernel.measurement_count(),
+        history_before,
+        "rejection leaves zero new kernel history entries"
+    );
+    println!(
+        "kernel history unchanged ({} measurements), ε spent {:.3} of 1.0",
+        kernel.measurement_count(),
+        kernel.budget_spent()
+    );
+}

@@ -8,7 +8,7 @@ use rand::RngExt;
 
 use crate::strategy::Strategy;
 
-/// Length specification accepted by [`vec`].
+/// Length specification accepted by [`vec()`].
 #[derive(Clone, Copy, Debug)]
 pub struct SizeRange {
     min: usize,

@@ -29,8 +29,11 @@ use state::{KernelState, Node, NodeData};
 pub struct SourceVar(pub(crate) usize);
 
 /// Upper bound on idle [`Workspace`]s the kernel retains for reuse —
-/// enough for every worker of a threaded batch plus the serial paths,
-/// small enough that a burst of batches cannot pin unbounded arena memory.
+/// enough for every worker of a threaded batch plus the serial paths.
+/// The cap bounds the *count* only: arenas grow monotonically to the
+/// largest requirement seen, so after one huge batch the pool can hold
+/// up to this many maximum-sized arenas for the kernel's lifetime (a
+/// byte bound or shrink-on-restore is a ROADMAP item).
 const WORKSPACE_POOL_CAP: usize = 32;
 
 /// A pool of reusable [`Workspace`]s owned by the kernel.
@@ -172,21 +175,29 @@ impl ProtectedKernel {
     /// it. While the reservation is held, ordinary charges (from any
     /// session) only see `ε_tot − reserved`; the holder releases slices
     /// via [`BudgetReservation::unlock`] right before issuing the
-    /// corresponding charges, so concurrent sessions cannot take an
-    /// admitted plan's *unredeemed* budget. Note the unlock and its
-    /// paired charge are two lock acquisitions: a concurrent charge
-    /// racing into that single-operation window can still steal the
-    /// just-released slice (a reservation-aware charge pathway that
-    /// redeems atomically is a ROADMAP item). Dropping the reservation
-    /// releases whatever remains.
+    /// corresponding charges, bounding how long an admitted plan's
+    /// *unredeemed* budget is up for grabs. The unlock and its paired
+    /// charges are separate lock acquisitions, so a concurrent charge
+    /// racing into that window can still steal the just-released slice —
+    /// and for batched operations (which unlock the whole batch's slice,
+    /// then compute exact answers before charging) the window spans the
+    /// entire batch call, not a single operation (a reservation-aware
+    /// charge pathway that redeems atomically is a ROADMAP item).
+    /// Dropping the reservation releases whatever remains.
     ///
     /// The admission decision depends only on `eps`, prior charges and
     /// prior reservations — all data-independent — so rejecting leaks
     /// nothing (same argument as Algorithm 2's budget check).
     pub fn reserve_budget(&self, eps: f64) -> Result<BudgetReservation<'_>> {
-        if eps < 0.0 {
+        // NaN must be rejected explicitly: `eps < 0.0` and the admission
+        // comparison below are both false for NaN, so a NaN reservation
+        // would be admitted and set `reserved = NaN` — after which every
+        // root availability check (`eps_total − NaN`) is vacuously
+        // satisfied and ALL charges from every session get through. An
+        // infinite reservation can never be covered either.
+        if !eps.is_finite() || eps < 0.0 {
             return Err(EktError::InvalidArgument(format!(
-                "negative reservation {eps}"
+                "reservation must be a non-negative finite number, got {eps}"
             )));
         }
         const EPS_TOL: f64 = 1e-9;

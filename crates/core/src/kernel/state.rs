@@ -89,6 +89,17 @@ impl KernelState {
     /// Returns `Ok(())` and updates trackers if the request fits; returns
     /// `BudgetExceeded` (leaving all trackers untouched) otherwise.
     pub fn request(&mut self, sv: usize, sigma: f64, from_child: Option<usize>) -> Result<()> {
+        // Every charge in the kernel funnels through here, so this is the
+        // last line of defense against NaN/∞ costs: all comparisons on
+        // NaN are false, so a NaN sigma would sail past the admission
+        // check and poison the trackers (after which every later check is
+        // vacuously satisfied). The check recurses with the request, so a
+        // non-finite stability product is caught at the parent level too.
+        if !sigma.is_finite() || sigma < 0.0 {
+            return Err(EktError::InvalidArgument(format!(
+                "budget request must be a non-negative finite number, got {sigma}"
+            )));
+        }
         // Tolerance guards against accumulated floating-point drift when a
         // plan spends exactly its whole budget in several steps.
         const EPS_TOL: f64 = 1e-9;
@@ -205,6 +216,32 @@ mod tests {
         });
         let children = (0..k).map(|_| add_child(s, dummy, 1.0)).collect();
         (dummy, children)
+    }
+
+    #[test]
+    fn non_finite_or_negative_requests_rejected_with_trackers_untouched() {
+        // NaN fails every comparison, so without an explicit guard a NaN
+        // charge would pass the admission check and poison the root
+        // tracker — making all later checks vacuously true.
+        let mut s = state(1.0);
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.1] {
+            assert!(matches!(
+                s.request(0, bad, None),
+                Err(EktError::InvalidArgument(_))
+            ));
+        }
+        assert_eq!(s.spent(), 0.0);
+        // The guard also covers charges routed through derived sources
+        // (the check recurses with the request).
+        let c = add_child(&mut s, 0, 2.0);
+        assert!(matches!(
+            s.request(c, f64::NAN, None),
+            Err(EktError::InvalidArgument(_))
+        ));
+        assert_eq!(s.spent(), 0.0);
+        // Enforcement still works after the rejected requests.
+        assert!(s.request(0, 1.0, None).is_ok());
+        assert!(s.request(0, 0.1, None).is_err());
     }
 
     #[test]

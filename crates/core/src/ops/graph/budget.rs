@@ -109,9 +109,12 @@ enum ShadowVal {
 }
 
 fn positive_eps(eps: f64) -> Result<f64> {
-    if eps <= 0.0 {
+    // `eps <= 0.0` alone would admit NaN (every comparison on NaN is
+    // false), and a NaN declared budget poisons the whole reservation
+    // ledger downstream — require a strictly positive *finite* value.
+    if !eps.is_finite() || eps <= 0.0 {
         return Err(EktError::InvalidArgument(format!(
-            "non-positive epsilon {eps}"
+            "epsilon must be a positive finite number, got {eps}"
         )));
     }
     Ok(eps)
@@ -242,6 +245,11 @@ pub(super) fn pre_account(spec: &PlanSpec) -> Result<PlanCost> {
     let mut shadow = Shadow::new();
     let mut vals: Vec<ShadowVal> = Vec::with_capacity(spec.nodes.len());
     let mut events: Vec<Vec<f64>> = vec![Vec::new(); spec.nodes.len()];
+    // Whether a measurement-producing node precedes the current one in
+    // execution order: an Infer node fits over the session's measurement
+    // history, and running it with an empty history is an execution-time
+    // panic — reject such specs here, statically.
+    let mut measured = false;
 
     for (id, node) in spec.nodes.iter().enumerate() {
         let val = match node {
@@ -262,7 +270,19 @@ pub(super) fn pre_account(spec: &PlanSpec) -> Result<PlanCost> {
             }
             NodeKind::Transform(TransformOp::Linear { input, matrix }) => {
                 let src = source(&vals, input.id)?;
-                ShadowVal::Source(shadow.add(src, matrix.l1_sensitivity(), false))
+                // Declared ε values are validated elsewhere; the other
+                // number entering the cost arithmetic is this stability
+                // factor. A NaN/∞ entry in the transform matrix would
+                // otherwise propagate into `PlanCost.total`, and a
+                // costing service comparing `total <= budget` on NaN
+                // gets a vacuously-false answer instead of an error.
+                let stability = matrix.l1_sensitivity();
+                if !stability.is_finite() {
+                    return Err(EktError::InvalidPlan(format!(
+                        "transform node #{id} has non-finite stability {stability}"
+                    )));
+                }
+                ShadowVal::Source(shadow.add(src, stability, false))
             }
             NodeKind::Partition(PartitionOp::DawaEach { inputs, eps, .. }) => {
                 let eps = positive_eps(*eps)?;
@@ -284,12 +304,26 @@ pub(super) fn pre_account(spec: &PlanSpec) -> Result<PlanCost> {
                 }
                 ShadowVal::None
             }
-            NodeKind::Partition(_) | NodeKind::Select(_) | NodeKind::Infer(_) => ShadowVal::None,
+            NodeKind::Partition(_) | NodeKind::Select(_) => ShadowVal::None,
+            NodeKind::Infer(_) => {
+                // An Infer node fits the measurements recorded so far; a
+                // spec where none can exist would panic at execution
+                // ("inference with no measurements") — surface it as a
+                // typed error before any kernel call instead.
+                if !measured {
+                    return Err(EktError::InvalidPlan(format!(
+                        "inference node #{id} is not preceded by any measurement-producing \
+                         node, so it would run over an empty measurement history"
+                    )));
+                }
+                ShadowVal::None
+            }
             NodeKind::Measure(MeasureOp::Laplace { input, eps, .. }) => {
                 let eps = positive_eps(*eps)?;
                 let src = source(&vals, input.id)?;
                 let inc = shadow.charge(src, eps);
                 events[id].push(inc);
+                measured = true;
                 ShadowVal::None
             }
             NodeKind::Measure(MeasureOp::LaplaceBatch {
@@ -301,21 +335,31 @@ pub(super) fn pre_account(spec: &PlanSpec) -> Result<PlanCost> {
                 // Type-level guarantee a strategy ref exists; nothing to
                 // pre-account for it.
                 let _ = strategies;
-                for s in sources(&vals, inputs.id)? {
+                let srcs = sources(&vals, inputs.id)?;
+                // An empty batch records nothing, so it does not satisfy
+                // a downstream Infer node's need for history.
+                measured |= !srcs.is_empty();
+                for s in srcs {
                     let inc = shadow.charge(s, eps);
                     events[id].push(inc);
                 }
                 ShadowVal::None
             }
             NodeKind::AdaptiveMwem(op) => {
-                if op.rounds > 0 {
-                    positive_eps(op.eps_select)?;
-                    positive_eps(op.eps_measure)?;
-                    if op.workload.rows() == 0 {
-                        return Err(EktError::InvalidArgument("empty workload".into()));
-                    }
+                // Validated unconditionally — a zero-round loop charges
+                // nothing, but malformed declared budgets or an empty
+                // workload must still surface as typed errors (the
+                // "malformed specs are rejected statically" contract
+                // does not depend on whether the node happens to run).
+                positive_eps(op.eps_select)?;
+                positive_eps(op.eps_measure)?;
+                if op.workload.rows() == 0 {
+                    return Err(EktError::InvalidArgument("empty workload".into()));
                 }
                 let src = source(&vals, op.input.id)?;
+                // A zero-round loop issues no measurements (it returns
+                // the uniform estimate without consulting history).
+                measured |= op.rounds > 0;
                 for _ in 0..op.rounds {
                     // Declared per-round budgets: one selection charge,
                     // one measurement charge — Algorithm 2 order.
@@ -484,14 +528,131 @@ mod tests {
 
     #[test]
     fn non_positive_epsilon_rejected_statically() {
+        // Zero, NaN and ∞ all fail `eps <= 0.0`-style guards differently
+        // (NaN fails every comparison), so each must be covered: a NaN
+        // that reaches the reservation poisons budget enforcement.
+        for bad in [0.0, -0.5, f64::NAN, f64::INFINITY] {
+            let mut b = PlanBuilder::new();
+            let x = b.input();
+            let s = b.select_identity(x);
+            b.measure_laplace(x, s, bad);
+            let e = b.infer_least_squares(LsSolver::Iterative);
+            assert!(
+                matches!(b.finish(e).pre_account(), Err(EktError::InvalidArgument(_))),
+                "epsilon {bad} must be rejected statically"
+            );
+        }
+    }
+
+    #[test]
+    fn non_finite_stability_rejected_statically() {
+        // Declared ε values are validated; the transform stability is
+        // the other number entering the cost arithmetic and must not
+        // smuggle an ∞ into `PlanCost.total`. (NaN cannot reach here:
+        // `l1_sensitivity` folds with `f64::max`, which ignores NaN, so
+        // a NaN-scaled matrix collapses to stability 0 — identically in
+        // the shadow and the kernel.)
         let mut b = PlanBuilder::new();
         let x = b.input();
-        let s = b.select_identity(x);
-        b.measure_laplace(x, s, 0.0);
+        let t = b.transform_linear(x, Matrix::scaled(f64::INFINITY, Matrix::identity(8)));
+        let s = b.select_identity(t);
+        b.measure_laplace(t, s, 0.1);
         let e = b.infer_least_squares(LsSolver::Iterative);
         assert!(matches!(
             b.finish(e).pre_account(),
-            Err(EktError::InvalidArgument(_))
+            Err(EktError::InvalidPlan(_))
         ));
+    }
+
+    #[test]
+    fn default_builder_is_equivalent_to_new() {
+        // A derived Default would start with an empty node list, so
+        // `input()`'s Ref(0) would alias the first operator pushed.
+        let mut b = PlanBuilder::default();
+        let x = b.input();
+        let s = b.select_identity(x);
+        b.measure_laplace(x, s, 0.2);
+        let e = b.infer_least_squares(LsSolver::Iterative);
+        let cost = b.finish(e).pre_account().unwrap();
+        assert!((cost.total - 0.2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn inference_without_measurements_rejected_statically() {
+        // A measurement-free spec used to pass pre-accounting (cost 0)
+        // and then panic at execution inside the inference operator
+        // ("inference with no measurements").
+        let mut b = PlanBuilder::new();
+        let _x = b.input();
+        let e = b.infer_least_squares(LsSolver::Iterative);
+        assert!(matches!(
+            b.finish(e).pre_account(),
+            Err(EktError::InvalidPlan(_))
+        ));
+
+        // An Infer node placed *before* the plan's only measure node is
+        // equally invalid — execution order is node order.
+        let mut b = PlanBuilder::new();
+        let x = b.input();
+        let e = b.infer_least_squares(LsSolver::Iterative);
+        let s = b.select_identity(x);
+        b.measure_laplace(x, s, 0.1);
+        assert!(matches!(
+            b.finish(e).pre_account(),
+            Err(EktError::InvalidPlan(_))
+        ));
+
+        // A zero-round MWEM loop records no measurements, so it does not
+        // license a downstream Infer node either.
+        let mut b = PlanBuilder::new();
+        let x = b.input();
+        let _loop = b.mwem_loop(MwemLoopOp {
+            input: x,
+            workload: Matrix::prefix(16),
+            rounds: 0,
+            eps_select: 0.1,
+            eps_measure: 0.1,
+            augment: false,
+            inference: MwemRoundInference::MultWeights,
+            total: 100.0,
+            mw_iterations: 5,
+        });
+        let e = b.infer_least_squares(LsSolver::Iterative);
+        assert!(matches!(
+            b.finish(e).pre_account(),
+            Err(EktError::InvalidPlan(_))
+        ));
+    }
+
+    #[test]
+    fn zero_round_mwem_loop_is_still_validated() {
+        // rounds == 0 charges nothing, but malformed declared budgets and
+        // an empty workload must surface as typed errors regardless.
+        let cases: [(f64, f64, Matrix); 4] = [
+            (f64::NAN, 0.1, Matrix::prefix(16)),
+            (0.1, -1.0, Matrix::prefix(16)),
+            (0.1, f64::INFINITY, Matrix::prefix(16)),
+            (0.1, 0.1, Matrix::range_queries(16, vec![])), // empty workload
+        ];
+        for (eps_select, eps_measure, workload) in cases {
+            let mut b = PlanBuilder::new();
+            let x = b.input();
+            let e = b.mwem_loop(MwemLoopOp {
+                input: x,
+                workload,
+                rounds: 0,
+                eps_select,
+                eps_measure,
+                augment: false,
+                inference: MwemRoundInference::MultWeights,
+                total: 100.0,
+                mw_iterations: 5,
+            });
+            assert!(
+                matches!(b.finish(e).pre_account(), Err(EktError::InvalidArgument(_))),
+                "zero-round loop with eps_select={eps_select}, eps_measure={eps_measure} \
+                 must still fail validation"
+            );
+        }
     }
 }

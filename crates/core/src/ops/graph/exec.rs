@@ -9,11 +9,15 @@
 //! Budget flow: the executor pre-accounts the spec, takes one
 //! [`BudgetReservation`] for the whole plan (the rejection point for
 //! over-budget specs — zero kernel history entries on failure), then
-//! unlocks each pre-accounted slice immediately before the charge that
-//! consumes it, so concurrent sessions can never take the plan's
-//! *unredeemed* budget — the exposure shrinks from the whole execution
-//! to the single unlock→charge operation boundary (closing that last
-//! window needs a reservation-aware charge pathway; see ROADMAP).
+//! unlocks each node's pre-accounted slice immediately before the kernel
+//! call that consumes it. This shrinks the window in which a concurrent
+//! session can take the plan's *unredeemed* budget from the whole
+//! execution down to the span of one kernel call: for single-charge
+//! nodes that is the unlock→charge boundary; for batch nodes
+//! (`LaplaceBatch`, `DawaEach`) the node's entire slice is exposed for
+//! the duration of the batch call, including its pre-charge compute
+//! phases. Closing the window completely needs a reservation-aware
+//! charge pathway; see ROADMAP.
 
 use ektelo_matrix::{CsrMatrix, Matrix};
 use ektelo_solvers::NnlsOptions;
@@ -44,11 +48,19 @@ pub struct ExecReport {
     /// Worst-case root ε the pre-accounting predicted (scaled through
     /// the input's stability path).
     pub eps_pre_accounted: f64,
-    /// Root ε the kernel actually charged during execution (the
-    /// difference of the root ledger across the run). On a fresh session
-    /// this equals `eps_pre_accounted` bit for bit — the pre-accounting
-    /// replays the kernel's exact arithmetic; when the session starts
-    /// with prior spending the subtraction can differ in the last ulp.
+    /// Root ε the kernel charged during execution, measured as the
+    /// difference of the *global* root ledger across the run. On a
+    /// kernel with a single active session this is exactly this plan's
+    /// cost, and on a fresh session it equals `eps_pre_accounted` bit
+    /// for bit — the pre-accounting replays the kernel's exact
+    /// arithmetic (with prior spending the subtraction can differ in
+    /// the last ulp). **Caveat:** the kernel admits concurrent
+    /// sessions, and charges other sessions issue during this run are
+    /// included in the delta — the figure is an attribution only on
+    /// single-session kernels. A per-plan ledger needs the
+    /// reservation-aware charge pathway tracked in the ROADMAP; until
+    /// then multi-session services should log `eps_pre_accounted`
+    /// (this plan's own worst case) rather than this field.
     pub eps_charged: f64,
 }
 

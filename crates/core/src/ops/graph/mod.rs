@@ -643,9 +643,18 @@ impl PlanSpec {
 /// guarantees references are used where their kind fits (compile-time
 /// plan validation — the runtime re-checks only what types cannot
 /// express, like partition validity).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct PlanBuilder {
     nodes: Vec<NodeKind>,
+}
+
+/// Same as [`PlanBuilder::new`] — a derived `Default` would start with an
+/// *empty* node list, breaking the "node 0 is the session input"
+/// invariant every `input()` ref relies on.
+impl Default for PlanBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl PlanBuilder {

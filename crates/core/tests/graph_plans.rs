@@ -162,6 +162,55 @@ fn admitted_plan_cannot_lose_its_budget_to_a_later_reservation() {
         .unwrap();
 }
 
+#[test]
+fn nan_epsilon_cannot_poison_budget_enforcement() {
+    // Regression: a NaN declared ε used to slip through both the static
+    // validation (`eps <= 0.0` is false for NaN) and the reservation
+    // admission check, setting `reserved = NaN` — after which every root
+    // availability check (`ε_tot − NaN`) was vacuously satisfied and ALL
+    // charges from every session were admitted.
+    let spec = identity_spec(f64::NAN);
+    assert!(matches!(
+        spec.pre_account(),
+        Err(EktError::InvalidArgument(_))
+    ));
+    let k = vector_kernel(16, 1.0, 9);
+    let err = PlanExecutor::new(&k).run(&spec, k.root()).unwrap_err();
+    assert!(matches!(err, EktError::InvalidArgument(_)));
+    assert_eq!(k.measurement_count(), 0);
+    assert_eq!(k.budget_reserved(), 0.0);
+
+    // Direct reservations reject NaN and ∞ outright…
+    assert!(matches!(
+        k.reserve_budget(f64::NAN),
+        Err(EktError::InvalidArgument(_))
+    ));
+    assert!(matches!(
+        k.reserve_budget(f64::INFINITY),
+        Err(EktError::InvalidArgument(_))
+    ));
+    assert_eq!(k.budget_reserved(), 0.0);
+
+    // …so enforcement stays intact: the reviewer's over-budget probe (a
+    // 10.0 charge against ε_tot = 1.0) is still refused…
+    assert!(matches!(
+        k.vector_laplace(k.root(), &Matrix::identity(16), 10.0),
+        Err(EktError::BudgetExceeded { .. })
+    ));
+
+    // …and a NaN ε fed straight to a kernel charge dies as a typed error
+    // at the request chokepoint instead of corrupting the trackers.
+    assert!(matches!(
+        k.vector_laplace(k.root(), &Matrix::identity(16), f64::NAN),
+        Err(EktError::InvalidArgument(_))
+    ));
+    assert_eq!(k.budget_spent(), 0.0);
+
+    // The kernel remains fully usable for an honest charge.
+    k.vector_laplace(k.root(), &Matrix::identity(16), 1.0)
+        .unwrap();
+}
+
 // -------------------------------------------------------------------
 // Mid-plan budget exhaustion: typed errors from every charging class
 // -------------------------------------------------------------------

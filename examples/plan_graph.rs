@@ -76,7 +76,7 @@ fn main() {
     }
     let striped = hb_striped_spec(&[64, 4], 0, 0.4);
     println!(
-        "  {:<22}  pre-accounted ε = {:.3}  (256 stripes cost one ε: parallel composition)",
+        "  {:<22}  pre-accounted ε = {:.3}  (4 stripes cost one ε: parallel composition)",
         striped.signature(),
         striped.pre_account().unwrap().total
     );

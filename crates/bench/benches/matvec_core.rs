@@ -537,6 +537,125 @@ fn bench_arena_pool(c: &mut Criterion) {
     group.finish();
 }
 
+/// ISSUE 5 headline benches: the persistent pool executor vs per-region
+/// `std::thread::scope` on **identical chunked work**. Both arms run the
+/// same fixed chunk partition with the same pre-built per-chunk
+/// workspaces; the only difference is the dispatch harness — fresh OS
+/// threads per region (what every threaded path paid before this PR)
+/// versus parked pool workers with preallocated job slots (what they pay
+/// now). `small_union` (n = 4096) is the regime the spawn tax dominated;
+/// `large_union` (n = 65536) pins that pooling costs nothing when
+/// compute dominates. `dispatch_only` isolates the raw per-region
+/// harness cost on near-empty jobs.
+fn bench_pool_executor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool_executor");
+    group.sample_size(30);
+    const NCHUNKS: usize = 4;
+
+    // Raw dispatch cost: NCHUNKS jobs of ~256 flops each.
+    let data: Vec<f64> = (0..256).map(|i| (i % 7) as f64).collect();
+    let mut sums = [0.0f64; NCHUNKS];
+    group.bench_function("dispatch_only/scoped_spawn", |b| {
+        b.iter(|| {
+            std::thread::scope(|s| {
+                for slot in sums.iter_mut() {
+                    let d = &data;
+                    s.spawn(move || *slot = d.iter().sum());
+                }
+            });
+            black_box(sums[0])
+        })
+    });
+    group.bench_function("dispatch_only/pooled", |b| {
+        b.iter(|| {
+            ektelo_matrix::pool::scope(|s| {
+                for slot in sums.iter_mut() {
+                    let d = &data;
+                    s.spawn(move || *slot = d.iter().sum());
+                }
+            });
+            black_box(sums[0])
+        })
+    });
+
+    for (label, n, blocks) in [
+        // 8 wavelet blocks over a small domain: per-call compute is tens
+        // of µs, so ~40µs of thread spawn/join is the dominant cost.
+        ("small_union", 1usize << 12, {
+            let n = 1usize << 12;
+            (0..8).map(|_| Matrix::wavelet(n)).collect::<Vec<_>>()
+        }),
+        // The arena_pool striped shape at n = 2^16: compute-bound.
+        ("large_union", 1usize << 16, {
+            let n = 1usize << 16;
+            let stripes = 64;
+            let width = n / stripes;
+            (0..stripes)
+                .map(|s| {
+                    let idx: Vec<usize> = (s * width..(s + 1) * width).collect();
+                    Matrix::product(Matrix::wavelet(width), Matrix::select_rows(n, &idx))
+                })
+                .collect::<Vec<_>>()
+        }),
+    ] {
+        let rows_per_block = blocks[0].rows();
+        let bpc = blocks.len().div_ceil(NCHUNKS);
+        let x: Vec<f64> = (0..n).map(|i| (i % 13) as f64 - 6.0).collect();
+        let mut out = vec![0.0; blocks.len() * rows_per_block];
+        let mut chunk_ws: Vec<Workspace> = (0..NCHUNKS)
+            .map(|_| Workspace::for_matrix(&blocks[0]))
+            .collect();
+        // Warm plans and arenas in every chunk workspace.
+        for (bchunk, ws) in blocks.chunks(bpc).zip(chunk_ws.iter_mut()) {
+            let mut tmp = vec![0.0; rows_per_block];
+            for blk in bchunk {
+                blk.matvec_into(&x, &mut tmp, ws);
+            }
+        }
+        group.bench_function(BenchmarkId::new(format!("{label}/scoped_spawn"), n), |b| {
+            b.iter(|| {
+                std::thread::scope(|s| {
+                    for ((bchunk, ochunk), ws) in blocks
+                        .chunks(bpc)
+                        .zip(out.chunks_mut(bpc * rows_per_block))
+                        .zip(chunk_ws.iter_mut())
+                    {
+                        let x = &x;
+                        s.spawn(move || {
+                            for (blk, ospan) in bchunk.iter().zip(ochunk.chunks_mut(rows_per_block))
+                            {
+                                blk.matvec_into(x, ospan, ws);
+                            }
+                        });
+                    }
+                });
+                black_box(out[0])
+            })
+        });
+        group.bench_function(BenchmarkId::new(format!("{label}/pooled"), n), |b| {
+            b.iter(|| {
+                ektelo_matrix::pool::scope(|s| {
+                    for ((bchunk, ochunk), ws) in blocks
+                        .chunks(bpc)
+                        .zip(out.chunks_mut(bpc * rows_per_block))
+                        .zip(chunk_ws.iter_mut())
+                    {
+                        let x = &x;
+                        s.spawn(move || {
+                            for (blk, ospan) in bchunk.iter().zip(ochunk.chunks_mut(rows_per_block))
+                            {
+                                blk.matvec_into(x, ospan, ws);
+                            }
+                        });
+                    }
+                });
+                black_box(out[0])
+            })
+        });
+    }
+    group.finish();
+}
+
 // `bench_workspace_reuse` must run first: the seed engine's dominant cost
 // is mmap/munmap churn on its large per-node temporaries (glibc unmaps
 // >128 KiB frees while the dynamic mmap threshold is cold — exactly the
@@ -548,6 +667,7 @@ criterion_group!(
     bench_parallel_rmatvec,
     bench_plan_cache,
     bench_arena_pool,
+    bench_pool_executor,
     bench_core_matrices,
     bench_kron,
     bench_sensitivity

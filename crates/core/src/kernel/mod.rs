@@ -30,11 +30,16 @@ pub struct SourceVar(pub(crate) usize);
 
 /// Upper bound on idle [`Workspace`]s the kernel retains for reuse —
 /// enough for every worker of a threaded batch plus the serial paths.
-/// The cap bounds the *count* only: arenas grow monotonically to the
-/// largest requirement seen, so after one huge batch the pool can hold
-/// up to this many maximum-sized arenas for the kernel's lifetime (a
-/// byte bound or shrink-on-restore is a ROADMAP item).
 const WORKSPACE_POOL_CAP: usize = 32;
+
+/// Default bound on the total heap bytes idle pooled workspaces may pin
+/// (arena + per-worker pool arenas; 32 MiB). Arenas grow monotonically to
+/// the largest requirement seen, so without this bound one huge batch
+/// would pin up to [`WORKSPACE_POOL_CAP`] maximum-sized arenas for the
+/// kernel's lifetime. Oversized workspaces are shrunk on restore to fit
+/// the remaining budget (their plan fast path survives the shrink, so a
+/// shed workspace still skips re-planning when reused).
+const WORKSPACE_POOL_DEFAULT_MAX_BYTES: usize = 32 << 20;
 
 /// A pool of reusable [`Workspace`]s owned by the kernel.
 ///
@@ -45,26 +50,87 @@ const WORKSPACE_POOL_CAP: usize = 32;
 /// the pool is empty), and the restore pushes it back with its arena and
 /// single-entry plan fast path intact, so repeated batch calls over the
 /// same strategies do zero arena reallocation. The pool lock is separate
-/// from the kernel state lock and held only for the push/pop.
-#[derive(Default)]
+/// from the kernel state lock and held only for the push/pop. Residency
+/// is bounded twice over: at most [`WORKSPACE_POOL_CAP`] idle workspaces,
+/// and at most `max_bytes` of idle arena storage — a workspace that
+/// would blow the byte budget is shrunk (`Workspace::shed_to`) before
+/// pooling, so steady-state batches keep warm arenas while one-off giant
+/// batches cannot pin their peak memory forever.
 struct WorkspacePool {
-    slots: Mutex<Vec<Workspace>>,
+    slots: Mutex<PoolSlots>,
+    /// Byte budget for all idle slots together (see `set_max_bytes`).
+    max_bytes: std::sync::atomic::AtomicUsize,
+}
+
+#[derive(Default)]
+struct PoolSlots {
+    stack: Vec<Workspace>,
+    /// Scalars (f64) resident across all idle workspaces.
+    resident_scalars: usize,
+}
+
+impl Default for WorkspacePool {
+    fn default() -> Self {
+        WorkspacePool {
+            slots: Mutex::new(PoolSlots::default()),
+            max_bytes: std::sync::atomic::AtomicUsize::new(WORKSPACE_POOL_DEFAULT_MAX_BYTES),
+        }
+    }
 }
 
 impl WorkspacePool {
     fn checkout(&self) -> Workspace {
-        self.slots.lock().pop().unwrap_or_default()
-    }
-
-    fn restore(&self, ws: Workspace) {
         let mut slots = self.slots.lock();
-        if slots.len() < WORKSPACE_POOL_CAP {
-            slots.push(ws);
+        match slots.stack.pop() {
+            Some(ws) => {
+                slots.resident_scalars -= ws.resident_scalars();
+                ws
+            }
+            None => Workspace::default(),
         }
     }
 
+    fn restore(&self, mut ws: Workspace) {
+        let budget_scalars =
+            self.max_bytes.load(std::sync::atomic::Ordering::Relaxed) / std::mem::size_of::<f64>();
+        let mut slots = self.slots.lock();
+        if slots.stack.len() >= WORKSPACE_POOL_CAP {
+            return;
+        }
+        let headroom = budget_scalars.saturating_sub(slots.resident_scalars);
+        if ws.resident_scalars() > headroom {
+            ws.shed_to(headroom);
+        }
+        slots.resident_scalars += ws.resident_scalars();
+        slots.stack.push(ws);
+    }
+
     fn len(&self) -> usize {
-        self.slots.lock().len()
+        self.slots.lock().stack.len()
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.slots.lock().resident_scalars * std::mem::size_of::<f64>()
+    }
+
+    fn set_max_bytes(&self, bytes: usize) {
+        self.max_bytes
+            .store(bytes, std::sync::atomic::Ordering::Relaxed);
+        // Re-fit the idle inventory under the new budget immediately.
+        let budget_scalars = bytes / std::mem::size_of::<f64>();
+        let mut slots = self.slots.lock();
+        if slots.resident_scalars <= budget_scalars {
+            return;
+        }
+        let mut total = 0usize;
+        for ws in slots.stack.iter_mut() {
+            let headroom = budget_scalars.saturating_sub(total);
+            if ws.resident_scalars() > headroom {
+                ws.shed_to(headroom);
+            }
+            total += ws.resident_scalars();
+        }
+        slots.resident_scalars = total;
     }
 }
 
@@ -238,6 +304,23 @@ impl ProtectedKernel {
     /// capacity tuning; the count is bounded by a small internal cap).
     pub fn workspace_pool_len(&self) -> usize {
         self.ws_pool.len()
+    }
+
+    /// Heap bytes currently pinned by idle pooled workspaces (arena plus
+    /// per-worker pool arenas). Bounded by the pool's byte budget: a
+    /// restore that would exceed it shrinks the workspace first, so one
+    /// huge batch can no longer pin its peak arenas for the kernel's
+    /// lifetime.
+    pub fn workspace_pool_resident_bytes(&self) -> usize {
+        self.ws_pool.resident_bytes()
+    }
+
+    /// Sets the byte budget for idle pooled workspaces (default 32 MiB)
+    /// and immediately re-fits the idle inventory under it. A memory
+    /// dial only — a shrunk workspace regrows on demand and keeps its
+    /// plan fast path, so correctness and plan reuse are unaffected.
+    pub fn set_workspace_pool_max_bytes(&self, bytes: usize) {
+        self.ws_pool.set_max_bytes(bytes);
     }
 
     /// The product of stability factors along the transformation chain
@@ -618,7 +701,11 @@ impl ProtectedKernel {
             .collect();
         #[cfg(feature = "parallel")]
         {
-            let nthreads = std::thread::available_parallelism().map_or(1, |p| p.get());
+            // Chunk geometry comes from the process-constant configured
+            // parallelism, not the executor's current worker count, and
+            // every request fills its own slot — so the answers are
+            // bit-identical however many pool workers run the chunks.
+            let nthreads = ektelo_matrix::pool::configured_parallelism();
             let total_cells: usize = snapshots
                 .iter()
                 .filter_map(|s| s.as_ref().ok().map(|(x, _)| x.len()))
@@ -626,7 +713,7 @@ impl ProtectedKernel {
             if reqs.len() >= 2 && nthreads >= 2 && total_cells >= 4096 {
                 let chunk = reqs.len().div_ceil(nthreads);
                 let pool = &self.ws_pool;
-                std::thread::scope(|scope| {
+                ektelo_matrix::pool::scope(|scope| {
                     for (echunk, (rchunk, schunk)) in exacts
                         .chunks_mut(chunk)
                         .zip(reqs.chunks(chunk).zip(snapshots.chunks(chunk)))

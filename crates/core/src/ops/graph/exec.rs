@@ -463,12 +463,12 @@ fn build_greedy_strategies(inputs: &[(usize, Vec<(usize, usize)>)]) -> Vec<Matri
 }
 
 /// Threaded variant: stripes are independent and `greedy_h` is pure, so
-/// chunks of stripes build on worker threads; results are written into
-/// per-stripe slots, so the output order (and every matrix in it) is
-/// identical to the serial build.
+/// chunks of stripes build on the persistent pool executor; results are
+/// written into per-stripe slots, so the output order (and every matrix
+/// in it) is identical to the serial build — for any pool size.
 #[cfg(feature = "parallel")]
 fn build_greedy_strategies(inputs: &[(usize, Vec<(usize, usize)>)]) -> Vec<Matrix> {
-    let nthreads = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let nthreads = ektelo_matrix::pool::configured_parallelism();
     if inputs.len() < 2 || nthreads < 2 {
         return inputs
             .iter()
@@ -477,7 +477,7 @@ fn build_greedy_strategies(inputs: &[(usize, Vec<(usize, usize)>)]) -> Vec<Matri
     }
     let chunk = inputs.len().div_ceil(nthreads);
     let mut out: Vec<Matrix> = vec![Matrix::identity(1); inputs.len()];
-    std::thread::scope(|s| {
+    ektelo_matrix::pool::scope(|s| {
         for (ochunk, ichunk) in out.chunks_mut(chunk).zip(inputs.chunks(chunk)) {
             s.spawn(move || {
                 for (slot, (groups, ranges)) in ochunk.iter_mut().zip(ichunk) {

@@ -147,10 +147,10 @@ fn fill_partitions_serial(
 #[cfg(not(feature = "parallel"))]
 use fill_partitions_serial as fill_partitions;
 
-/// Threaded variant: chunks of stripes compute on scoped workers; each
-/// stripe's output depends only on (snapshot, base, stripe index), so the
-/// results are written into per-stripe slots bit-identically to
-/// [`fill_partitions_serial`].
+/// Threaded variant: chunks of stripes compute on the persistent
+/// pool executor; each stripe's output depends only on (snapshot, base,
+/// stripe index), so the results are written into per-stripe slots
+/// bit-identically to [`fill_partitions_serial`] — for any pool size.
 #[cfg(feature = "parallel")]
 fn fill_partitions(
     snaps: &[std::sync::Arc<Vec<f64>>],
@@ -159,13 +159,13 @@ fn fill_partitions(
     opts: &DawaOptions,
     out: &mut [Matrix],
 ) {
-    let nthreads = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let nthreads = ektelo_matrix::pool::configured_parallelism();
     if snaps.len() < 2 || nthreads < 2 {
         fill_partitions_serial(snaps, base, eps, opts, out);
         return;
     }
     let chunk = snaps.len().div_ceil(nthreads);
-    std::thread::scope(|s| {
+    ektelo_matrix::pool::scope(|s| {
         for (c, (ochunk, schunk)) in out.chunks_mut(chunk).zip(snaps.chunks(chunk)).enumerate() {
             s.spawn(move || {
                 for (i, (x, slot)) in schunk.iter().zip(ochunk.iter_mut()).enumerate() {

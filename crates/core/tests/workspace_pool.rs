@@ -7,6 +7,13 @@
 //! and never grows on subsequent identical calls. A regression that
 //! creates fresh workspaces (instead of popping pooled ones) keeps
 //! pushing new entries on restore, so the count climbs call after call.
+//!
+//! Since ISSUE 5 the pool is additionally **byte-bounded**: arenas grow
+//! monotonically to the largest requirement seen, so without a bound one
+//! huge batch would pin up to 32 maximum-sized arenas for the kernel's
+//! lifetime. Restores over the budget shrink the workspace first
+//! (`Workspace::shed_to`), keeping its plan fast path; the second half of
+//! this suite gates exactly that.
 
 use ektelo_core::kernel::{ProtectedKernel, SourceVar};
 use ektelo_matrix::{partition_from_labels, Matrix};
@@ -49,6 +56,77 @@ fn batch_calls_reuse_kernel_owned_workspaces() {
             k.workspace_pool_len(),
             warm,
             "identical batch calls must reuse the pooled workspaces, not create more"
+        );
+    }
+}
+
+/// One huge batch must not pin its peak arenas forever: with a small
+/// byte budget configured, the pool's idle residency stays under the
+/// budget after a scratch-heavy batch — and later batches still reuse
+/// the pooled (shed) workspaces rather than minting new ones.
+#[test]
+fn pool_residency_stays_under_the_byte_budget() {
+    let (k, stripes) = striped_kernel();
+    // 64 KiB budget: far below what the batch's workspaces want (a
+    // product strategy over 2^12-cell stripes needs a 2^12-scalar
+    // intermediate per workspace — 32 KiB each — plus worker arenas).
+    let budget = 64 * 1024;
+    k.set_workspace_pool_max_bytes(budget);
+    let strategy = Matrix::product(Matrix::prefix(STRIPE), Matrix::wavelet(STRIPE));
+    let reqs: Vec<(SourceVar, &Matrix, f64)> =
+        stripes.iter().map(|&s| (s, &strategy, 0.01)).collect();
+
+    k.vector_laplace_batch(&reqs).unwrap();
+    let warm = k.workspace_pool_len();
+    assert!(warm >= 1, "the batch must still pool its workspaces");
+    assert!(
+        k.workspace_pool_resident_bytes() <= budget,
+        "idle pool holds {} bytes, budget is {budget}",
+        k.workspace_pool_resident_bytes()
+    );
+
+    for _ in 0..3 {
+        k.vector_laplace_batch(&reqs).unwrap();
+        assert_eq!(
+            k.workspace_pool_len(),
+            warm,
+            "shed workspaces must still be reused, not replaced"
+        );
+        assert!(
+            k.workspace_pool_resident_bytes() <= budget,
+            "budget must hold across repeated batches"
+        );
+    }
+
+    // Tightening the budget re-fits the idle inventory immediately.
+    k.set_workspace_pool_max_bytes(1024);
+    assert!(k.workspace_pool_resident_bytes() <= 1024);
+    // And the pool still serves (empty-but-warm) workspaces afterwards.
+    k.vector_laplace_batch(&reqs).unwrap();
+    assert!(k.workspace_pool_resident_bytes() <= 1024);
+}
+
+/// The default budget is generous: a modest batch pools its workspaces
+/// at full size (no shedding), so steady-state reuse pays zero arena
+/// regrowth — the original PR-4 guarantee, unchanged.
+#[test]
+fn default_budget_keeps_modest_arenas_resident() {
+    let (k, stripes) = striped_kernel();
+    let strategy = Matrix::product(Matrix::prefix(STRIPE), Matrix::wavelet(STRIPE));
+    let reqs: Vec<(SourceVar, &Matrix, f64)> =
+        stripes.iter().map(|&s| (s, &strategy, 0.01)).collect();
+    k.vector_laplace_batch(&reqs).unwrap();
+    let resident = k.workspace_pool_resident_bytes();
+    assert!(
+        resident > 0,
+        "modest arenas must stay resident under the default budget"
+    );
+    for _ in 0..3 {
+        k.vector_laplace_batch(&reqs).unwrap();
+        assert_eq!(
+            k.workspace_pool_resident_bytes(),
+            resident,
+            "identical batches must neither grow nor shed the inventory"
         );
     }
 }

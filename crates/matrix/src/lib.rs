@@ -47,6 +47,7 @@ mod materialize;
 mod matvec;
 mod plan;
 mod plan_cache;
+pub mod pool;
 mod range;
 mod rect;
 mod sensitivity;
@@ -58,7 +59,10 @@ pub use combine::partition_from_labels;
 pub use dense::DenseMatrix;
 pub use materialize::Repr;
 pub use plan::plan_builds;
-pub use plan_cache::{plan_cache_clear, plan_cache_stats, PlanCacheStats, PLAN_CACHE_SHARDS};
+pub use plan_cache::{
+    plan_cache_clear, plan_cache_max_bytes, plan_cache_set_max_bytes, plan_cache_stats,
+    PlanCacheStats, PLAN_CACHE_SHARDS,
+};
 pub use range::RangeQueries;
 pub use rect::RectQueries2D;
 pub use sparse::CsrMatrix;

@@ -18,11 +18,12 @@
 //! (per-worker accumulators merged in fixed chunk order at the barrier)
 //! and Kronecker column-chunks in the transpose direction. Chunk counts
 //! are fixed when the plan is built, so threaded results are deterministic
-//! run-to-run (via `std::thread::scope`; the offline build environment has
-//! no rayon). Chunk workers borrow their scratch — and, in the scatter
+//! run-to-run. Chunks execute on the persistent [`crate::pool`] executor
+//! (parked workers, preallocated job slots; the offline build environment
+//! has no rayon) and borrow their scratch — and, in the scatter
 //! direction, their private accumulators — from the workspace's per-worker
-//! [`crate::workspace::ArenaPool`] (sized at plan time), so the threaded
-//! paths are as allocation-free in steady state as the serial ones.
+//! [`crate::workspace::ArenaPool`] (sized at plan time), so the warm
+//! threaded paths perform zero allocations *and* zero thread creation.
 
 use crate::plan::{ChainPlan, KronPlan, NodePlan};
 use crate::wavelet::{wavelet_matvec, wavelet_rmatvec};
@@ -720,23 +721,27 @@ fn kron_rmatvec(a: &Matrix, b: &Matrix, y: &[f64], out: &mut [f64], scratch: &mu
 }
 
 /// Multi-threaded evaluation of independent sub-products, behind the
-/// `parallel` feature. Built on `std::thread::scope` (the offline build
-/// environment cannot vendor rayon); chunk sizes are fixed in the
-/// evaluation plan, so results are deterministic run-to-run. Workers
-/// borrow their scratch — and, in the scatter direction, their private
-/// accumulators — from the workspace's plan-sized [`ArenaPool`] instead of
-/// allocating, so the threaded paths stay allocation-free in steady state
-/// (the spawn itself costs a few small harness allocations per call; the
-/// `O(n)` buffer traffic is gone). The paths engage only above a plan-time
-/// work threshold. Worker pools are marked *nested*: a parallel-eligible
-/// node under a pooled worker (e.g. the large-union factor of an
+/// `parallel` feature. Built on the persistent [`crate::pool`] executor
+/// (the offline build environment cannot vendor rayon): chunk sizes are
+/// fixed in the evaluation plan, so results are deterministic run-to-run
+/// — and bit-identical for every pool size, since the pool only decides
+/// *where* each fixed chunk runs. Workers borrow their scratch — and, in
+/// the scatter direction, their private accumulators — from the
+/// workspace's plan-sized [`ArenaPool`] instead of allocating, and pooled
+/// dispatch copies each chunk closure into a preallocated job slot, so
+/// the warm threaded paths perform **zero** heap allocations and zero
+/// thread creation (gated by `alloc_parallel.rs` with an every-size
+/// counting allocator). The paths engage only above a plan-time work
+/// threshold. Worker arena pools are marked *nested*: a parallel-eligible
+/// node under a pooled chunk worker (e.g. the large-union factor of an
 /// `hdmm_kron` strategy) evaluates serially instead of spawning nested
-/// threads and allocating fresh arenas — the outer region already
+/// regions and allocating fresh arenas — the outer region already
 /// saturates the machine (gated by `alloc_parallel.rs`).
 #[cfg(feature = "parallel")]
 mod parallel {
     use super::ArenaPool;
     use crate::plan::{KronPlan, UnionPlan};
+    use crate::pool;
     use crate::Matrix;
 
     /// `Union` matvec with one worker per plan-time chunk of blocks.
@@ -752,7 +757,7 @@ mod parallel {
         let chunk = up.par_fwd_chunk;
         let nchunks = blocks.len().div_ceil(chunk);
         let arenas = pool.arenas(nchunks, up.block_mv_scratch);
-        std::thread::scope(|s| {
+        pool::scope(|s| {
             let mut rem = out;
             for ((bchunk, pchunk), (rchunk, arena)) in blocks
                 .chunks(chunk)
@@ -794,7 +799,7 @@ mod parallel {
         let nchunks = blocks.len().div_ceil(chunk);
         let per = cols + up.block_rmva_scratch;
         let arenas = pool.arenas(nchunks, per);
-        std::thread::scope(|s| {
+        pool::scope(|s| {
             let mut offset = 0;
             for ((bchunk, pchunk), (rchunk, arena)) in blocks
                 .chunks(chunk)
@@ -839,7 +844,7 @@ mod parallel {
         let rows_per = kp.par_fwd_rows;
         let nchunks = t.len().div_ceil(rows_per * mb);
         let arenas = pool.arenas(nchunks, kp.b_mv_scratch);
-        std::thread::scope(|s| {
+        pool::scope(|s| {
             for ((c, tchunk), arena) in t.chunks_mut(rows_per * mb).enumerate().zip(arenas) {
                 let x = &x[c * rows_per * nb..];
                 s.spawn(move || {
@@ -867,7 +872,7 @@ mod parallel {
         let rows_per = kp.par_bwd_rows;
         let nchunks = t.len().div_ceil(rows_per * nb);
         let arenas = pool.arenas(nchunks, kp.b_rmv_scratch);
-        std::thread::scope(|s| {
+        pool::scope(|s| {
             for ((c, tchunk), arena) in t.chunks_mut(rows_per * nb).enumerate().zip(arenas) {
                 let y = &y[c * rows_per * mb..];
                 s.spawn(move || {
@@ -904,7 +909,7 @@ mod parallel {
         // | A's rmatvec scratch].
         let per = na * cols_per + ma + na + kp.a_rmv_scratch;
         let arenas = pool.arenas(nchunks, per);
-        std::thread::scope(|s| {
+        pool::scope(|s| {
             for (c, arena) in arenas.iter_mut().enumerate() {
                 let j0 = c * cols_per;
                 let j1 = (j0 + cols_per).min(nb);

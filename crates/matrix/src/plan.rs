@@ -62,9 +62,13 @@ pub fn plan_builds() -> u64 {
 #[cfg(feature = "parallel")]
 const MIN_PAR_WORK: usize = 1 << 14;
 
+/// The process-constant parallelism chunk decisions are built from —
+/// [`crate::pool::configured_parallelism`], *not* the pool's current
+/// worker count: plans are cached process-wide and results must be
+/// bit-identical however many pool workers end up executing the chunks.
 #[cfg(feature = "parallel")]
 fn threads() -> usize {
-    std::thread::available_parallelism().map_or(1, |p| p.get())
+    crate::pool::configured_parallelism()
 }
 
 /// A fully planned evaluation of one matrix: the per-node records plus the

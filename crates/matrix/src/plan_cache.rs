@@ -25,8 +25,8 @@
 //!   that keys it (see the soundness argument on `fingerprint`), so there
 //!   is no invalidation protocol, only an optional [`plan_cache_clear`]
 //!   for benchmarks that want to price re-planning.
-//! * **Sharding.** The map is split into [`SHARDS`] independent
-//!   `Mutex<HashMap>` shards selected by fingerprint bits, so concurrent
+//! * **Sharding.** The map is split into [`PLAN_CACHE_SHARDS`] independent
+//!   `Mutex` shards selected by fingerprint bits, so concurrent
 //!   workspaces rarely contend; solver inner loops never reach the shards
 //!   at all thanks to the workspace-local single-entry fast path.
 //! * **Exactly-once builds.** Each map slot holds a `OnceLock`: racing
@@ -34,17 +34,22 @@
 //!   `Arc<EvalPlan>` and only one of them runs the planning pass (the
 //!   shard lock is *not* held while building, so recursive child builds
 //!   cannot deadlock).
-//! * **Bounded entry count.** A shard that accumulates [`SHARD_CAP`]
-//!   shapes is cleared wholesale before the next insert — a bound on
-//!   *entries*, not bytes: leaf plans are a few hundred bytes but a
-//!   `Union` spine plan is `O(blocks)`, so a process that keeps stacking
-//!   ever-larger spines (a very long MWEM run) can retain
-//!   `O(rounds²)`-ish plan memory until the cap trips. The cap keeps
-//!   that bounded and a clear only costs transient rebuilds, never
-//!   correctness; a size-aware eviction policy is a ROADMAP item.
+//! * **Byte-bounded residency.** Each shard runs a **byte-weighted
+//!   second-chance** (clock) eviction: every entry carries its plan's
+//!   direct byte footprint (accounted once, after the build completes)
+//!   and a referenced bit set on every hit; when a shard's accounted
+//!   bytes exceed its share of [`plan_cache_max_bytes`] — or its entry
+//!   count reaches the `SHARD_CAP` backstop — the clock hand gives each
+//!   referenced entry a second chance (clearing the bit) and evicts cold
+//!   entries until the shard is back under ¾ of its bound. Hot entries —
+//!   the shared block plans an MWEM loop re-stacks every round — survive
+//!   indefinitely, while dead spines age out, so a long spine-stacking
+//!   run holds bounded plan memory with **no rebuild storm** (gated by
+//!   `tests/plan_eviction.rs`). Eviction only costs transient rebuilds,
+//!   never correctness.
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::plan::EvalPlan;
@@ -58,30 +63,112 @@ pub const PLAN_CACHE_SHARDS: usize = 16;
 /// Internal alias for the shard count.
 const SHARDS: usize = PLAN_CACHE_SHARDS;
 
-/// Resident shapes per shard before the shard is wholesale-cleared.
+/// Resident shapes per shard before the clock sweep runs regardless of
+/// bytes — a backstop against byte-accounting blind spots (in-flight
+/// builds weigh 0 until accounted).
 const SHARD_CAP: usize = 4096;
+
+/// Default process-wide byte bound across all shards (see
+/// [`plan_cache_set_max_bytes`]). Generous for realistic plan mixes —
+/// a leaf plan is ~100 bytes, a 1000-block spine ~16 KiB — while still
+/// bounding a pathological spine-stacking run to a fixed footprint.
+const DEFAULT_MAX_BYTES: usize = 64 << 20;
+
+/// Sweeps drain a shard to this fraction of its bound (hysteresis, so
+/// each insert near the bound does not trigger its own sweep).
+const SWEEP_TARGET_NUM: usize = 3;
+const SWEEP_TARGET_DEN: usize = 4;
 
 type Slot = Arc<OnceLock<Arc<EvalPlan>>>;
 
-static CACHE: OnceLock<Vec<Mutex<HashMap<u64, Slot>>>> = OnceLock::new();
+/// One resident shape: its build-once slot, its second-chance bit and
+/// its accounted byte weight (0 while the build is in flight).
+struct Entry {
+    slot: Slot,
+    referenced: bool,
+    bytes: usize,
+}
+
+#[derive(Default)]
+struct Shard {
+    map: HashMap<u64, Entry>,
+    /// Clock order for the second-chance hand: keys in insertion order.
+    /// May hold stale keys (evicted, or re-inserted and queued twice);
+    /// the sweep skips keys that no longer resolve.
+    clock: VecDeque<u64>,
+    /// Sum of accounted entry weights.
+    bytes: usize,
+}
+
+static CACHE: OnceLock<Vec<Mutex<Shard>>> = OnceLock::new();
 
 static HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
 static SHARED_SUBPLANS: AtomicU64 = AtomicU64::new(0);
+static EVICTIONS: AtomicU64 = AtomicU64::new(0);
+static MAX_BYTES: AtomicUsize = AtomicUsize::new(DEFAULT_MAX_BYTES);
 
-fn shards() -> &'static [Mutex<HashMap<u64, Slot>>] {
-    CACHE.get_or_init(|| (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect())
+fn shards() -> &'static [Mutex<Shard>] {
+    CACHE.get_or_init(|| (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect())
 }
 
-fn shard(fp: u64) -> &'static Mutex<HashMap<u64, Slot>> {
+fn shard(fp: u64) -> &'static Mutex<Shard> {
     // The fingerprint is an FNV-1a product whose low bits are well mixed.
     &shards()[(fp as usize) & (SHARDS - 1)]
 }
 
-fn lock(
-    m: &'static Mutex<HashMap<u64, Slot>>,
-) -> std::sync::MutexGuard<'static, HashMap<u64, Slot>> {
+fn lock(m: &'static Mutex<Shard>) -> std::sync::MutexGuard<'static, Shard> {
     m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Per-shard share of the process-wide byte bound.
+fn shard_max_bytes() -> usize {
+    (MAX_BYTES.load(Ordering::Relaxed) / SHARDS).max(1)
+}
+
+/// The process-wide plan-cache byte bound currently in force.
+pub fn plan_cache_max_bytes() -> usize {
+    MAX_BYTES.load(Ordering::Relaxed)
+}
+
+/// Sets the process-wide plan-cache byte bound (split evenly across the
+/// [`PLAN_CACHE_SHARDS`] shards) and returns the previous bound. Purely a
+/// memory/perf dial: eviction can only cost transient rebuilds, never
+/// correctness. Bounds below a few plan footprints effectively disable
+/// caching; the default (64 MiB) is generous for realistic plan mixes.
+pub fn plan_cache_set_max_bytes(bytes: usize) -> usize {
+    MAX_BYTES.swap(bytes.max(1), Ordering::Relaxed)
+}
+
+/// Second-chance sweep: advance the clock hand until the shard is under
+/// both targets (or every surviving entry has used its second chance —
+/// the pass bound keeps in-flight-heavy shards from spinning).
+fn sweep(shard: &mut Shard, byte_target: usize, entry_target: usize) {
+    let mut passes = shard.clock.len().saturating_mul(2);
+    while (shard.bytes > byte_target || shard.map.len() > entry_target) && passes > 0 {
+        passes -= 1;
+        let Some(fp) = shard.clock.pop_front() else {
+            break;
+        };
+        match shard.map.get_mut(&fp) {
+            // Stale hand position: the key was evicted earlier (or is a
+            // duplicate from an evict/re-insert cycle).
+            None => continue,
+            // Recently used: second chance.
+            Some(e) if e.referenced => {
+                e.referenced = false;
+                shard.clock.push_back(fp);
+            }
+            // Build in flight (weight not yet accounted): keep.
+            Some(e) if e.bytes == 0 => shard.clock.push_back(fp),
+            // Cold: evict.
+            Some(_) => {
+                let e = shard.map.remove(&fp).expect("entry just resolved");
+                shard.bytes -= e.bytes;
+                EVICTIONS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
 }
 
 /// The cached plan for `m` under fingerprint `fp`, building it exactly
@@ -89,11 +176,31 @@ fn lock(
 /// true iff *this* call ran the planning pass.
 pub(crate) fn get_or_build(m: &Matrix, fp: u64) -> (Arc<EvalPlan>, bool) {
     let slot: Slot = {
-        let mut map = lock(shard(fp));
-        if !map.contains_key(&fp) && map.len() >= SHARD_CAP {
-            map.clear();
+        let mut sh = lock(shard(fp));
+        if let Some(e) = sh.map.get_mut(&fp) {
+            e.referenced = true;
+            Arc::clone(&e.slot)
+        } else {
+            let bound = shard_max_bytes();
+            if sh.bytes > bound || sh.map.len() >= SHARD_CAP {
+                sweep(
+                    &mut sh,
+                    bound * SWEEP_TARGET_NUM / SWEEP_TARGET_DEN,
+                    SHARD_CAP * SWEEP_TARGET_NUM / SWEEP_TARGET_DEN,
+                );
+            }
+            let slot = Slot::default();
+            sh.map.insert(
+                fp,
+                Entry {
+                    slot: Arc::clone(&slot),
+                    referenced: false,
+                    bytes: 0,
+                },
+            );
+            sh.clock.push_back(fp);
+            slot
         }
-        Arc::clone(map.entry(fp).or_default())
     };
     let mut built = false;
     let plan = slot.get_or_init(|| {
@@ -102,6 +209,16 @@ pub(crate) fn get_or_build(m: &Matrix, fp: u64) -> (Arc<EvalPlan>, bool) {
     });
     if built {
         MISSES.fetch_add(1, Ordering::Relaxed);
+        // Account the entry's weight now that the plan exists. The entry
+        // may have been swept while we were building (or replaced by an
+        // evict/re-insert cycle): account only our own slot, once.
+        let mut sh = lock(shard(fp));
+        if let Some(e) = sh.map.get_mut(&fp) {
+            if e.bytes == 0 && Arc::ptr_eq(&e.slot, &slot) {
+                e.bytes = plan.direct_bytes();
+                sh.bytes += e.bytes;
+            }
+        }
     } else {
         HITS.fetch_add(1, Ordering::Relaxed);
     }
@@ -126,32 +243,35 @@ pub struct PlanCacheStats {
     /// lookups during spine assembly — each one is a whole subtree walk
     /// the per-child sharing avoided.
     pub shared_subplans: u64,
+    /// Entries removed by the byte-weighted second-chance sweeps.
+    pub evictions: u64,
     /// Shapes currently resident across all shards.
     pub entries: usize,
     /// Approximate heap bytes of all resident plans (each entry's
     /// *direct* footprint; `Arc`-shared sub-plans — union blocks, chain
     /// factors — count at pointer size in their parents and in full only
     /// at their own entry, so shared subtrees are not double counted).
-    /// The measurable baseline for byte-weighted eviction policies.
+    /// The figure the byte-weighted eviction policy budgets against.
     pub resident_bytes: usize,
     /// `resident_bytes` broken down per shard — the granularity at which
-    /// the cap-and-clear (and any future size-aware eviction) operates.
+    /// the second-chance sweep operates.
     pub shard_bytes: [usize; PLAN_CACHE_SHARDS],
 }
 
 /// Current process-wide plan-cache counters. Counters are cumulative for
 /// the process; tests and benchmarks diff two snapshots. Byte figures
-/// walk the resident entries (bounded by `SHARD_CAP` per shard), so this
-/// is a stats call, not a hot-path probe.
+/// walk the resident entries (bounded per shard by the byte-weighted
+/// eviction), so this is a stats call, not a hot-path probe.
 pub fn plan_cache_stats() -> PlanCacheStats {
     let mut entries = 0;
     let mut shard_bytes = [0usize; PLAN_CACHE_SHARDS];
     for (bytes, s) in shard_bytes.iter_mut().zip(shards()) {
         let map = lock(s);
-        entries += map.len();
+        entries += map.map.len();
         *bytes = map
+            .map
             .values()
-            .filter_map(|slot| slot.get())
+            .filter_map(|e| e.slot.get())
             .map(|plan| plan.direct_bytes())
             .sum();
     }
@@ -159,6 +279,7 @@ pub fn plan_cache_stats() -> PlanCacheStats {
         hits: HITS.load(Ordering::Relaxed),
         misses: MISSES.load(Ordering::Relaxed),
         shared_subplans: SHARED_SUBPLANS.load(Ordering::Relaxed),
+        evictions: EVICTIONS.load(Ordering::Relaxed),
         entries,
         resident_bytes: shard_bytes.iter().sum(),
         shard_bytes,
@@ -172,7 +293,10 @@ pub fn plan_cache_stats() -> PlanCacheStats {
 /// to force a full re-plan.
 pub fn plan_cache_clear() {
     for s in shards() {
-        lock(s).clear();
+        let mut sh = lock(s);
+        sh.map.clear();
+        sh.clock.clear();
+        sh.bytes = 0;
     }
 }
 
@@ -184,8 +308,9 @@ mod tests {
     // Shapes here use dimensions unique to this file so counter assertions
     // are immune to sibling tests sharing the process-wide cache.
 
-    /// Tests that clear the cache or assert on global residency must not
-    /// interleave (the test harness runs them on concurrent threads).
+    /// Tests that clear the cache, change the byte bound or assert on
+    /// global residency must not interleave (the test harness runs them
+    /// on concurrent threads).
     static RESIDENCY: Mutex<()> = Mutex::new(());
 
     fn residency_lock() -> std::sync::MutexGuard<'static, ()> {
@@ -197,19 +322,19 @@ mod tests {
         let _serial = residency_lock();
         let m = Matrix::vstack(vec![Matrix::prefix(377), Matrix::wavelet(377)]);
         let fp = fingerprint(&m);
-        let plans: Vec<(Arc<EvalPlan>, bool)> = std::thread::scope(|s| {
-            let handles: Vec<_> = (0..4)
-                .map(|_| {
-                    let m = m.clone();
-                    s.spawn(move || get_or_build(&m, fingerprint(&m)))
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        let mut plans: Vec<Option<(Arc<EvalPlan>, bool)>> = vec![None; 4];
+        crate::pool::scope(|s| {
+            for slot in plans.iter_mut() {
+                let m = m.clone();
+                s.spawn(move || *slot = Some(get_or_build(&m, fingerprint(&m))));
+            }
         });
+        let plans: Vec<(Arc<EvalPlan>, bool)> =
+            plans.into_iter().map(|p| p.expect("job ran")).collect();
         let builds = plans.iter().filter(|(_, b)| *b).count();
         assert_eq!(builds, 1, "racing lookups must agree on one build");
         for (p, _) in &plans {
-            assert!(Arc::ptr_eq(p, &plans[0].0), "all threads share one plan");
+            assert!(Arc::ptr_eq(p, &plans[0].0), "all workers share one plan");
         }
         // And a later lookup is a hit on the same canonical Arc.
         let (again, built) = get_or_build(&m, fp);
@@ -244,8 +369,8 @@ mod tests {
     #[test]
     fn stats_weigh_resident_bytes_per_shard() {
         // A leaf plan weighs a fixed struct size; a union spine adds
-        // per-block records, so its entry must weigh more — the signal a
-        // byte-weighted eviction policy needs. Dimensions unique to this
+        // per-block records, so its entry must weigh more — the signal the
+        // byte-weighted eviction policy keys on. Dimensions unique to this
         // test keep the assertions immune to cache sharing, and the
         // residency lock keeps `clear_forces_a_rebuild` from evicting the
         // entries between the builds and the stats snapshot.
@@ -271,5 +396,57 @@ mod tests {
             stats.shard_bytes.iter().sum::<usize>(),
             "total must equal the per-shard breakdown"
         );
+    }
+
+    /// Unit-level clock semantics, driven on a synthetic shard so no
+    /// process-global state (and no sibling test) is involved: cold
+    /// entries are evicted, referenced entries survive with their bit
+    /// spent, in-flight builds (weight 0) are never evicted, and the
+    /// byte accounting tracks the removals. (The end-to-end behavior —
+    /// a long spine-stacking run under a configured bound with zero
+    /// re-planning — is pinned in `tests/plan_eviction.rs`, which owns
+    /// its process.)
+    #[test]
+    fn sweep_evicts_cold_keeps_hot_and_in_flight() {
+        let mut shard = Shard::default();
+        let mut insert = |fp: u64, referenced: bool, bytes: usize| {
+            shard.map.insert(
+                fp,
+                Entry {
+                    slot: Slot::default(),
+                    referenced,
+                    bytes,
+                },
+            );
+            shard.clock.push_back(fp);
+            shard.bytes += bytes;
+        };
+        insert(1, true, 1000); // hot
+        insert(2, false, 1000); // cold
+        insert(3, false, 0); // build in flight
+        insert(4, false, 1000); // cold
+        insert(5, true, 1000); // hot
+
+        sweep(&mut shard, 2000, SHARD_CAP);
+        assert!(!shard.map.contains_key(&2), "cold entry 2 must be evicted");
+        assert!(!shard.map.contains_key(&4), "cold entry 4 must be evicted");
+        assert!(shard.map.contains_key(&3), "in-flight entry must survive");
+        assert!(shard.map.contains_key(&1), "hot entry 1 must survive");
+        assert!(shard.map.contains_key(&5), "hot entry 5 must survive");
+        // The hand stops as soon as the shard is under target: entry 1's
+        // second chance was spent on the way, entry 5 was never reached.
+        assert!(
+            !shard.map[&1].referenced,
+            "visited hot entry spends its bit"
+        );
+        assert!(shard.map[&5].referenced, "unvisited entry keeps its bit");
+        assert_eq!(shard.bytes, 2000, "accounting must track the removals");
+
+        // A second sweep with a tighter target now takes the ex-hot
+        // entries (their chance is spent), but never the in-flight one.
+        sweep(&mut shard, 0, SHARD_CAP);
+        assert!(shard.map.contains_key(&3), "in-flight survives any sweep");
+        assert_eq!(shard.map.len(), 1);
+        assert_eq!(shard.bytes, 0);
     }
 }

@@ -96,6 +96,17 @@ impl ArenaPool {
         self.ensure(workers, len);
         &mut self.arenas[..workers]
     }
+
+    /// Scalars of heap storage currently held across all worker arenas.
+    pub(crate) fn resident_scalars(&self) -> usize {
+        self.arenas.iter().map(Vec::capacity).sum()
+    }
+
+    /// Frees every worker arena (they regrow on demand from plan-recorded
+    /// sizes; see [`Workspace::shed_to`]).
+    pub(crate) fn shed(&mut self) {
+        self.arenas = Vec::new();
+    }
 }
 
 /// A reusable scratch arena, per-worker arena pool and evaluation-plan
@@ -167,6 +178,30 @@ impl Workspace {
     /// pool arenas are counted separately).
     pub fn capacity(&self) -> usize {
         self.buf.len()
+    }
+
+    /// Total scalars of heap storage this workspace currently pins: the
+    /// flat serial arena plus every per-worker pool arena. The figure a
+    /// byte-bounded workspace pool (the kernel's) budgets against.
+    pub fn resident_scalars(&self) -> usize {
+        self.buf.capacity() + self.pool.resident_scalars()
+    }
+
+    /// Shrinks resident storage to at most `max_scalars`, keeping the
+    /// plan fast path (plans are `Arc`-shared and cheap) so a shed
+    /// workspace still skips the planning pass when reused. The worker
+    /// arena pool is dropped first — it regrows on demand to exactly the
+    /// plan-recorded requirement — then the serial arena is truncated to
+    /// whatever budget remains. A no-op when already within budget.
+    pub fn shed_to(&mut self, max_scalars: usize) {
+        if self.resident_scalars() <= max_scalars {
+            return;
+        }
+        self.pool.shed();
+        if self.buf.capacity() > max_scalars {
+            self.buf.truncate(max_scalars);
+            self.buf.shrink_to_fit();
+        }
     }
 
     /// The evaluation plan for `m`: the workspace's single-entry fast path
@@ -395,8 +430,8 @@ mod tests {
         assert!(Arc::ptr_eq(&p1, &p3));
     }
 
-    /// The satellite of ISSUE 3: two workspaces — and two scoped worker
-    /// threads with their own workspaces — evaluating the same shape must
+    /// The satellite of ISSUE 3: two workspaces — and two pool-executed
+    /// workers with their own workspaces — evaluating the same shape must
     /// observe one `EvalPlan` build and pointer-identical plans.
     #[test]
     fn plans_shared_across_workspaces_and_threads() {
@@ -414,30 +449,28 @@ mod tests {
             1,
             "exactly one of the two lookups runs the planning pass"
         );
-        let thread_plans: Vec<Arc<EvalPlan>> = std::thread::scope(|s| {
-            let handles: Vec<_> = (0..2)
-                .map(|_| {
-                    let m = m.clone();
-                    s.spawn(move || {
-                        let mut ws = Workspace::new();
-                        let plan = ws.plan_for(&m);
-                        // The worker actually evaluates through the shared
-                        // plan, not just fetches it.
-                        let x: Vec<f64> = (0..m.cols()).map(|i| i as f64).collect();
-                        let mut out = vec![0.0; m.rows()];
-                        m.matvec_into(&x, &mut out, &mut ws);
-                        // Identity block starts at row 232: row 233 = x[1].
-                        assert_eq!(out[233], 1.0);
-                        plan
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        let mut thread_plans: Vec<Option<Arc<EvalPlan>>> = vec![None; 2];
+        crate::pool::scope(|s| {
+            for slot in thread_plans.iter_mut() {
+                let m = m.clone();
+                s.spawn(move || {
+                    let mut ws = Workspace::new();
+                    let plan = ws.plan_for(&m);
+                    // The worker actually evaluates through the shared
+                    // plan, not just fetches it.
+                    let x: Vec<f64> = (0..m.cols()).map(|i| i as f64).collect();
+                    let mut out = vec![0.0; m.rows()];
+                    m.matvec_into(&x, &mut out, &mut ws);
+                    // Identity block starts at row 232: row 233 = x[1].
+                    assert_eq!(out[233], 1.0);
+                    *slot = Some(plan);
+                });
+            }
         });
         for p in &thread_plans {
             assert!(
-                Arc::ptr_eq(p, &p1),
-                "scoped workers must observe the same shared plan"
+                Arc::ptr_eq(p.as_ref().expect("worker ran"), &p1),
+                "pool workers must observe the same shared plan"
             );
         }
     }

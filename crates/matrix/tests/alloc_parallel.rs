@@ -1,45 +1,40 @@
 //! Counting-allocator proof that the **threaded** evaluation paths are
-//! allocation-free in steady state (ISSUE 3 tentpole: the per-worker
-//! arena pool).
+//! allocation-free in steady state — now literally so (ISSUE 5 tentpole:
+//! the persistent pool executor).
 //!
-//! Before the pool, every parallel region allocated per call: per-worker
-//! scratch vectors, full-width scatter accumulators, Kronecker stage-2
-//! output panels — all `O(n)` buffers. The pool moves every one of them
-//! into the `Workspace`, sized at plan time.
+//! Before the per-worker arena pool (ISSUE 3), every parallel region
+//! allocated `O(n)` buffers per call: per-worker scratch vectors,
+//! full-width scatter accumulators, Kronecker stage-2 output panels. The
+//! arena pool moved all of those into the `Workspace`, but the
+//! `std::thread::scope` spawn harness still allocated its per-thread
+//! bookkeeping (closure box, join packet) on every region — which is why
+//! this suite used to count only page-sized (≥ 4096 B) allocations.
 //!
-//! The counter here tracks allocations of **at least one page
-//! (4096 bytes)**: the buffers named above are tens-to-hundreds of KiB at
-//! the sizes that clear the parallel work threshold, while the only
-//! allocations the threaded steady state still performs are the `std`
-//! spawn harness's small per-thread bookkeeping (closure box, join
-//! packet — well under a page each, and impossible to elide without a
-//! bespoke thread pool). So "zero large allocations" is exactly the
-//! buffer-freedom guarantee, measured robustly.
+//! The pool executor (`ektelo_matrix::pool`) removes that remainder:
+//! parked workers, preallocated job slots, closures copied by value into
+//! the slot, merges on the caller. So the bar is now **zero allocations
+//! of any size** in a warm threaded region: the counter below tracks
+//! every `alloc`/`realloc` from every thread, and the warm windows must
+//! not move it at all.
 //!
 //! The suite passes with and without `--features parallel` (without the
-//! feature the serial engine is trivially buffer-allocation-free too);
-//! CI runs it under the feature, where the sizes below engage every
-//! threaded region.
+//! feature the serial engine is trivially allocation-free too); CI runs
+//! it under the feature — and under `EKTELO_POOL_WORKERS=1` and `=4` —
+//! where the sizes below engage every threaded region.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use ektelo_matrix::{plan_builds, Matrix, Workspace};
 
-/// Allocations of at least this many bytes are counted. One page: small
-/// enough that any real data buffer at threaded sizes counts, large
-/// enough to ignore the spawn harness's fixed bookkeeping.
-const LARGE: usize = 4096;
-
 struct CountingAllocator;
 
-static LARGE_ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+/// Every allocation and growing reallocation, from any thread.
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        if layout.size() >= LARGE {
-            LARGE_ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        }
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         unsafe { System.alloc(layout) }
     }
 
@@ -48,9 +43,7 @@ unsafe impl GlobalAlloc for CountingAllocator {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        if new_size >= LARGE {
-            LARGE_ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        }
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
@@ -68,12 +61,12 @@ fn serialized() -> std::sync::MutexGuard<'static, ()> {
 
 /// Minimum count of `f` over a few repetitions (sibling-thread noise is
 /// additive; a genuine steady-state allocation shows up in every rep).
-fn count_large<F: FnMut()>(mut f: F) -> u64 {
+fn count_allocations<F: FnMut()>(mut f: F) -> u64 {
     let mut best = u64::MAX;
     for _ in 0..3 {
-        let before = LARGE_ALLOCATIONS.load(Ordering::Relaxed);
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
         f();
-        best = best.min(LARGE_ALLOCATIONS.load(Ordering::Relaxed) - before);
+        best = best.min(ALLOCATIONS.load(Ordering::Relaxed) - before);
     }
     best
 }
@@ -92,7 +85,7 @@ fn striped_union() -> Matrix {
 }
 
 #[test]
-fn threaded_union_both_directions_no_large_allocations_when_warm() {
+fn threaded_union_both_directions_zero_allocations_when_warm() {
     let _serial = serialized();
     let u = striped_union();
     let mut ws = Workspace::for_matrix(&u);
@@ -100,22 +93,24 @@ fn threaded_union_both_directions_no_large_allocations_when_warm() {
     let y: Vec<f64> = (0..u.rows()).map(|i| (i % 7) as f64 - 3.0).collect();
     let mut out = vec![0.0; u.rows()];
     let mut back = vec![0.0; u.cols()];
-    // Warm both directions: plans resolved, arena and pool at full size.
+    // Warm both directions: plans resolved, arena and arena pool at full
+    // size, pool executor threads spawned and parked.
     u.matvec_into(&x, &mut out, &mut ws);
     u.rmatvec_into(&y, &mut back, &mut ws);
     let builds = plan_builds();
-    let large = count_large(|| {
+    let allocations = count_allocations(|| {
         for _ in 0..10 {
             u.matvec_into(&x, &mut out, &mut ws);
             u.rmatvec_into(&y, &mut back, &mut ws);
         }
     });
     assert_eq!(
-        large, 0,
-        "warm threaded union evaluation must not allocate worker buffers"
+        allocations, 0,
+        "warm threaded union evaluation must perform zero allocations \
+         (worker buffers and spawn-harness bookkeeping alike)"
     );
     assert_eq!(plan_builds(), builds, "steady state must not re-plan");
-    // Correctness untouched by the pooled buffers.
+    // Correctness untouched by the pooled buffers and pooled dispatch.
     assert_eq!(out, u.matvec(&x));
     assert_eq!(back, u.rmatvec(&y));
 }
@@ -125,9 +120,9 @@ fn threaded_union_both_directions_no_large_allocations_when_warm() {
 /// outer region's chunk workers must evaluate the inner union *serially*
 /// (nested parallelism is suppressed at the worker boundary) — without
 /// that, every row application inside every worker would allocate fresh
-/// worker arenas and spawn nested threads.
+/// worker arenas and re-enter the executor per row.
 #[test]
-fn kron_of_parallel_union_stays_buffer_allocation_free() {
+fn kron_of_parallel_union_stays_allocation_free() {
     let _serial = serialized();
     let w = 1usize << 12;
     let inner = Matrix::vstack((0..4).map(|_| Matrix::wavelet(w)).collect());
@@ -136,14 +131,14 @@ fn kron_of_parallel_union_stays_buffer_allocation_free() {
     let x: Vec<f64> = (0..k.cols()).map(|i| ((i * 13) % 7) as f64 - 3.0).collect();
     let mut out = vec![0.0; k.rows()];
     k.matvec_into(&x, &mut out, &mut ws);
-    let large = count_large(|| {
+    let allocations = count_allocations(|| {
         for _ in 0..5 {
             k.matvec_into(&x, &mut out, &mut ws);
         }
     });
     assert_eq!(
-        large, 0,
-        "nested parallel regions must not allocate worker buffers per call"
+        allocations, 0,
+        "nested parallel regions must not allocate per call"
     );
     // Independent reference: t_i = inner · x_i per reshaped input row,
     // then prefix over the rows (A = prefix(4)).
@@ -164,7 +159,7 @@ fn kron_of_parallel_union_stays_buffer_allocation_free() {
 }
 
 #[test]
-fn threaded_kron_no_large_allocations_when_warm() {
+fn threaded_kron_zero_allocations_when_warm() {
     let _serial = serialized();
     // 128×128 factors clear the row-chunk and column-chunk thresholds.
     let k = Matrix::kron(Matrix::prefix(128), Matrix::wavelet(128));
@@ -175,16 +170,49 @@ fn threaded_kron_no_large_allocations_when_warm() {
     let mut back = vec![0.0; k.cols()];
     k.matvec_into(&x, &mut out, &mut ws);
     k.rmatvec_into(&y, &mut back, &mut ws);
-    let large = count_large(|| {
+    let allocations = count_allocations(|| {
         for _ in 0..5 {
             k.matvec_into(&x, &mut out, &mut ws);
             k.rmatvec_into(&y, &mut back, &mut ws);
         }
     });
     assert_eq!(
-        large, 0,
-        "warm threaded Kronecker evaluation must not allocate stage buffers or panels"
+        allocations, 0,
+        "warm threaded Kronecker evaluation must perform zero allocations"
     );
     assert_eq!(out, k.matvec(&x));
     assert_eq!(back, k.rmatvec(&y));
+}
+
+/// Pool-size sweep at the matrix level: the same warm threaded system
+/// evaluated with 1, 2 and all pool workers must produce bit-identical
+/// vectors in both directions (chunk geometry is plan-time; the pool only
+/// places the fixed chunks), and stay allocation-free at every size.
+#[test]
+fn pooled_evaluation_bit_identical_across_pool_sizes() {
+    let _serial = serialized();
+    let u = striped_union();
+    let mut ws = Workspace::for_matrix(&u);
+    let x: Vec<f64> = (0..u.cols())
+        .map(|i| ((i * 11) % 19) as f64 - 9.0)
+        .collect();
+    let y: Vec<f64> = (0..u.rows()).map(|i| ((i * 5) % 13) as f64 - 6.0).collect();
+    let mut out = vec![0.0; u.rows()];
+    let mut back = vec![0.0; u.cols()];
+    u.matvec_into(&x, &mut out, &mut ws);
+    u.rmatvec_into(&y, &mut back, &mut ws);
+    let (ref_out, ref_back) = (out.clone(), back.clone());
+    let full = ektelo_matrix::pool::stats().spawned;
+    let prev = ektelo_matrix::pool::workers();
+    for size in [1usize, 2, full] {
+        ektelo_matrix::pool::set_workers(size);
+        let allocations = count_allocations(|| {
+            u.matvec_into(&x, &mut out, &mut ws);
+            u.rmatvec_into(&y, &mut back, &mut ws);
+        });
+        assert_eq!(out, ref_out, "pool size {size} changed the matvec");
+        assert_eq!(back, ref_back, "pool size {size} changed the scatter");
+        assert_eq!(allocations, 0, "pool size {size} allocated when warm");
+    }
+    ektelo_matrix::pool::set_workers(prev);
 }

@@ -1,0 +1,92 @@
+//! Gate for the byte-weighted second-chance plan-cache eviction (ISSUE 5
+//! satellite; replaces the wholesale shard clear at 4096 entries).
+//!
+//! The pathology being bounded: an MWEM-style loop stacks a *new* `Union`
+//! spine every round (a brand-new shape, so a brand-new cache entry of
+//! `O(blocks)` bytes) while re-using the same block shapes. Old spines
+//! are dead the moment the next round starts, but the old cap-and-clear
+//! policy let them pile up to 4096 entries per shard — `O(rounds²)`-ish
+//! bytes — and then threw away the *hot* block plans along with the dead
+//! spines, causing a transient rebuild storm.
+//!
+//! With the byte-weighted clock, resident bytes stay near the configured
+//! bound for the whole run, and the hot block plans survive every sweep
+//! (their referenced bits are refreshed each round by spine reassembly),
+//! so the loop never re-runs a planning pass: `plan_builds()` stays
+//! **exactly flat** after warmup — the "no rebuild storm" guarantee.
+//!
+//! This file runs as its own process, so the global cache and the bound
+//! configured here are not shared with other suites.
+
+use ektelo_matrix::{plan_builds, plan_cache_set_max_bytes, plan_cache_stats, Matrix, Workspace};
+
+#[test]
+fn long_spine_stacking_run_stays_byte_bounded_without_rebuilds() {
+    // A tight bound: roughly 4 KiB per shard. The spines stacked below
+    // would pile up well past 1 MiB without eviction.
+    let bound = 16 * 4096;
+    plan_cache_set_max_bytes(bound);
+
+    let n = 512usize;
+    // Eight distinct block shapes over the same domain (distinct query
+    // counts fingerprint distinctly), rotated like MWEM's per-round
+    // measurement rows.
+    let blocks: Vec<Matrix> = (0..8)
+        .map(|k| Matrix::range_queries(n, (0..=4 * k).map(|i| (i, i + 2)).collect()))
+        .collect();
+
+    let x: Vec<f64> = (0..n).map(|i| (i % 17) as f64 - 8.0).collect();
+    let mut ws = Workspace::new();
+    let mut spine: Vec<Matrix> = Vec::new();
+
+    // Warmup: one pass over every block shape builds all block plans.
+    for b in &blocks {
+        spine.push(b.clone());
+        let system = Matrix::vstack(spine.clone());
+        let mut out = vec![0.0; system.rows()];
+        system.matvec_into(&x, &mut out, &mut ws);
+    }
+    let builds_after_warmup = plan_builds();
+    let misses_after_warmup = plan_cache_stats().misses;
+
+    // The long run: 400 more rounds, each stacking one more (cached)
+    // block under a brand-new spine shape. Unbounded, the dead spines
+    // alone would retain well over 1 MiB of plan records.
+    let rounds = 400usize;
+    for r in 0..rounds {
+        spine.push(blocks[r % blocks.len()].clone());
+        let system = Matrix::vstack(spine.clone());
+        let mut out = vec![0.0; system.rows()];
+        system.matvec_into(&x, &mut out, &mut ws);
+
+        // Bound check every round: per shard the clock allows the byte
+        // share plus the fattest in-flight spine, so 4× the global bound
+        // is a safe ceiling that unbounded growth blows through early.
+        let stats = plan_cache_stats();
+        assert!(
+            stats.resident_bytes <= 4 * bound,
+            "round {r}: resident plan bytes {} escaped the configured bound {bound}",
+            stats.resident_bytes
+        );
+    }
+
+    let stats = plan_cache_stats();
+    assert!(
+        stats.evictions > 0,
+        "a 400-round spine-stacking run must have triggered sweeps"
+    );
+    // No rebuild storm: every round's spine *reassembles* from cached
+    // block plans (a miss on the new spine shape, but zero planning-pass
+    // walks) — evicting dead spines must never cost a block re-plan.
+    assert_eq!(
+        plan_builds(),
+        builds_after_warmup,
+        "hot block plans must survive every sweep (no planning-pass walks)"
+    );
+    // And each round costs exactly one miss: the brand-new spine shape.
+    assert_eq!(
+        stats.misses - misses_after_warmup,
+        rounds as u64,
+        "per round: one spine miss, zero block misses"
+    );
+}

@@ -114,7 +114,7 @@ fn cross_workspace_and_cross_thread_lookups_build_once() {
     // too) — what matters is that the *next* evaluations add zero.
     assert!(built >= 3);
     let after_first = plan_cache_stats();
-    std::thread::scope(|s| {
+    ektelo_matrix::pool::scope(|s| {
         for _ in 0..4 {
             let m = m.clone();
             let x = &x;

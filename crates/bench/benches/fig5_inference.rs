@@ -159,6 +159,14 @@ fn bench_solver_iteration_products(c: &mut Criterion) {
     let su: Vec<f64> = (0..system.rows()).map(|i| (i % 13) as f64).collect();
     let mut sav = vec![0.0; system.rows()];
     let mut satu = vec![0.0; system.cols()];
+    // NOT a regression signal relative to `workspace` above, and NOT a
+    // cold cache: `lws` is warm and reused, so every iteration runs the
+    // cached chain plan with zero planning work (ISSUE 6 investigated the
+    // ~3× gap). The entry measures a genuinely larger system — H2
+    // composed with a 9-factor lineage, so each iteration pair evaluates
+    // ten O(n) factors in each direction versus `workspace`'s bare H2.
+    // Intended behavior: prices a realistic `stack_measurements` lineage,
+    // not the cache. Compare against `workspace_replan` for cache cost.
     group.bench_function(BenchmarkId::new("lineage_cached_plan", n), |b| {
         b.iter(|| {
             system.matvec_into(&v, &mut sav, &mut lws);

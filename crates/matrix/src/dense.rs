@@ -4,6 +4,8 @@
 //! ablations and the workhorse for small direct solves (Gram matrices,
 //! Cholesky factors, strategy optimization in HDMM).
 
+use crate::kernels;
+
 /// A row-major dense matrix of `f64`.
 #[derive(Clone, Debug, PartialEq)]
 pub struct DenseMatrix {
@@ -110,11 +112,7 @@ impl DenseMatrix {
         assert_eq!(out.len(), self.rows, "matvec output dimension mismatch");
         for (i, o) in out.iter_mut().enumerate() {
             let row = &self.data[i * self.cols..(i + 1) * self.cols];
-            let mut acc = 0.0;
-            for (a, b) in row.iter().zip(x) {
-                acc += a * b;
-            }
-            *o = acc;
+            *o = kernels::dot(row, x);
         }
     }
 
@@ -128,9 +126,7 @@ impl DenseMatrix {
                 continue;
             }
             let row = &self.data[i * self.cols..(i + 1) * self.cols];
-            for (o, a) in out.iter_mut().zip(row) {
-                *o += yi * a;
-            }
+            kernels::axpy(out, yi, row);
         }
     }
 
@@ -158,9 +154,7 @@ impl DenseMatrix {
                 }
                 let brow = &other.data[k * other.cols..(k + 1) * other.cols];
                 let orow = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (o, b) in orow.iter_mut().zip(brow) {
-                    *o += a * b;
-                }
+                kernels::axpy(orow, a, brow);
             }
         }
         out
@@ -176,9 +170,7 @@ impl DenseMatrix {
                     continue;
                 }
                 let orow = &mut out.data[j * self.cols..(j + 1) * self.cols];
-                for (o, &b) in orow.iter_mut().zip(row) {
-                    *o += a * b;
-                }
+                kernels::axpy(orow, a, row);
             }
         }
         out

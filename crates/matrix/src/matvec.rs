@@ -25,6 +25,7 @@
 //! [`crate::workspace::ArenaPool`] (sized at plan time), so the warm
 //! threaded paths perform zero allocations *and* zero thread creation.
 
+use crate::kernels;
 use crate::plan::{ChainPlan, KronPlan, NodePlan};
 use crate::wavelet::{wavelet_matvec, wavelet_rmatvec};
 use crate::workspace::ArenaPool;
@@ -131,9 +132,7 @@ impl Matrix {
             }
             (Matrix::Scaled(c, a), NodePlan::Scaled { child, .. }) => {
                 a.matvec_plan(child, x, out, scratch, pool);
-                for o in out.iter_mut() {
-                    *o *= c;
-                }
+                kernels::scale(out, *c);
             }
             (Matrix::Transpose(a), NodePlan::Transpose { child, .. }) => {
                 a.rmatvec_plan(child, x, out, scratch, pool)
@@ -178,9 +177,7 @@ impl Matrix {
             }
             (Matrix::Scaled(c, a), NodePlan::Scaled { child, .. }) => {
                 a.rmatvec_plan(child, y, out, scratch, pool);
-                for o in out.iter_mut() {
-                    *o *= c;
-                }
+                kernels::scale(out, *c);
             }
             (Matrix::Transpose(a), NodePlan::Transpose { child, .. }) => {
                 a.matvec_plan(child, y, out, scratch, pool)
@@ -220,27 +217,21 @@ impl Matrix {
             (Matrix::Scaled(c, a), NodePlan::Scaled { rows, child }) => {
                 debug_assert_eq!(y.len(), *rows);
                 let (scaled, rest) = scratch.split_at_mut(*rows);
-                for (s, &yi) in scaled.iter_mut().zip(y) {
-                    *s = c * yi;
-                }
+                kernels::scale_into(scaled, *c, y);
                 a.rmatvec_add_plan(child, scaled, out, rest, pool);
             }
             (Matrix::Transpose(a), NodePlan::Transpose { child_rows, child }) => {
                 // (Aᵀ)ᵀ y = A y, accumulated.
                 let (t, rest) = scratch.split_at_mut(*child_rows);
                 a.matvec_plan(child, y, t, rest, pool);
-                for (o, &ti) in out.iter_mut().zip(t.iter()) {
-                    *o += ti;
-                }
+                kernels::add_assign(out, t);
             }
             // Kronecker scatter-adds through a dense temporary of the full
             // output width (it touches all of `out` anyway).
             (m @ Matrix::Kronecker(..), kp @ NodePlan::Kron(..)) => {
                 let (tmp, rest) = scratch.split_at_mut(out.len());
                 m.rmatvec_plan(kp, y, tmp, rest, pool);
-                for (o, &t) in out.iter_mut().zip(tmp.iter()) {
-                    *o += t;
-                }
+                kernels::add_assign(out, tmp);
             }
             _ => unreachable!(
                 "evaluation plan does not match matrix structure (shape-fingerprint collision)"
@@ -261,30 +252,11 @@ impl Matrix {
         match self {
             Matrix::Dense(d) => d.matvec_into(x, out),
             Matrix::Sparse(s) => s.matvec_into(x, out),
-            Matrix::Diagonal(d) => {
-                for ((o, &di), &xi) in out.iter_mut().zip(d.iter()).zip(x) {
-                    *o = di * xi;
-                }
-            }
+            Matrix::Diagonal(d) => kernels::mul_into(out, d, x),
             Matrix::Identity { .. } => out.copy_from_slice(x),
-            Matrix::Ones { .. } => {
-                let s: f64 = x.iter().sum();
-                out.fill(s);
-            }
-            Matrix::Prefix { .. } => {
-                let mut acc = 0.0;
-                for (o, &xi) in out.iter_mut().zip(x) {
-                    acc += xi;
-                    *o = acc;
-                }
-            }
-            Matrix::Suffix { .. } => {
-                let mut acc = 0.0;
-                for (o, &xi) in out.iter_mut().rev().zip(x.iter().rev()) {
-                    acc += xi;
-                    *o = acc;
-                }
-            }
+            Matrix::Ones { .. } => out.fill(kernels::sum(x)),
+            Matrix::Prefix { .. } => kernels::prefix_sum_into(out, x),
+            Matrix::Suffix { .. } => kernels::suffix_sum_into(out, x),
             Matrix::Wavelet { .. } => wavelet_matvec(x, out),
             Matrix::Range(r) => r.matvec_rec(x, out, scratch),
             Matrix::Rect2D(r) => r.matvec_rec(x, out, scratch),
@@ -304,9 +276,7 @@ impl Matrix {
             Matrix::Kronecker(a, b) => kron_matvec(a, b, x, out, scratch),
             Matrix::Scaled(c, a) => {
                 a.matvec_rec(x, out, scratch);
-                for o in out.iter_mut() {
-                    *o *= c;
-                }
+                kernels::scale(out, *c);
             }
             Matrix::Transpose(a) => a.rmatvec_rec(x, out, scratch),
         }
@@ -318,31 +288,12 @@ impl Matrix {
         match self {
             Matrix::Dense(d) => d.rmatvec_into(y, out),
             Matrix::Sparse(s) => s.rmatvec_into(y, out),
-            Matrix::Diagonal(d) => {
-                for ((o, &di), &yi) in out.iter_mut().zip(d.iter()).zip(y) {
-                    *o = di * yi;
-                }
-            }
+            Matrix::Diagonal(d) => kernels::mul_into(out, d, y),
             Matrix::Identity { .. } => out.copy_from_slice(y),
-            Matrix::Ones { .. } => {
-                let s: f64 = y.iter().sum();
-                out.fill(s);
-            }
+            Matrix::Ones { .. } => out.fill(kernels::sum(y)),
             // Prefixᵀ behaves like Suffix and vice versa.
-            Matrix::Prefix { .. } => {
-                let mut acc = 0.0;
-                for (o, &yi) in out.iter_mut().rev().zip(y.iter().rev()) {
-                    acc += yi;
-                    *o = acc;
-                }
-            }
-            Matrix::Suffix { .. } => {
-                let mut acc = 0.0;
-                for (o, &yi) in out.iter_mut().zip(y) {
-                    acc += yi;
-                    *o = acc;
-                }
-            }
+            Matrix::Prefix { .. } => kernels::suffix_sum_into(out, y),
+            Matrix::Suffix { .. } => kernels::prefix_sum_into(out, y),
             Matrix::Wavelet { .. } => wavelet_rmatvec(y, out),
             Matrix::Range(r) => r.rmatvec_rec(y, out, scratch),
             Matrix::Rect2D(r) => r.rmatvec_rec(y, out, scratch),
@@ -367,9 +318,7 @@ impl Matrix {
             Matrix::Kronecker(a, b) => kron_rmatvec(a, b, y, out, scratch),
             Matrix::Scaled(c, a) => {
                 a.rmatvec_rec(y, out, scratch);
-                for o in out.iter_mut() {
-                    *o *= c;
-                }
+                kernels::scale(out, *c);
             }
             Matrix::Transpose(a) => a.matvec_rec(y, out, scratch),
         }
@@ -389,16 +338,8 @@ impl Matrix {
                     }
                 }
             }
-            Matrix::Identity { .. } => {
-                for (o, &yi) in out.iter_mut().zip(y) {
-                    *o += yi;
-                }
-            }
-            Matrix::Diagonal(d) => {
-                for ((o, &di), &yi) in out.iter_mut().zip(d.iter()).zip(y) {
-                    *o += di * yi;
-                }
-            }
+            Matrix::Identity { .. } => kernels::add_assign(out, y),
+            Matrix::Diagonal(d) => kernels::mul_add_assign(out, d, y),
             Matrix::Product(a, b) => {
                 let (t, rest) = scratch.split_at_mut(b.rows());
                 a.rmatvec_rec(y, t, rest);
@@ -406,9 +347,7 @@ impl Matrix {
             }
             Matrix::Scaled(c, a) => {
                 let (scaled, rest) = scratch.split_at_mut(y.len());
-                for (s, &yi) in scaled.iter_mut().zip(y) {
-                    *s = c * yi;
-                }
+                kernels::scale_into(scaled, *c, y);
                 a.rmatvec_add_rec(scaled, out, rest);
             }
             Matrix::Union(blocks) => {
@@ -423,9 +362,7 @@ impl Matrix {
                 // (Aᵀ)ᵀ y = A y, accumulated.
                 let (t, rest) = scratch.split_at_mut(a.rows());
                 a.matvec_rec(y, t, rest);
-                for (o, &ti) in out.iter_mut().zip(t.iter()) {
-                    *o += ti;
-                }
+                kernels::add_assign(out, t);
             }
             // Dense blocks and the remaining implicit types touch all of
             // `out` anyway; a dense temporary costs nothing extra
@@ -433,9 +370,7 @@ impl Matrix {
             _ => {
                 let (tmp, rest) = scratch.split_at_mut(out.len());
                 self.rmatvec_rec(y, tmp, rest);
-                for (o, &t) in out.iter_mut().zip(tmp.iter()) {
-                    *o += t;
-                }
+                kernels::add_assign(out, tmp);
             }
         }
     }
@@ -615,15 +550,50 @@ fn kron_matvec_plan(
             );
         }
     }
-    let (col, rest) = rest.split_at_mut(na);
-    let (ocol, rest) = rest.split_at_mut(ma);
-    for q in 0..mb {
-        for i in 0..na {
-            col[i] = t[i * mb + q];
+    // Stage 2 walks columns of T (stride mb). Under `simd` it processes
+    // KRON_PANEL columns per pass: one strided sweep gathers four adjacent
+    // entries per row (amortizing the cache-line traffic fourfold), A is
+    // applied to each gathered column exactly as before, and one sweep
+    // scatters the four results back. Pure data-movement blocking —
+    // bit-identical to the single-column walk, which the scalar leg (and
+    // the unplanned reference engine) still uses.
+    #[cfg(feature = "simd")]
+    {
+        use crate::kernels::KRON_PANEL;
+        let (cols, rest) = rest.split_at_mut(KRON_PANEL * na);
+        let (ocols, rest) = rest.split_at_mut(KRON_PANEL * ma);
+        let mut q = 0;
+        while q + KRON_PANEL <= mb {
+            kernels::gather_panel(t, mb, q, na, cols);
+            for (colj, ocolj) in cols.chunks_exact(na).zip(ocols.chunks_exact_mut(ma)) {
+                a.matvec_plan(&kp.a, colj, ocolj, rest, pool);
+            }
+            kernels::scatter_panel(ocols, ma, out, mb, q);
+            q += KRON_PANEL;
         }
-        a.matvec_plan(&kp.a, col, ocol, rest, pool);
-        for p in 0..ma {
-            out[p * mb + q] = ocol[p];
+        for q in q..mb {
+            let col = &mut cols[..na];
+            for (i, c) in col.iter_mut().enumerate() {
+                *c = t[i * mb + q];
+            }
+            a.matvec_plan(&kp.a, &cols[..na], &mut ocols[..ma], rest, pool);
+            for (p, &v) in ocols[..ma].iter().enumerate() {
+                out[p * mb + q] = v;
+            }
+        }
+    }
+    #[cfg(not(feature = "simd"))]
+    {
+        let (col, rest) = rest.split_at_mut(na);
+        let (ocol, rest) = rest.split_at_mut(ma);
+        for q in 0..mb {
+            for i in 0..na {
+                col[i] = t[i * mb + q];
+            }
+            a.matvec_plan(&kp.a, col, ocol, rest, pool);
+            for p in 0..ma {
+                out[p * mb + q] = ocol[p];
+            }
         }
     }
 }
@@ -665,15 +635,45 @@ fn kron_rmatvec_plan(
         parallel::kron_scatter_cols(a, kp, t, out, ma, na, nb, pool);
         return;
     }
-    let (col, rest) = rest.split_at_mut(ma);
-    let (ocol, rest) = rest.split_at_mut(na);
-    for j in 0..nb {
-        for p in 0..ma {
-            col[p] = t[p * nb + j];
+    // Panel-blocked stage 2, mirror of the forward direction: T is ma×nb
+    // (stride nb), gathered columns have length ma, outputs length na.
+    #[cfg(feature = "simd")]
+    {
+        use crate::kernels::KRON_PANEL;
+        let (cols, rest) = rest.split_at_mut(KRON_PANEL * ma);
+        let (ocols, rest) = rest.split_at_mut(KRON_PANEL * na);
+        let mut j = 0;
+        while j + KRON_PANEL <= nb {
+            kernels::gather_panel(t, nb, j, ma, cols);
+            for (colp, ocolp) in cols.chunks_exact(ma).zip(ocols.chunks_exact_mut(na)) {
+                a.rmatvec_plan(&kp.a, colp, ocolp, rest, pool);
+            }
+            kernels::scatter_panel(ocols, na, out, nb, j);
+            j += KRON_PANEL;
         }
-        a.rmatvec_plan(&kp.a, col, ocol, rest, pool);
-        for i in 0..na {
-            out[i * nb + j] = ocol[i];
+        for j in j..nb {
+            let col = &mut cols[..ma];
+            for (p, c) in col.iter_mut().enumerate() {
+                *c = t[p * nb + j];
+            }
+            a.rmatvec_plan(&kp.a, &cols[..ma], &mut ocols[..na], rest, pool);
+            for (i, &v) in ocols[..na].iter().enumerate() {
+                out[i * nb + j] = v;
+            }
+        }
+    }
+    #[cfg(not(feature = "simd"))]
+    {
+        let (col, rest) = rest.split_at_mut(ma);
+        let (ocol, rest) = rest.split_at_mut(na);
+        for j in 0..nb {
+            for p in 0..ma {
+                col[p] = t[p * nb + j];
+            }
+            a.rmatvec_plan(&kp.a, col, ocol, rest, pool);
+            for i in 0..na {
+                out[i * nb + j] = ocol[i];
+            }
         }
     }
 }
@@ -821,11 +821,11 @@ mod parallel {
                 });
             }
         });
-        // Deterministic fixed-order merge of the per-worker accumulators.
+        // Deterministic fixed-order merge of the per-worker accumulators
+        // (the scatter-add kernel is order-preserving: bit-identical to
+        // the scalar loop in both feature legs).
         for arena in arenas.iter().take(nchunks) {
-            for (o, &v) in out.iter_mut().zip(&arena[..cols]) {
-                *o += v;
-            }
+            crate::kernels::add_assign(out, &arena[..cols]);
         }
     }
 

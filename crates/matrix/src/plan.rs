@@ -533,14 +533,23 @@ fn plan_kron(a: &Matrix, b: &Matrix) -> (NodePlan, Info) {
     #[cfg(not(feature = "parallel"))]
     let (par_fwd_rows, par_bwd_rows, par_bwd_cols) = (0, 0, 0);
 
+    // Serial stage 2 carves its gather/output column buffers off the
+    // scratch arena. Under `simd` those buffers are KRON_PANEL columns
+    // wide (the panel-blocked walk in `kron_matvec_plan`); the scalar leg
+    // keeps the single-column sizing. Plans and evaluation compile into
+    // the same binary, so the selection is consistent by construction.
+    #[cfg(feature = "simd")]
+    const PANEL: usize = crate::kernels::KRON_PANEL;
+    #[cfg(not(feature = "simd"))]
+    const PANEL: usize = 1;
     let info = Info {
         rows: ma * mb,
         cols: na * nb,
-        mv: na * mb + bi.mv.max(na + ma + ai.mv),
-        rmv: ma * nb + bi.rmv.max(ma + na + ai.rmv),
+        mv: na * mb + bi.mv.max(PANEL * (na + ma) + ai.mv),
+        rmv: ma * nb + bi.rmv.max(PANEL * (ma + na) + ai.rmv),
         // Kronecker scatter-adds through a dense temporary of the full
         // output width (same policy as the unplanned recursion).
-        rmva: na * nb + ma * nb + bi.rmv.max(ma + na + ai.rmv),
+        rmva: na * nb + ma * nb + bi.rmv.max(PANEL * (ma + na) + ai.rmv),
         pool_workers,
         pool_arena,
     };

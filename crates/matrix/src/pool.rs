@@ -396,6 +396,223 @@ where
     }
 }
 
+// Result-slot protocol states for the typed scope. A slot starts EMPTY,
+// the job's single Release store publishes READY, and `TypedHandle::take`
+// claims it with a READY→TAKEN CAS — so a take before `join`, or after a
+// panicked job, fails loudly instead of reading uninitialized memory.
+const SLOT_EMPTY: u8 = 0;
+const SLOT_READY: u8 = 1;
+const SLOT_TAKEN: u8 = 2;
+
+/// A preallocated landing slot for one typed job's return value.
+///
+/// [`typed_scope`] keeps a fixed array of these on the caller's stack —
+/// one per possible spawn — so returning a value from a pool job costs no
+/// allocation and no locking: the job writes the value and flips the
+/// slot's state with one Release store.
+pub struct ResultSlot<T> {
+    state: AtomicU8,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+// Safety: the slot protocol gives exclusive access by construction — the
+// value cell is written only by the one job that owns the slot (before
+// its READY store) and read only by the one `take` that wins the
+// READY→TAKEN CAS (after it). `T: Send` is required because the value
+// crosses from a worker thread back to the caller.
+unsafe impl<T: Send> Sync for ResultSlot<T> {}
+
+impl<T> ResultSlot<T> {
+    fn new() -> Self {
+        ResultSlot {
+            state: AtomicU8::new(SLOT_EMPTY),
+            value: UnsafeCell::new(MaybeUninit::uninit()),
+        }
+    }
+}
+
+impl<T> Drop for ResultSlot<T> {
+    fn drop(&mut self) {
+        // A READY value whose handle was never consumed still gets
+        // dropped (we have `&mut self`, so the scope has already joined).
+        if *self.state.get_mut() == SLOT_READY {
+            unsafe { self.value.get_mut().assume_init_drop() };
+        }
+    }
+}
+
+/// The receipt for one typed job: redeem it with [`TypedHandle::take`]
+/// after [`TypedScope::join`] to get the job's return value.
+pub struct TypedHandle<'scope, T> {
+    slot: &'scope ResultSlot<T>,
+}
+
+impl<T> TypedHandle<'_, T> {
+    /// Whether the job has finished and its value is still unclaimed.
+    pub fn is_ready(&self) -> bool {
+        self.slot.state.load(Ordering::Acquire) == SLOT_READY
+    }
+
+    /// Consumes the handle and returns the job's value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not ready — taking before
+    /// [`TypedScope::join`], or taking the handle of a job that panicked
+    /// (the job's own panic also resurfaces when the scope closes).
+    pub fn take(self) -> T {
+        match self.slot.state.compare_exchange(
+            SLOT_READY,
+            SLOT_TAKEN,
+            Ordering::Acquire,
+            Ordering::Acquire,
+        ) {
+            // Safety: winning the READY→TAKEN CAS proves the owning job
+            // wrote the value (Release/Acquire paired) and grants this
+            // call exclusive right to read it, exactly once.
+            Ok(_) => unsafe { (*self.slot.value.get()).assume_init_read() },
+            Err(_) => panic!(
+                "TypedHandle::take: value not ready (take() before join(), \
+                 or the job panicked)"
+            ),
+        }
+    }
+}
+
+/// A dispatch handle into one [`typed_scope`] region: like [`Scope`], but
+/// spawned closures **return values**, redeemed through
+/// [`TypedHandle`]s after an explicit [`TypedScope::join`]. All jobs in
+/// one region return the same type `T` (they land in a homogeneous
+/// preallocated slot array).
+pub struct TypedScope<'scope, 'env: 'scope, T: Send> {
+    state: &'scope ScopeState,
+    /// Last spawned job, run by the caller at `join` — same single-chunk
+    /// degradation as [`Scope`].
+    stash: &'scope UnsafeCell<Option<Job>>,
+    slots: &'scope [ResultSlot<T>; MAX_WORKERS],
+    /// Next unclaimed slot index (slots are claimed in spawn order, which
+    /// is what makes fixed-order merges of the results trivial).
+    next: &'scope std::cell::Cell<usize>,
+    _scope: PhantomData<&'scope mut &'scope ()>,
+    _env: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'scope, 'env, T: Send> TypedScope<'scope, 'env, T> {
+    /// Submits `f` to the pool and returns the handle that will hold its
+    /// value. Placement mirrors [`Scope::spawn`] exactly (worker, inline
+    /// fallback, caller-run stash tail, oversized-capture inline path) —
+    /// none of which affects the value produced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region spawns more than [`MAX_WORKERS`] jobs (the
+    /// preallocated slot array is full; chunk counts are bounded by
+    /// [`configured_parallelism`], which is far below this).
+    pub fn spawn<F>(&self, f: F) -> TypedHandle<'scope, T>
+    where
+        F: FnOnce() -> T + Send + 'scope,
+    {
+        let idx = self.next.get();
+        assert!(
+            idx < MAX_WORKERS,
+            "typed_scope: spawned more jobs than preallocated result slots"
+        );
+        self.next.set(idx + 1);
+        let slot = &self.slots[idx];
+        debug_assert_eq!(slot.state.load(Ordering::Relaxed), SLOT_EMPTY);
+        let task = move || {
+            let v = f();
+            // Safety: this job is the slot's unique owner; the Release
+            // store below is what publishes the write to `take`.
+            unsafe { (*slot.value.get()).write(v) };
+            slot.state.store(SLOT_READY, Ordering::Release);
+        };
+        if std::mem::size_of_val(&task) <= std::mem::size_of::<TaskData>()
+            && std::mem::align_of_val(&task) <= std::mem::align_of::<usize>()
+        {
+            // Safety: the wrapper is `Send + 'scope` (it captures `f` and
+            // a `'scope` slot reference), and `typed_scope` cannot return
+            // before the erased bytes are consumed exactly once.
+            let job = unsafe { erase(task, self.state) };
+            let prev = unsafe { &mut *self.stash.get() }.replace(job);
+            if let Some(prev) = prev {
+                if let Some(back) = try_dispatch(prev) {
+                    run_inline(self.state, back);
+                }
+            }
+        } else {
+            pool().inline.fetch_add(1, Ordering::Relaxed);
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(task)) {
+                store_panic(self.state, payload);
+            }
+        }
+        TypedHandle { slot }
+    }
+
+    /// Blocks until every job spawned so far has finished (running the
+    /// stashed tail job on the calling thread first). After `join`
+    /// returns, every handle spawned before it is ready. Callable
+    /// repeatedly; spawning again after a `join` starts a new batch.
+    pub fn join(&self) {
+        if let Some(job) = unsafe { &mut *self.stash.get() }.take() {
+            run_inline(self.state, job);
+        }
+        while self.state.pending.load(Ordering::Acquire) != 0 {
+            std::thread::park();
+        }
+    }
+}
+
+/// Runs `f` with a [`TypedScope`]: the value-returning variant of
+/// [`scope`], built for chunked reductions — spawn one job per fixed
+/// chunk, [`TypedScope::join`], then merge the [`TypedHandle`] values in
+/// spawn order on the caller. The result slots live in this call's stack
+/// frame, so the whole round trip (dispatch, return, merge) allocates
+/// nothing.
+///
+/// Joins all jobs before returning even if `f` panics or forgets to call
+/// `join`; job panics resurface here after every job has completed, with
+/// a body panic taking precedence — the same contract as [`scope`].
+pub fn typed_scope<'env, T, R, F>(f: F) -> R
+where
+    T: Send,
+    F: for<'scope> FnOnce(&'scope TypedScope<'scope, 'env, T>) -> R,
+{
+    let state = ScopeState {
+        pending: AtomicUsize::new(0),
+        caller: std::thread::current(),
+        panic: Mutex::new(None),
+    };
+    let stash = UnsafeCell::new(None);
+    let slots: [ResultSlot<T>; MAX_WORKERS] = std::array::from_fn(|_| ResultSlot::new());
+    let next = std::cell::Cell::new(0);
+    let ts = TypedScope {
+        state: &state,
+        stash: &stash,
+        slots: &slots,
+        next: &next,
+        _scope: PhantomData,
+        _env: PhantomData,
+    };
+    let result = catch_unwind(AssertUnwindSafe(|| f(&ts)));
+    if let Some(job) = unsafe { &mut *stash.get() }.take() {
+        run_inline(&state, job);
+    }
+    while state.pending.load(Ordering::Acquire) != 0 {
+        std::thread::park();
+    }
+    let job_panic = state.panic.lock().unwrap_or_else(|e| e.into_inner()).take();
+    match result {
+        Err(body_panic) => resume_unwind(body_panic),
+        Ok(value) => {
+            if let Some(payload) = job_panic {
+                resume_unwind(payload);
+            }
+            value
+        }
+    }
+}
+
 /// Number of workers currently accepting dispatch (0 = fully inline).
 pub fn workers() -> usize {
     let p = pool();
@@ -589,5 +806,106 @@ mod tests {
     fn configured_parallelism_is_positive_and_bounded() {
         let p = configured_parallelism();
         assert!((1..=MAX_WORKERS).contains(&p));
+    }
+
+    #[test]
+    fn typed_scope_returns_values_in_spawn_order() {
+        let _serial = resize_lock();
+        let data: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let got = typed_scope(|ts| {
+            let handles: Vec<_> = data
+                .chunks(16)
+                .map(|c| ts.spawn(move || c.iter().sum::<f64>()))
+                .collect();
+            ts.join();
+            handles
+                .into_iter()
+                .map(TypedHandle::take)
+                .collect::<Vec<_>>()
+        });
+        assert_eq!(got, vec![120.0, 376.0, 632.0, 888.0]);
+    }
+
+    #[test]
+    fn typed_scope_results_identical_across_pool_sizes_including_zero() {
+        let _serial = resize_lock();
+        let prev = workers();
+        let run = || {
+            typed_scope(|ts| {
+                let handles: Vec<_> = (0..8)
+                    .map(|i| {
+                        ts.spawn(move || {
+                            (0..100).map(|k| ((i * 100 + k) as f64).sqrt()).sum::<f64>()
+                        })
+                    })
+                    .collect();
+                ts.join();
+                handles.into_iter().map(TypedHandle::take).sum::<f64>()
+            })
+        };
+        let reference = run();
+        for size in [0, 1, 2, MAX_WORKERS] {
+            set_workers(size);
+            assert_eq!(
+                run().to_bits(),
+                reference.to_bits(),
+                "pool size {size} changed typed reduction"
+            );
+        }
+        set_workers(prev);
+    }
+
+    #[test]
+    fn typed_take_before_join_panics_cleanly() {
+        let _serial = resize_lock();
+        typed_scope(|ts| {
+            // A single spawned job sits in the stash until join runs it,
+            // so its handle is guaranteed not-ready here.
+            let h = ts.spawn(|| 1.0f64);
+            assert!(!h.is_ready());
+            let r = catch_unwind(AssertUnwindSafe(|| h.take()));
+            assert!(r.is_err(), "take() before join() must panic");
+            ts.join();
+        });
+    }
+
+    #[test]
+    fn typed_job_panic_propagates_from_scope() {
+        let _serial = resize_lock();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            typed_scope(|ts| {
+                let _h = ts.spawn(|| -> f64 { panic!("typed boom") });
+                ts.join();
+            });
+        }));
+        assert!(result.is_err(), "a typed job panic must surface");
+    }
+
+    #[test]
+    fn typed_unconsumed_values_are_dropped() {
+        let _serial = resize_lock();
+        // Heap-owning values left unclaimed must still be freed by the
+        // slot's Drop when the scope closes.
+        typed_scope(|ts| {
+            for i in 0..6 {
+                let _ = ts.spawn(move || vec![i; 100]);
+            }
+            ts.join();
+        });
+    }
+
+    #[test]
+    fn typed_scope_joins_all_jobs_even_without_explicit_join() {
+        let _serial = resize_lock();
+        let counter = AtomicUsize::new(0);
+        typed_scope(|ts: &TypedScope<'_, '_, ()>| {
+            for _ in 0..8 {
+                let _ = ts.spawn(|| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            // No join(): the scope epilogue must still drain everything.
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
     }
 }

@@ -8,6 +8,8 @@
 //! sums (for sensitivity) also come from a difference array — all without
 //! materializing anything.
 
+use crate::kernels;
+
 /// An implicit workload of `m` interval range queries over `n` cells.
 #[derive(Clone, Debug, PartialEq)]
 pub struct RangeQueries {
@@ -69,11 +71,7 @@ impl RangeQueries {
         assert_eq!(out.len(), self.ranges.len(), "matvec output mismatch");
         let prefix = &mut scratch[..self.n + 1];
         prefix[0] = 0.0;
-        let mut acc = 0.0;
-        for (p, &v) in prefix[1..].iter_mut().zip(x) {
-            acc += v;
-            *p = acc;
-        }
+        kernels::prefix_sum_into(&mut prefix[1..], x);
         for (o, &(lo, hi)) in out.iter_mut().zip(&self.ranges) {
             *o = prefix[hi as usize] - prefix[lo as usize];
         }
@@ -96,11 +94,7 @@ impl RangeQueries {
             diff[lo as usize] += yk;
             diff[hi as usize] -= yk;
         }
-        let mut acc = 0.0;
-        for (o, d) in out.iter_mut().zip(diff[..self.n].iter()) {
-            acc += *d;
-            *o = acc;
-        }
+        kernels::prefix_sum_into(out, &diff[..self.n]);
     }
 
     /// Exact column sums (all entries are 0/1, so |W| = W = W²) in

@@ -1,0 +1,155 @@
+//! Property tests for the compute-kernel layer (ISSUE 6).
+//!
+//! Both kernel legs are always compiled, so these properties compare
+//! `kernels::simd::*` against `kernels::scalar::*` directly in every
+//! build:
+//!
+//! * order-preserving kernels must match **bit-exactly** at odd lengths
+//!   and misaligned sub-slice offsets (remainder-lane handling);
+//! * reassociating reductions (`dot`, `sum`, `sumsq`) must agree within
+//!   the documented `O(n·ε)` tolerance and be deterministic per leg;
+//! * the panel gather/scatter pair must round-trip and match the
+//!   column-at-a-time reference exactly (pure data movement);
+//! * `par_dot` must equal the fixed-chunk serial reference bit-exactly
+//!   (its geometry comes from `configured_parallelism`, not the live
+//!   worker count).
+
+use ektelo_matrix::kernels::{self, scalar, simd, KRON_PANEL};
+use proptest::prelude::*;
+
+/// Vectors with lengths straddling the 4-lane blocks (0..=67 covers
+/// empty, sub-block, exact-block and every remainder size), plus an
+/// offset in 0..4 so sub-slices start off the original allocation head.
+fn vec_and_offset() -> BoxedStrategy<(Vec<f64>, usize)> {
+    (prop::collection::vec(-4.0f64..4.0, 0..67), 0usize..4)
+        .prop_map(|(v, off)| {
+            let off = off.min(v.len());
+            (v, off)
+        })
+        .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn order_preserving_kernels_bit_exact((x, off) in vec_and_offset(), c in -3.0f64..3.0) {
+        let x = &x[off..];
+        let d: Vec<f64> = x.iter().map(|v| v * 0.7 - 0.3).collect();
+        let base: Vec<f64> = x.iter().map(|v| v * 1.3 + 0.1).collect();
+
+        let mut ys = base.clone();
+        let mut yv = base.clone();
+        scalar::axpy(&mut ys, c, x);
+        simd::axpy(&mut yv, c, x);
+        prop_assert_eq!(&ys, &yv);
+
+        scalar::xpay(&mut ys, c, &d);
+        simd::xpay(&mut yv, c, &d);
+        prop_assert_eq!(&ys, &yv);
+
+        scalar::scale(&mut ys, c);
+        simd::scale(&mut yv, c);
+        prop_assert_eq!(&ys, &yv);
+
+        scalar::add_assign(&mut ys, x);
+        simd::add_assign(&mut yv, x);
+        prop_assert_eq!(&ys, &yv);
+
+        scalar::mul_into(&mut ys, &d, x);
+        simd::mul_into(&mut yv, &d, x);
+        prop_assert_eq!(&ys, &yv);
+
+        scalar::mul_add_assign(&mut ys, &d, x);
+        simd::mul_add_assign(&mut yv, &d, x);
+        prop_assert_eq!(&ys, &yv);
+
+        scalar::rsub(&mut ys, &d);
+        simd::rsub(&mut yv, &d);
+        prop_assert_eq!(&ys, &yv);
+
+        scalar::scale_into(&mut ys, c, x);
+        simd::scale_into(&mut yv, c, x);
+        prop_assert_eq!(&ys, &yv);
+    }
+
+    #[test]
+    fn reassociating_reductions_within_tolerance((a, off) in vec_and_offset()) {
+        let a = &a[off..];
+        let b: Vec<f64> = a.iter().map(|v| v * 0.9 - 0.2).collect();
+        let n = a.len() as f64;
+
+        // Documented tolerance for the pinned-tree reductions: relative
+        // O(n·ε) against the scalar left-to-right reference.
+        let tol = |reference: f64| 1e-13 * (n + 1.0) * (1.0 + reference.abs());
+
+        let (ds, dv) = (scalar::dot(a, &b), simd::dot(a, &b));
+        prop_assert!((ds - dv).abs() <= tol(ds), "dot: {} vs {}", ds, dv);
+        // Deterministic per leg: the reduction tree is a compile-time
+        // constant, so repeat evaluations are bit-identical.
+        prop_assert_eq!(dv.to_bits(), simd::dot(a, &b).to_bits());
+
+        let (ss, sv) = (scalar::sum(a), simd::sum(a));
+        prop_assert!((ss - sv).abs() <= tol(ss), "sum: {} vs {}", ss, sv);
+        prop_assert_eq!(sv.to_bits(), simd::sum(a).to_bits());
+
+        let (qs, qv) = (scalar::sumsq(a), simd::sumsq(a));
+        prop_assert!((qs - qv).abs() <= tol(qs), "sumsq: {} vs {}", qs, qv);
+        prop_assert_eq!(qv.to_bits(), simd::sumsq(a).to_bits());
+    }
+
+    #[test]
+    fn panel_gather_scatter_matches_columnwise_reference(
+        rows in 1usize..40,
+        extra_cols in 0usize..5,
+        q4 in 0usize..9,
+        seed in 0u64..1000,
+    ) {
+        let stride = KRON_PANEL + extra_cols + (q4 * KRON_PANEL).min(32);
+        let q = (q4 * KRON_PANEL).min(stride - KRON_PANEL);
+        let t: Vec<f64> = (0..rows * stride)
+            .map(|i| ((i as u64).wrapping_mul(seed + 1) % 97) as f64 * 0.37 - 17.0)
+            .collect();
+
+        let mut panel = vec![0.0; KRON_PANEL * rows];
+        kernels::gather_panel(&t, stride, q, rows, &mut panel);
+        for j in 0..KRON_PANEL {
+            for i in 0..rows {
+                prop_assert_eq!(panel[j * rows + i].to_bits(), t[i * stride + q + j].to_bits());
+            }
+        }
+
+        let mut out = vec![f64::NAN; rows * stride];
+        kernels::scatter_panel(&panel, rows, &mut out, stride, q);
+        for i in 0..rows {
+            for j in 0..KRON_PANEL {
+                prop_assert_eq!(out[i * stride + q + j].to_bits(), t[i * stride + q + j].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn par_dot_matches_fixed_chunk_reference(shift in 0usize..64) {
+        // Long enough to engage the pool path (PAR_DOT_MIN = 1<<15) with
+        // a varying remainder chunk.
+        let n = (1usize << 15) + shift * 7;
+        let a: Vec<f64> = (0..n).map(|i| ((i * 37) % 19) as f64 * 0.31 - 2.7).collect();
+        let b: Vec<f64> = (0..n).map(|i| ((i * 53) % 23) as f64 * 0.17 - 1.9).collect();
+        let k = ektelo_matrix::pool::configured_parallelism();
+        let got = kernels::par_dot(&a, &b);
+        let expect = if k < 2 {
+            kernels::dot(&a, &b)
+        } else {
+            let chunk = n.div_ceil(k);
+            let mut s = 0.0;
+            let mut lo = 0;
+            while lo < n {
+                let hi = (lo + chunk).min(n);
+                s += kernels::dot(&a[lo..hi], &b[lo..hi]);
+                lo = hi;
+            }
+            s
+        };
+        prop_assert_eq!(got.to_bits(), expect.to_bits());
+    }
+}

@@ -87,3 +87,65 @@ fn repeated_runs_are_bit_identical() {
     let b = run_plan_family();
     assert!(a == b, "seeded plans must be deterministic run-to-run");
 }
+
+/// ISSUE 6: the typed `spawn -> handle` reduction API obeys the same
+/// invariant as full plans — chunk geometry from the process-constant
+/// configured parallelism, partials merged in fixed spawn order — so both
+/// a hand-built typed-scope reduction and the `par_dot` kernel built on
+/// it must be bit-identical at pool sizes 0, 1, 2 and full.
+#[test]
+fn typed_reductions_bit_identical_across_pool_sizes() {
+    use ektelo_matrix::kernels;
+    use ektelo_matrix::pool::{typed_scope, TypedHandle};
+
+    // Long enough that par_dot engages its pool path (threshold 1<<15).
+    let n = (1usize << 15) + 33;
+    let a: Vec<f64> = (0..n)
+        .map(|i| ((i * 37) % 19) as f64 * 0.31 - 2.7)
+        .collect();
+    let b: Vec<f64> = (0..n)
+        .map(|i| ((i * 53) % 23) as f64 * 0.17 - 1.9)
+        .collect();
+
+    let run = || {
+        let k = pool::configured_parallelism().max(1);
+        let chunk = n.div_ceil(k);
+        let manual = typed_scope(|ts| {
+            let handles: Vec<_> = (0..n.div_ceil(chunk))
+                .map(|c| {
+                    let lo = c * chunk;
+                    let hi = ((c + 1) * chunk).min(n);
+                    let (ac, bc) = (&a[lo..hi], &b[lo..hi]);
+                    ts.spawn(move || kernels::dot(ac, bc))
+                })
+                .collect();
+            ts.join();
+            let mut s = 0.0;
+            for h in handles {
+                s += TypedHandle::take(h);
+            }
+            s
+        });
+        (manual, kernels::par_dot(&a, &b))
+    };
+
+    let full = pool::stats().spawned;
+    let prev = pool::workers();
+    let (manual_ref, par_ref) = run();
+    assert!(manual_ref.is_finite() && par_ref.is_finite());
+    for size in [0usize, 1, 2, full] {
+        pool::set_workers(size);
+        let (manual, par) = run();
+        assert_eq!(
+            manual.to_bits(),
+            manual_ref.to_bits(),
+            "pool size {size} changed the typed-scope reduction"
+        );
+        assert_eq!(
+            par.to_bits(),
+            par_ref.to_bits(),
+            "pool size {size} changed par_dot"
+        );
+    }
+    pool::set_workers(prev);
+}

@@ -8,7 +8,7 @@
 use ektelo_matrix::{Matrix, Workspace};
 
 use crate::lsqr::{LsqrOptions, LsqrResult};
-use crate::util::{dot, norm2};
+use crate::util::{axpy, norm2, par_dot, xpay};
 
 /// Solves `min_x ‖Ax − b‖₂` with CGLS. Options and result types are shared
 /// with [`crate::lsqr()`].
@@ -26,7 +26,7 @@ pub fn cgls(a: &Matrix, b: &[f64], opts: &LsqrOptions) -> LsqrResult {
     let mut s = vec![0.0; n]; // s = Aᵀ r
     a.rmatvec_into(&r, &mut s, &mut ws);
     let mut p = s.clone();
-    let mut gamma: f64 = dot(&s, &s);
+    let mut gamma: f64 = par_dot(&s, &s);
     let gamma0 = gamma;
     if gamma == 0.0 {
         let rn = norm2(&r);
@@ -41,28 +41,22 @@ pub fn cgls(a: &Matrix, b: &[f64], opts: &LsqrOptions) -> LsqrResult {
     for it in 1..=opts.max_iters {
         iterations = it;
         a.matvec_into(&p, &mut q, &mut ws);
-        let qq = dot(&q, &q);
+        let qq = par_dot(&q, &q);
         if qq == 0.0 {
             break;
         }
         let alpha = gamma / qq;
-        for (xi, &pi) in x.iter_mut().zip(&p) {
-            *xi += alpha * pi;
-        }
-        for (ri, &qi) in r.iter_mut().zip(&q) {
-            *ri -= alpha * qi;
-        }
+        axpy(&mut x, alpha, &p);
+        axpy(&mut r, -alpha, &q);
         a.rmatvec_into(&r, &mut s, &mut ws);
-        let gamma_new = dot(&s, &s);
+        let gamma_new = par_dot(&s, &s);
         if gamma_new <= opts.atol * opts.atol * gamma0 {
             gamma = gamma_new;
             break;
         }
         let beta = gamma_new / gamma;
         gamma = gamma_new;
-        for (pi, &si) in p.iter_mut().zip(&s) {
-            *pi = si + beta * *pi;
-        }
+        xpay(&mut p, beta, &s);
     }
     let _ = gamma;
 

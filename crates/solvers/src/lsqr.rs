@@ -9,7 +9,7 @@
 
 use ektelo_matrix::{Matrix, Workspace};
 
-use crate::util::{norm2, scale};
+use crate::util::{axpy, norm2, scale, xpay};
 
 /// Stopping parameters for [`lsqr`].
 #[derive(Clone, Debug)]
@@ -103,17 +103,13 @@ pub fn lsqr(a: &Matrix, b: &[f64], opts: &LsqrOptions) -> LsqrResult {
         // Continue the bidiagonalization:
         //   β u = A v − α u ;  α v = Aᵀ u − β v
         a.matvec_into(&v, &mut av, &mut ws);
-        for (ui, &avi) in u.iter_mut().zip(&av) {
-            *ui = avi - alpha * *ui;
-        }
+        xpay(&mut u, -alpha, &av);
         beta = norm2(&u);
         if beta > 0.0 {
             scale(&mut u, 1.0 / beta);
         }
         a.rmatvec_into(&u, &mut atu, &mut ws);
-        for (vi, &atui) in v.iter_mut().zip(&atu) {
-            *vi = atui - beta * *vi;
-        }
+        xpay(&mut v, -beta, &atu);
         alpha = norm2(&v);
         if alpha > 0.0 {
             scale(&mut v, 1.0 / alpha);
@@ -132,10 +128,9 @@ pub fn lsqr(a: &Matrix, b: &[f64], opts: &LsqrOptions) -> LsqrResult {
         // Update x and the search direction w.
         let t1 = phi / rho;
         let t2 = -theta / rho;
-        for i in 0..n {
-            x[i] += t1 * w[i];
-            w[i] = v[i] + t2 * w[i];
-        }
+        // x must read w before xpay rewrites it in place.
+        axpy(&mut x, t1, &w);
+        xpay(&mut w, t2, &v);
 
         // ‖Aᵀ r‖ estimate = φ̄ · α · |c|; stop when it is small relative to
         // ‖A‖·‖r‖ (standard LSQR criterion).

@@ -9,7 +9,7 @@
 
 use ektelo_matrix::{Matrix, Workspace};
 
-use crate::util::normalize_mass;
+use crate::util::{normalize_mass, rsub};
 
 /// Options for [`mult_weights`].
 #[derive(Clone, Debug)]
@@ -51,9 +51,7 @@ pub fn mult_weights(m: &Matrix, y: &[f64], x0: &[f64], opts: &MwOptions) -> Vec<
     for _ in 0..opts.iterations {
         // Batched update (paper Table 1): g = Mᵀ(y − M x̂) scaled by 1/(2N).
         m.matvec_into(&x, &mut err, &mut ws);
-        for (e, &yi) in err.iter_mut().zip(y) {
-            *e = yi - *e;
-        }
+        rsub(&mut err, y);
         m.rmatvec_into(&err, &mut g, &mut ws);
         for (xi, &gi) in x.iter_mut().zip(&g) {
             // Clamp the exponent for numerical robustness on extreme

@@ -11,7 +11,7 @@
 use ektelo_matrix::{Matrix, Workspace};
 
 use crate::power::spectral_norm_estimate;
-use crate::util::norm2;
+use crate::util::{axpy, norm2};
 
 /// Options for [`nnls`].
 #[derive(Clone, Debug)]
@@ -64,9 +64,7 @@ pub fn nnls(a: &Matrix, y: &[f64], opts: &NnlsOptions) -> Vec<f64> {
     for _ in 0..opts.max_iters {
         // ∇f(z) = Aᵀ(Az − y)
         a.matvec_into(&z, &mut r, &mut ws);
-        for (ri, &yi) in r.iter_mut().zip(y) {
-            *ri -= yi;
-        }
+        axpy(&mut r, -1.0, y);
         a.rmatvec_into(&r, &mut grad, &mut ws);
 
         // Projected gradient step from z.

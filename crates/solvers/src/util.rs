@@ -1,24 +1,49 @@
 //! Small dense-vector kernels shared by every solver.
 //!
-//! Each solver used to carry private copies of these; they are deduplicated
-//! here so the numerics (and any future SIMD treatment) live in one place.
+//! These are thin re-export wrappers over [`ektelo_matrix::kernels`] — the
+//! single home of every hot vector loop. The `simd` feature of
+//! `ektelo-matrix` selects the blocked implementations; see that module's
+//! docs for the bit-identity vs documented-tolerance policy (`dot`/`norm2`
+//! reassociate under `simd`, the element-wise ops never do).
+
+use ektelo_matrix::kernels;
 
 /// Euclidean norm `‖v‖₂`.
 pub fn norm2(v: &[f64]) -> f64 {
-    dot(v, v).sqrt()
+    kernels::norm2(v)
 }
 
 /// Inner product `⟨a, b⟩`.
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+    kernels::dot(a, b)
+}
+
+/// Inner product `⟨a, b⟩` with pool-threaded chunk reduction for long
+/// vectors (fixed chunk geometry and merge order: bit-identical for every
+/// pool size; see [`ektelo_matrix::kernels::par_dot`]).
+pub fn par_dot(a: &[f64], b: &[f64]) -> f64 {
+    kernels::par_dot(a, b)
 }
 
 /// In-place scaling `v ← c·v`.
 pub fn scale(v: &mut [f64], c: f64) {
-    for x in v {
-        *x *= c;
-    }
+    kernels::scale(v, c);
+}
+
+/// `y ← y + a·x`.
+pub fn axpy(y: &mut [f64], a: f64, x: &[f64]) {
+    kernels::axpy(y, a, x);
+}
+
+/// `y ← x + b·y`.
+pub fn xpay(y: &mut [f64], b: f64, x: &[f64]) {
+    kernels::xpay(y, b, x);
+}
+
+/// `e ← y − e` (residual reversal).
+pub fn rsub(e: &mut [f64], y: &[f64]) {
+    kernels::rsub(e, y);
 }
 
 /// Normalizes `v` to unit Euclidean length in place, returning the original
@@ -34,7 +59,7 @@ pub fn normalize_l2(v: &mut [f64]) -> f64 {
 /// Normalizes `x` to sum to `total` in place; resets to uniform mass when
 /// the current sum is non-positive (the multiplicative-weights convention).
 pub fn normalize_mass(x: &mut [f64], total: f64) {
-    let sum: f64 = x.iter().sum();
+    let sum = kernels::sum(x);
     if sum > 0.0 {
         scale(x, total / sum);
     } else {

@@ -557,6 +557,7 @@ fn bench_pool_executor(c: &mut Criterion) {
     let mut sums = [0.0f64; NCHUNKS];
     group.bench_function("dispatch_only/scoped_spawn", |b| {
         b.iter(|| {
+            // xlint: allow(determinism-thread, reason = "intentional baseline arm: measures OS thread spawn/join cost against the pool executor; never computes engine results")
             std::thread::scope(|s| {
                 for slot in sums.iter_mut() {
                     let d = &data;
@@ -614,6 +615,7 @@ fn bench_pool_executor(c: &mut Criterion) {
         }
         group.bench_function(BenchmarkId::new(format!("{label}/scoped_spawn"), n), |b| {
             b.iter(|| {
+                // xlint: allow(determinism-thread, reason = "intentional baseline arm: same chunk geometry as the pool path, timed on fresh OS threads for comparison; results are discarded")
                 std::thread::scope(|s| {
                     for ((bchunk, ochunk), ws) in blocks
                         .chunks(bpc)

@@ -22,7 +22,7 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
-use state::{KernelState, Node, NodeData};
+use state::{checked_eps_total, validate_eps, KernelState, Node, NodeData};
 
 /// An opaque handle to a protected data source.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -151,7 +151,7 @@ impl ProtectedKernel {
     /// Initializes the kernel with the protected `table`, a global privacy
     /// budget `eps_total`, and an RNG seed (determinism for experiments).
     pub fn init(table: Table, eps_total: f64, seed: u64) -> Self {
-        assert!(eps_total > 0.0, "privacy budget must be positive");
+        let eps_total = checked_eps_total(eps_total);
         let mut st = KernelState {
             nodes: Vec::new(),
             eps_total,
@@ -177,7 +177,7 @@ impl ProtectedKernel {
     /// the relational stage, e.g. the 1-D benchmark suite). The vector is
     /// its own vectorize base.
     pub fn init_from_vector(x: Vec<f64>, eps_total: f64, seed: u64) -> Self {
-        assert!(eps_total > 0.0, "privacy budget must be positive");
+        let eps_total = checked_eps_total(eps_total);
         let n = x.len();
         let mut st = KernelState {
             nodes: Vec::new(),
@@ -255,27 +255,11 @@ impl ProtectedKernel {
     /// prior reservations — all data-independent — so rejecting leaks
     /// nothing (same argument as Algorithm 2's budget check).
     pub fn reserve_budget(&self, eps: f64) -> Result<BudgetReservation<'_>> {
-        // NaN must be rejected explicitly: `eps < 0.0` and the admission
-        // comparison below are both false for NaN, so a NaN reservation
-        // would be admitted and set `reserved = NaN` — after which every
-        // root availability check (`eps_total − NaN`) is vacuously
-        // satisfied and ALL charges from every session get through. An
-        // infinite reservation can never be covered either.
-        if !eps.is_finite() || eps < 0.0 {
-            return Err(EktError::InvalidArgument(format!(
-                "reservation must be a non-negative finite number, got {eps}"
-            )));
-        }
-        const EPS_TOL: f64 = 1e-9;
-        let mut st = self.state.lock();
-        let committed = st.spent() + st.reserved;
-        if committed + eps > st.eps_total * (1.0 + EPS_TOL) + EPS_TOL {
-            return Err(EktError::BudgetExceeded {
-                requested: eps,
-                remaining: (st.eps_total - committed).max(0.0),
-            });
-        }
-        st.reserved += eps;
+        // Validation (NaN/∞ rejection) and the admission comparison both
+        // live in `KernelState::reserve` — the reservation-side budget
+        // chokepoint — so this wrapper only manages the lock and the
+        // RAII handle.
+        self.state.lock().reserve(eps)?;
         Ok(BudgetReservation {
             kernel: self,
             remaining: std::cell::Cell::new(eps),
@@ -363,6 +347,7 @@ impl ProtectedKernel {
         Ok(SourceVar(
             st.nodes[sv.0]
                 .base
+                // xlint: allow(panic-policy, reason = "construction invariant: every vector node is created with base = Some (vectorize sets itself, transforms inherit); the vector() check above already rejected non-vector nodes")
                 .expect("vector nodes always have a base"),
         ))
     }
@@ -582,11 +567,7 @@ impl ProtectedKernel {
     /// the source (Algorithm 2 scales it through the lineage). The
     /// measurement is recorded for inference.
     pub fn vector_laplace(&self, sv: SourceVar, m: &Matrix, eps: f64) -> Result<Vec<f64>> {
-        if eps <= 0.0 {
-            return Err(EktError::InvalidArgument(format!(
-                "non-positive epsilon {eps}"
-            )));
-        }
+        validate_eps(eps)?;
         let mut st = self.state.lock();
         {
             let x = st.vector(sv.0)?;
@@ -658,11 +639,7 @@ impl ProtectedKernel {
             let mut sens_memo: Vec<(*const Matrix, f64)> = Vec::new();
             reqs.iter()
                 .map(|&(sv, m, eps)| {
-                    if eps <= 0.0 {
-                        return Err(EktError::InvalidArgument(format!(
-                            "non-positive epsilon {eps}"
-                        )));
-                    }
+                    validate_eps(eps)?;
                     let x = st.vector_arc(sv.0)?;
                     if m.cols() != x.len() {
                         return Err(EktError::ShapeMismatch {
@@ -737,6 +714,7 @@ impl ProtectedKernel {
             st.request(sv.0, eps, None)?;
             let scale = sensitivity / eps;
             let answers: Vec<f64> = exact
+                // xlint: allow(panic-policy, reason = "phase invariant: phase 2 fills the exact answer for every request whose snapshot was Ok, and the `snap?` above already propagated the Err case")
                 .expect("valid request has an exact answer")
                 .into_iter()
                 .map(|v| v + noise::laplace(&mut st.rng, scale))
@@ -763,11 +741,7 @@ impl ProtectedKernel {
     /// `NoisyCount` (paper §5.2): the table cardinality plus
     /// `Laplace(1/ε)` noise.
     pub fn noisy_count(&self, sv: SourceVar, eps: f64) -> Result<f64> {
-        if eps <= 0.0 {
-            return Err(EktError::InvalidArgument(format!(
-                "non-positive epsilon {eps}"
-            )));
-        }
+        validate_eps(eps)?;
         let mut st = self.state.lock();
         let count = match &st.nodes[sv.0].data {
             NodeData::Table(t) => t.num_rows() as f64,
@@ -784,11 +758,7 @@ impl ProtectedKernel {
     /// Hardened integer count using the two-sided geometric mechanism
     /// (extension; see [`noise`] module docs on the floating-point attack).
     pub fn noisy_count_geometric(&self, sv: SourceVar, eps: f64) -> Result<i64> {
-        if eps <= 0.0 {
-            return Err(EktError::InvalidArgument(format!(
-                "non-positive epsilon {eps}"
-            )));
-        }
+        validate_eps(eps)?;
         let mut st = self.state.lock();
         let count = match &st.nodes[sv.0].data {
             NodeData::Table(t) => t.num_rows() as i64,
@@ -849,11 +819,7 @@ impl ProtectedKernel {
 
     /// Charges ε against `sv` (Algorithm 2) without returning data.
     pub(crate) fn charge(&self, sv: SourceVar, eps: f64) -> Result<()> {
-        if eps <= 0.0 {
-            return Err(EktError::InvalidArgument(format!(
-                "non-positive epsilon {eps}"
-            )));
-        }
+        validate_eps(eps)?;
         self.state.lock().request(sv.0, eps, None)
     }
 
@@ -918,11 +884,7 @@ impl ProtectedKernel {
         let mut st = self.state.lock();
         let mut snaps = Vec::with_capacity(reqs.len());
         for &(sv, eps) in reqs {
-            if eps <= 0.0 {
-                return Err(EktError::InvalidArgument(format!(
-                    "non-positive epsilon {eps}"
-                )));
-            }
+            validate_eps(eps)?;
             st.request(sv.0, eps, None)?;
             snaps.push(st.vector_arc(sv.0)?);
         }
@@ -956,8 +918,7 @@ impl BudgetReservation<'_> {
         let slice = eps.max(0.0).min(self.remaining.get());
         if slice > 0.0 {
             self.remaining.set(self.remaining.get() - slice);
-            let mut st = self.kernel.state.lock();
-            st.reserved = (st.reserved - slice).max(0.0);
+            self.kernel.state.lock().release_reserved(slice);
         }
     }
 }

@@ -54,6 +54,7 @@ pub fn exponential_mechanism(
         !scores.is_empty(),
         "exponential mechanism over empty candidate set"
     );
+    // xlint: allow(budget-chokepoint, reason = "sampler precondition on already-admitted parameters, not a budget admission decision")
     assert!(sensitivity > 0.0 && eps > 0.0);
     // A NaN score would never win the Gumbel-max scan (NaN comparisons are
     // false), silently biasing the mechanism toward index 0 — a privacy
@@ -61,6 +62,7 @@ pub fn exponential_mechanism(
     assert!(
         scores.iter().all(|s| s.is_finite()),
         "exponential mechanism requires finite scores, got {:?}",
+        // xlint: allow(panic-policy, reason = "only evaluated while the enclosing assert is already failing, so a non-finite element is guaranteed to exist")
         scores.iter().find(|s| !s.is_finite()).unwrap()
     );
     let mut best = 0;
@@ -85,6 +87,7 @@ pub fn exponential_mechanism(
 /// (twice the one-sided variance `α / (1 − α)²`), which the distribution
 /// test checks against the sample variance.
 pub fn two_sided_geometric(rng: &mut StdRng, eps_over_sens: f64) -> i64 {
+    // xlint: allow(budget-chokepoint, reason = "sampler precondition on already-admitted parameters, not a budget admission decision")
     assert!(eps_over_sens > 0.0);
     // Mathematically alpha = exp(−x) < 1 for x > 0, but for
     // x ≲ 1.1e-16 the f64 result rounds to exactly 1.0, making

@@ -10,6 +10,41 @@ use rand::rngs::StdRng;
 
 use super::error::{EktError, Result};
 
+/// Tolerance for budget admission comparisons: guards against accumulated
+/// floating-point drift when a plan spends exactly its whole budget in
+/// several steps. Shared by [`KernelState::request`] (charges) and
+/// [`KernelState::reserve`] (plan-graph admission) so the two chokepoints
+/// can never drift apart.
+const EPS_TOL: f64 = 1e-9;
+
+/// Validates an operator-supplied privacy cost: strictly positive and
+/// finite, or `InvalidArgument`. Every vetted operator in
+/// [`super::ProtectedKernel`] funnels its `eps` argument through here
+/// before touching any data, so NaN/∞/non-positive costs are rejected
+/// up front — in particular *before* a batched call issues any of its
+/// charges, instead of mid-batch when [`KernelState::request`] would
+/// catch the bad entry after earlier entries already spent budget.
+pub(crate) fn validate_eps(eps: f64) -> Result<()> {
+    // `eps <= 0.0` alone would let NaN through (all NaN comparisons are
+    // false); the finiteness check in front is what rejects it.
+    if !eps.is_finite() || eps <= 0.0 {
+        return Err(EktError::InvalidArgument(format!(
+            "non-positive epsilon {eps}"
+        )));
+    }
+    Ok(())
+}
+
+/// Validates a global privacy budget at kernel construction time and
+/// passes it through. Construction takes a trusted curator-supplied
+/// budget, so a bad value is a programming error (panic), not a runtime
+/// `Result` — but the comparison still lives here in the budget
+/// chokepoint module, not at the call sites.
+pub(crate) fn checked_eps_total(eps_total: f64) -> f64 {
+    assert!(eps_total > 0.0, "privacy budget must be positive");
+    eps_total
+}
+
 /// What a transformation-graph node holds.
 ///
 /// Vector payloads are `Arc`-shared: node data is immutable once added
@@ -100,9 +135,6 @@ impl KernelState {
                 "budget request must be a non-negative finite number, got {sigma}"
             )));
         }
-        // Tolerance guards against accumulated floating-point drift when a
-        // plan spends exactly its whole budget in several steps.
-        const EPS_TOL: f64 = 1e-9;
         match self.nodes[sv].parent {
             None => {
                 // Case 1: sv is the root. Outstanding reservations shrink
@@ -124,6 +156,7 @@ impl KernelState {
                     // Case 2: sv is a partition variable; the request came
                     // from `from_child` with stability-scaled cost sigma.
                     let child =
+                        // xlint: allow(panic-policy, reason = "unreachable from public API: partition-dummy SourceVars are never handed to callers, so a dummy is only reached by the recursive call which always passes Some(child)")
                         from_child.expect("partition variable reached without child context");
                     let r = (self.nodes[child].budget + sigma - self.nodes[sv].budget).max(0.0);
                     self.request(parent, r, Some(sv))?;
@@ -138,6 +171,43 @@ impl KernelState {
                 }
             }
         }
+    }
+
+    /// Admits a budget reservation of `eps` at the root, or rejects it
+    /// with all trackers untouched. This is the reservation-side
+    /// admission chokepoint (the charge side is [`KernelState::request`]):
+    /// it owns the only mutation that grows [`KernelState::reserved`].
+    ///
+    /// NaN must be rejected explicitly: `eps < 0.0` and the admission
+    /// comparison below are both false for NaN, so a NaN reservation
+    /// would be admitted and set `reserved = NaN` — after which every
+    /// root availability check (`eps_total − NaN`) is vacuously
+    /// satisfied and ALL charges from every session get through. An
+    /// infinite reservation can never be covered either.
+    pub fn reserve(&mut self, eps: f64) -> Result<()> {
+        if !eps.is_finite() || eps < 0.0 {
+            return Err(EktError::InvalidArgument(format!(
+                "reservation must be a non-negative finite number, got {eps}"
+            )));
+        }
+        let committed = self.spent() + self.reserved;
+        if committed + eps > self.eps_total * (1.0 + EPS_TOL) + EPS_TOL {
+            return Err(EktError::BudgetExceeded {
+                requested: eps,
+                remaining: (self.eps_total - committed).max(0.0),
+            });
+        }
+        self.reserved += eps;
+        Ok(())
+    }
+
+    /// Releases `slice` of held reservation back into the charge-visible
+    /// budget (the only mutation that shrinks [`KernelState::reserved`]).
+    /// Clamped at zero: [`super::BudgetReservation`] already clamps the
+    /// slice to what it holds, so the floor only absorbs floating-point
+    /// dust from many partial unlocks.
+    pub fn release_reserved(&mut self, slice: f64) {
+        self.reserved = (self.reserved - slice).max(0.0);
     }
 
     /// Adds a node, returning its id.
@@ -313,6 +383,45 @@ mod tests {
         let before = s.spent();
         assert!(s.request(c, 0.5, None).is_err());
         assert_eq!(s.spent(), before);
+    }
+
+    #[test]
+    fn validate_eps_rejects_nan_and_non_positive() {
+        // The NaN case is the point: `eps <= 0.0` call-site guards let
+        // NaN through, so batched operators would charge earlier entries
+        // before `request` caught the bad one mid-batch.
+        for bad in [f64::NAN, 0.0, -0.0, -1.0] {
+            assert!(matches!(
+                validate_eps(bad),
+                Err(EktError::InvalidArgument(_))
+            ));
+        }
+        assert!(matches!(
+            validate_eps(f64::INFINITY),
+            Err(EktError::InvalidArgument(_))
+        ));
+        assert!(validate_eps(1e-12).is_ok());
+    }
+
+    #[test]
+    fn reserve_rejects_non_finite_and_over_budget_with_trackers_untouched() {
+        let mut s = state(1.0);
+        for bad in [f64::NAN, f64::INFINITY, -0.1] {
+            assert!(matches!(s.reserve(bad), Err(EktError::InvalidArgument(_))));
+        }
+        assert!(matches!(
+            s.reserve(1.5),
+            Err(EktError::BudgetExceeded { .. })
+        ));
+        assert_eq!(s.reserved, 0.0);
+        // Admitted reservations shrink what `request` can see…
+        assert!(s.reserve(0.6).is_ok());
+        assert!(s.request(0, 0.5, None).is_err());
+        // …and releasing restores it, clamped at zero.
+        s.release_reserved(0.6);
+        s.release_reserved(0.6);
+        assert_eq!(s.reserved, 0.0);
+        assert!(s.request(0, 0.5, None).is_ok());
     }
 
     #[test]

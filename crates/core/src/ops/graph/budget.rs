@@ -80,6 +80,7 @@ impl Shadow {
             }
             Some(parent) => {
                 if self.dummy[sv] {
+                    // xlint: allow(panic-policy, reason = "mirror of KernelState::request: dummy nodes are only reached via the recursive call, which always passes Some(child)")
                     let child = from_child.expect("partition variable reached without child");
                     let r = (self.budget[child] + sigma - self.budget[sv]).max(0.0);
                     let inc = self.request(parent, r, Some(sv));

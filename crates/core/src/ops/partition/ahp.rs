@@ -55,7 +55,10 @@ pub fn ahp_partition(
         }
         // Sort cells by noisy value, then greedily cluster.
         let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&a, &b| noisy[a].partial_cmp(&noisy[b]).unwrap());
+        // total_cmp: no unwrap on a partial order — NaN (impossible for
+        // finite data + Laplace draws, but cheap to be total about) sorts
+        // last instead of panicking.
+        order.sort_by(|&a, &b| noisy[a].total_cmp(&noisy[b]));
         let spread_cap = opts.gamma / eps;
         let mut labels = vec![0usize; n];
         let mut group = 0usize;

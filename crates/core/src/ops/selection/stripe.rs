@@ -22,6 +22,7 @@ pub fn stripe_select(
         .enumerate()
         .map(|(i, &s)| {
             if i == attr {
+                // xlint: allow(panic-policy, reason = "i == attr holds for exactly one enumerate index, so the Option is taken exactly once")
                 (strategy.take().expect("stripe attribute visited once"))(s)
             } else {
                 Matrix::identity(s)

@@ -29,22 +29,34 @@ struct CountingAllocator;
 
 static DATA_SIZED_ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: pure pass-through to `System` plus a relaxed atomic counter —
+// every layout/pointer contract required of a `GlobalAlloc` is upheld by
+// forwarding the arguments unchanged, and the counter has no effect on
+// allocation behavior.
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: caller upholds `GlobalAlloc::alloc`'s contract; forwarded verbatim.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         if layout.size() >= STRIPE_BYTES {
             DATA_SIZED_ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         }
+        // SAFETY: same layout the caller passed in.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: caller upholds `GlobalAlloc::dealloc`'s contract; forwarded verbatim.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr` was allocated by `System` (alloc/realloc above
+        // forward to it) with this same layout.
         unsafe { System.dealloc(ptr, layout) }
     }
 
+    // SAFETY: caller upholds `GlobalAlloc::realloc`'s contract; forwarded verbatim.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         if new_size >= STRIPE_BYTES {
             DATA_SIZED_ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         }
+        // SAFETY: `ptr` came from `System` with `layout`; `new_size` is
+        // the caller's requested size, unmodified.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }

@@ -27,6 +27,7 @@ impl Matrix {
             }
         }
         if flat.len() == 1 {
+            // xlint: allow(panic-policy, reason = "guarded by the len() == 1 check on the previous line")
             flat.pop().unwrap()
         } else {
             Matrix::Union(flat)
@@ -78,6 +79,7 @@ impl Matrix {
     pub fn kron_list(factors: Vec<Matrix>) -> Matrix {
         assert!(!factors.is_empty(), "kron_list of zero factors");
         let mut iter = factors.into_iter().rev();
+        // xlint: allow(panic-policy, reason = "guarded by the non-empty assert above")
         let mut acc = iter.next().unwrap();
         for f in iter {
             acc = Matrix::kron(f, acc);

@@ -60,6 +60,8 @@ const UNROLL: usize = 2 * LANES;
 /// the yardstick every blocked kernel is tested against.
 pub mod scalar {
     /// Inner product `⟨a, b⟩`, summed left to right.
+    ///
+    /// CLASS: reassociating
     #[inline]
     pub fn dot(a: &[f64], b: &[f64]) -> f64 {
         debug_assert_eq!(a.len(), b.len());
@@ -67,18 +69,24 @@ pub mod scalar {
     }
 
     /// Sum of all entries, left to right.
+    ///
+    /// CLASS: reassociating
     #[inline]
     pub fn sum(v: &[f64]) -> f64 {
         v.iter().sum()
     }
 
     /// Sum of squares, left to right.
+    ///
+    /// CLASS: reassociating
     #[inline]
     pub fn sumsq(v: &[f64]) -> f64 {
         v.iter().map(|&x| x * x).sum()
     }
 
     /// `y ← y + a·x`, element-wise in order.
+    ///
+    /// CLASS: order-preserving
     #[inline]
     pub fn axpy(y: &mut [f64], a: f64, x: &[f64]) {
         debug_assert_eq!(y.len(), x.len());
@@ -88,6 +96,8 @@ pub mod scalar {
     }
 
     /// `y ← x + b·y`, element-wise in order.
+    ///
+    /// CLASS: order-preserving
     #[inline]
     pub fn xpay(y: &mut [f64], b: f64, x: &[f64]) {
         debug_assert_eq!(y.len(), x.len());
@@ -97,6 +107,8 @@ pub mod scalar {
     }
 
     /// `v ← c·v`, element-wise in order.
+    ///
+    /// CLASS: order-preserving
     #[inline]
     pub fn scale(v: &mut [f64], c: f64) {
         for x in v {
@@ -105,6 +117,8 @@ pub mod scalar {
     }
 
     /// `out ← c·x`, element-wise in order.
+    ///
+    /// CLASS: order-preserving
     #[inline]
     pub fn scale_into(out: &mut [f64], c: f64, x: &[f64]) {
         debug_assert_eq!(out.len(), x.len());
@@ -114,6 +128,8 @@ pub mod scalar {
     }
 
     /// `out ← out + x` — the scatter-add merge.
+    ///
+    /// CLASS: order-preserving
     #[inline]
     pub fn add_assign(out: &mut [f64], x: &[f64]) {
         debug_assert_eq!(out.len(), x.len());
@@ -123,6 +139,8 @@ pub mod scalar {
     }
 
     /// `out ← d ⊙ x` (diagonal product).
+    ///
+    /// CLASS: order-preserving
     #[inline]
     pub fn mul_into(out: &mut [f64], d: &[f64], x: &[f64]) {
         debug_assert_eq!(out.len(), d.len());
@@ -133,6 +151,8 @@ pub mod scalar {
     }
 
     /// `out ← out + d ⊙ x` (accumulating diagonal product).
+    ///
+    /// CLASS: order-preserving
     #[inline]
     pub fn mul_add_assign(out: &mut [f64], d: &[f64], x: &[f64]) {
         debug_assert_eq!(out.len(), d.len());
@@ -143,6 +163,8 @@ pub mod scalar {
     }
 
     /// `e ← y − e` (residual reversal, the multiplicative-weights update).
+    ///
+    /// CLASS: order-preserving
     #[inline]
     pub fn rsub(e: &mut [f64], y: &[f64]) {
         debug_assert_eq!(e.len(), y.len());
@@ -177,6 +199,8 @@ pub mod simd {
     }
 
     /// Inner product `⟨a, b⟩` over the pinned fixed reduction tree.
+    ///
+    /// CLASS: reassociating
     #[inline]
     pub fn dot(a: &[f64], b: &[f64]) -> f64 {
         debug_assert_eq!(a.len(), b.len());
@@ -195,6 +219,8 @@ pub mod simd {
     }
 
     /// Sum of all entries over the pinned fixed reduction tree.
+    ///
+    /// CLASS: reassociating
     #[inline]
     pub fn sum(v: &[f64]) -> f64 {
         let mut cv = v.chunks_exact(UNROLL);
@@ -210,6 +236,8 @@ pub mod simd {
     }
 
     /// Sum of squares over the pinned fixed reduction tree.
+    ///
+    /// CLASS: reassociating
     #[inline]
     pub fn sumsq(v: &[f64]) -> f64 {
         let mut cv = v.chunks_exact(UNROLL);
@@ -225,6 +253,8 @@ pub mod simd {
     }
 
     /// `y ← y + a·x`; bit-identical to [`super::scalar::axpy`].
+    ///
+    /// CLASS: order-preserving
     #[inline]
     pub fn axpy(y: &mut [f64], a: f64, x: &[f64]) {
         debug_assert_eq!(y.len(), x.len());
@@ -241,6 +271,8 @@ pub mod simd {
     }
 
     /// `y ← x + b·y`; bit-identical to [`super::scalar::xpay`].
+    ///
+    /// CLASS: order-preserving
     #[inline]
     pub fn xpay(y: &mut [f64], b: f64, x: &[f64]) {
         debug_assert_eq!(y.len(), x.len());
@@ -257,6 +289,8 @@ pub mod simd {
     }
 
     /// `v ← c·v`; bit-identical to [`super::scalar::scale`].
+    ///
+    /// CLASS: order-preserving
     #[inline]
     pub fn scale(v: &mut [f64], c: f64) {
         let mut cv = v.chunks_exact_mut(LANES);
@@ -271,6 +305,8 @@ pub mod simd {
     }
 
     /// `out ← c·x`; bit-identical to [`super::scalar::scale_into`].
+    ///
+    /// CLASS: order-preserving
     #[inline]
     pub fn scale_into(out: &mut [f64], c: f64, x: &[f64]) {
         debug_assert_eq!(out.len(), x.len());
@@ -287,6 +323,8 @@ pub mod simd {
     }
 
     /// `out ← out + x`; bit-identical to [`super::scalar::add_assign`].
+    ///
+    /// CLASS: order-preserving
     #[inline]
     pub fn add_assign(out: &mut [f64], x: &[f64]) {
         debug_assert_eq!(out.len(), x.len());
@@ -303,6 +341,8 @@ pub mod simd {
     }
 
     /// `out ← d ⊙ x`; bit-identical to [`super::scalar::mul_into`].
+    ///
+    /// CLASS: order-preserving
     #[inline]
     pub fn mul_into(out: &mut [f64], d: &[f64], x: &[f64]) {
         debug_assert_eq!(out.len(), d.len());
@@ -323,6 +363,8 @@ pub mod simd {
 
     /// `out ← out + d ⊙ x`; bit-identical to
     /// [`super::scalar::mul_add_assign`].
+    ///
+    /// CLASS: order-preserving
     #[inline]
     pub fn mul_add_assign(out: &mut [f64], d: &[f64], x: &[f64]) {
         debug_assert_eq!(out.len(), d.len());
@@ -342,6 +384,8 @@ pub mod simd {
     }
 
     /// `e ← y − e`; bit-identical to [`super::scalar::rsub`].
+    ///
+    /// CLASS: order-preserving
     #[inline]
     pub fn rsub(e: &mut [f64], y: &[f64]) {
         debug_assert_eq!(e.len(), y.len());
@@ -369,6 +413,8 @@ pub use simd::{
 
 /// Euclidean norm `‖v‖₂` (built on the selected [`sumsq`], so it inherits
 /// the reassociating-reduction tolerance policy under `simd`).
+///
+/// CLASS: reassociating
 #[inline]
 pub fn norm2(v: &[f64]) -> f64 {
     sumsq(v).sqrt()
@@ -380,6 +426,8 @@ pub fn norm2(v: &[f64]) -> f64 {
 /// chain, and the prefix/suffix leaves are order-preserving kernels under
 /// the engine's determinism policy. Both feature legs share this single
 /// sequential implementation.
+///
+/// CLASS: order-preserving
 #[inline]
 pub fn prefix_sum_into(out: &mut [f64], x: &[f64]) {
     debug_assert_eq!(out.len(), x.len());
@@ -392,6 +440,8 @@ pub fn prefix_sum_into(out: &mut [f64], x: &[f64]) {
 
 /// Running suffix sum: `out[i] = x[i] + … + x[n−1]` (the transpose of
 /// [`prefix_sum_into`]); sequential for the same reason.
+///
+/// CLASS: order-preserving
 #[inline]
 pub fn suffix_sum_into(out: &mut [f64], x: &[f64]) {
     debug_assert_eq!(out.len(), x.len());
@@ -410,6 +460,8 @@ pub fn suffix_sum_into(out: &mut [f64], x: &[f64]) {
 /// amortizing the strided cache-line traffic of the Kronecker stage-2
 /// gather fourfold. Pure data movement: bit-identical to four
 /// single-column gathers.
+///
+/// CLASS: order-preserving
 pub fn gather_panel(t: &[f64], stride: usize, q: usize, rows: usize, panel: &mut [f64]) {
     assert!(q + KRON_PANEL <= stride, "panel gather out of bounds");
     assert_eq!(panel.len(), KRON_PANEL * rows, "panel buffer mis-sized");
@@ -429,6 +481,8 @@ pub fn gather_panel(t: &[f64], stride: usize, q: usize, rows: usize, panel: &mut
 /// [`gather_panel`]) into columns `q .. q+KRON_PANEL` of the row-major
 /// `rows × stride` matrix `out`. Pure data movement: bit-identical to four
 /// single-column scatters.
+///
+/// CLASS: order-preserving
 pub fn scatter_panel(panel: &[f64], rows: usize, out: &mut [f64], stride: usize, q: usize) {
     assert!(q + KRON_PANEL <= stride, "panel scatter out of bounds");
     assert_eq!(panel.len(), KRON_PANEL * rows, "panel buffer mis-sized");
@@ -459,6 +513,8 @@ const PAR_DOT_MIN: usize = 1 << 15;
 /// including 0 (everything inline). Short vectors skip the pool entirely
 /// and return `dot(a, b)`. Allocation-free: partials live in a stack
 /// array and the typed scope's result slots are preallocated.
+///
+/// CLASS: reassociating
 pub fn par_dot(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "par_dot length mismatch");
     let n = a.len();

@@ -97,7 +97,7 @@ struct Job {
     scope: *const ScopeState,
 }
 
-// Safety: a `Job` only ever erases a closure that was required to be
+// SAFETY: a `Job` only ever erases a closure that was required to be
 // `Send` by `Scope::spawn`, and the `scope` pointer outlives the job (the
 // scope cannot return until `pending` drains).
 unsafe impl Send for Job {}
@@ -110,7 +110,7 @@ struct Worker {
     thread: Thread,
 }
 
-// Safety: `slot` is only written by a dispatcher that won the IDLE→CLAIMED
+// SAFETY: `slot` is only written by a dispatcher that won the IDLE→CLAIMED
 // CAS and only read by the worker after observing ARMED (Release/Acquire
 // paired), so access is exclusive by protocol.
 unsafe impl Sync for Worker {}
@@ -178,6 +178,7 @@ fn pool() -> &'static Pool {
                 let handle = std::thread::Builder::new()
                     .name(format!("ektelo-pool-{i}"))
                     .spawn(move || worker_main(i))
+                    // xlint: allow(panic-policy, reason = "one-time process initialization: if the OS cannot spawn the pool's worker threads there is no degraded mode to fall back to")
                     .expect("failed to spawn pool worker thread");
                 Worker {
                     state: AtomicU8::new(IDLE),
@@ -204,7 +205,7 @@ fn worker_main(index: usize) {
     loop {
         if w.state.load(Ordering::Acquire) == ARMED {
             w.state.store(RUNNING, Ordering::Relaxed);
-            // Safety: ARMED (Acquire) pairs with the dispatcher's Release
+            // SAFETY: ARMED (Acquire) pairs with the dispatcher's Release
             // store after writing the slot; the job is read exactly once.
             let job = unsafe { (*w.slot.get()).assume_init_read() };
             run_job(job);
@@ -219,8 +220,10 @@ fn worker_main(index: usize) {
 /// caught and deferred to the scope's caller.
 fn run_job(mut job: Job) {
     let scope = job.scope;
+    // SAFETY: `job.call` was instantiated by `erase` for exactly the type
+    // whose bytes live in `job.data`, and each job is consumed once.
     let result = catch_unwind(AssertUnwindSafe(|| unsafe { (job.call)(&mut job.data) }));
-    // Safety: the scope outlives the job — `scope()` cannot return while
+    // SAFETY: the scope outlives the job — `scope()` cannot return while
     // `pending` counts it. The caller handle is cloned *before* the
     // decrement because the decrement is what releases the scope's frame.
     unsafe {
@@ -239,6 +242,8 @@ fn run_job(mut job: Job) {
 /// already-dispatched siblings still complete before the scope unwinds.
 fn run_inline(state: &ScopeState, mut job: Job) {
     pool().inline.fetch_add(1, Ordering::Relaxed);
+    // SAFETY: same contract as `run_job` — `job.call` matches the erased
+    // type in `job.data` and this is the job's single consumption.
     if let Err(payload) = catch_unwind(AssertUnwindSafe(|| unsafe { (job.call)(&mut job.data) })) {
         store_panic(state, payload);
     }
@@ -263,7 +268,12 @@ fn try_dispatch(job: Job) -> Option<Job> {
         {
             // Count the job before arming it so the worker's decrement
             // can never observe a counter it was not added to.
+            // SAFETY: the scope outlives its jobs (`scope()` parks until
+            // `pending` drains), and winning the IDLE→CLAIMED CAS above
+            // grants exclusive write access to this worker's slot until
+            // the ARMED store hands it to the worker.
             unsafe { (*job.scope).pending.fetch_add(1, Ordering::Relaxed) };
+            // SAFETY: as above — slot access is exclusive post-CAS.
             unsafe { (*w.slot.get()).write(job) };
             w.state.store(ARMED, Ordering::Release);
             w.thread.unpark();
@@ -301,7 +311,7 @@ impl<'scope, 'env> Scope<'scope, 'env> {
         if std::mem::size_of::<F>() <= std::mem::size_of::<TaskData>()
             && std::mem::align_of::<F>() <= std::mem::align_of::<usize>()
         {
-            // Safety: `F: Send + 'scope`, and `scope()` cannot return
+            // SAFETY: `F: Send + 'scope`, and `scope()` cannot return
             // before the erased bytes have been consumed exactly once.
             let job = unsafe { erase(f, self.state) };
             let prev = unsafe { &mut *self.stash.get() }.replace(job);
@@ -323,7 +333,7 @@ impl<'scope, 'env> Scope<'scope, 'env> {
 
 /// Erases `f` into a [`Job`] by moving its bytes into the inline slot.
 ///
-/// Safety: caller guarantees `F` fits `TaskData` (checked by `spawn`),
+/// SAFETY: caller guarantees `F` fits `TaskData` (checked by `spawn`),
 /// is `Send`, and outlives the scope; the job must run exactly once.
 unsafe fn erase<F: FnOnce()>(f: F, state: &ScopeState) -> Job {
     unsafe fn call<F: FnOnce()>(data: *mut TaskData) {
@@ -331,6 +341,8 @@ unsafe fn erase<F: FnOnce()>(f: F, state: &ScopeState) -> Job {
         f();
     }
     let mut data: TaskData = [MaybeUninit::uninit(); TASK_WORDS];
+    // SAFETY: caller guarantees `F` fits `TaskData` and its alignment
+    // divides the word alignment, so the write is in bounds and aligned.
     unsafe { (data.as_mut_ptr() as *mut F).write(f) };
     Job {
         data,
@@ -374,6 +386,8 @@ where
     };
     let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
     // The caller executes the last (or only) job itself…
+    // SAFETY: `f` has returned, so no `Scope::spawn` can touch the stash
+    // concurrently; the caller is its only remaining accessor.
     if let Some(job) = unsafe { &mut *stash.get() }.take() {
         run_inline(&state, job);
     }
@@ -415,7 +429,7 @@ pub struct ResultSlot<T> {
     value: UnsafeCell<MaybeUninit<T>>,
 }
 
-// Safety: the slot protocol gives exclusive access by construction — the
+// SAFETY: the slot protocol gives exclusive access by construction — the
 // value cell is written only by the one job that owns the slot (before
 // its READY store) and read only by the one `take` that wins the
 // READY→TAKEN CAS (after it). `T: Send` is required because the value
@@ -435,6 +449,8 @@ impl<T> Drop for ResultSlot<T> {
     fn drop(&mut self) {
         // A READY value whose handle was never consumed still gets
         // dropped (we have `&mut self`, so the scope has already joined).
+        // SAFETY: READY means the owning job's Release store published a
+        // fully written value, and no `take` claimed it (state ≠ TAKEN).
         if *self.state.get_mut() == SLOT_READY {
             unsafe { self.value.get_mut().assume_init_drop() };
         }
@@ -467,10 +483,11 @@ impl<T> TypedHandle<'_, T> {
             Ordering::Acquire,
             Ordering::Acquire,
         ) {
-            // Safety: winning the READY→TAKEN CAS proves the owning job
+            // SAFETY: winning the READY→TAKEN CAS proves the owning job
             // wrote the value (Release/Acquire paired) and grants this
             // call exclusive right to read it, exactly once.
             Ok(_) => unsafe { (*self.slot.value.get()).assume_init_read() },
+            // xlint: allow(panic-policy, reason = "documented API contract (see the Panics section): taking before join, or taking a panicked job's handle, is a caller bug")
             Err(_) => panic!(
                 "TypedHandle::take: value not ready (take() before join(), \
                  or the job panicked)"
@@ -522,7 +539,7 @@ impl<'scope, 'env, T: Send> TypedScope<'scope, 'env, T> {
         debug_assert_eq!(slot.state.load(Ordering::Relaxed), SLOT_EMPTY);
         let task = move || {
             let v = f();
-            // Safety: this job is the slot's unique owner; the Release
+            // SAFETY: this job is the slot's unique owner; the Release
             // store below is what publishes the write to `take`.
             unsafe { (*slot.value.get()).write(v) };
             slot.state.store(SLOT_READY, Ordering::Release);
@@ -530,7 +547,7 @@ impl<'scope, 'env, T: Send> TypedScope<'scope, 'env, T> {
         if std::mem::size_of_val(&task) <= std::mem::size_of::<TaskData>()
             && std::mem::align_of_val(&task) <= std::mem::align_of::<usize>()
         {
-            // Safety: the wrapper is `Send + 'scope` (it captures `f` and
+            // SAFETY: the wrapper is `Send + 'scope` (it captures `f` and
             // a `'scope` slot reference), and `typed_scope` cannot return
             // before the erased bytes are consumed exactly once.
             let job = unsafe { erase(task, self.state) };
@@ -554,6 +571,9 @@ impl<'scope, 'env, T: Send> TypedScope<'scope, 'env, T> {
     /// returns, every handle spawned before it is ready. Callable
     /// repeatedly; spawning again after a `join` starts a new batch.
     pub fn join(&self) {
+        // SAFETY: `TypedScope` is `!Sync` (Cell fields), so `join` and
+        // `spawn` are serialized on the one caller thread that owns the
+        // stash; workers never touch it.
         if let Some(job) = unsafe { &mut *self.stash.get() }.take() {
             run_inline(self.state, job);
         }
@@ -595,6 +615,8 @@ where
         _env: PhantomData,
     };
     let result = catch_unwind(AssertUnwindSafe(|| f(&ts)));
+    // SAFETY: `f` has returned, so no `TypedScope::spawn`/`join` can touch
+    // the stash concurrently; the caller is its only remaining accessor.
     if let Some(job) = unsafe { &mut *stash.get() }.take() {
         run_inline(&state, job);
     }

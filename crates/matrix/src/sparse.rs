@@ -288,6 +288,7 @@ impl CsrMatrix {
         indptr.push(0);
         for b in blocks {
             assert_eq!(b.cols, cols, "vstack column mismatch");
+            // xlint: allow(panic-policy, reason = "indptr is seeded with a 0 push before the loop, so last() is always Some")
             let base = *indptr.last().unwrap();
             for i in 0..b.rows {
                 indptr.push(base + b.indptr[i + 1]);

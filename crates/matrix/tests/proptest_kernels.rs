@@ -99,6 +99,39 @@ proptest! {
     }
 
     #[test]
+    fn prefix_suffix_sums_and_norm2_match_references((x, off) in vec_and_offset()) {
+        let x = &x[off..];
+        let n = x.len();
+
+        // prefix_sum_into / suffix_sum_into are order-preserving (single
+        // shared sequential implementation): exact against a running
+        // accumulator walked in the same order.
+        let mut p = vec![0.0; n];
+        kernels::prefix_sum_into(&mut p, x);
+        let mut acc = 0.0;
+        for (pi, &xi) in p.iter().zip(x) {
+            acc += xi;
+            prop_assert_eq!(pi.to_bits(), acc.to_bits());
+        }
+        let mut s = vec![0.0; n];
+        kernels::suffix_sum_into(&mut s, x);
+        let mut acc = 0.0;
+        for (si, &xi) in s.iter().zip(x).rev() {
+            acc += xi;
+            prop_assert_eq!(si.to_bits(), acc.to_bits());
+        }
+
+        // norm2 is sqrt of the selected sumsq, so it inherits the
+        // reassociating-reduction policy: deterministic per leg, within
+        // tolerance of the scalar reference.
+        let got = kernels::norm2(x);
+        prop_assert_eq!(got.to_bits(), kernels::norm2(x).to_bits());
+        let reference = scalar::sumsq(x).sqrt();
+        let tol = 1e-13 * (n as f64 + 1.0) * (1.0 + reference.abs());
+        prop_assert!((got - reference).abs() <= tol, "norm2: {} vs {}", got, reference);
+    }
+
+    #[test]
     fn panel_gather_scatter_matches_columnwise_reference(
         rows in 1usize..40,
         extra_cols in 0usize..5,

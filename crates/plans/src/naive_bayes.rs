@@ -216,7 +216,9 @@ pub fn auc(scored: &[(f64, bool)]) -> f64 {
         return 0.5;
     }
     let mut sorted: Vec<(f64, bool)> = scored.to_vec();
-    sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    // total_cmp: scores come from callers (ratios of noisy counts can be
+    // NaN); a total order degrades gracefully instead of panicking.
+    sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
     // Average ranks over tie groups.
     let mut rank_sum_pos = 0.0;
     let mut i = 0;

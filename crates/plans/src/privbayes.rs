@@ -141,6 +141,7 @@ fn bn_joint_estimate(
                 .cliques
                 .iter()
                 .position(|c| c.child == clique.child)
+                // xlint: allow(panic-policy, reason = "the position scan runs over the same clique list the loop iterates, so at minimum the current clique matches itself")
                 .expect("clique indexes itself")];
             // Index of the full-clique assignment and of the parents-only
             // slice (sum over the child's values).
@@ -182,6 +183,7 @@ fn sum_over_child(
     let child_pos = set
         .iter()
         .position(|&a| a == child)
+        // xlint: allow(panic-policy, reason = "construction invariant: a clique's attribute set always contains its child (parents + child)")
         .expect("child in its own clique");
     let mut total = 0.0;
     for v in 0..sizes[child] {

@@ -78,6 +78,7 @@ pub fn direct_least_squares(a: &Matrix, b: &[f64]) -> Vec<f64> {
         let v = ridged.get(i, i);
         ridged.set(i, i, v + lambda);
     }
+    // xlint: allow(panic-policy, reason = "the ridge 1e-8 * max(trace/n, 1) makes any finite PSD Gram matrix positive definite; failure implies non-finite inputs, which upstream operators reject")
     let l = cholesky_factor(&ridged).expect("ridged Gram matrix must be PD");
     cholesky_solve(&l, &atb)
 }

@@ -1,0 +1,119 @@
+//! Fixture self-tests: each fixture is a miniature workspace tree, so the
+//! path-scoped rules (pool.rs exemption, state.rs chokepoint, hot-file
+//! hash ban, kernels/proptest cross-reference) are exercised exactly as
+//! they run against the real tree.
+//!
+//! * `violations/` seeds one violation per rule at a known line and
+//!   pairs each with the path-exempt twin (same code in `pool.rs` /
+//!   `state.rs` / a `#[cfg(test)]` module must stay silent);
+//! * `allowed/` carries the same violations under well-formed
+//!   `xlint: allow(...)` directives and must lint clean;
+//! * `badallow/` holds malformed directives, which must surface as
+//!   `allow-syntax` diagnostics rather than silently disabling rules.
+
+use std::path::PathBuf;
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// The (file, line, rule) triple of every diagnostic, in report order.
+fn keys(report: &xlint::Report) -> Vec<(String, usize, &'static str)> {
+    report
+        .diagnostics
+        .iter()
+        .map(|d| (d.file.clone(), d.line, d.rule))
+        .collect()
+}
+
+#[test]
+fn violations_are_detected_at_exact_lines() {
+    let report = xlint::lint_root(&fixture("violations")).expect("fixture tree scans");
+    let expected: Vec<(String, usize, &str)> = [
+        // mod.rs: raw eps comparison + reserved mutation outside state.rs.
+        ("crates/core/src/kernel/mod.rs", 6, "budget-chokepoint"),
+        ("crates/core/src/kernel/mod.rs", 9, "budget-chokepoint"),
+        // lib.rs: bare unsafe block, library unwrap.
+        ("crates/core/src/lib.rs", 3, "unsafe-safety"),
+        ("crates/core/src/lib.rs", 7, "panic-policy"),
+        // kernels.rs: untagged fires twice (missing tag + unreferenced),
+        // tagged_untested once (unreferenced), mistagged once (bad tag).
+        ("crates/matrix/src/kernels.rs", 6, "kernel-class"),
+        ("crates/matrix/src/kernels.rs", 6, "kernel-class"),
+        ("crates/matrix/src/kernels.rs", 11, "kernel-class"),
+        ("crates/matrix/src/kernels.rs", 16, "kernel-class"),
+        // matvec.rs: hash import, machine query, hash use, ad-hoc thread.
+        ("crates/matrix/src/matvec.rs", 1, "determinism-hash-iter"),
+        ("crates/matrix/src/matvec.rs", 4, "determinism-parallelism"),
+        ("crates/matrix/src/matvec.rs", 5, "determinism-hash-iter"),
+        ("crates/matrix/src/matvec.rs", 7, "determinism-thread"),
+    ]
+    .into_iter()
+    .map(|(f, l, r)| (f.to_string(), l, r))
+    .collect();
+    assert_eq!(
+        keys(&report),
+        expected,
+        "full diagnostics: {:#?}",
+        report.diagnostics
+    );
+    // The path-exempt twins stayed silent: pool.rs (threading owner),
+    // state.rs (budget chokepoint), the #[cfg(test)] unwrap.
+    assert!(!report
+        .diagnostics
+        .iter()
+        .any(|d| d.file.contains("pool.rs") || d.file.contains("state.rs")));
+    // The bare unsafe site is inventoried without a justification.
+    assert_eq!(report.unsafe_sites.len(), 1);
+    assert_eq!(report.unsafe_sites[0].file, "crates/core/src/lib.rs");
+    assert_eq!(report.unsafe_sites[0].line, 3);
+    assert!(report.unsafe_sites[0].safety.is_none());
+}
+
+#[test]
+fn allowlisted_violations_are_honored() {
+    let report = xlint::lint_root(&fixture("allowed")).expect("fixture tree scans");
+    assert!(
+        report.clean(),
+        "allowed tree must lint clean, got: {:#?}",
+        report.diagnostics
+    );
+    // The justified unsafe site is inventoried with its SAFETY text.
+    assert_eq!(report.unsafe_sites.len(), 1);
+    let safety = report.unsafe_sites[0].safety.as_deref().unwrap_or("");
+    assert!(safety.contains("SAFETY:"), "inventory text: {safety:?}");
+}
+
+#[test]
+fn malformed_allow_directives_are_diagnostics() {
+    let report = xlint::lint_root(&fixture("badallow")).expect("fixture tree scans");
+    let got = keys(&report);
+    assert_eq!(
+        got,
+        vec![
+            ("crates/core/src/lib.rs".to_string(), 1, "allow-syntax"),
+            ("crates/core/src/lib.rs".to_string(), 4, "allow-syntax"),
+        ],
+        "full diagnostics: {:#?}",
+        report.diagnostics
+    );
+    // The unknown-rule case names the bad rule so the typo is findable.
+    assert!(report.diagnostics[1].message.contains("made-up-rule"));
+}
+
+#[test]
+fn json_output_is_well_formed_and_complete() {
+    let report = xlint::lint_root(&fixture("violations")).expect("fixture tree scans");
+    let json = xlint::to_json(&report, true);
+    // Hand-rolled writer: check the load-bearing structure.
+    assert!(json.contains("\"diagnostics\":["));
+    assert!(json.contains("\"unsafe_inventory\":["));
+    assert!(json.contains("\"files_scanned\":"));
+    assert!(json.contains("\"rule\":\"determinism-thread\""));
+    assert!(json.contains("\"file\":\"crates/matrix/src/matvec.rs\""));
+    // Every diagnostic is present, and the bare unsafe site reads null.
+    assert_eq!(json.matches("\"rule\":").count(), report.diagnostics.len());
+    assert!(json.contains("\"safety\":null"));
+}

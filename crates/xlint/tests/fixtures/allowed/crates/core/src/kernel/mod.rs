@@ -1,0 +1,13 @@
+pub struct St {
+    pub reserved: f64,
+}
+
+pub fn admit(st: &mut St, eps: f64) -> bool {
+    // xlint: allow(budget-chokepoint, reason = "fixture: pre-chokepoint fast path, re-validated by state.rs")
+    if eps <= 0.0 {
+        return false;
+    }
+    // xlint: allow(budget-chokepoint, reason = "fixture: mutation mirrored from the chokepoint for a test double")
+    st.reserved += eps;
+    true
+}

@@ -1,0 +1,11 @@
+pub fn first(v: &[u32]) -> u32 {
+    let p = v.as_ptr();
+    // SAFETY: fixture — p points at v's first element and v is non-empty
+    // by the caller's contract.
+    unsafe { *p }
+}
+
+pub fn parse(s: &str) -> u32 {
+    // xlint: allow(panic-policy, reason = "fixture: input is a compile-time constant")
+    s.parse().unwrap()
+}

@@ -1,0 +1,6 @@
+/// Writes zero into the head slot.
+///
+/// CLASS: order-preserving
+pub fn tagged_and_tested(x: &mut [f64]) {
+    x[0] = 0.0;
+}

@@ -1,0 +1,12 @@
+// xlint: allow(determinism-hash-iter, reason = "fixture: allowlisted import (u64 keys, sorted before iteration)")
+use std::collections::HashMap;
+
+pub fn chunks() -> usize {
+    // xlint: allow(determinism-parallelism, reason = "fixture: diagnostic print only, never feeds chunk geometry")
+    let n = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
+    let mut m = HashMap::new(); // xlint: allow(determinism-hash-iter, reason = "fixture: trailing allow form")
+    m.insert(0usize, n);
+    // xlint: allow(determinism-thread, reason = "fixture: baseline comparison arm, results discarded")
+    std::thread::spawn(move || m.len());
+    n
+}

@@ -1,0 +1,5 @@
+#[test]
+fn kernels_cover() {
+    let mut x = [1.0, 2.0];
+    tagged_and_tested(&mut x);
+}

@@ -1,0 +1,5 @@
+// xlint: allow(panic-policy)
+pub fn f() {}
+
+// xlint: allow(made-up-rule, reason = "x")
+pub fn g() {}

@@ -1,0 +1,11 @@
+pub struct St {
+    pub reserved: f64,
+}
+
+pub fn admit(st: &mut St, eps: f64) -> bool {
+    if eps <= 0.0 {
+        return false;
+    }
+    st.reserved += eps;
+    true
+}

@@ -1,0 +1,13 @@
+// state.rs is the budget chokepoint: the same comparison and mutation
+// that are violations in mod.rs are legal here.
+pub struct St {
+    pub reserved: f64,
+}
+
+pub fn admit(st: &mut St, eps: f64) -> bool {
+    if eps <= 0.0 {
+        return false;
+    }
+    st.reserved += eps;
+    true
+}

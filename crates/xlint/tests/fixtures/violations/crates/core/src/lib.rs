@@ -1,0 +1,16 @@
+pub fn first(v: &[u32]) -> u32 {
+    let p = v.as_ptr();
+    unsafe { *p }
+}
+
+pub fn parse(s: &str) -> u32 {
+    s.parse().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwraps_in_test_modules_are_exempt() {
+        assert_eq!("4".parse::<u32>().unwrap(), 4);
+    }
+}

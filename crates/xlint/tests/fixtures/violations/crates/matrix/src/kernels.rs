@@ -1,0 +1,18 @@
+/// CLASS: order-preserving
+pub fn tagged_and_tested(x: &mut [f64]) {
+    x[0] = 0.0;
+}
+
+pub fn untagged(x: &mut [f64]) {
+    x[0] = 1.0;
+}
+
+/// CLASS: reassociating
+pub fn tagged_untested(x: &[f64]) -> f64 {
+    x.iter().sum()
+}
+
+/// CLASS: commutative-diagonal
+pub fn mistagged(x: &mut [f64]) {
+    x[0] = 2.0;
+}

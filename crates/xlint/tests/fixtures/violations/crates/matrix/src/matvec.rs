@@ -1,0 +1,9 @@
+use std::collections::HashMap;
+
+pub fn chunks() -> usize {
+    let n = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
+    let mut m = HashMap::new();
+    m.insert(0usize, n);
+    std::thread::spawn(move || m.len());
+    n
+}

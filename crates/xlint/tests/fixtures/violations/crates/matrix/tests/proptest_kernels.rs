@@ -1,0 +1,6 @@
+#[test]
+fn kernels_cover() {
+    let mut x = [1.0, 2.0];
+    tagged_and_tested(&mut x);
+    mistagged(&mut x);
+}

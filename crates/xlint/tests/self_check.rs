@@ -1,0 +1,44 @@
+//! The linter's own gate on the real tree: `cargo test -p xlint` (and so
+//! the root `cargo test`) fails if any workspace file violates a rule or
+//! any `unsafe` site loses its `SAFETY:` justification — CI enforcement
+//! without depending on the separate `cargo run -p xlint` step.
+
+use std::path::PathBuf;
+
+#[test]
+fn workspace_lints_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves");
+    let report = xlint::lint_root(&root).expect("workspace scans");
+    assert!(
+        report.clean(),
+        "xlint found violations in the real tree:\n{}",
+        report
+            .diagnostics
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // Sanity: the walk actually covered the workspace (guards against a
+    // silently-wrong root making this test vacuous).
+    assert!(
+        report.files_scanned > 50,
+        "only {} files scanned — wrong root?",
+        report.files_scanned
+    );
+    // Unsafe hygiene is a hard gate, not just an inventory: every site
+    // must carry its justification.
+    let unjustified: Vec<_> = report
+        .unsafe_sites
+        .iter()
+        .filter(|s| s.safety.is_none())
+        .map(|s| format!("{}:{}", s.file, s.line))
+        .collect();
+    assert!(
+        unjustified.is_empty(),
+        "unsafe sites without SAFETY comments: {unjustified:?}"
+    );
+}

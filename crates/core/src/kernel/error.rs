@@ -38,6 +38,17 @@ pub enum EktError {
     /// spec declared an impossible configuration. Data-independent by
     /// construction — specs are public objects.
     InvalidPlan(String),
+    /// A deterministic fault-injection site fired (non-default
+    /// `failpoints` feature with an armed schedule; never constructed
+    /// otherwise). Carries the site name. Data-independent: the schedule
+    /// is operator-supplied and sites key on call counts, not data.
+    FaultInjected(&'static str),
+    /// Plan execution died from a panic (a worker-job crash, a solver
+    /// blow-up) that the executor caught and converted after releasing
+    /// the plan's budget reservation. Carries the panic payload when it
+    /// was a string. The ledger is consistent: charges issued before the
+    /// panic stand, nothing after it was charged, and no holds leak.
+    ExecutionPanic(String),
 }
 
 impl fmt::Display for EktError {
@@ -60,6 +71,12 @@ impl fmt::Display for EktError {
             }
             EktError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
             EktError::InvalidPlan(msg) => write!(f, "invalid plan: {msg}"),
+            EktError::FaultInjected(site) => {
+                write!(f, "injected fault at failpoint {site}")
+            }
+            EktError::ExecutionPanic(msg) => {
+                write!(f, "plan execution panicked: {msg}")
+            }
         }
     }
 }

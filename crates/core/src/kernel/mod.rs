@@ -17,7 +17,7 @@ pub use state::MeasuredQuery;
 use std::sync::Arc;
 
 use ektelo_data::{vectorize as t_vectorize, Predicate, Schema, Table};
-use ektelo_matrix::{Matrix, Workspace};
+use ektelo_matrix::{failpoints, Matrix, Workspace};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -156,6 +156,7 @@ impl ProtectedKernel {
             nodes: Vec::new(),
             eps_total,
             reserved: 0.0,
+            reservations: Vec::new(),
             rng: StdRng::seed_from_u64(seed),
             history: Vec::new(),
         };
@@ -183,6 +184,7 @@ impl ProtectedKernel {
             nodes: Vec::new(),
             eps_total,
             reserved: 0.0,
+            reservations: Vec::new(),
             rng: StdRng::seed_from_u64(seed),
             history: Vec::new(),
         };
@@ -231,6 +233,13 @@ impl ProtectedKernel {
         self.state.lock().reserved
     }
 
+    /// Number of live (unreleased) budget reservations. Failure-semantics
+    /// observability: after a plan dies — typed error or caught panic —
+    /// this must return to its prior value (no leaked holds).
+    pub fn active_reservations(&self) -> usize {
+        self.state.lock().active_reservations()
+    }
+
     // ------------------------------------------------------------------
     // Budget reservation (plan-graph session admission)
     // ------------------------------------------------------------------
@@ -239,17 +248,14 @@ impl ProtectedKernel {
     /// with [`EktError::BudgetExceeded`] — before any data access — if
     /// the budget already spent plus existing reservations cannot cover
     /// it. While the reservation is held, ordinary charges (from any
-    /// session) only see `ε_tot − reserved`; the holder releases slices
-    /// via [`BudgetReservation::unlock`] right before issuing the
-    /// corresponding charges, bounding how long an admitted plan's
-    /// *unredeemed* budget is up for grabs. The unlock and its paired
-    /// charges are separate lock acquisitions, so a concurrent charge
-    /// racing into that window can still steal the just-released slice —
-    /// and for batched operations (which unlock the whole batch's slice,
-    /// then compute exact answers before charging) the window spans the
-    /// entire batch call, not a single operation (a reservation-aware
-    /// charge pathway that redeems atomically is a ROADMAP item).
-    /// Dropping the reservation releases whatever remains.
+    /// session) only see `ε_tot − reserved`. The holder *redeems* its
+    /// hold by issuing charges through the reservation (e.g.
+    /// [`BudgetReservation::vector_laplace`], or the executor's
+    /// reservation-threaded charging calls): the hold consumption and the
+    /// root charge commit under **one** kernel state lock, so there is no
+    /// window in which a concurrent session can observe — let alone steal
+    /// — a released-but-not-yet-charged slice. Dropping the reservation
+    /// releases its exact tracked remainder.
     ///
     /// The admission decision depends only on `eps`, prior charges and
     /// prior reservations — all data-independent — so rejecting leaks
@@ -259,11 +265,21 @@ impl ProtectedKernel {
         // live in `KernelState::reserve` — the reservation-side budget
         // chokepoint — so this wrapper only manages the lock and the
         // RAII handle.
-        self.state.lock().reserve(eps)?;
-        Ok(BudgetReservation {
-            kernel: self,
-            remaining: std::cell::Cell::new(eps),
-        })
+        let id = self.state.lock().reserve(eps)?;
+        Ok(BudgetReservation { kernel: self, id })
+    }
+
+    /// Resolves an optional reservation handle to its ledger slot,
+    /// rejecting a handle minted by a different kernel (its slot id would
+    /// index an unrelated slab and redeem someone else's hold).
+    fn res_slot(&self, res: Option<&BudgetReservation<'_>>) -> Result<Option<usize>> {
+        match res {
+            None => Ok(None),
+            Some(r) if std::ptr::eq(r.kernel, self) => Ok(Some(r.id)),
+            Some(_) => Err(EktError::InvalidArgument(
+                "budget reservation belongs to a different kernel".into(),
+            )),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -567,6 +583,21 @@ impl ProtectedKernel {
     /// the source (Algorithm 2 scales it through the lineage). The
     /// measurement is recorded for inference.
     pub fn vector_laplace(&self, sv: SourceVar, m: &Matrix, eps: f64) -> Result<Vec<f64>> {
+        self.vector_laplace_in(sv, m, eps, None)
+    }
+
+    /// [`ProtectedKernel::vector_laplace`] with the charge attributed to
+    /// (and redeemed from) `res` when given — the reservation-aware charge
+    /// pathway the plan executor uses, committing hold consumption and the
+    /// root charge under one state lock.
+    pub(crate) fn vector_laplace_in(
+        &self,
+        sv: SourceVar,
+        m: &Matrix,
+        eps: f64,
+        res: Option<&BudgetReservation<'_>>,
+    ) -> Result<Vec<f64>> {
+        let res = self.res_slot(res)?;
         validate_eps(eps)?;
         let mut st = self.state.lock();
         {
@@ -584,7 +615,7 @@ impl ProtectedKernel {
                 "measurement matrix has zero sensitivity (no queries touch the data)".into(),
             ));
         }
-        st.request(sv.0, eps, None)?;
+        st.request(sv.0, eps, None, res)?;
         let scale = sensitivity / eps;
         let exact = m.matvec(st.vector(sv.0)?);
         let answers: Vec<f64> = exact
@@ -621,11 +652,28 @@ impl ProtectedKernel {
     ///
     /// Failure semantics: requests are validated and charged in order; if
     /// request `k` fails, requests `0..k` have been charged and recorded
-    /// (matching the sequential loop) and `k..` have not.
+    /// (matching the sequential loop) and `k..` have not. A *panic* in the
+    /// exact-answer phase (a worker-job crash — exercised by the
+    /// `kernel::batch_exact` / `pool::job` failpoints) is deferred until
+    /// every sibling job completes and then unwinds out of this call with
+    /// **zero** charges issued and zero history recorded: the charging
+    /// phase never ran, and the kernel's state mutex does not poison, so
+    /// subsequent sessions proceed against an exactly-conserved ledger.
     pub fn vector_laplace_batch(
         &self,
         reqs: &[(SourceVar, &Matrix, f64)],
     ) -> Result<Vec<Vec<f64>>> {
+        self.vector_laplace_batch_in(reqs, None)
+    }
+
+    /// [`ProtectedKernel::vector_laplace_batch`] with every charge
+    /// attributed to (and redeemed from) `res` when given.
+    pub(crate) fn vector_laplace_batch_in(
+        &self,
+        reqs: &[(SourceVar, &Matrix, f64)],
+        res: Option<&BudgetReservation<'_>>,
+    ) -> Result<Vec<Vec<f64>>> {
+        let res = self.res_slot(res)?;
         // Phase 1 (no privacy side effects): snapshot each source vector —
         // a refcount bump, not a deep clone; node data is immutable, so the
         // snapshot stays valid after the lock is dropped — and compute
@@ -710,8 +758,13 @@ impl ProtectedKernel {
         let mut st = self.state.lock();
         let mut out = Vec::with_capacity(reqs.len());
         for ((&(sv, m, eps), snap), exact) in reqs.iter().zip(snapshots).zip(exacts) {
+            // Mid-stripe failpoint: a batch dying between stripes must
+            // leave exactly the sequential loop's prefix semantics behind.
+            if failpoints::triggered("kernel::batch_stripe") {
+                return Err(EktError::FaultInjected("kernel::batch_stripe"));
+            }
             let (_, sensitivity) = snap?;
-            st.request(sv.0, eps, None)?;
+            st.request(sv.0, eps, None, res)?;
             let scale = sensitivity / eps;
             let answers: Vec<f64> = exact
                 // xlint: allow(panic-policy, reason = "phase invariant: phase 2 fills the exact answer for every request whose snapshot was Ok, and the `snap?` above already propagated the Err case")
@@ -750,7 +803,7 @@ impl ProtectedKernel {
                 return Err(EktError::WrongSourceType { expected: "table" })
             }
         };
-        st.request(sv.0, eps, None)?;
+        st.request(sv.0, eps, None, None)?;
         let noisy = count + noise::laplace(&mut st.rng, 1.0 / eps);
         Ok(noisy)
     }
@@ -767,7 +820,7 @@ impl ProtectedKernel {
                 return Err(EktError::WrongSourceType { expected: "table" })
             }
         };
-        st.request(sv.0, eps, None)?;
+        st.request(sv.0, eps, None, None)?;
         let noisy = count + noise::two_sided_geometric(&mut st.rng, eps);
         Ok(noisy)
     }
@@ -819,8 +872,20 @@ impl ProtectedKernel {
 
     /// Charges ε against `sv` (Algorithm 2) without returning data.
     pub(crate) fn charge(&self, sv: SourceVar, eps: f64) -> Result<()> {
+        self.charge_in(sv, eps, None)
+    }
+
+    /// [`ProtectedKernel::charge`] with the charge attributed to (and
+    /// redeemed from) `res` when given.
+    pub(crate) fn charge_in(
+        &self,
+        sv: SourceVar,
+        eps: f64,
+        res: Option<&BudgetReservation<'_>>,
+    ) -> Result<()> {
+        let res = self.res_slot(res)?;
         validate_eps(eps)?;
-        self.state.lock().request(sv.0, eps, None)
+        self.state.lock().request(sv.0, eps, None, res)
     }
 
     /// Runs `f` over the private vector and the privacy RNG. Callers MUST
@@ -880,12 +945,19 @@ impl ProtectedKernel {
     pub(crate) fn charge_and_snapshot_batch(
         &self,
         reqs: &[(SourceVar, f64)],
+        res: Option<&BudgetReservation<'_>>,
     ) -> Result<(u64, Vec<Arc<Vec<f64>>>)> {
+        let res = self.res_slot(res)?;
         let mut st = self.state.lock();
         let mut snaps = Vec::with_capacity(reqs.len());
         for &(sv, eps) in reqs {
+            // Mid-stripe failpoint for the charge+snapshot batch form:
+            // same prefix semantics as `vector_laplace_batch`'s site.
+            if failpoints::triggered("kernel::batch_stripe") {
+                return Err(EktError::FaultInjected("kernel::batch_stripe"));
+            }
             validate_eps(eps)?;
-            st.request(sv.0, eps, None)?;
+            st.request(sv.0, eps, None, res)?;
             snaps.push(st.vector_arc(sv.0)?);
         }
         let base: u64 = st.rng.random();
@@ -896,36 +968,60 @@ impl ProtectedKernel {
 /// A hold on root budget granted by [`ProtectedKernel::reserve_budget`].
 ///
 /// While held, the reserved amount is subtracted from the budget visible
-/// to ordinary charges (the root case of Algorithm 2). The holder calls
-/// [`BudgetReservation::unlock`] with each pre-accounted slice just
-/// before issuing the charge that consumes it; dropping the reservation
-/// releases whatever was never unlocked.
+/// to ordinary charges (the root case of Algorithm 2). The holder redeems
+/// its hold by charging *through* the reservation — e.g.
+/// [`BudgetReservation::vector_laplace`] — which consumes the hold and
+/// commits the root charge atomically under one kernel state lock.
+/// A charge larger than the remaining hold redeems the whole hold and
+/// competes for open budget with the excess; a failed charge consumes
+/// nothing. The per-reservation ledger ([`BudgetReservation::charged`])
+/// is what `ExecReport::eps_charged` reports: a true per-plan figure,
+/// meaningful even when concurrent sessions share the kernel.
+///
+/// Dropping the reservation releases its exact tracked remainder back
+/// into the open budget (never a sentinel value — the remainder lives in
+/// the kernel's ledger, and the release is idempotent).
 pub struct BudgetReservation<'k> {
     kernel: &'k ProtectedKernel,
-    remaining: std::cell::Cell<f64>,
+    /// Slot index into the kernel state's reservation slab.
+    id: usize,
 }
 
 impl BudgetReservation<'_> {
     /// Budget still held by this reservation.
     pub fn remaining(&self) -> f64 {
-        self.remaining.get()
+        self.kernel.state.lock().reservation_remaining(self.id)
     }
 
-    /// Releases up to `eps` of the hold back into the charge-visible
-    /// budget (clamped to what this reservation still holds). Called
-    /// right before the charge the slice was reserved for.
-    pub fn unlock(&self, eps: f64) {
-        let slice = eps.max(0.0).min(self.remaining.get());
-        if slice > 0.0 {
-            self.remaining.set(self.remaining.get() - slice);
-            self.kernel.state.lock().release_reserved(slice);
-        }
+    /// Total root budget charged through this reservation so far (the
+    /// per-plan ledger).
+    pub fn charged(&self) -> f64 {
+        self.kernel.state.lock().reservation_charged(self.id)
+    }
+
+    /// [`ProtectedKernel::vector_laplace`] with the charge redeemed from
+    /// this reservation's hold (atomically with the root charge).
+    pub fn vector_laplace(&self, sv: SourceVar, m: &Matrix, eps: f64) -> Result<Vec<f64>> {
+        self.kernel.vector_laplace_in(sv, m, eps, Some(self))
+    }
+
+    /// [`ProtectedKernel::vector_laplace_batch`] with every charge
+    /// redeemed from this reservation's hold.
+    pub fn vector_laplace_batch(
+        &self,
+        reqs: &[(SourceVar, &Matrix, f64)],
+    ) -> Result<Vec<Vec<f64>>> {
+        self.kernel.vector_laplace_batch_in(reqs, Some(self))
     }
 }
 
 impl Drop for BudgetReservation<'_> {
     fn drop(&mut self) {
-        self.unlock(f64::INFINITY);
+        // Releases the exact tracked remainder (slot -> None, aggregate
+        // decremented by the entry's held value) — no sentinel passes
+        // through ledger arithmetic, and a reservation consumed to zero
+        // releases exactly nothing.
+        self.kernel.state.lock().release_entry(self.id);
     }
 }
 
@@ -950,6 +1046,11 @@ fn fill_exact_answers(
     let mut ws = pool.checkout();
     for (e, (&(_, m, _), snap)) in exacts.iter_mut().zip(reqs.iter().zip(snapshots)) {
         if let (Some(slot), Ok((x, _))) = (e.as_mut(), snap.as_ref()) {
+            // Injected crash in the exact-answer phase: under `parallel`
+            // this runs inside a pool job (the panic is deferred until
+            // sibling jobs finish), serially it unwinds directly — either
+            // way the batch dies before any charge is issued.
+            failpoints::panic_if("kernel::batch_exact");
             let mut out = vec![0.0; m.rows()];
             m.matvec_into(x, &mut out, &mut ws);
             *slot = out;

@@ -5,7 +5,7 @@
 use std::sync::Arc;
 
 use ektelo_data::Table;
-use ektelo_matrix::Matrix;
+use ektelo_matrix::{failpoints, Matrix};
 use rand::rngs::StdRng;
 
 use super::error::{EktError, Result};
@@ -97,18 +97,35 @@ pub struct MeasuredQuery {
     pub noise_scale: f64,
 }
 
+/// Ledger entry for one outstanding [`super::BudgetReservation`]: the root
+/// budget it still holds, and the charges redeemed against it so far (the
+/// per-plan ledger behind `ExecReport::eps_charged`). Mutated only inside
+/// this module — xlint's budget-chokepoint rule pins `held`/`charged`
+/// mutations to `state.rs` exactly like the root trackers.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct ReservationEntry {
+    /// Root budget still held (shrinks as charges redeem it).
+    pub held: f64,
+    /// Total root budget charged through this reservation.
+    pub charged: f64,
+}
+
 /// The protected kernel's mutable state (`S_kernel` in the paper's proof).
 pub(crate) struct KernelState {
     pub nodes: Vec<Node>,
     pub eps_total: f64,
-    /// Root budget currently held by outstanding [`super::BudgetReservation`]s.
-    /// Reserved budget is invisible to ordinary requests: the root case of
-    /// [`KernelState::request`] only admits charges into
-    /// `eps_total - reserved`. A reservation holder releases slices of its
-    /// hold just before issuing the corresponding charges, so a
-    /// pre-accounted plan executes against budget no concurrent session
-    /// can take from under it.
+    /// Root budget currently held by outstanding [`super::BudgetReservation`]s
+    /// (the sum of every live entry's `held`). Reserved budget is invisible
+    /// to ordinary requests: the root case of [`KernelState::request`] only
+    /// admits unattributed charges into `eps_total - reserved`. A charge
+    /// issued *with* a reservation redeems its own hold and the admission
+    /// check credits that hold back atomically — reservation consumption
+    /// and the root charge commit under one state lock, so a concurrent
+    /// session can never observe (or steal) a half-released slice.
     pub reserved: f64,
+    /// Slab of live reservation entries, indexed by the id stored in
+    /// [`super::BudgetReservation`]. Released slots are `None` and reused.
+    pub reservations: Vec<Option<ReservationEntry>>,
     pub rng: StdRng,
     pub history: Vec<MeasuredQuery>,
 }
@@ -121,9 +138,20 @@ impl KernelState {
 
     /// The budget `Request` procedure (paper Algorithm 2). `from_child`
     /// carries the child identity needed by the partition-variable case.
-    /// Returns `Ok(())` and updates trackers if the request fits; returns
-    /// `BudgetExceeded` (leaving all trackers untouched) otherwise.
-    pub fn request(&mut self, sv: usize, sigma: f64, from_child: Option<usize>) -> Result<()> {
+    /// `res` attributes the charge to a live reservation slot: the root
+    /// case then *redeems* the charge from that reservation's hold — hold
+    /// consumption and the root charge commit atomically under the one
+    /// state lock, which is what makes an admitted plan's budget
+    /// unstealable by concurrent sessions. Returns `Ok(())` and updates
+    /// trackers if the request fits; returns a typed error (leaving all
+    /// trackers untouched) otherwise.
+    pub fn request(
+        &mut self,
+        sv: usize,
+        sigma: f64,
+        from_child: Option<usize>,
+        res: Option<usize>,
+    ) -> Result<()> {
         // Every charge in the kernel funnels through here, so this is the
         // last line of defense against NaN/∞ costs: all comparisons on
         // NaN are false, so a NaN sigma would sail past the admission
@@ -137,9 +165,26 @@ impl KernelState {
         }
         match self.nodes[sv].parent {
             None => {
-                // Case 1: sv is the root. Outstanding reservations shrink
-                // the budget visible to this request.
-                let avail = self.eps_total - self.reserved;
+                // Case 1: sv is the root — the only place ledger trackers
+                // actually move, so the charging-class failpoints live
+                // here, *before* any mutation: an injected fault is a
+                // clean typed rejection, indistinguishable from an
+                // admission failure as far as the ledger is concerned.
+                let site = if res.is_some() {
+                    "state::redeem"
+                } else {
+                    "state::charge"
+                };
+                if failpoints::triggered(site) {
+                    return Err(EktError::FaultInjected(site));
+                }
+                // A reservation-attributed charge redeems its own hold
+                // first; only the part not covered by the hold competes
+                // for unreserved budget.
+                let take = res.map_or(0.0, |id| {
+                    sigma.min(self.reservations[id].map_or(0.0, |e| e.held))
+                });
+                let avail = self.eps_total - (self.reserved - take);
                 let b = self.nodes[sv].budget;
                 if b + sigma > avail * (1.0 + EPS_TOL) + EPS_TOL {
                     Err(EktError::BudgetExceeded {
@@ -147,6 +192,14 @@ impl KernelState {
                         remaining: (avail - b).max(0.0),
                     })
                 } else {
+                    if let Some(entry) = res.and_then(|id| self.reservations[id].as_mut()) {
+                        // `take ≤ held` exactly, so the hold never goes
+                        // negative; the aggregate is clamped because it
+                        // sums many entries and may carry last-ulp drift.
+                        entry.held -= take;
+                        entry.charged += sigma;
+                        self.reserved = (self.reserved - take).max(0.0);
+                    }
                     self.nodes[sv].budget += sigma;
                     Ok(())
                 }
@@ -159,13 +212,13 @@ impl KernelState {
                         // xlint: allow(panic-policy, reason = "unreachable from public API: partition-dummy SourceVars are never handed to callers, so a dummy is only reached by the recursive call which always passes Some(child)")
                         from_child.expect("partition variable reached without child context");
                     let r = (self.nodes[child].budget + sigma - self.nodes[sv].budget).max(0.0);
-                    self.request(parent, r, Some(sv))?;
+                    self.request(parent, r, Some(sv), res)?;
                     self.nodes[sv].budget += r;
                     Ok(())
                 } else {
                     // Case 3: ordinary derived source; scale by stability.
                     let s = self.nodes[sv].stability;
-                    self.request(parent, s * sigma, Some(sv))?;
+                    self.request(parent, s * sigma, Some(sv), res)?;
                     self.nodes[sv].budget += sigma;
                     Ok(())
                 }
@@ -173,10 +226,11 @@ impl KernelState {
         }
     }
 
-    /// Admits a budget reservation of `eps` at the root, or rejects it
-    /// with all trackers untouched. This is the reservation-side
-    /// admission chokepoint (the charge side is [`KernelState::request`]):
-    /// it owns the only mutation that grows [`KernelState::reserved`].
+    /// Admits a budget reservation of `eps` at the root and returns its
+    /// slot id, or rejects it with all trackers untouched. This is the
+    /// reservation-side admission chokepoint (the charge side is
+    /// [`KernelState::request`]): it owns the only mutation that grows
+    /// [`KernelState::reserved`].
     ///
     /// NaN must be rejected explicitly: `eps < 0.0` and the admission
     /// comparison below are both false for NaN, so a NaN reservation
@@ -184,7 +238,12 @@ impl KernelState {
     /// root availability check (`eps_total − NaN`) is vacuously
     /// satisfied and ALL charges from every session get through. An
     /// infinite reservation can never be covered either.
-    pub fn reserve(&mut self, eps: f64) -> Result<()> {
+    pub fn reserve(&mut self, eps: f64) -> Result<usize> {
+        // Admission-class failpoint: fires before any mutation, so an
+        // injected fault is a clean typed rejection.
+        if failpoints::triggered("state::reserve") {
+            return Err(EktError::FaultInjected("state::reserve"));
+        }
         if !eps.is_finite() || eps < 0.0 {
             return Err(EktError::InvalidArgument(format!(
                 "reservation must be a non-negative finite number, got {eps}"
@@ -198,16 +257,66 @@ impl KernelState {
             });
         }
         self.reserved += eps;
-        Ok(())
+        let entry = ReservationEntry {
+            held: eps,
+            charged: 0.0,
+        };
+        // Reuse a released slot so long-lived sessions don't grow the slab.
+        let id = match self.reservations.iter().position(Option::is_none) {
+            Some(i) => {
+                self.reservations[i] = Some(entry);
+                i
+            }
+            None => {
+                self.reservations.push(Some(entry));
+                self.reservations.len() - 1
+            }
+        };
+        Ok(id)
     }
 
-    /// Releases `slice` of held reservation back into the charge-visible
-    /// budget (the only mutation that shrinks [`KernelState::reserved`]).
-    /// Clamped at zero: [`super::BudgetReservation`] already clamps the
-    /// slice to what it holds, so the floor only absorbs floating-point
-    /// dust from many partial unlocks.
-    pub fn release_reserved(&mut self, slice: f64) {
-        self.reserved = (self.reserved - slice).max(0.0);
+    /// Releases reservation slot `id`: its exact tracked remainder flows
+    /// back into the charge-visible budget and the slot becomes reusable.
+    /// This is the only mutation (besides redemption in
+    /// [`KernelState::request`]) that shrinks [`KernelState::reserved`].
+    /// Idempotent — a second release of the same slot finds `None` and
+    /// does nothing, so the ledger can never be credited twice.
+    pub fn release_entry(&mut self, id: usize) {
+        if let Some(entry) = self.reservations[id].take() {
+            // The exact remainder, never a sentinel: the aggregate floor
+            // only absorbs last-ulp drift between the sum-of-entries and
+            // the running aggregate.
+            self.reserved = (self.reserved - entry.held).max(0.0);
+            // With no live holds the aggregate is zero by definition;
+            // snapping here discards the last-ulp dust that concurrent
+            // sessions' interleaved add/sub orderings can leave behind,
+            // so `reserved == 0.0` holds exactly whenever the slab is
+            // empty.
+            if self.reservations.iter().all(Option::is_none) {
+                self.reserved = 0.0;
+            }
+        }
+    }
+
+    /// Root budget still held by reservation slot `id` (0 once released).
+    pub fn reservation_remaining(&self, id: usize) -> f64 {
+        self.reservations
+            .get(id)
+            .and_then(|s| s.as_ref())
+            .map_or(0.0, |e| e.held)
+    }
+
+    /// Total root budget charged through reservation slot `id` so far.
+    pub fn reservation_charged(&self, id: usize) -> f64 {
+        self.reservations
+            .get(id)
+            .and_then(|s| s.as_ref())
+            .map_or(0.0, |e| e.charged)
+    }
+
+    /// Number of live (unreleased) reservation slots.
+    pub fn active_reservations(&self) -> usize {
+        self.reservations.iter().filter(|s| s.is_some()).count()
     }
 
     /// Adds a node, returning its id.
@@ -250,6 +359,7 @@ mod tests {
             nodes: Vec::new(),
             eps_total: eps,
             reserved: 0.0,
+            reservations: Vec::new(),
             rng: StdRng::seed_from_u64(0),
             history: Vec::new(),
         };
@@ -296,7 +406,7 @@ mod tests {
         let mut s = state(1.0);
         for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.1] {
             assert!(matches!(
-                s.request(0, bad, None),
+                s.request(0, bad, None, None),
                 Err(EktError::InvalidArgument(_))
             ));
         }
@@ -305,21 +415,21 @@ mod tests {
         // (the check recurses with the request).
         let c = add_child(&mut s, 0, 2.0);
         assert!(matches!(
-            s.request(c, f64::NAN, None),
+            s.request(c, f64::NAN, None, None),
             Err(EktError::InvalidArgument(_))
         ));
         assert_eq!(s.spent(), 0.0);
         // Enforcement still works after the rejected requests.
-        assert!(s.request(0, 1.0, None).is_ok());
-        assert!(s.request(0, 0.1, None).is_err());
+        assert!(s.request(0, 1.0, None, None).is_ok());
+        assert!(s.request(0, 0.1, None, None).is_err());
     }
 
     #[test]
     fn sequential_composition_adds_up() {
         let mut s = state(1.0);
-        assert!(s.request(0, 0.5, None).is_ok());
-        assert!(s.request(0, 0.5, None).is_ok());
-        assert!(s.request(0, 0.1, None).is_err());
+        assert!(s.request(0, 0.5, None, None).is_ok());
+        assert!(s.request(0, 0.5, None, None).is_ok());
+        assert!(s.request(0, 0.1, None, None).is_err());
         assert_eq!(s.spent(), 1.0);
     }
 
@@ -327,10 +437,10 @@ mod tests {
     fn stability_scales_cost() {
         let mut s = state(1.0);
         let c = add_child(&mut s, 0, 2.0); // e.g. a GroupBy output
-        assert!(s.request(c, 0.4, None).is_ok());
+        assert!(s.request(c, 0.4, None, None).is_ok());
         assert_eq!(s.spent(), 0.8);
         assert!(
-            s.request(c, 0.2, None).is_err(),
+            s.request(c, 0.2, None, None).is_err(),
             "0.2·2 = 0.4 > remaining 0.2"
         );
     }
@@ -340,7 +450,7 @@ mod tests {
         let mut s = state(1.0);
         let (_, kids) = add_partition(&mut s, 0, 3);
         for &k in &kids {
-            assert!(s.request(k, 0.6, None).is_ok());
+            assert!(s.request(k, 0.6, None, None).is_ok());
         }
         // All three siblings asked for 0.6, but the root is charged the max.
         assert!((s.spent() - 0.6).abs() < 1e-12);
@@ -350,16 +460,16 @@ mod tests {
     fn repeated_queries_on_one_child_accumulate() {
         let mut s = state(1.0);
         let (_, kids) = add_partition(&mut s, 0, 2);
-        assert!(s.request(kids[0], 0.4, None).is_ok());
-        assert!(s.request(kids[0], 0.4, None).is_ok());
+        assert!(s.request(kids[0], 0.4, None, None).is_ok());
+        assert!(s.request(kids[0], 0.4, None, None).is_ok());
         assert!((s.spent() - 0.8).abs() < 1e-12);
         // The sibling can still query up to 0.8 for free…
-        assert!(s.request(kids[1], 0.8, None).is_ok());
+        assert!(s.request(kids[1], 0.8, None, None).is_ok());
         assert!((s.spent() - 0.8).abs() < 1e-12);
         // …but going beyond the current max costs the difference.
-        assert!(s.request(kids[1], 0.2, None).is_ok());
+        assert!(s.request(kids[1], 0.2, None, None).is_ok());
         assert!((s.spent() - 1.0).abs() < 1e-12);
-        assert!(s.request(kids[0], 0.3, None).is_err());
+        assert!(s.request(kids[0], 0.3, None, None).is_err());
     }
 
     #[test]
@@ -370,7 +480,7 @@ mod tests {
         let (_, inner1) = add_partition(&mut s, outer[1], 2);
         // Query every leaf at 0.5: all shares collapse to 0.5 at the root.
         for &leaf in inner0.iter().chain(&inner1) {
-            assert!(s.request(leaf, 0.5, None).is_ok());
+            assert!(s.request(leaf, 0.5, None, None).is_ok());
         }
         assert!((s.spent() - 0.5).abs() < 1e-12);
     }
@@ -379,9 +489,9 @@ mod tests {
     fn failed_request_leaves_root_tracker_unchanged() {
         let mut s = state(1.0);
         let c = add_child(&mut s, 0, 1.0);
-        assert!(s.request(c, 0.9, None).is_ok());
+        assert!(s.request(c, 0.9, None, None).is_ok());
         let before = s.spent();
-        assert!(s.request(c, 0.5, None).is_err());
+        assert!(s.request(c, 0.5, None, None).is_err());
         assert_eq!(s.spent(), before);
     }
 
@@ -414,22 +524,89 @@ mod tests {
             Err(EktError::BudgetExceeded { .. })
         ));
         assert_eq!(s.reserved, 0.0);
-        // Admitted reservations shrink what `request` can see…
-        assert!(s.reserve(0.6).is_ok());
-        assert!(s.request(0, 0.5, None).is_err());
-        // …and releasing restores it, clamped at zero.
-        s.release_reserved(0.6);
-        s.release_reserved(0.6);
+        assert_eq!(s.active_reservations(), 0);
+        // Admitted reservations shrink what unattributed requests can see…
+        let id = s.reserve(0.6).unwrap();
+        assert!(s.request(0, 0.5, None, None).is_err());
+        // …and releasing restores it; a double release credits nothing.
+        s.release_entry(id);
+        s.release_entry(id);
         assert_eq!(s.reserved, 0.0);
-        assert!(s.request(0, 0.5, None).is_ok());
+        assert_eq!(s.active_reservations(), 0);
+        assert!(s.request(0, 0.5, None, None).is_ok());
+    }
+
+    #[test]
+    fn redemption_consumes_the_callers_own_hold_atomically() {
+        let mut s = state(1.0);
+        let id = s.reserve(0.6).unwrap();
+        // Attributed charges are admitted *through* the hold — the same
+        // charge that an unattributed session is refused.
+        assert!(s.request(0, 0.5, None, Some(id)).is_ok());
+        assert!((s.reservation_remaining(id) - 0.1).abs() < 1e-15);
+        assert!((s.reservation_charged(id) - 0.5).abs() < 1e-15);
+        assert!((s.reserved - 0.1).abs() < 1e-15);
+        // The hold still shields its remainder from other sessions…
+        assert!(s.request(0, 0.45, None, None).is_err());
+        // …while the holder can spend past its hold into open budget.
+        assert!(s.request(0, 0.3, None, Some(id)).is_ok());
+        assert_eq!(s.reservation_remaining(id), 0.0);
+        assert!((s.reservation_charged(id) - 0.8).abs() < 1e-15);
+        assert!((s.spent() - 0.8).abs() < 1e-15);
+        s.release_entry(id);
+        assert_eq!(s.reserved, 0.0);
+    }
+
+    #[test]
+    fn failed_redemption_leaves_reservation_and_root_untouched() {
+        let mut s = state(1.0);
+        let id = s.reserve(0.4).unwrap();
+        // Even crediting the full 0.4 hold back, 1.1 exceeds the 1.0
+        // total — the rejection must leave every tracker untouched.
+        assert!(matches!(
+            s.request(0, 1.1, None, Some(id)),
+            Err(EktError::BudgetExceeded { .. })
+        ));
+        assert_eq!(s.spent(), 0.0);
+        assert!((s.reservation_remaining(id) - 0.4).abs() < 1e-15);
+        assert_eq!(s.reservation_charged(id), 0.0);
+        assert!((s.reserved - 0.4).abs() < 1e-15);
+    }
+
+    #[test]
+    fn redemption_attributes_charges_through_derived_sources() {
+        let mut s = state(1.0);
+        let c = add_child(&mut s, 0, 2.0);
+        let id = s.reserve(0.8).unwrap();
+        // Stability scales the root cost; the *root* cost redeems the hold.
+        assert!(s.request(c, 0.4, None, Some(id)).is_ok());
+        assert_eq!(s.reservation_remaining(id), 0.0);
+        assert!((s.reservation_charged(id) - 0.8).abs() < 1e-15);
+        assert!((s.spent() - 0.8).abs() < 1e-15);
+    }
+
+    #[test]
+    fn released_slots_are_reused() {
+        let mut s = state(1.0);
+        let a = s.reserve(0.2).unwrap();
+        let b = s.reserve(0.2).unwrap();
+        assert_ne!(a, b);
+        s.release_entry(a);
+        let c = s.reserve(0.2).unwrap();
+        assert_eq!(c, a, "released slot is reused");
+        assert_eq!(s.active_reservations(), 2);
+        s.release_entry(b);
+        s.release_entry(c);
+        assert_eq!(s.active_reservations(), 0);
+        assert_eq!(s.reserved, 0.0);
     }
 
     #[test]
     fn exact_full_budget_is_allowed() {
         let mut s = state(0.3);
         for _ in 0..3 {
-            assert!(s.request(0, 0.1, None).is_ok());
+            assert!(s.request(0, 0.1, None, None).is_ok());
         }
-        assert!(s.request(0, 1e-6, None).is_err());
+        assert!(s.request(0, 1e-6, None, None).is_err());
     }
 }

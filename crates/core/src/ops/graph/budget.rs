@@ -24,8 +24,8 @@ use crate::kernel::{EktError, Result};
 use super::{MeasureOp, NodeKind, PartitionOp, PlanSpec, TransformOp};
 
 /// The outcome of [`PlanSpec::pre_account`]: worst-case root ε plus a
-/// per-node breakdown and (internally) the ordered schedule of root
-/// increments the executor unlocks reservation slices against.
+/// per-node breakdown and the ordered schedule of root increments each
+/// node's kernel charges will cause.
 #[derive(Clone, Debug)]
 pub struct PlanCost {
     /// Worst-case total root ε the plan can charge (relative to the
@@ -36,8 +36,11 @@ pub struct PlanCost {
     pub per_node: Vec<f64>,
     /// Per node: the ordered root-budget increments its kernel charges
     /// will cause (one entry per charge event — per stripe for batches,
-    /// two per round for the MWEM loop).
-    pub(crate) events: Vec<Vec<f64>>,
+    /// two per round for the MWEM loop). The executor no longer needs
+    /// this schedule — charges redeem atomically from the plan's
+    /// reservation — but services use it to audit or meter a plan's
+    /// spend profile ahead of admission.
+    pub events: Vec<Vec<f64>>,
 }
 
 /// Shadow of the kernel's source tree: parent links, stabilities, budget
@@ -70,8 +73,8 @@ impl Shadow {
     }
 
     /// Replays `KernelState::request` and returns the *root* tracker
-    /// increment this charge causes — the marginal cost the executor
-    /// unlocks from its reservation before issuing the real charge.
+    /// increment this charge causes — the marginal cost the matching
+    /// real charge will redeem from the plan's reservation.
     fn request(&mut self, sv: usize, sigma: f64, from_child: Option<usize>) -> f64 {
         match self.parent[sv] {
             None => {

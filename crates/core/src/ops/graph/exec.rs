@@ -9,15 +9,17 @@
 //! Budget flow: the executor pre-accounts the spec, takes one
 //! [`BudgetReservation`] for the whole plan (the rejection point for
 //! over-budget specs — zero kernel history entries on failure), then
-//! unlocks each node's pre-accounted slice immediately before the kernel
-//! call that consumes it. This shrinks the window in which a concurrent
-//! session can take the plan's *unredeemed* budget from the whole
-//! execution down to the span of one kernel call: for single-charge
-//! nodes that is the unlock→charge boundary; for batch nodes
-//! (`LaplaceBatch`, `DawaEach`) the node's entire slice is exposed for
-//! the duration of the batch call, including its pre-charge compute
-//! phases. Closing the window completely needs a reservation-aware
-//! charge pathway; see ROADMAP.
+//! passes the reservation into every charging kernel call. Each charge
+//! *redeems* its cost from the reservation's hold atomically with the
+//! root-ledger update, under one `KernelState` lock — there is no
+//! unlock→charge window at all, so a concurrent session can never take
+//! an admitted plan's budget, no matter how long a batch node computes
+//! between admission and its charges. On any failure — a typed kernel
+//! error, an injected fault, or a panic unwinding out of a worker job
+//! or solver — dropping the reservation releases exactly the unredeemed
+//! remainder: charges already issued stand, nothing else is held.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use ektelo_matrix::{CsrMatrix, Matrix};
 use ektelo_solvers::NnlsOptions;
@@ -32,7 +34,6 @@ use crate::ops::partition::{
 };
 use crate::ops::selection::{self, greedy_h, worst_approx};
 
-use super::budget::PlanCost;
 use super::{
     InferOp, MeasureOp, MwemLoopOp, MwemRoundInference, NodeKind, PartitionOp, PlanSpec,
     SelectDomain, SelectOp, StrategySource, TransformOp,
@@ -48,19 +49,16 @@ pub struct ExecReport {
     /// Worst-case root ε the pre-accounting predicted (scaled through
     /// the input's stability path).
     pub eps_pre_accounted: f64,
-    /// Root ε the kernel charged during execution, measured as the
-    /// difference of the *global* root ledger across the run. On a
-    /// kernel with a single active session this is exactly this plan's
-    /// cost, and on a fresh session it equals `eps_pre_accounted` bit
-    /// for bit — the pre-accounting replays the kernel's exact
-    /// arithmetic (with prior spending the subtraction can differ in
-    /// the last ulp). **Caveat:** the kernel admits concurrent
-    /// sessions, and charges other sessions issue during this run are
-    /// included in the delta — the figure is an attribution only on
-    /// single-session kernels. A per-plan ledger needs the
-    /// reservation-aware charge pathway tracked in the ROADMAP; until
-    /// then multi-session services should log `eps_pre_accounted`
-    /// (this plan's own worst case) rather than this field.
+    /// Root ε the kernel charged *to this plan*, read from the plan's
+    /// own reservation ledger: every charge the executor issues is
+    /// attributed to its [`BudgetReservation`], so concurrent sessions
+    /// never contaminate the figure. It equals `eps_pre_accounted` bit
+    /// for bit — the pre-accounting replays the kernel's exact charge
+    /// arithmetic and the ledger accumulates the same root increments
+    /// in the same order. (The [`PlanExecutor::unchecked`] path runs
+    /// without a reservation and falls back to the global-ledger delta
+    /// across the run, which is per-plan only on single-session
+    /// kernels.)
     pub eps_charged: f64,
 }
 
@@ -109,6 +107,17 @@ impl<'k> PlanExecutor<'k> {
     }
 
     /// Executes `spec` with `input` bound to the spec's input node.
+    ///
+    /// # Failure semantics
+    ///
+    /// Every failure path leaves the kernel consistent: charges issued
+    /// before the failure stand (they bought real noise draws), nothing
+    /// after it is charged, and the reservation's unredeemed remainder
+    /// is released — `budget_reserved()` returns to its pre-plan value.
+    /// A panic unwinding out of the plan body (a deferred worker-job
+    /// crash, a solver blow-up) is caught here and surfaced as
+    /// [`EktError::ExecutionPanic`] *after* the reservation is dropped,
+    /// so even a crashed plan never wedges the ledger.
     pub fn run(&self, spec: &PlanSpec, input: SourceVar) -> Result<ExecReport> {
         let cost = spec.pre_account()?;
         let path = self.kernel.stability_to_root(input);
@@ -121,18 +130,50 @@ impl<'k> PlanExecutor<'k> {
         let run = Run {
             kernel: self.kernel,
             spec,
-            cost: &cost,
             reservation,
-            path,
             start: self.kernel.measurement_count(),
         };
-        let x_hat = run.execute(input)?;
+        // AssertUnwindSafe is sound here: every panicking site runs
+        // outside the kernel's state lock (worker jobs in a batch's
+        // compute phase, solver iterations during inference), the lock
+        // shim does not poison, and each lock acquisition's mutations
+        // are transactional — so after an unwind the kernel `run`
+        // borrows is consistent, and `run` itself is dropped below
+        // without being touched again.
+        let outcome = catch_unwind(AssertUnwindSafe(|| run.execute(input)));
+        let x_hat = match outcome {
+            Ok(result) => result?,
+            Err(payload) => {
+                // Release the unredeemed remainder before reporting, so
+                // the caller observes a clean ledger from the error
+                // handler onwards.
+                drop(run);
+                return Err(EktError::ExecutionPanic(panic_message(&payload)));
+            }
+        };
+        let eps_charged = match &run.reservation {
+            Some(res) => res.charged(),
+            None => self.kernel.budget_spent() - spent_before,
+        };
         Ok(ExecReport {
             x_hat,
             signature: spec.signature(),
             eps_pre_accounted: cost.total * path,
-            eps_charged: self.kernel.budget_spent() - spent_before,
+            eps_charged,
         })
+    }
+}
+
+/// Best-effort extraction of a panic payload's message (`panic!` with a
+/// string literal or a formatted `String` — everything the codebase and
+/// the fault-injection sites produce).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -140,21 +181,18 @@ impl<'k> PlanExecutor<'k> {
 struct Run<'a, 'k> {
     kernel: &'k ProtectedKernel,
     spec: &'a PlanSpec,
-    cost: &'a PlanCost,
     reservation: Option<BudgetReservation<'k>>,
-    path: f64,
     /// Measurement-history index at session start; inference nodes see
     /// only this session's measurements.
     start: usize,
 }
 
-impl Run<'_, '_> {
-    /// Releases one pre-accounted slice from the reservation right
-    /// before the charge it was reserved for.
-    fn unlock(&self, eps_at_input: f64) {
-        if let Some(res) = &self.reservation {
-            res.unlock(eps_at_input * self.path);
-        }
+impl<'k> Run<'_, 'k> {
+    /// The reservation every charging kernel call redeems against
+    /// (`None` on the unchecked path — charges then compete for open
+    /// budget like imperative plans).
+    fn res(&self) -> Option<&BudgetReservation<'k>> {
+        self.reservation.as_ref()
     }
 
     fn source(&self, vals: &[Value], id: usize) -> Result<SourceVar> {
@@ -185,7 +223,7 @@ impl Run<'_, '_> {
     fn execute(&self, input: SourceVar) -> Result<Vec<f64>> {
         let kernel = self.kernel;
         let mut vals: Vec<Value> = Vec::with_capacity(self.spec.nodes.len());
-        for (id, node) in self.spec.nodes.iter().enumerate() {
+        for node in self.spec.nodes.iter() {
             let val = match node {
                 NodeKind::Input => Value::Source(input),
 
@@ -197,8 +235,7 @@ impl Run<'_, '_> {
                 }
                 NodeKind::Partition(PartitionOp::DawaEach { inputs, eps, opts }) => {
                     let svs = self.sources(&vals, inputs.id)?.to_vec();
-                    self.unlock(self.cost.per_node[id]);
-                    Value::Partitions(dawa_partition_batch(kernel, &svs, *eps, opts)?)
+                    Value::Partitions(dawa_partition_batch(kernel, &svs, *eps, opts, self.res())?)
                 }
 
                 NodeKind::Transform(TransformOp::Split { input, partition }) => {
@@ -246,8 +283,7 @@ impl Run<'_, '_> {
                         Value::Strategy(m) => m,
                         other => return Err(type_err(strategy.id, "strategy", other)),
                     };
-                    self.unlock(self.cost.per_node[id]);
-                    kernel.vector_laplace(sv, m, *eps)?;
+                    kernel.vector_laplace_in(sv, m, *eps, self.res())?;
                     Value::None
                 }
                 NodeKind::Measure(MeasureOp::LaplaceBatch {
@@ -256,7 +292,6 @@ impl Run<'_, '_> {
                     eps,
                 }) => {
                     let svs = self.sources(&vals, inputs.id)?.to_vec();
-                    self.unlock(self.cost.per_node[id]);
                     match strategies {
                         StrategySource::Shared(s) => {
                             let m = match &vals[s.id] {
@@ -265,7 +300,7 @@ impl Run<'_, '_> {
                             };
                             let reqs: Vec<(SourceVar, &Matrix, f64)> =
                                 svs.iter().map(|&sv| (sv, m, *eps)).collect();
-                            kernel.vector_laplace_batch(&reqs)?;
+                            kernel.vector_laplace_batch_in(&reqs, self.res())?;
                         }
                         StrategySource::PerSource(s) => {
                             let ms = match &vals[s.id] {
@@ -281,7 +316,7 @@ impl Run<'_, '_> {
                             }
                             let reqs: Vec<(SourceVar, &Matrix, f64)> =
                                 svs.iter().zip(ms).map(|(&sv, m)| (sv, m, *eps)).collect();
-                            kernel.vector_laplace_batch(&reqs)?;
+                            kernel.vector_laplace_batch_in(&reqs, self.res())?;
                         }
                     }
                     Value::None
@@ -296,7 +331,7 @@ impl Run<'_, '_> {
                 )),
 
                 NodeKind::AdaptiveMwem(op) => {
-                    Value::Estimate(self.run_mwem_loop(&vals, id, op, input)?)
+                    Value::Estimate(self.run_mwem_loop(&vals, op, input)?)
                 }
             };
             vals.push(val);
@@ -351,27 +386,32 @@ impl Run<'_, '_> {
     }
 
     /// MWEM's adaptive loop — an exact port of the imperative
-    /// `plan_mwem` body, with per-round reservation unlocks. Budget
-    /// exhaustion inside the loop (only reachable without pre-accounting
-    /// or under external drain) surfaces as the selection or measurement
-    /// operator's typed error.
+    /// `plan_mwem` body, with every round's charges redeemed from the
+    /// plan reservation. Budget exhaustion inside the loop (only
+    /// reachable without pre-accounting or under external drain)
+    /// surfaces as the selection or measurement operator's typed error.
     fn run_mwem_loop(
         &self,
         vals: &[Value],
-        id: usize,
         op: &MwemLoopOp,
         session_input: SourceVar,
     ) -> Result<Vec<f64>> {
         let kernel = self.kernel;
         let x = self.source(vals, op.input.id)?;
         let n = kernel.vector_len(x)?;
-        let events = &self.cost.events[id];
         let mut x_hat = vec![op.total / n as f64; n];
         for round in 0..op.rounds {
             // SW: worst-approximated workload query (exponential
             // mechanism).
-            self.unlock(events[2 * round]);
-            let idx = worst_approx(kernel, x, &op.workload, &x_hat, 1.0, op.eps_select)?;
+            let idx = worst_approx(
+                kernel,
+                x,
+                &op.workload,
+                &x_hat,
+                1.0,
+                op.eps_select,
+                self.res(),
+            )?;
             let row = op.workload.row(idx);
             let selected = mwem_row_strategy(n, &row);
             let strategy = if op.augment {
@@ -381,8 +421,7 @@ impl Run<'_, '_> {
             };
             // LM: the strategy has sensitivity 1 by construction
             // (disjoint augmentation), so measuring costs eps_measure.
-            self.unlock(events[2 * round + 1]);
-            kernel.vector_laplace(x, &strategy, op.eps_measure)?;
+            kernel.vector_laplace_in(x, &strategy, op.eps_measure, self.res())?;
 
             // Per-round inference over all session measurements so far.
             let measurements = kernel.measurements_since(self.start);

@@ -22,8 +22,9 @@
 //!   [`crate::ProtectedKernel`] session: it pre-accounts, takes a
 //!   [`crate::kernel::BudgetReservation`] for the
 //!   whole plan (rejecting over-budget specs with zero kernel history
-//!   entries), then executes node by node, unlocking each pre-accounted
-//!   slice just before the charge that consumes it.
+//!   entries), then executes node by node; every charge redeems its
+//!   cost from the reservation atomically with the root-ledger update,
+//!   so no other session can ever take an admitted plan's budget.
 //! * [`PlanSpec::signature`] — renders the paper's Fig. 2 signature
 //!   string (e.g. `I:( SW LM MW )`) from the graph, for logging and
 //!   plan-catalogue comparison.

@@ -21,7 +21,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::kernel::noise::laplace;
-use crate::kernel::{ProtectedKernel, Result, SourceVar};
+use crate::kernel::{BudgetReservation, ProtectedKernel, Result, SourceVar};
 
 /// Options for [`dawa_partition`].
 #[derive(Clone, Debug)]
@@ -96,9 +96,10 @@ pub fn dawa_partition_batch(
     svs: &[SourceVar],
     eps: f64,
     opts: &DawaOptions,
+    res: Option<&BudgetReservation<'_>>,
 ) -> Result<Vec<Matrix>> {
     let reqs: Vec<(SourceVar, f64)> = svs.iter().map(|&s| (s, eps)).collect();
-    let (base, snaps) = kernel.charge_and_snapshot_batch(&reqs)?;
+    let (base, snaps) = kernel.charge_and_snapshot_batch(&reqs, res)?;
     let mut out: Vec<Matrix> = vec![Matrix::identity(1); svs.len()];
     fill_partitions(&snaps, base, eps, opts, &mut out);
     Ok(out)
@@ -313,11 +314,11 @@ mod tests {
         let opts = DawaOptions::new(0.5);
 
         let (k1, stripes1) = make();
-        let batch = dawa_partition_batch(&k1, &stripes1, 0.5, &opts).unwrap();
+        let batch = dawa_partition_batch(&k1, &stripes1, 0.5, &opts, None).unwrap();
 
         let (k2, stripes2) = make();
         let reqs: Vec<(SourceVar, f64)> = stripes2.iter().map(|&s| (s, 0.5)).collect();
-        let (base, snaps) = k2.charge_and_snapshot_batch(&reqs).unwrap();
+        let (base, snaps) = k2.charge_and_snapshot_batch(&reqs, None).unwrap();
         let mut seq = vec![Matrix::identity(1); snaps.len()];
         fill_partitions_serial(&snaps, base, 0.5, &opts, &mut seq);
 
@@ -357,7 +358,7 @@ mod tests {
         // Kernel A: a failing batch (second source is a table, not a
         // vector), then a successful one.
         let (ka, xa) = make();
-        let err = dawa_partition_batch(&ka, &[xa, ka.root()], 0.25, &opts).unwrap_err();
+        let err = dawa_partition_batch(&ka, &[xa, ka.root()], 0.25, &opts, None).unwrap_err();
         assert!(matches!(
             err,
             crate::kernel::EktError::WrongSourceType { .. }
@@ -365,12 +366,12 @@ mod tests {
         // Both the vector charge and the failing source's charge landed
         // (the sequential loop charges before it touches the data).
         assert!((ka.budget_spent() - 0.5).abs() < 1e-12);
-        let parts_a = dawa_partition_batch(&ka, &[xa], 0.25, &opts).unwrap();
+        let parts_a = dawa_partition_batch(&ka, &[xa], 0.25, &opts, None).unwrap();
 
         // Kernel B: only the successful batch. Identical seed, identical
         // draws — the failed attempt must not have advanced the stream.
         let (kb, xb) = make();
-        let parts_b = dawa_partition_batch(&kb, &[xb], 0.25, &opts).unwrap();
+        let parts_b = dawa_partition_batch(&kb, &[xb], 0.25, &opts, None).unwrap();
         assert_eq!(parts_a.len(), parts_b.len());
         for (a, b) in parts_a.iter().zip(&parts_b) {
             assert_eq!(a.shape(), b.shape());
@@ -391,7 +392,8 @@ mod tests {
                 &(0..64).map(|i| i / 32).collect::<Vec<_>>(),
             );
             let stripes = k.split_by_partition(k.root(), &p).unwrap();
-            let parts = dawa_partition_batch(&k, &stripes, 0.75, &DawaOptions::new(0.5)).unwrap();
+            let parts =
+                dawa_partition_batch(&k, &stripes, 0.75, &DawaOptions::new(0.5), None).unwrap();
             // Sibling stripes compose in parallel: one ε charge at the root.
             assert!((k.budget_spent() - 0.75).abs() < 1e-12);
             parts

@@ -9,12 +9,16 @@
 use ektelo_matrix::Matrix;
 
 use crate::kernel::noise::exponential_mechanism;
-use crate::kernel::{EktError, ProtectedKernel, Result, SourceVar};
+use crate::kernel::{BudgetReservation, EktError, ProtectedKernel, Result, SourceVar};
 
 /// Selects the index of the workload row worst-approximated by `x_hat`,
 /// spending `eps`. `score_sensitivity` bounds how much one record can move
 /// any single query's score — 1 for counting queries with 0/1
 /// coefficients (all workloads in the paper's MWEM experiments).
+///
+/// When `res` is given, the charge is redeemed from that reservation's
+/// hold (the plan executor's path); with `None` it competes for open
+/// budget like any imperative charge.
 pub fn worst_approx(
     kernel: &ProtectedKernel,
     sv: SourceVar,
@@ -22,6 +26,7 @@ pub fn worst_approx(
     x_hat: &[f64],
     score_sensitivity: f64,
     eps: f64,
+    res: Option<&BudgetReservation<'_>>,
 ) -> Result<usize> {
     if workload.rows() == 0 {
         return Err(EktError::InvalidArgument("empty workload".into()));
@@ -32,7 +37,7 @@ pub fn worst_approx(
             found: workload.cols(),
         });
     }
-    kernel.charge(sv, eps)?;
+    kernel.charge_in(sv, eps, res)?;
     // Surface a wrong source type *before* checking a workspace out of
     // the pool: the closure below moves the workspace, so an error from
     // `with_vector` would drop it instead of restoring it.
@@ -75,7 +80,7 @@ mod tests {
         let mut hits = 0;
         for seed in 0..50 {
             let k = ProtectedKernel::init_from_vector(x.clone(), 10.0, seed);
-            let idx = worst_approx(&k, k.root(), &w, &x_hat, 1.0, 5.0).unwrap();
+            let idx = worst_approx(&k, k.root(), &w, &x_hat, 1.0, 5.0, None).unwrap();
             if idx == 3 {
                 hits += 1;
             }
@@ -87,10 +92,10 @@ mod tests {
     fn charges_budget() {
         let k = ProtectedKernel::init_from_vector(vec![1.0; 4], 1.0, 0);
         let w = Matrix::identity(4);
-        worst_approx(&k, k.root(), &w, &[0.0; 4], 1.0, 0.25).unwrap();
+        worst_approx(&k, k.root(), &w, &[0.0; 4], 1.0, 0.25, None).unwrap();
         assert!((k.budget_spent() - 0.25).abs() < 1e-12);
         // Exhausting the budget errors out.
-        assert!(worst_approx(&k, k.root(), &w, &[0.0; 4], 1.0, 1.0).is_err());
+        assert!(worst_approx(&k, k.root(), &w, &[0.0; 4], 1.0, 1.0, None).is_err());
     }
 
     #[test]
@@ -98,7 +103,7 @@ mod tests {
         let k = ProtectedKernel::init_from_vector(vec![1.0; 4], 1.0, 0);
         let w = Matrix::identity(5);
         assert!(matches!(
-            worst_approx(&k, k.root(), &w, &[0.0; 4], 1.0, 0.1),
+            worst_approx(&k, k.root(), &w, &[0.0; 4], 1.0, 0.1, None),
             Err(EktError::ShapeMismatch { .. })
         ));
     }

@@ -108,7 +108,7 @@ fn invalid_partition_rejected_by_both_partition_ops() {
 fn worst_approx_on_empty_workload_fails() {
     let k = ProtectedKernel::init_from_vector(vec![1.0; 4], 1.0, 0);
     let empty = Matrix::sparse(ektelo_matrix::CsrMatrix::zeros(0, 4));
-    assert!(worst_approx(&k, k.root(), &empty, &[0.0; 4], 1.0, 0.1).is_err());
+    assert!(worst_approx(&k, k.root(), &empty, &[0.0; 4], 1.0, 0.1, None).is_err());
 }
 
 #[test]

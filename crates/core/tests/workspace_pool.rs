@@ -137,10 +137,10 @@ fn worst_approx_reuses_the_pooled_workspace() {
     let k = ProtectedKernel::init_from_vector(vec![3.0; 256], 10.0, 5);
     let w = Matrix::prefix(256);
     let x_hat = vec![3.0; 256];
-    worst_approx(&k, k.root(), &w, &x_hat, 1.0, 0.1).unwrap();
+    worst_approx(&k, k.root(), &w, &x_hat, 1.0, 0.1, None).unwrap();
     assert_eq!(k.workspace_pool_len(), 1);
     for _ in 0..4 {
-        worst_approx(&k, k.root(), &w, &x_hat, 1.0, 0.1).unwrap();
+        worst_approx(&k, k.root(), &w, &x_hat, 1.0, 0.1, None).unwrap();
         assert_eq!(
             k.workspace_pool_len(),
             1,

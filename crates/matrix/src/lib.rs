@@ -43,6 +43,7 @@
 
 mod combine;
 mod dense;
+pub mod failpoints;
 pub mod kernels;
 mod materialize;
 mod matvec;

@@ -220,9 +220,16 @@ fn worker_main(index: usize) {
 /// caught and deferred to the scope's caller.
 fn run_job(mut job: Job) {
     let scope = job.scope;
-    // SAFETY: `job.call` was instantiated by `erase` for exactly the type
-    // whose bytes live in `job.data`, and each job is consumed once.
-    let result = catch_unwind(AssertUnwindSafe(|| unsafe { (job.call)(&mut job.data) }));
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        // Injected pool-job fault (counted before the closure runs, so an
+        // armed hit skips the job entirely — its captured bytes are never
+        // consumed, which is fine: engine closures capture only references
+        // and scalars, never owning allocations).
+        crate::failpoints::panic_if("pool::job");
+        // SAFETY: `job.call` was instantiated by `erase` for exactly the
+        // type whose bytes live in `job.data`; each job is consumed once.
+        unsafe { (job.call)(&mut job.data) }
+    }));
     // SAFETY: the scope outlives the job — `scope()` cannot return while
     // `pending` counts it. The caller handle is cloned *before* the
     // decrement because the decrement is what releases the scope's frame.
@@ -242,9 +249,16 @@ fn run_job(mut job: Job) {
 /// already-dispatched siblings still complete before the scope unwinds.
 fn run_inline(state: &ScopeState, mut job: Job) {
     pool().inline.fetch_add(1, Ordering::Relaxed);
-    // SAFETY: same contract as `run_job` — `job.call` matches the erased
-    // type in `job.data` and this is the job's single consumption.
-    if let Err(payload) = catch_unwind(AssertUnwindSafe(|| unsafe { (job.call)(&mut job.data) })) {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        // Same site as `run_job`: every slot-backed job passes exactly one
+        // of the two, so the site's total hit count per region is the job
+        // count — invariant across pool sizes.
+        crate::failpoints::panic_if("pool::job");
+        // SAFETY: same contract as `run_job` — `job.call` matches the
+        // erased type in `job.data`; this is the job's single consumption.
+        unsafe { (job.call)(&mut job.data) }
+    }));
+    if let Err(payload) = result {
         store_panic(state, payload);
     }
 }

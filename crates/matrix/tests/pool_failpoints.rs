@@ -1,0 +1,86 @@
+//! Pool × failpoints: a deterministic injected panic in one pool job must
+//! behave exactly like a real job crash — deferred until every sibling in
+//! the region has completed, then re-raised to the scope's caller — and
+//! must leave the pool fully functional for subsequent regions.
+//!
+//! The `pool::job` site fires by *total hit count across the region*
+//! (worker-run and inline-run jobs pass the same site), so the number of
+//! completed siblings is invariant across pool sizes even though *which*
+//! job observes the nth hit is schedule-dependent.
+
+#![cfg(feature = "failpoints")]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+use ektelo_matrix::{failpoints, pool};
+
+/// The failpoint registry is process-global; tests in this binary must
+/// not interleave their schedules.
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Runs a 4-job region where each job bumps a shared counter, returning
+/// (scope panicked, jobs that ran).
+fn run_region() -> (bool, usize) {
+    let done = AtomicUsize::new(0);
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        pool::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    done.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+    }));
+    (outcome.is_err(), done.load(Ordering::Relaxed))
+}
+
+#[test]
+fn injected_job_panic_is_deferred_and_siblings_complete() {
+    let _guard = serial();
+    failpoints::clear();
+    failpoints::arm("pool::job", 2);
+    let (panicked, done) = run_region();
+    assert!(
+        panicked,
+        "the armed job's panic must reach the scope caller"
+    );
+    assert_eq!(
+        done, 3,
+        "exactly the armed job is skipped; all siblings run to completion"
+    );
+    failpoints::clear();
+}
+
+#[test]
+fn pool_is_fully_functional_after_an_injected_panic() {
+    let _guard = serial();
+    failpoints::clear();
+    failpoints::arm("pool::job", 1);
+    let (panicked, _) = run_region();
+    assert!(panicked);
+    // The site was one-shot: the next region runs clean on the same pool.
+    let (panicked, done) = run_region();
+    assert!(!panicked, "a fired site stays disarmed");
+    assert_eq!(done, 4);
+    failpoints::clear();
+}
+
+#[test]
+fn unarmed_runs_only_count_hits() {
+    let _guard = serial();
+    failpoints::clear();
+    let (panicked, done) = run_region();
+    assert!(!panicked);
+    assert_eq!(done, 4);
+    assert_eq!(
+        failpoints::hits("pool::job"),
+        4,
+        "every job passes the site exactly once, for any pool size"
+    );
+    failpoints::clear();
+}

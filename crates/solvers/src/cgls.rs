@@ -40,6 +40,9 @@ pub fn cgls(a: &Matrix, b: &[f64], opts: &LsqrOptions) -> LsqrResult {
     let mut iterations = 0;
     for it in 1..=opts.max_iters {
         iterations = it;
+        // Injected solver blow-up (numerical divergence has no error
+        // channel here — the executor maps the unwind to a typed error).
+        ektelo_matrix::failpoints::panic_if("solver::iteration");
         a.matvec_into(&p, &mut q, &mut ws);
         let qq = par_dot(&q, &q);
         if qq == 0.0 {

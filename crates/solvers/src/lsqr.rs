@@ -99,6 +99,8 @@ pub fn lsqr(a: &Matrix, b: &[f64], opts: &LsqrOptions) -> LsqrResult {
     let mut iterations = 0;
     for it in 1..=opts.max_iters {
         iterations = it;
+        // Injected solver blow-up; see the matching site in cgls.rs.
+        ektelo_matrix::failpoints::panic_if("solver::iteration");
 
         // Continue the bidiagonalization:
         //   β u = A v − α u ;  α v = Aᵀ u − β v

@@ -13,33 +13,41 @@
 //!
 //! # Rule catalog
 //!
-//! * [`determinism-thread`] — `std::thread::spawn` / `std::thread::scope`
+//! * `determinism-thread` — `std::thread::spawn` / `std::thread::scope`
 //!   are forbidden everywhere except `crates/matrix/src/pool.rs` (the one
 //!   sanctioned thread owner). Ad-hoc threads bypass the pool's
 //!   fixed-geometry dispatch and its pool-size bit-identity guarantee.
-//! * [`determinism-parallelism`] — `available_parallelism` is forbidden
+//! * `determinism-parallelism` — `available_parallelism` is forbidden
 //!   outside `pool::configured_parallelism`: chunk geometry must come
 //!   from the process constant, never from a machine query at a call
 //!   site (that is exactly how results drift across machines).
-//! * [`determinism-hash-iter`] — `HashMap`/`HashSet` are forbidden in the
+//! * `determinism-hash-iter` — `HashMap`/`HashSet` are forbidden in the
 //!   hot evaluation files (`matvec.rs`, `kernels.rs`, `plan.rs`): their
 //!   iteration order is randomized per process, so any use there is one
 //!   refactor away from nondeterministic evaluation order.
-//! * [`kernel-class`] — every `pub fn` in `crates/matrix/src/kernels.rs`
+//! * `kernel-class` — every `pub fn` in `crates/matrix/src/kernels.rs`
 //!   must carry a `// CLASS: order-preserving` or `// CLASS:
 //!   reassociating` tag in its doc block (the ROADMAP standing note,
 //!   machine-checked) and must be exercised by name from
 //!   `crates/matrix/tests/proptest_kernels.rs`.
-//! * [`budget-chokepoint`] — inside `crates/core/src/kernel/`, raw `f64`
+//! * `budget-chokepoint` — inside `crates/core/src/kernel/`, raw `f64`
 //!   comparisons on `eps`-named values and mutations of the `reserved` /
-//!   `budget` trackers are only legal in `state.rs` (or a future
-//!   `budget.rs`) — the `KernelState::request` chokepoint. Scattered
-//!   epsilon guards are how the PR-4 NaN-bypass class of bug gets
-//!   reintroduced.
-//! * [`unsafe-safety`] — every `unsafe` block / fn / impl needs an
+//!   `budget` / `held` / `charged` trackers are only legal in `state.rs`
+//!   (or a future `budget.rs`) — the `KernelState::request` chokepoint.
+//!   Scattered epsilon guards are how the PR-4 NaN-bypass class of bug
+//!   gets reintroduced, and reservation-ledger fields mutated outside
+//!   the chokepoint are how redemption atomicity silently breaks.
+//! * `failpoint-sites` — the fault-injection surface is an audited
+//!   list: `failpoints::triggered` / `failpoints::panic_if` sites may
+//!   only appear in the enumerated site files, and schedule mutation
+//!   (`failpoints::arm` / `arm_schedule` / `clear`) is forbidden in
+//!   library code outside the failpoints module itself (tests arm
+//!   freely). A site smuggled into an unaudited file is a covert
+//!   abort channel; an arm call in library code is nondeterminism.
+//! * `unsafe-safety` — every `unsafe` block / fn / impl needs an
 //!   adjacent `// SAFETY:` comment (same line or within the five lines
 //!   above). `--inventory` reports every site with its justification.
-//! * [`panic-policy`] — `.unwrap()` / `.expect(...)` / `panic!` in
+//! * `panic-policy` — `.unwrap()` / `.expect(...)` / `panic!` in
 //!   library code of core/matrix/solvers/plans (`src/`, outside
 //!   `#[cfg(test)]` modules) must be converted to typed `EktError` paths
 //!   or carry an explicit justification allowlist comment.
@@ -74,6 +82,7 @@ pub const RULES: &[&str] = &[
     "determinism-hash-iter",
     "kernel-class",
     "budget-chokepoint",
+    "failpoint-sites",
     "unsafe-safety",
     "panic-policy",
 ];
@@ -717,6 +726,20 @@ fn lint_file(ctx: &FileCtx, report: &mut Report) {
     let panic_scoped = ["core", "matrix", "solvers", "plans"]
         .iter()
         .any(|c| ctx.rel.starts_with(&format!("crates/{c}/src/")));
+    // The audited fault-injection surface: every file allowed to host a
+    // `triggered`/`panic_if` site. Extending the surface means editing
+    // this list — a deliberate, reviewable act.
+    let failpoint_site_file = matches!(
+        ctx.rel.as_str(),
+        "crates/matrix/src/failpoints.rs"
+            | "crates/matrix/src/pool.rs"
+            | "crates/core/src/kernel/state.rs"
+            | "crates/core/src/kernel/mod.rs"
+            | "crates/solvers/src/cgls.rs"
+            | "crates/solvers/src/lsqr.rs"
+    );
+    let failpoints_module = ctx.rel == "crates/matrix/src/failpoints.rs";
+    let lib_src = ctx.rel.starts_with("crates/") && ctx.rel.contains("/src/");
 
     for (i, line) in ctx.lines.iter().enumerate() {
         let code = line.code.as_str();
@@ -801,7 +824,7 @@ fn lint_file(ctx: &FileCtx, report: &mut Report) {
                         .to_string(),
                 );
             }
-            for field in ["reserved", "budget"] {
+            for field in ["reserved", "budget", "held", "charged"] {
                 if has_field_mutation(code, field) {
                     push(
                         report,
@@ -813,6 +836,47 @@ fn lint_file(ctx: &FileCtx, report: &mut Report) {
                              only move inside the KernelState chokepoint"
                         ),
                     );
+                }
+            }
+        }
+
+        if lib_src && !ctx.in_test_mod[i] {
+            if !failpoints_module {
+                for tok in [
+                    "failpoints::arm",
+                    "failpoints::arm_schedule",
+                    "failpoints::clear",
+                ] {
+                    if contains_token(code, tok) {
+                        push(
+                            report,
+                            ctx,
+                            i,
+                            "failpoint-sites",
+                            format!(
+                                "`{tok}` in library code: fault schedules may only be armed \
+                                 from tests or the failpoints module — an arm call here is a \
+                                 hidden nondeterminism channel"
+                            ),
+                        );
+                    }
+                }
+            }
+            if !failpoint_site_file {
+                for tok in ["failpoints::triggered", "failpoints::panic_if"] {
+                    if contains_token(code, tok) {
+                        push(
+                            report,
+                            ctx,
+                            i,
+                            "failpoint-sites",
+                            format!(
+                                "`{tok}` outside the audited site list: fault-injection sites \
+                                 are part of the reviewed failure surface — add the file to \
+                                 xlint's site list deliberately or move the site"
+                            ),
+                        );
+                    }
                 }
             }
         }

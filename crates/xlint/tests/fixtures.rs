@@ -32,12 +32,18 @@ fn keys(report: &xlint::Report) -> Vec<(String, usize, &'static str)> {
 fn violations_are_detected_at_exact_lines() {
     let report = xlint::lint_root(&fixture("violations")).expect("fixture tree scans");
     let expected: Vec<(String, usize, &str)> = [
-        // mod.rs: raw eps comparison + reserved mutation outside state.rs.
+        // mod.rs: raw eps comparison + reserved mutation outside state.rs,
+        // then the reservation-ledger fields (held/charged) likewise.
         ("crates/core/src/kernel/mod.rs", 6, "budget-chokepoint"),
         ("crates/core/src/kernel/mod.rs", 9, "budget-chokepoint"),
-        // lib.rs: bare unsafe block, library unwrap.
+        ("crates/core/src/kernel/mod.rs", 14, "budget-chokepoint"),
+        ("crates/core/src/kernel/mod.rs", 15, "budget-chokepoint"),
+        // lib.rs: bare unsafe block, library unwrap, then an arm call in
+        // library code and a failpoint site outside the audited list.
         ("crates/core/src/lib.rs", 3, "unsafe-safety"),
         ("crates/core/src/lib.rs", 7, "panic-policy"),
+        ("crates/core/src/lib.rs", 19, "failpoint-sites"),
+        ("crates/core/src/lib.rs", 20, "failpoint-sites"),
         // kernels.rs: untagged fires twice (missing tag + unreferenced),
         // tagged_untested once (unreferenced), mistagged once (bad tag).
         ("crates/matrix/src/kernels.rs", 6, "kernel-class"),
@@ -60,7 +66,13 @@ fn violations_are_detected_at_exact_lines() {
         report.diagnostics
     );
     // The path-exempt twins stayed silent: pool.rs (threading owner),
-    // state.rs (budget chokepoint), the #[cfg(test)] unwrap.
+    // state.rs (budget chokepoint, incl. held/charged), the #[cfg(test)]
+    // unwrap, the site in kernel/mod.rs (audited site file), and the arm
+    // call inside a #[cfg(test)] module.
+    assert!(!report
+        .diagnostics
+        .iter()
+        .any(|d| d.rule == "failpoint-sites" && d.line > 20));
     assert!(!report
         .diagnostics
         .iter()

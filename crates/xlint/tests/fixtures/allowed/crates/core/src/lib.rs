@@ -9,3 +9,8 @@ pub fn parse(s: &str) -> u32 {
     // xlint: allow(panic-policy, reason = "fixture: input is a compile-time constant")
     s.parse().unwrap()
 }
+
+pub fn poke() -> bool {
+    // xlint: allow(failpoint-sites, reason = "fixture: site under migration to the audited list")
+    failpoints::triggered("covert::site")
+}

@@ -9,3 +9,13 @@ pub fn admit(st: &mut St, eps: f64) -> bool {
     st.reserved += eps;
     true
 }
+
+pub fn redeem(e: &mut Entry, take: f64) {
+    e.held -= take;
+    e.charged += take;
+}
+
+pub fn site_file_twin() -> bool {
+    // kernel/mod.rs is on the audited site list: a site here is legal.
+    failpoints::triggered("state::charge")
+}

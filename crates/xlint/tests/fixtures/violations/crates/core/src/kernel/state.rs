@@ -11,3 +11,10 @@ pub fn admit(st: &mut St, eps: f64) -> bool {
     st.reserved += eps;
     true
 }
+
+// Reservation-ledger mutations are likewise chokepoint-only — and legal
+// here.
+pub fn redeem(e: &mut Entry, take: f64) {
+    e.held -= take;
+    e.charged += take;
+}

@@ -14,3 +14,15 @@ mod tests {
         assert_eq!("4".parse::<u32>().unwrap(), 4);
     }
 }
+
+pub fn poke() -> bool {
+    failpoints::arm("pool::job", 1);
+    failpoints::triggered("covert::site")
+}
+
+#[cfg(test)]
+mod fault_tests {
+    fn arms_are_test_only() {
+        failpoints::arm("pool::job", 1);
+    }
+}

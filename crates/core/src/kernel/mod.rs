@@ -72,7 +72,13 @@ struct PoolSlots {
 impl Default for WorkspacePool {
     fn default() -> Self {
         WorkspacePool {
-            slots: Mutex::new(PoolSlots::default()),
+            slots: Mutex::new(PoolSlots {
+                // Full capacity up front: `restore` pushes while holding
+                // the pool lock, and a pre-sized stack keeps that push a
+                // pointer write instead of a possible reallocation.
+                stack: Vec::with_capacity(WORKSPACE_POOL_CAP),
+                resident_scalars: 0,
+            }),
             max_bytes: std::sync::atomic::AtomicUsize::new(WORKSPACE_POOL_DEFAULT_MAX_BYTES),
         }
     }
@@ -102,6 +108,7 @@ impl WorkspacePool {
             ws.shed_to(headroom);
         }
         slots.resident_scalars += ws.resident_scalars();
+        // xlint: allow(lock-discipline, reason = "stack is pre-allocated to WORKSPACE_POOL_CAP and the len check above bounds it, so this push is a pointer write that never reallocates")
         slots.stack.push(ws);
     }
 
@@ -346,6 +353,7 @@ impl ProtectedKernel {
     /// The schema of a table source (public metadata).
     pub fn schema(&self, sv: SourceVar) -> Result<Schema> {
         let st = self.state.lock();
+        // xlint: allow(lock-discipline, reason = "the schema clone is the return value and the table is only readable under the lock; O(attributes) metadata copy on a control-plane query")
         Ok(st.table(sv.0)?.schema().clone())
     }
 
@@ -445,6 +453,7 @@ impl ProtectedKernel {
                     lineage: None,
                 }))
             })
+            // xlint: allow(lock-discipline, reason = "table transformation is control-plane (once per plan); the protected table is only readable under the lock and child registration shares the same acquisition")
             .collect())
     }
 
@@ -460,6 +469,7 @@ impl ProtectedKernel {
         let x = t_vectorize(st.table(sv.0)?);
         let n = x.len();
         let id = st.add_node(Node {
+            // xlint: allow(lock-discipline, reason = "vectorize is control-plane (once per plan); the table it reads is only accessible under the lock, and node registration shares the acquisition")
             data: NodeData::Vector(Arc::new(x)),
             parent: Some(sv.0),
             stability: 1.0,
@@ -509,13 +519,17 @@ impl ProtectedKernel {
                     found: m.cols(),
                 });
             }
+            // xlint: allow(lock-discipline, reason = "structural Matrix clone (shared representation) taken while snapshotting; the node's lineage is only readable under the lock")
             (x, st.nodes[sv.0].base, st.nodes[sv.0].lineage.clone())
         };
         let out = m.matvec(&x);
         let lineage = lineage.map(|l| Matrix::product(m.clone(), l));
+        // The full node payload is built before re-locking, so the second
+        // critical section is registration only.
+        let data = NodeData::Vector(Arc::new(out));
         let mut st = self.state.lock();
         Ok(SourceVar(st.add_node(Node {
-            data: NodeData::Vector(Arc::new(out)),
+            data,
             parent: Some(sv.0),
             stability,
             budget: 0.0,
@@ -536,17 +550,36 @@ impl ProtectedKernel {
             )));
         }
         let groups = partition_groups(p);
-        let mut st = self.state.lock();
-        let x = st.vector_arc(sv.0)?;
-        if p.cols() != x.len() {
-            return Err(EktError::ShapeMismatch {
-                expected: x.len(),
-                found: p.cols(),
-            });
-        }
+        // Zero-copy snapshot under a short lock; node data is immutable
+        // and nodes are never removed, so the snapshot stays valid after
+        // release and the per-group payloads build outside the critical
+        // section.
+        let (x, base, parent_lineage) = {
+            let st = self.state.lock();
+            let x = st.vector_arc(sv.0)?;
+            if p.cols() != x.len() {
+                return Err(EktError::ShapeMismatch {
+                    expected: x.len(),
+                    found: p.cols(),
+                });
+            }
+            // xlint: allow(lock-discipline, reason = "structural Matrix clone (shared representation) taken while snapshotting; the node's lineage is only readable under the lock")
+            (x, st.nodes[sv.0].base, st.nodes[sv.0].lineage.clone())
+        };
         let n = x.len();
-        let base = st.nodes[sv.0].base;
-        let parent_lineage = st.nodes[sv.0].lineage.clone();
+        let mut children = Vec::with_capacity(groups.len());
+        for cells in &groups {
+            let selector = Matrix::select_rows(n, cells);
+            let data: Vec<f64> = cells.iter().map(|&c| x[c]).collect();
+            let lineage = parent_lineage
+                .as_ref()
+                .map(|l| Matrix::product(selector, l.clone()));
+            children.push((NodeData::Vector(Arc::new(data)), lineage));
+        }
+        let mut out = Vec::with_capacity(children.len());
+        // Commit under one lock acquisition: registration only, every
+        // payload was built above.
+        let mut st = self.state.lock();
         let dummy = st.add_node(Node {
             data: NodeData::PartitionDummy,
             parent: Some(sv.0),
@@ -555,15 +588,10 @@ impl ProtectedKernel {
             base,
             lineage: None,
         });
-        let mut out = Vec::with_capacity(groups.len());
-        for cells in &groups {
-            let selector = Matrix::select_rows(n, cells);
-            let data: Vec<f64> = cells.iter().map(|&c| x[c]).collect();
-            let lineage = parent_lineage
-                .as_ref()
-                .map(|l| Matrix::product(selector.clone(), l.clone()));
+        for (data, lineage) in children {
+            // xlint: allow(lock-discipline, reason = "out is pre-allocated to the group count before the lock, so this push is a pointer write that never reallocates")
             out.push(SourceVar(st.add_node(Node {
-                data: NodeData::Vector(Arc::new(data)),
+                data,
                 parent: Some(dummy),
                 stability: 1.0,
                 budget: 0.0,
@@ -621,15 +649,21 @@ impl ProtectedKernel {
         let answers: Vec<f64> = exact
             .into_iter()
             .map(|v| v + noise::laplace(&mut st.rng, scale))
+            // xlint: allow(lock-discipline, reason = "privacy-ordered section: the noise draws consume the kernel RNG and must commit atomically with the charge under one lock (Algorithm 2 ordering)")
             .collect();
+        // xlint: allow(lock-discipline, reason = "structural Matrix clone (shared representation); the node's lineage is only readable under the lock")
         if let (Some(base), Some(lineage)) = (st.nodes[sv.0].base, st.nodes[sv.0].lineage.clone()) {
             let effective = match &lineage {
+                // xlint: allow(lock-discipline, reason = "structural Matrix clone (shared representation) for the recorded effective query")
                 Matrix::Identity { .. } => m.clone(),
+                // xlint: allow(lock-discipline, reason = "structural Matrix clones (shared representation) composing the recorded effective query")
                 _ => Matrix::product(m.clone(), lineage),
             };
+            // xlint: allow(lock-discipline, reason = "the measurement record must append atomically with the charge and the noise draws; splitting the lock would let a concurrent session interleave between charge and history")
             st.history.push(MeasuredQuery {
                 base: SourceVar(base),
                 query: effective,
+                // xlint: allow(lock-discipline, reason = "the history record and the caller's return value are independent owners of the answers; the copy is inherent to recording the measurement")
                 answers: answers.clone(),
                 noise_scale: scale,
             });
@@ -699,6 +733,7 @@ impl ProtectedKernel {
                         Some(&(_, s)) => s,
                         None => {
                             let s = m.l1_sensitivity();
+                            // xlint: allow(lock-discipline, reason = "memo of one entry per distinct strategy matrix (striped plans share one), bounded by the request list; the sensitivities must be read under the same snapshot lock")
                             sens_memo.push((m as *const Matrix, s));
                             s
                         }
@@ -711,6 +746,7 @@ impl ProtectedKernel {
                     }
                     Ok((x, sensitivity))
                 })
+                // xlint: allow(lock-discipline, reason = "snapshot phase: one result vec sized by the request list, filled with refcount bumps — the sources are only readable under the lock")
                 .collect()
         };
 
@@ -755,8 +791,10 @@ impl ProtectedKernel {
 
         // Phase 3 (sequential, under the lock): charge budgets, draw noise
         // in request order, record history — the privacy-ordered section.
-        let mut st = self.state.lock();
+        // The output vec is sized before the lock so the pushes below are
+        // pointer writes.
         let mut out = Vec::with_capacity(reqs.len());
+        let mut st = self.state.lock();
         for ((&(sv, m, eps), snap), exact) in reqs.iter().zip(snapshots).zip(exacts) {
             // Mid-stripe failpoint: a batch dying between stripes must
             // leave exactly the sequential loop's prefix semantics behind.
@@ -771,21 +809,28 @@ impl ProtectedKernel {
                 .expect("valid request has an exact answer")
                 .into_iter()
                 .map(|v| v + noise::laplace(&mut st.rng, scale))
+                // xlint: allow(lock-discipline, reason = "privacy-ordered section: the noise draws consume the kernel RNG and must commit atomically with the charges under one lock (Algorithm 2 ordering)")
                 .collect();
             if let (Some(base), Some(lineage)) =
+                // xlint: allow(lock-discipline, reason = "structural Matrix clone (shared representation); the node's lineage is only readable under the lock")
                 (st.nodes[sv.0].base, st.nodes[sv.0].lineage.clone())
             {
                 let effective = match &lineage {
+                    // xlint: allow(lock-discipline, reason = "structural Matrix clone (shared representation) for the recorded effective query")
                     Matrix::Identity { .. } => m.clone(),
+                    // xlint: allow(lock-discipline, reason = "structural Matrix clones (shared representation) composing the recorded effective query")
                     _ => Matrix::product(m.clone(), lineage),
                 };
+                // xlint: allow(lock-discipline, reason = "the measurement record must append atomically with the charge and the noise draws; splitting the lock would let a concurrent session interleave between charge and history")
                 st.history.push(MeasuredQuery {
                     base: SourceVar(base),
                     query: effective,
+                    // xlint: allow(lock-discipline, reason = "the history record and the caller's return value are independent owners of the answers; the copy is inherent to recording the measurement")
                     answers: answers.clone(),
                     noise_scale: scale,
                 });
             }
+            // xlint: allow(lock-discipline, reason = "out is pre-allocated to the request count before the lock, so this push is a pointer write that never reallocates")
             out.push(answers);
         }
         Ok(out)
@@ -832,6 +877,7 @@ impl ProtectedKernel {
     /// All measurements recorded so far (cheap clones: matrices share
     /// structure).
     pub fn measurements(&self) -> Vec<MeasuredQuery> {
+        // xlint: allow(lock-discipline, reason = "snapshot-for-return: the history is the protected record and must be copied under the lock; matrix payloads share structure")
         self.state.lock().history.clone()
     }
 
@@ -846,6 +892,7 @@ impl ProtectedKernel {
     /// The measurements recorded at or after history index `start`.
     pub fn measurements_since(&self, start: usize) -> Vec<MeasuredQuery> {
         let st = self.state.lock();
+        // xlint: allow(lock-discipline, reason = "snapshot-for-return: the history is the protected record and must be copied under the lock; matrix payloads share structure")
         st.history[start.min(st.history.len())..].to_vec()
     }
 
@@ -856,7 +903,9 @@ impl ProtectedKernel {
             .history
             .iter()
             .filter(|m| m.base == base)
+            // xlint: allow(lock-discipline, reason = "snapshot-for-return: the history is the protected record and must be copied under the lock; matrix payloads share structure")
             .cloned()
+            // xlint: allow(lock-discipline, reason = "snapshot-for-return: one result vec of the caller's matching measurements, filled under the same lock that guards the history")
             .collect()
     }
 
@@ -912,6 +961,7 @@ impl ProtectedKernel {
     ) -> Result<T> {
         let mut st = self.state.lock();
         let data = match &st.nodes[sv.0].data {
+            // xlint: allow(lock-discipline, reason = "vetted-operator table snapshot: the protected table is only readable under the lock and f needs the kernel RNG from the same acquisition; callers are the once-per-plan selection operators")
             NodeData::Table(t) => t.clone(),
             _ => return Err(EktError::WrongSourceType { expected: "table" }),
         };
@@ -948,8 +998,9 @@ impl ProtectedKernel {
         res: Option<&BudgetReservation<'_>>,
     ) -> Result<(u64, Vec<Arc<Vec<f64>>>)> {
         let res = self.res_slot(res)?;
-        let mut st = self.state.lock();
+        // Sized before the lock so the pushes below are pointer writes.
         let mut snaps = Vec::with_capacity(reqs.len());
+        let mut st = self.state.lock();
         for &(sv, eps) in reqs {
             // Mid-stripe failpoint for the charge+snapshot batch form:
             // same prefix semantics as `vector_laplace_batch`'s site.
@@ -958,6 +1009,7 @@ impl ProtectedKernel {
             }
             validate_eps(eps)?;
             st.request(sv.0, eps, None, res)?;
+            // xlint: allow(lock-discipline, reason = "snaps is pre-allocated to the request count before the lock, so this push is a pointer write (refcount bump payload) that never reallocates")
             snaps.push(st.vector_arc(sv.0)?);
         }
         let base: u64 = st.rng.random();

@@ -36,6 +36,23 @@
 //! build (the fault-injection CI leg runs the determinism suites this
 //! way to prove it).
 
+/// The audited failpoint surface: every site name that may appear at a
+/// [`triggered`] / [`panic_if`] call site, in one reviewable list.
+/// Always compiled (both feature legs) so chaos schedules can be
+/// validated against it and xlint's `cfg-parity` rule can cross-check
+/// declarations against uses in both directions — a name used but not
+/// declared is a covert site; a name declared but never used is a chaos
+/// drill that silently arms nothing.
+pub const SITES: &[&str] = &[
+    "state::reserve",
+    "state::charge",
+    "state::redeem",
+    "kernel::batch_stripe",
+    "kernel::batch_exact",
+    "pool::job",
+    "solver::iteration",
+];
+
 #[cfg(feature = "failpoints")]
 mod imp {
     use std::collections::BTreeMap;
@@ -70,7 +87,9 @@ mod imp {
             if let Some((site, nth)) = part.split_once('=') {
                 if let Ok(n) = nth.trim().parse::<u64>() {
                     if n > 0 {
+                        // xlint: allow(warm-path-alloc, reason = "schedule arming is test/ops surface, reachable from warm code only through the one-time registry initialization of the non-default failpoints leg")
                         map.insert(
+                            // xlint: allow(warm-path-alloc, reason = "schedule arming is test/ops surface, reachable from warm code only through the one-time registry initialization of the non-default failpoints leg")
                             site.trim().to_string(),
                             Site {
                                 hits: 0,
@@ -96,6 +115,7 @@ mod imp {
     /// code re-entering the same site does not fail forever.
     pub fn triggered(site: &'static str) -> bool {
         let mut reg = lock();
+        // xlint: allow(warm-path-alloc, reason = "the non-default failpoints leg trades one BTreeMap entry per site for deterministic fault injection; the default build compiles the no-op stub")
         let entry = reg.entry(site.to_string()).or_default();
         entry.hits += 1;
         if entry.armed == Some(entry.hits) {

@@ -514,6 +514,9 @@ const PAR_DOT_MIN: usize = 1 << 15;
 /// and return `dot(a, b)`. Allocation-free: partials live in a stack
 /// array and the typed scope's result slots are preallocated.
 ///
+/// WARM: allocation-free by contract — partials live in a stack array and
+/// the typed scope preallocates its result slots (xlint `warm-path-alloc`).
+///
 /// CLASS: reassociating
 pub fn par_dot(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "par_dot length mismatch");

@@ -56,7 +56,12 @@ impl Matrix {
     /// threaded worker pool) for every product direction at once; repeated
     /// calls are pure computation — zero heap allocations *and* zero
     /// planning-pass tree walks.
+    ///
+    /// WARM: steady-state evaluation entry point — the transitive call
+    /// closure past the planning/reservation boundary must not allocate
+    /// (xlint `warm-path-alloc`, backed by the counting-allocator suite).
     pub fn matvec_into(&self, x: &[f64], out: &mut [f64], ws: &mut Workspace) {
+        // xlint: allow(warm-path-alloc, reason = "planning boundary: plan_for allocates only on the first call per matrix; repeat calls take the memoized fast path — the steady state the counting-allocator suite gates")
         let plan = ws.plan_for(self);
         assert_eq!(x.len(), plan.cols, "matvec: x has wrong length");
         assert_eq!(out.len(), plan.rows, "matvec: out has wrong length");
@@ -65,16 +70,22 @@ impl Matrix {
         // direction: a matvec-only workload must not pay for the O(cols)
         // scatter temporary; `Workspace::for_matrix` pre-sizes all three
         // directions for solvers that alternate.)
+        // xlint: allow(warm-path-alloc, reason = "arena reservation boundary: grows the workspace arena only up to the planned requirement on first use; steady-state calls are a bounds check")
         ws.reserve(plan.mv_scratch);
         let (scratch, pool) = ws.carve(plan.mv_scratch, plan.pool_workers, plan.pool_arena);
         self.matvec_plan(&plan.root, x, out, scratch, pool);
     }
 
     /// `out = Aᵀ · y`, drawing all transient storage from `ws`.
+    ///
+    /// WARM: steady-state evaluation entry point (see
+    /// [`Matrix::matvec_into`]).
     pub fn rmatvec_into(&self, y: &[f64], out: &mut [f64], ws: &mut Workspace) {
+        // xlint: allow(warm-path-alloc, reason = "planning boundary: plan_for allocates only on the first call per matrix; repeat calls take the memoized fast path — the steady state the counting-allocator suite gates")
         let plan = ws.plan_for(self);
         assert_eq!(y.len(), plan.rows, "rmatvec: y has wrong length");
         assert_eq!(out.len(), plan.cols, "rmatvec: out has wrong length");
+        // xlint: allow(warm-path-alloc, reason = "arena reservation boundary: grows the workspace arena only up to the planned requirement on first use; steady-state calls are a bounds check")
         ws.reserve(plan.rmv_scratch);
         let (scratch, pool) = ws.carve(plan.rmv_scratch, plan.pool_workers, plan.pool_arena);
         self.rmatvec_plan(&plan.root, y, out, scratch, pool);
@@ -85,10 +96,15 @@ impl Matrix {
     /// scatter-adds its `nnz` entries, and products push the accumulation
     /// into their right factor, so a `Union` of narrow blocks costs the sum
     /// of block sizes rather than `O(blocks · n)`.
+    ///
+    /// WARM: steady-state evaluation entry point (see
+    /// [`Matrix::matvec_into`]).
     pub fn rmatvec_add(&self, y: &[f64], out: &mut [f64], ws: &mut Workspace) {
+        // xlint: allow(warm-path-alloc, reason = "planning boundary: plan_for allocates only on the first call per matrix; repeat calls take the memoized fast path — the steady state the counting-allocator suite gates")
         let plan = ws.plan_for(self);
         assert_eq!(y.len(), plan.rows, "rmatvec_add: y has wrong length");
         assert_eq!(out.len(), plan.cols, "rmatvec_add: out has wrong length");
+        // xlint: allow(warm-path-alloc, reason = "arena reservation boundary: grows the workspace arena only up to the planned requirement on first use; steady-state calls are a bounds check")
         ws.reserve(plan.rmva_scratch);
         let (scratch, pool) = ws.carve(plan.rmva_scratch, plan.pool_workers, plan.pool_arena);
         self.rmatvec_add_plan(&plan.root, y, out, scratch, pool);

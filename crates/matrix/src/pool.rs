@@ -176,6 +176,7 @@ fn pool() -> &'static Pool {
         let workers: Box<[Worker]> = (0..spawn)
             .map(|i| {
                 let handle = std::thread::Builder::new()
+                    // xlint: allow(warm-path-alloc, reason = "one-time pool construction inside the OnceLock initializer; the warm path only ever re-reads the initialized pool")
                     .name(format!("ektelo-pool-{i}"))
                     .spawn(move || worker_main(i))
                     // xlint: allow(panic-policy, reason = "one-time process initialization: if the OS cannot spawn the pool's worker threads there is no degraded mode to fall back to")
@@ -183,9 +184,11 @@ fn pool() -> &'static Pool {
                 Worker {
                     state: AtomicU8::new(IDLE),
                     slot: UnsafeCell::new(MaybeUninit::uninit()),
+                    // xlint: allow(warm-path-alloc, reason = "one-time pool construction inside the OnceLock initializer; Thread::clone is an Arc refcount bump")
                     thread: handle.thread().clone(),
                 }
             })
+            // xlint: allow(warm-path-alloc, reason = "one-time pool construction inside the OnceLock initializer; the warm path only ever re-reads the initialized pool")
             .collect();
         Pool {
             workers,
@@ -237,6 +240,7 @@ fn run_job(mut job: Job) {
         if let Err(payload) = result {
             store_panic(&*scope, payload);
         }
+        // xlint: allow(warm-path-alloc, reason = "Thread::clone is an Arc refcount bump, not a heap allocation; the handle must be taken before the decrement releases the scope's frame")
         let caller = (*scope).caller.clone();
         if (*scope).pending.fetch_sub(1, Ordering::AcqRel) == 1 {
             caller.unpark();

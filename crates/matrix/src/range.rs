@@ -60,6 +60,7 @@ impl RangeQueries {
 
     /// `out[k] = Σ_{i ∈ [lo_k, hi_k)} x[i]` via one prefix-sum pass.
     pub fn matvec_into(&self, x: &[f64], out: &mut [f64]) {
+        // xlint: allow(warm-path-alloc, reason = "ad-hoc entry point that owns its scratch; the planned evaluator reaches this type via the allocation-free matvec_rec variant")
         let mut scratch = vec![0.0; self.scratch_len()];
         self.matvec_rec(x, out, &mut scratch);
     }
@@ -79,6 +80,7 @@ impl RangeQueries {
 
     /// `out = Wᵀ y` via a difference array.
     pub fn rmatvec_into(&self, y: &[f64], out: &mut [f64]) {
+        // xlint: allow(warm-path-alloc, reason = "ad-hoc entry point that owns its scratch; the planned evaluator reaches this type via the allocation-free rmatvec_rec variant")
         let mut scratch = vec![0.0; self.scratch_len()];
         self.rmatvec_rec(y, out, &mut scratch);
     }

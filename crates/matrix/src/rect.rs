@@ -69,6 +69,7 @@ impl RectQueries2D {
 
     /// `out[k] = Σ x[rect_k]` via one 2-D prefix-sum pass.
     pub fn matvec_into(&self, x: &[f64], out: &mut [f64]) {
+        // xlint: allow(warm-path-alloc, reason = "ad-hoc entry point that owns its scratch; the planned evaluator reaches this type via the allocation-free matvec_rec variant")
         let mut scratch = vec![0.0; self.scratch_len()];
         self.matvec_rec(x, out, &mut scratch);
     }
@@ -99,6 +100,7 @@ impl RectQueries2D {
 
     /// `out = Wᵀ y` via a 2-D difference array.
     pub fn rmatvec_into(&self, y: &[f64], out: &mut [f64]) {
+        // xlint: allow(warm-path-alloc, reason = "ad-hoc entry point that owns its scratch; the planned evaluator reaches this type via the allocation-free rmatvec_rec variant")
         let mut scratch = vec![0.0; self.scratch_len()];
         self.rmatvec_rec(y, out, &mut scratch);
     }

@@ -52,6 +52,69 @@
 //!   `#[cfg(test)]` modules) must be converted to typed `EktError` paths
 //!   or carry an explicit justification allowlist comment.
 //!
+//! # Flow rules (v2)
+//!
+//! The rules above are line-local. v2 adds a lexer-token parser
+//! ([`parse`]) that extracts per-function facts (calls, lock-guard live
+//! regions, allocation and panic sites, `#[cfg(feature)]` gates) and a
+//! workspace call graph ([`mod@flow`], crate-internal), enabling four
+//! *flow* rule families:
+//!
+//! * `lock-discipline` — inside a live `KernelState` / pool-slots guard
+//!   region (from `.lock()` to `drop`/end of scope), forbid allocation,
+//!   `pool::scope`/`pool::typed_scope` dispatch, solver entry points,
+//!   reentrant same-lock method calls (parking_lot mutexes are not
+//!   reentrant: that is a deadlock), and panics without a justification.
+//!   *Fix* by shrinking the guard region (bind the lock in an inner
+//!   block, copy scalars out); *allow* only when the operation is
+//!   inherently part of the atomic section (e.g. the redemption
+//!   transaction's ledger drain).
+//! * `warm-path-alloc` — functions tagged `// WARM:` in the doc block
+//!   must have an allocation-free transitive call closure. This turns
+//!   the counting-allocator runtime gates into lint-time file:line
+//!   diagnostics. An allow on a *call* line severs that edge (declares
+//!   a cold/setup boundary); an allow on an *allocation* line justifies
+//!   the site itself. *Fix* by hoisting into the workspace arena;
+//!   *allow* only for cold error/setup paths behind branch guards.
+//! * `determinism-transitive` — the hash-order / ad-hoc-thread bans
+//!   become reachability rules from the deterministic entry points
+//!   (`matvec_into` / `rmatvec_into` / `rmatvec_add` and the public
+//!   kernels): `HashMap`/`HashSet`/`thread::spawn`/`thread::scope`/
+//!   `available_parallelism` are forbidden anywhere in their call
+//!   closure, not just in the three hot files. The pool executor file
+//!   is the sanctioned thread owner and is excluded from traversal.
+//! * `cfg-parity` — every `feature = "simd"`-gated fn/const/re-export
+//!   needs a `not(simd)` counterpart of the same kind and name (fns:
+//!   same signature); `scalar`/`simd` twin modules must export matching
+//!   public surfaces; and every failpoint name used at a `triggered` /
+//!   `panic_if` site must be declared in `failpoints.rs`'s `SITES`
+//!   list and vice versa (an orphaned declaration is a chaos schedule
+//!   that silently arms nothing).
+//!
+//! # Known approximations
+//!
+//! The parser is lexer-level by design (no `syn`, offline workspace):
+//!
+//! * **No macro expansion** — calls and allocations inside macro bodies
+//!   other than the recognized ones (`vec!`, `format!`, panic macros)
+//!   are invisible; the runtime gates (counting allocator, bit-identity
+//!   suites) remain the ground truth backstop.
+//! * **Name-based call resolution** — edges are resolved by callee name
+//!   plus module-path hints, without types. Precision tiers: std-typed
+//!   qualifiers (`Vec::new`) and ubiquitous method names (`.map()`,
+//!   `.push()`, `.lock()`) resolve to nothing; `self.`-method calls and
+//!   type-qualified calls whose qualifier matches no module stay in the
+//!   caller's file unless the name is workspace-unique; everything else
+//!   fans out by name. The fan-out over-approximates: spurious edges
+//!   can add diagnostics (sever them with a reasoned allow) but never
+//!   hide one. The same-file tiers can *miss* a cross-file inherent
+//!   method — the runtime gates below stay the ground truth backstop.
+//! * **Depth-limited reachability** ([`flow::DEPTH_LIMIT`]) — call
+//!   chains deeper than 16 are not explored; real chains here are < 10.
+//! * **Guard regions are syntactic** — a guard stored into a struct
+//!   field or returned escapes tracking; binding-`let`, statement
+//!   chain, `drop()`, and moved-binding shapes are tracked.
+//!
 //! # Allowlist syntax
 //!
 //! ```text
@@ -70,10 +133,32 @@
 //! `shims/` (vendored stand-ins for external crates — not our code),
 //! and `crates/xlint/` itself (its fixtures are deliberate violations).
 
+use std::collections::BTreeSet;
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::Path;
+
+pub mod flow;
+pub mod parse;
+
+/// Analyzer configuration: the cargo features assumed active when
+/// evaluating `#[cfg(feature = "...")]` gates in the flow rules. The
+/// default is the default build (no features). CI runs the matrix
+/// (default, `simd`, `failpoints`) over one shared [`Analysis`].
+#[derive(Debug, Default, Clone)]
+pub struct Config {
+    pub features: BTreeSet<String>,
+}
+
+impl Config {
+    /// Convenience constructor from feature names.
+    pub fn with_features<I: IntoIterator<Item = S>, S: Into<String>>(features: I) -> Config {
+        Config {
+            features: features.into_iter().map(Into::into).collect(),
+        }
+    }
+}
 
 /// Rule names, as used in diagnostics and `allow(...)` comments.
 pub const RULES: &[&str] = &[
@@ -85,6 +170,10 @@ pub const RULES: &[&str] = &[
     "failpoint-sites",
     "unsafe-safety",
     "panic-policy",
+    "lock-discipline",
+    "warm-path-alloc",
+    "determinism-transitive",
+    "cfg-parity",
 ];
 
 /// Synthetic rule name for malformed allowlist comments (not allowable
@@ -122,11 +211,53 @@ pub struct UnsafeSite {
     pub safety: Option<String>,
 }
 
+/// One lock-guard live region observed by the parser, with the
+/// forbidden-operation events inside it (annotated ones carry an
+/// `(allowed)` mark) — the `--inventory` view of `lock-discipline`.
+#[derive(Debug, Clone)]
+pub struct LockRegionInfo {
+    pub file: String,
+    pub fn_name: String,
+    /// `"KernelState"` or `"pool-slots"`.
+    pub kind: &'static str,
+    /// 1-based line span of the live region.
+    pub start: usize,
+    pub end: usize,
+    /// The guard binding name, if the region came from a `let`.
+    pub binding: Option<String>,
+    pub events: Vec<String>,
+}
+
+/// One `// WARM:` root with its transitive call closure — the
+/// `--inventory` view of `warm-path-alloc`.
+#[derive(Debug, Clone)]
+pub struct WarmRootInfo {
+    pub file: String,
+    pub name: String,
+    /// Functions in the transitive call closure (including the root).
+    pub closure: usize,
+    /// cfg-active allocation sites inside the closure (allowed or not).
+    pub alloc_sites: usize,
+}
+
+/// One satisfied cfg-parity pairing — the `--inventory` view of
+/// `cfg-parity` (what the analyzer believes is properly twinned).
+#[derive(Debug, Clone)]
+pub struct CfgPairInfo {
+    pub file: String,
+    pub name: String,
+    /// `"kernel-twin"`, `"cfg-pair"` or `"failpoint-site"`.
+    pub kind: &'static str,
+}
+
 /// The result of linting a tree.
 #[derive(Debug, Default)]
 pub struct Report {
     pub diagnostics: Vec<Diagnostic>,
     pub unsafe_sites: Vec<UnsafeSite>,
+    pub lock_regions: Vec<LockRegionInfo>,
+    pub warm_roots: Vec<WarmRootInfo>,
+    pub cfg_pairs: Vec<CfgPairInfo>,
     pub files_scanned: usize,
 }
 
@@ -142,11 +273,16 @@ impl Report {
 
 /// One source line after lexing: `code` has comments removed and literal
 /// *contents* blanked (delimiters kept, so token boundaries survive);
-/// `comment` holds the raw comment text that appeared on the line.
+/// `comment` holds the raw comment text that appeared on the line, and
+/// `strings` the contents of every string literal that *starts* on the
+/// line (in order) — the parser stage needs the real text of `#[cfg]`
+/// feature names and failpoint site names, which the blanking erases
+/// from `code`.
 #[derive(Debug, Default, Clone)]
 pub struct Line {
     pub code: String,
     pub comment: String,
+    pub strings: Vec<String>,
 }
 
 fn is_ident_char(c: char) -> bool {
@@ -171,9 +307,15 @@ enum LexState {
 pub fn strip_lines(src: &str) -> Vec<Line> {
     let chars: Vec<char> = src.chars().collect();
     let n = chars.len();
-    let mut lines = Vec::new();
+    let mut lines: Vec<Line> = Vec::new();
     let mut code = String::new();
     let mut comment = String::new();
+    let mut strings: Vec<String> = Vec::new();
+    // Accumulates the raw content of the string literal currently being
+    // lexed; committed to the line the literal *started* on when it
+    // closes.
+    let mut lit = String::new();
+    let mut lit_line = 0usize;
     let mut state = LexState::Code;
     let mut i = 0;
     while i < n {
@@ -182,6 +324,7 @@ pub fn strip_lines(src: &str) -> Vec<Line> {
             lines.push(Line {
                 code: std::mem::take(&mut code),
                 comment: std::mem::take(&mut comment),
+                strings: std::mem::take(&mut strings),
             });
             i += 1;
             continue;
@@ -212,6 +355,10 @@ pub fn strip_lines(src: &str) -> Vec<Line> {
                         // top of the loop handle the line break.
                         i += 1;
                     } else {
+                        lit.push('\\');
+                        if let Some(&e) = chars.get(i + 1) {
+                            lit.push(e);
+                        }
                         code.push(' ');
                         i += 2;
                     }
@@ -219,7 +366,9 @@ pub fn strip_lines(src: &str) -> Vec<Line> {
                     code.push('"');
                     i += 1;
                     state = LexState::Code;
+                    commit_literal(&mut lines, &mut strings, &mut lit, lit_line);
                 } else {
+                    lit.push(c);
                     code.push(' ');
                     i += 1;
                 }
@@ -230,7 +379,9 @@ pub fn strip_lines(src: &str) -> Vec<Line> {
                     code.push('"');
                     i += 1 + hashes;
                     state = LexState::Code;
+                    commit_literal(&mut lines, &mut strings, &mut lit, lit_line);
                 } else {
+                    lit.push(c);
                     code.push(' ');
                     i += 1;
                 }
@@ -250,6 +401,8 @@ pub fn strip_lines(src: &str) -> Vec<Line> {
                 '"' => {
                     code.push('"');
                     i += 1;
+                    lit.clear();
+                    lit_line = lines.len();
                     state = LexState::Str;
                 }
                 'r' | 'b' if i == 0 || !is_ident_char(chars[i - 1]) => {
@@ -272,10 +425,14 @@ pub fn strip_lines(src: &str) -> Vec<Line> {
                     if has_r && chars.get(j) == Some(&'"') {
                         code.extend(&chars[i..=j]);
                         i = j + 1;
+                        lit.clear();
+                        lit_line = lines.len();
                         state = LexState::RawStr(hashes);
                     } else if c == 'b' && !has_r && hashes == 0 && chars.get(j) == Some(&'"') {
                         code.push_str("b\"");
                         i = j + 1;
+                        lit.clear();
+                        lit_line = lines.len();
                         state = LexState::Str;
                     } else if c == 'b' && !has_r && hashes == 0 && chars.get(j) == Some(&'\'') {
                         // Byte char literal: blank until the closing quote.
@@ -325,10 +482,31 @@ pub fn strip_lines(src: &str) -> Vec<Line> {
             },
         }
     }
-    if !code.is_empty() || !comment.is_empty() {
-        lines.push(Line { code, comment });
+    if !code.is_empty() || !comment.is_empty() || !strings.is_empty() {
+        lines.push(Line {
+            code,
+            comment,
+            strings,
+        });
     }
     lines
+}
+
+/// Commits a finished string literal to the line it started on: the
+/// current (pending) line's list if it started there, otherwise the
+/// already-pushed line's (multi-line literal).
+fn commit_literal(
+    lines: &mut [Line],
+    pending: &mut Vec<String>,
+    lit: &mut String,
+    lit_line: usize,
+) {
+    let text = std::mem::take(lit);
+    if lit_line == lines.len() {
+        pending.push(text);
+    } else if let Some(line) = lines.get_mut(lit_line) {
+        line.strings.push(text);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1039,37 +1217,86 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<std::path::PathBuf>) -> io::Result
     Ok(())
 }
 
-/// Lints every `.rs` file under `root` (the workspace root, or a fixture
-/// tree shaped like one). Deterministic: files are visited in sorted
-/// order and diagnostics are sorted by (file, line, rule).
-pub fn lint_root(root: &Path) -> io::Result<Report> {
-    let mut files = Vec::new();
-    collect_rs_files(root, &mut files)?;
-    let mut report = Report::default();
-    for path in &files {
-        let rel = path
-            .strip_prefix(root)
-            .unwrap_or(path)
-            .components()
-            .map(|c| c.as_os_str().to_string_lossy())
-            .collect::<Vec<_>>()
-            .join("/");
-        let src = fs::read_to_string(path)?;
-        let ctx = FileCtx::new(rel.clone(), &src);
-        lint_file(&ctx, &mut report);
-        if rel == KERNELS_FILE {
-            let proptest_src = fs::read_to_string(root.join(KERNELS_TESTS)).ok();
-            lint_kernel_classes(&ctx, proptest_src.as_deref(), &mut report);
+/// One file, lexed and parsed once; shared by every rule and every cfg
+/// configuration (the <5 s CI budget depends on parsing each file
+/// exactly once).
+pub(crate) struct AnalyzedFile {
+    pub(crate) ctx: FileCtx,
+    pub(crate) facts: parse::FileFacts,
+}
+
+/// A fully loaded workspace: every `.rs` file lexed and parsed exactly
+/// once. [`Analysis::lint`] can then be run repeatedly with different
+/// [`Config`]s (the CI cfg matrix) without re-reading or re-parsing.
+pub struct Analysis {
+    files: Vec<AnalyzedFile>,
+    proptest_src: Option<String>,
+}
+
+impl Analysis {
+    /// Loads every `.rs` file under `root` (the workspace root, or a
+    /// fixture tree shaped like one), in sorted order.
+    pub fn load(root: &Path) -> io::Result<Analysis> {
+        let mut paths = Vec::new();
+        collect_rs_files(root, &mut paths)?;
+        let mut files = Vec::new();
+        for path in &paths {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            let src = fs::read_to_string(path)?;
+            let ctx = FileCtx::new(rel, &src);
+            let facts = parse::parse_file(&ctx.lines);
+            files.push(AnalyzedFile { ctx, facts });
         }
-        report.files_scanned += 1;
+        let proptest_src = fs::read_to_string(root.join(KERNELS_TESTS)).ok();
+        Ok(Analysis {
+            files,
+            proptest_src,
+        })
     }
-    report
-        .diagnostics
-        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
-    report
-        .unsafe_sites
-        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
-    Ok(report)
+
+    /// Runs every rule (line-local and flow) under `config`.
+    /// Deterministic: files are visited in sorted order and every
+    /// report section is sorted.
+    pub fn lint(&self, config: &Config) -> Report {
+        let mut report = Report::default();
+        for af in &self.files {
+            lint_file(&af.ctx, &mut report);
+            if af.ctx.rel == KERNELS_FILE {
+                lint_kernel_classes(&af.ctx, self.proptest_src.as_deref(), &mut report);
+            }
+            report.files_scanned += 1;
+        }
+        flow::run(&self.files, config, &mut report);
+        report
+            .diagnostics
+            .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+        report
+            .unsafe_sites
+            .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+        report
+            .lock_regions
+            .sort_by(|a, b| (&a.file, a.start).cmp(&(&b.file, b.start)));
+        report
+            .warm_roots
+            .sort_by(|a, b| (&a.file, &a.name).cmp(&(&b.file, &b.name)));
+        report
+            .cfg_pairs
+            .sort_by(|a, b| (&a.file, a.kind, &a.name).cmp(&(&b.file, b.kind, &b.name)));
+        report
+    }
+}
+
+/// Lints every `.rs` file under `root` with the default configuration
+/// (no cargo features active). The one-shot entry point; for the cfg
+/// matrix, [`Analysis::load`] once and [`Analysis::lint`] per config.
+pub fn lint_root(root: &Path) -> io::Result<Report> {
+    Ok(Analysis::load(root)?.lint(&Config::default()))
 }
 
 // ---------------------------------------------------------------------------
@@ -1127,6 +1354,58 @@ pub fn to_json(report: &Report, inventory: bool) -> String {
                 json_escape(&s.file),
                 s.line,
                 safety
+            ));
+        }
+        out.push_str("],\"lock_regions\":[");
+        for (k, r) in report.lock_regions.iter().enumerate() {
+            if k > 0 {
+                out.push(',');
+            }
+            let binding = match &r.binding {
+                Some(b) => format!("\"{}\"", json_escape(b)),
+                None => "null".to_string(),
+            };
+            let events = r
+                .events
+                .iter()
+                .map(|e| format!("\"{}\"", json_escape(e)))
+                .collect::<Vec<_>>()
+                .join(",");
+            out.push_str(&format!(
+                "{{\"file\":\"{}\",\"fn\":\"{}\",\"kind\":\"{}\",\"start\":{},\"end\":{},\
+                 \"binding\":{},\"events\":[{}]}}",
+                json_escape(&r.file),
+                json_escape(&r.fn_name),
+                json_escape(r.kind),
+                r.start,
+                r.end,
+                binding,
+                events
+            ));
+        }
+        out.push_str("],\"warm_roots\":[");
+        for (k, w) in report.warm_roots.iter().enumerate() {
+            if k > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"file\":\"{}\",\"name\":\"{}\",\"closure\":{},\"alloc_sites\":{}}}",
+                json_escape(&w.file),
+                json_escape(&w.name),
+                w.closure,
+                w.alloc_sites
+            ));
+        }
+        out.push_str("],\"cfg_pairs\":[");
+        for (k, p) in report.cfg_pairs.iter().enumerate() {
+            if k > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"file\":\"{}\",\"name\":\"{}\",\"kind\":\"{}\"}}",
+                json_escape(&p.file),
+                json_escape(&p.name),
+                json_escape(p.kind)
             ));
         }
         out.push(']');

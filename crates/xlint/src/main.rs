@@ -1,10 +1,12 @@
 //! CLI for the workspace invariant linter.
 //!
 //! ```text
-//! cargo run -p xlint --               # human-readable diagnostics, exit 1 on any
-//! cargo run -p xlint -- --json        # machine-readable report
-//! cargo run -p xlint -- --inventory   # also list every unsafe site + SAFETY text
-//! cargo run -p xlint -- --root PATH   # lint a different tree (default: workspace root)
+//! cargo run -p xlint --                  # human-readable diagnostics, exit 1 on any
+//! cargo run -p xlint -- --json           # machine-readable report
+//! cargo run -p xlint -- --inventory      # also list unsafe sites, lock regions,
+//!                                        # WARM roots and cfg-parity pairs
+//! cargo run -p xlint -- --features simd  # evaluate #[cfg] gates with features on
+//! cargo run -p xlint -- --root PATH      # lint a different tree (default: workspace root)
 //! ```
 
 use std::path::{Path, PathBuf};
@@ -31,6 +33,7 @@ fn main() -> ExitCode {
     let mut json = false;
     let mut inventory = false;
     let mut root: Option<PathBuf> = None;
+    let mut features: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -43,10 +46,23 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--features" => match args.next() {
+                Some(list) => features.extend(
+                    list.split(',')
+                        .map(str::trim)
+                        .filter(|s| !s.is_empty())
+                        .map(String::from),
+                ),
+                None => {
+                    eprintln!("xlint: --features requires a comma-separated list");
+                    return ExitCode::from(2);
+                }
+            },
             "--help" | "-h" => {
                 println!(
                     "xlint: offline invariant linter\n\n\
-                     USAGE: cargo run -p xlint -- [--json] [--inventory] [--root PATH]\n\n\
+                     USAGE: cargo run -p xlint -- [--json] [--inventory] [--features a,b] \
+                     [--root PATH]\n\n\
                      Rules: {}\n\
                      Allowlist: // xlint: allow(<rule>, reason = \"...\")",
                     xlint::RULES.join(", ")
@@ -62,13 +78,15 @@ fn main() -> ExitCode {
     let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
     let root = root.unwrap_or_else(|| find_workspace_root(&cwd));
 
-    let report = match xlint::lint_root(&root) {
-        Ok(r) => r,
+    let analysis = match xlint::Analysis::load(&root) {
+        Ok(a) => a,
         Err(e) => {
             eprintln!("xlint: failed to scan {}: {e}", root.display());
             return ExitCode::from(2);
         }
     };
+    let config = xlint::Config::with_features(features);
+    let report = analysis.lint(&config);
 
     if json {
         println!("{}", xlint::to_json(&report, inventory));
@@ -86,6 +104,35 @@ fn main() -> ExitCode {
                     Some(t) => println!("{}:{}: {}", s.file, s.line, t),
                     None => println!("{}:{}: MISSING SAFETY COMMENT", s.file, s.line),
                 }
+            }
+            println!("-- lock regions ({} regions) --", report.lock_regions.len());
+            for r in &report.lock_regions {
+                let binding = r.binding.as_deref().unwrap_or("<expr>");
+                println!(
+                    "{}:{}-{}: {} guard `{}` in fn {}{}",
+                    r.file,
+                    r.start,
+                    r.end,
+                    r.kind,
+                    binding,
+                    r.fn_name,
+                    if r.events.is_empty() {
+                        String::new()
+                    } else {
+                        format!(" [{}]", r.events.join("; "))
+                    }
+                );
+            }
+            println!("-- WARM roots ({} roots) --", report.warm_roots.len());
+            for w in &report.warm_roots {
+                println!(
+                    "{}: {} (closure: {} fn(s), alloc sites: {})",
+                    w.file, w.name, w.closure, w.alloc_sites
+                );
+            }
+            println!("-- cfg-parity pairs ({} pairs) --", report.cfg_pairs.len());
+            for p in &report.cfg_pairs {
+                println!("{}: [{}] {}", p.file, p.kind, p.name);
             }
         }
         println!(

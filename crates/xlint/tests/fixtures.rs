@@ -1,7 +1,8 @@
 //! Fixture self-tests: each fixture is a miniature workspace tree, so the
 //! path-scoped rules (pool.rs exemption, state.rs chokepoint, hot-file
-//! hash ban, kernels/proptest cross-reference) are exercised exactly as
-//! they run against the real tree.
+//! hash ban, kernels/proptest cross-reference) and the flow rules
+//! (lock-discipline, warm-path-alloc, determinism-transitive,
+//! cfg-parity) are exercised exactly as they run against the real tree.
 //!
 //! * `violations/` seeds one violation per rule at a known line and
 //!   pairs each with the path-exempt twin (same code in `pool.rs` /
@@ -38,12 +39,31 @@ fn violations_are_detected_at_exact_lines() {
         ("crates/core/src/kernel/mod.rs", 9, "budget-chokepoint"),
         ("crates/core/src/kernel/mod.rs", 14, "budget-chokepoint"),
         ("crates/core/src/kernel/mod.rs", 15, "budget-chokepoint"),
+        // locked_work: allocation, pool dispatch, solver entry and
+        // reentrant self-call inside a live KernelState guard, then a
+        // panic that fires under both the flow and the line rule.
+        ("crates/core/src/kernel/mod.rs", 25, "lock-discipline"),
+        ("crates/core/src/kernel/mod.rs", 26, "lock-discipline"),
+        ("crates/core/src/kernel/mod.rs", 27, "lock-discipline"),
+        ("crates/core/src/kernel/mod.rs", 28, "lock-discipline"),
+        ("crates/core/src/kernel/mod.rs", 29, "lock-discipline"),
+        ("crates/core/src/kernel/mod.rs", 29, "panic-policy"),
+        // moved_guard: the guard is assigned in a nested block but the
+        // binding outlives it — the alloc after the block close is still
+        // inside the region.
+        ("crates/core/src/kernel/mod.rs", 46, "lock-discipline"),
         // lib.rs: bare unsafe block, library unwrap, then an arm call in
-        // library code and a failpoint site outside the audited list.
+        // library code and a failpoint site outside the audited list
+        // (the undeclared name also trips the SITES parity check).
         ("crates/core/src/lib.rs", 3, "unsafe-safety"),
         ("crates/core/src/lib.rs", 7, "panic-policy"),
         ("crates/core/src/lib.rs", 19, "failpoint-sites"),
+        ("crates/core/src/lib.rs", 20, "cfg-parity"),
         ("crates/core/src/lib.rs", 20, "failpoint-sites"),
+        // failpoints.rs: `ghost::site` is declared but used nowhere.
+        ("crates/matrix/src/failpoints.rs", 6, "cfg-parity"),
+        // graph.rs: hash use visible only transitively from matvec_into.
+        ("crates/matrix/src/graph.rs", 5, "determinism-transitive"),
         // kernels.rs: untagged fires twice (missing tag + unreferenced),
         // tagged_untested once (unreferenced), mistagged once (bad tag).
         ("crates/matrix/src/kernels.rs", 6, "kernel-class"),
@@ -55,6 +75,12 @@ fn violations_are_detected_at_exact_lines() {
         ("crates/matrix/src/matvec.rs", 4, "determinism-parallelism"),
         ("crates/matrix/src/matvec.rs", 5, "determinism-hash-iter"),
         ("crates/matrix/src/matvec.rs", 7, "determinism-thread"),
+        // simdkern.rs: simd-gated fn without a scalar leg; twin modules
+        // with a scalar-only export.
+        ("crates/matrix/src/simdkern.rs", 4, "cfg-parity"),
+        ("crates/matrix/src/simdkern.rs", 12, "cfg-parity"),
+        // warm.rs: allocation in the transitive closure of a WARM root.
+        ("crates/matrix/src/warm.rs", 10, "warm-path-alloc"),
     ]
     .into_iter()
     .map(|(f, l, r)| (f.to_string(), l, r))
@@ -82,6 +108,41 @@ fn violations_are_detected_at_exact_lines() {
     assert_eq!(report.unsafe_sites[0].file, "crates/core/src/lib.rs");
     assert_eq!(report.unsafe_sites[0].line, 3);
     assert!(report.unsafe_sites[0].safety.is_none());
+    // The warm diagnostic names its reaching chain.
+    let warm = report
+        .diagnostics
+        .iter()
+        .find(|d| d.rule == "warm-path-alloc")
+        .expect("warm diagnostic present");
+    assert!(
+        warm.message.contains("accumulate -> stage"),
+        "chain missing: {}",
+        warm.message
+    );
+    // Flow inventory: the guard regions, WARM roots and verified
+    // cfg pairs all surface.
+    assert!(
+        report
+            .lock_regions
+            .iter()
+            .any(|r| r.fn_name == "moved_guard" && r.kind == "KernelState"),
+        "moved_guard region missing: {:?}",
+        report.lock_regions
+    );
+    let root = report
+        .warm_roots
+        .iter()
+        .find(|w| w.name == "accumulate")
+        .expect("WARM root inventoried");
+    assert!(root.closure >= 2 && root.alloc_sites >= 1);
+    assert!(report
+        .cfg_pairs
+        .iter()
+        .any(|p| p.kind == "kernel-twin" && p.name.contains("dot")));
+    assert!(report
+        .cfg_pairs
+        .iter()
+        .any(|p| p.kind == "failpoint-site" && p.name.contains("state::charge")));
 }
 
 #[test]
@@ -107,6 +168,14 @@ fn malformed_allow_directives_are_diagnostics() {
         vec![
             ("crates/core/src/lib.rs".to_string(), 1, "allow-syntax"),
             ("crates/core/src/lib.rs".to_string(), 4, "allow-syntax"),
+            // A reason-less allow on a warm-path allocation surfaces as
+            // a syntax diagnostic AND does not suppress the flow rule.
+            ("crates/matrix/src/warm.rs".to_string(), 7, "allow-syntax"),
+            (
+                "crates/matrix/src/warm.rs".to_string(),
+                8,
+                "warm-path-alloc"
+            ),
         ],
         "full diagnostics: {:#?}",
         report.diagnostics

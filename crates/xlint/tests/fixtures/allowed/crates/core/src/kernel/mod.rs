@@ -11,3 +11,12 @@ pub fn admit(st: &mut St, eps: f64) -> bool {
     st.reserved += eps;
     true
 }
+
+pub fn locked_work(&self) {
+    let st = self.state.lock();
+    // xlint: allow(lock-discipline, reason = "fixture: bounded one-shot allocation while holding the ledger")
+    let scratch = vec![0.0; 4];
+    // xlint: allow(lock-discipline, reason = "fixture: the dispatch is a no-op double in this tree")
+    pool::scope(|s| s.run(&scratch));
+    drop(st);
+}

@@ -1,0 +1,5 @@
+pub const SITES: &[&str] = &[
+    "covert::site",
+    // xlint: allow(cfg-parity, reason = "fixture: site parked during a migration window")
+    "parked::site",
+];

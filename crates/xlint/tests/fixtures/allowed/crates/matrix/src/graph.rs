@@ -1,0 +1,7 @@
+// Reached from matvec.rs's deterministic entry point only through a
+// severed (allowed) edge — the hash use below must stay unreported.
+pub fn shard(x: &[f64], out: &mut [f64]) {
+    let mut seen = std::collections::HashSet::new();
+    seen.insert(x.len());
+    out[0] = x[0];
+}

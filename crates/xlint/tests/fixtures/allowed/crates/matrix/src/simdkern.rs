@@ -1,0 +1,5 @@
+// xlint: allow(cfg-parity, reason = "fixture: the scalar leg lives in another crate during a migration window")
+#[cfg(feature = "simd")]
+pub fn accel(x: &mut [f64]) {
+    x[0] *= 2.0;
+}

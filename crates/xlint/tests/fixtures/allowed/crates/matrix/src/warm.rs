@@ -1,0 +1,17 @@
+/// WARM: steady-state fixture entry point.
+pub fn accumulate(out: &mut [f64]) {
+    // xlint: allow(warm-path-alloc, reason = "fixture: setup boundary — stage runs once per plan build, severed edge")
+    stage(out);
+    refill(out);
+}
+
+fn stage(out: &mut [f64]) {
+    let tmp = vec![0.0; out.len()];
+    out[0] = tmp[0];
+}
+
+fn refill(out: &mut [f64]) {
+    // xlint: allow(warm-path-alloc, reason = "fixture: grow-once branch, steady state never reallocates")
+    let tmp = vec![0.0; 1];
+    out[0] += tmp[0];
+}

@@ -1,0 +1,10 @@
+/// WARM: fixture root.
+pub fn accumulate(out: &mut [f64]) {
+    hydrate(out);
+}
+
+fn hydrate(out: &mut [f64]) {
+    // xlint: allow(warm-path-alloc)
+    let tmp = vec![0.0; 1];
+    out[0] = tmp[0];
+}

@@ -19,3 +19,31 @@ pub fn site_file_twin() -> bool {
     // kernel/mod.rs is on the audited site list: a site here is legal.
     failpoints::triggered("state::charge")
 }
+
+pub fn locked_work(&self) {
+    let st = self.state.lock();
+    let scratch = vec![0.0; 4];
+    pool::scope(|s| s.run(&scratch));
+    let r = solve(&st);
+    self.audit(r);
+    st.entries.first().unwrap();
+}
+
+pub fn audit(&self, r: f64) {
+    let st = self.state.lock();
+    drop(st);
+    let _ = r;
+}
+
+// The guard is assigned inside a nested block but the binding outlives
+// it: the region must follow the move, so the allocation after the
+// block close is still inside the critical section.
+pub fn moved_guard(&self) {
+    let held;
+    {
+        held = self.state.lock();
+    }
+    let tail = vec![0.0; 4];
+    drop(held);
+    let _ = tail;
+}

@@ -1,0 +1,8 @@
+// Not one of the hot files the determinism *line* rules watch — the
+// hash use below is only reportable transitively, from the matvec.rs
+// entry point that calls into it.
+pub fn shard(x: &[f64], out: &mut [f64]) {
+    let mut seen = std::collections::HashSet::new();
+    seen.insert(x.len());
+    out[0] = x[0];
+}

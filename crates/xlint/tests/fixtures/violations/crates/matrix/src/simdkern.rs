@@ -1,0 +1,21 @@
+// cfg-parity fixtures: a simd-gated fn with no scalar leg, and twin
+// scalar/simd modules whose public surfaces diverge.
+#[cfg(feature = "simd")]
+pub fn accel(x: &mut [f64]) {
+    x[0] *= 2.0;
+}
+
+pub mod scalar {
+    pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+        a[0] * b[0]
+    }
+    pub fn only_scalar(a: &[f64]) -> f64 {
+        a[0]
+    }
+}
+
+pub mod simd {
+    pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+        a[0] * b[0]
+    }
+}

@@ -1,0 +1,12 @@
+/// Streams the accumulator tail.
+///
+/// WARM: steady-state fixture entry point — the transitive closure
+/// must be allocation-free.
+pub fn accumulate(out: &mut [f64]) {
+    stage(out);
+}
+
+fn stage(out: &mut [f64]) {
+    let tmp = vec![0.0; out.len()];
+    out[0] = tmp[0];
+}

@@ -1,0 +1,6 @@
+// A public solver entry point: calling it while a kernel lock is held
+// is a lock-discipline violation (solvers are long-running and
+// allocate).
+pub fn solve(stats: &Stats) -> f64 {
+    stats.residual
+}

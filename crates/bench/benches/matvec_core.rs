@@ -4,7 +4,7 @@
 //! (Kronecker) matrices.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ektelo_matrix::{Matrix, Repr, Workspace};
+use ektelo_matrix::{pool, Matrix, Repr, Workspace};
 use std::hint::black_box;
 
 fn bench_core_matrices(c: &mut Criterion) {
@@ -823,6 +823,56 @@ fn bench_many_sessions_contention(c: &mut Criterion) {
                     }
                 });
                 black_box(acc[0])
+            })
+        });
+
+        // The bucketed arm: each session's HB and DAWA plans are Measure
+        // packets (independent kernels, free to run concurrently), its
+        // MWEM plan an Infer packet the open condition holds back until
+        // the session's measurements finish. No OS threads per batch —
+        // packets ride the persistent pool's per-worker deques, and the
+        // round-robin release keeps N sessions fair.
+        let mut out = vec![0.0f64; nsessions * 3];
+        group.bench_function(BenchmarkId::new("bucketed", nsessions), |b| {
+            b.iter(|| {
+                let mut set = pool::bucket::SessionSet::new();
+                {
+                    let mut slots = out.iter_mut();
+                    let (x, sizes, workload, opts) = (&x, &sizes, &workload, &opts);
+                    for i in 0..nsessions {
+                        let session = i as u64;
+                        let sid = set.session();
+                        let hb = slots.next().unwrap();
+                        set.submit(sid, pool::bucket::Stage::Measure, move || {
+                            let (k, root) = kernel_for_histogram(x, eps, 100 + session);
+                            *hb = plan_hb_striped(&k, root, sizes, 0, eps)
+                                .unwrap()
+                                .x_hat
+                                .iter()
+                                .sum();
+                        });
+                        let dawa = slots.next().unwrap();
+                        set.submit(sid, pool::bucket::Stage::Measure, move || {
+                            let (k, root) = kernel_for_histogram(x, eps, 200 + session);
+                            *dawa = plan_dawa_striped(&k, root, sizes, 0, &[(0, 16)], eps, 0.25)
+                                .unwrap()
+                                .x_hat
+                                .iter()
+                                .sum();
+                        });
+                        let mwem = slots.next().unwrap();
+                        set.submit(sid, pool::bucket::Stage::Infer, move || {
+                            let (k, root) = kernel_for_histogram(x, eps, 300 + session);
+                            *mwem = plan_mwem(&k, root, workload, eps, opts)
+                                .unwrap()
+                                .x_hat
+                                .iter()
+                                .sum();
+                        });
+                    }
+                }
+                set.run();
+                black_box(out[0])
             })
         });
     }

@@ -496,7 +496,7 @@ impl ProtectedKernel {
     /// General linear vector transformation `x' = M x`. Stability is the
     /// maximum L1 column norm of `M` (paper §5.1).
     pub fn transform_linear(&self, sv: SourceVar, m: &Matrix) -> Result<SourceVar> {
-        let stability = m.l1_sensitivity();
+        let stability = m.l1_sensitivity_cached();
         self.transform_linear_unchecked(sv, m, stability)
     }
 
@@ -637,7 +637,7 @@ impl ProtectedKernel {
                 });
             }
         }
-        let sensitivity = m.l1_sensitivity();
+        let sensitivity = m.l1_sensitivity_cached();
         if sensitivity == 0.0 {
             return Err(EktError::InvalidArgument(
                 "measurement matrix has zero sensitivity (no queries touch the data)".into(),
@@ -714,8 +714,12 @@ impl ProtectedKernel {
         // sensitivities, memoized per distinct matrix reference: striped
         // plans pass one shared strategy for every stripe, so the
         // `O(cols)` column-norm computation runs once per batch instead of
-        // once per stripe. Invalid requests surface here only if phase 2
-        // reaches them, mirroring the sequential loop's ordering.
+        // once per stripe. (Arc-backed strategies additionally hit the
+        // process-wide identity cache behind `l1_sensitivity_cached`, which
+        // spans batches; the per-batch memo still covers implicit variants
+        // like `Ones`/`Prefix` that the cache bypasses.) Invalid requests
+        // surface here only if phase 2 reaches them, mirroring the
+        // sequential loop's ordering.
         let snapshots: Vec<Snapshot> = {
             let st = self.state.lock();
             let mut sens_memo: Vec<(*const Matrix, f64)> = Vec::new();
@@ -732,7 +736,7 @@ impl ProtectedKernel {
                     let sensitivity = match sens_memo.iter().find(|&&(p, _)| std::ptr::eq(p, m)) {
                         Some(&(_, s)) => s,
                         None => {
-                            let s = m.l1_sensitivity();
+                            let s = m.l1_sensitivity_cached();
                             // xlint: allow(lock-discipline, reason = "memo of one entry per distinct strategy matrix (striped plans share one), bounded by the request list; the sensitivities must be read under the same snapshot lock")
                             sens_memo.push((m as *const Matrix, s));
                             s
@@ -765,7 +769,10 @@ impl ProtectedKernel {
             // Chunk geometry comes from the process-constant configured
             // parallelism, not the executor's current worker count, and
             // every request fills its own slot — so the answers are
-            // bit-identical however many pool workers run the chunks.
+            // bit-identical however many pool workers run the chunks, and
+            // regardless of whether a chunk is slot-dispatched, queued on
+            // a worker deque, stolen by a sibling, or (pool size 0) run
+            // inline on the caller.
             let nthreads = ektelo_matrix::pool::configured_parallelism();
             let total_cells: usize = snapshots
                 .iter()

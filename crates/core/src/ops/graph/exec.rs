@@ -504,7 +504,9 @@ fn build_greedy_strategies(inputs: &[(usize, Vec<(usize, usize)>)]) -> Vec<Matri
 /// Threaded variant: stripes are independent and `greedy_h` is pure, so
 /// chunks of stripes build on the persistent pool executor; results are
 /// written into per-stripe slots, so the output order (and every matrix
-/// in it) is identical to the serial build — for any pool size.
+/// in it) is identical to the serial build — for any pool size and any
+/// steal schedule (oversubscribed spawns queue on worker deques and may
+/// be stolen; the per-stripe slots don't care which thread filled them).
 #[cfg(feature = "parallel")]
 fn build_greedy_strategies(inputs: &[(usize, Vec<(usize, usize)>)]) -> Vec<Matrix> {
     let nthreads = ektelo_matrix::pool::configured_parallelism();

@@ -50,6 +50,7 @@ pub const SITES: &[&str] = &[
     "kernel::batch_stripe",
     "kernel::batch_exact",
     "pool::job",
+    "pool::steal",
     "solver::iteration",
 ];
 

@@ -510,9 +510,12 @@ const PAR_DOT_MIN: usize = 1 << 15;
 /// [`pool::typed_scope`] executor, and the partials are summed on the
 /// caller in fixed chunk order. Changing [`pool::set_workers`] therefore
 /// never changes the result: it is bit-identical for every pool size,
-/// including 0 (everything inline). Short vectors skip the pool entirely
-/// and return `dot(a, b)`. Allocation-free: partials live in a stack
-/// array and the typed scope's result slots are preallocated.
+/// including 0 (everything inline), and for every steal interleaving —
+/// when all workers are busy, spawns queue on per-worker deques and may
+/// execute via work stealing, which moves chunks but never reorders the
+/// caller-side sum. Short vectors skip the pool entirely and return
+/// `dot(a, b)`. Allocation-free: partials live in a stack array and the
+/// typed scope's result slots are preallocated.
 ///
 /// WARM: allocation-free by contract — partials live in a stack array and
 /// the typed scope preallocates its result slots (xlint `warm-path-alloc`).

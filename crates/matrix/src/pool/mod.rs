@@ -21,27 +21,46 @@
 //!   single-chunk region therefore degrades to plain inline execution
 //!   (no handoff at all), and a k-chunk region costs k−1 handoffs while
 //!   the caller does the last chunk instead of parking.
-//! * When no worker is idle (pool exhausted, nested regions, or a pool
-//!   deliberately sized to 0) a job simply runs inline on the caller —
-//!   dispatch never queues and never waits, which is also what makes
-//!   nested scopes on worker threads deadlock-free by construction: a
-//!   job is only ever handed to a worker that is parked in its dispatch
-//!   loop, so every armed job starts without waiting on anyone.
+//! * When no worker is idle (pool exhausted, nested regions) a job is
+//!   **queued** on a per-worker bounded deque (`deque.rs`) instead of
+//!   running inline: the owner pushes and pops LIFO at the tail, idle
+//!   workers and joining callers steal FIFO from the head, so an
+//!   oversubscribed burst from one session can no longer monopolize the
+//!   caller while siblings starve — the oldest queued work runs next,
+//!   whoever is free. Inline execution remains the final fallback (a
+//!   pool deliberately sized to 0, or every deque full) and the
+//!   stash-tail path below. Deadlock freedom now rests on **help-first
+//!   joining**: every join loop runs queued jobs (own deque first, then
+//!   stealing) instead of blind-parking, so the job a join waits on can
+//!   always be executed by the waiter itself, and a slot job is still
+//!   only ever armed on a worker that is parked in its dispatch loop.
+//!
+//! This module is the **packet layer** of the two-tier scheduler; the
+//! **bucket layer** ([`bucket`]) adds stage ordering within a plan
+//! (measure-before-infer) and round-robin fairness across concurrent
+//! sessions on top of these deques. Counters for both layers are
+//! exposed through [`stats`] (see [`PoolStats`] for the precise
+//! claimed-vs-completed semantics of each counter).
 //!
 //! # Determinism
 //!
-//! The pool decides **where** work runs, never **what** the work is.
+//! The scheduler (both tiers) decides **where** and **in what order**
+//! fixed chunks run, never **what** the work is.
 //! Chunk geometry is fixed before dispatch — at plan time for matrix
 //! evaluation ([`crate::Workspace`] plans record chunk sizes built from
 //! [`configured_parallelism`], a process constant), and per call from the
 //! same constant for the kernel batch paths — and every order-sensitive
 //! combine (scatter merges, noise draws) happens sequentially on the
 //! caller after the scope closes, in fixed chunk order. Running a chunk
-//! on worker 3, worker 0 or inline on the caller executes the identical
-//! arithmetic on the identical slice, so results are **bit-identical for
-//! every pool size**, including 0. [`set_workers`] can be changed at any
-//! time (benchmarks and the pool-size identity suites do) without
-//! affecting any result.
+//! on worker 3, worker 0 or inline on the caller — or queueing it and
+//! having a thief steal it — executes the identical arithmetic on the
+//! identical slice, so results are **bit-identical for every pool size
+//! and every steal interleaving**, including 0. [`set_workers`] can be
+//! changed at any time (benchmarks and the pool-size identity suites do)
+//! without affecting any result, and the forced-steal hook
+//! ([`set_force_steal`], env `EKTELO_POOL_FORCE_STEAL=1`) routes every
+//! job through the steal path so the identity suites can pin the claim
+//! for stealing specifically.
 //!
 //! # Configuration
 //!
@@ -60,9 +79,17 @@ use std::cell::UnsafeCell;
 use std::marker::PhantomData;
 use std::mem::MaybeUninit;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::thread::Thread;
+
+pub mod bucket;
+mod deque;
+mod stats;
+
+pub use stats::{stats, worker_stats, PoolStats, WorkerStats};
+
+use deque::BoundedDeque;
 
 /// Hard upper bound on pool worker threads (and on
 /// [`configured_parallelism`]); far above any realistic chunk count.
@@ -78,6 +105,12 @@ const TASK_WORDS: usize = 24;
 /// pool-size bit-identity suites do this on small machines). Parked
 /// threads cost a stack apiece and no CPU.
 const SPAWN_FLOOR: usize = 4;
+
+/// Capacity of each per-worker deque, preallocated at pool construction.
+/// Far above any chunk count a single region produces
+/// (≤ [`MAX_WORKERS`]), and deep enough that dozens of concurrent
+/// sessions queue without hitting the inline fallback.
+const DEQUE_CAP: usize = 256;
 
 // Worker slot states. IDLE workers are parked in their dispatch loop
 // (never blocked inside a job), which is the deadlock-freedom invariant:
@@ -108,6 +141,13 @@ struct Worker {
     state: AtomicU8,
     slot: UnsafeCell<MaybeUninit<Job>>,
     thread: Thread,
+    /// This worker's bounded deque: the worker pushes/pops LIFO at the
+    /// tail; idle siblings and joining callers steal FIFO from the head.
+    deque: BoundedDeque<Job>,
+    /// Slot jobs this worker ran (its side of `dispatched` handoffs).
+    ran_slot: AtomicU64,
+    /// Jobs this worker stole from siblings' deque heads.
+    stole: AtomicU64,
 }
 
 // SAFETY: `slot` is only written by a dispatcher that won the IDLE→CLAIMED
@@ -127,13 +167,54 @@ struct ScopeState {
 
 struct Pool {
     workers: Box<[Worker]>,
-    /// Workers `0..effective` accept dispatch; the rest stay parked.
+    /// Workers `0..effective` accept dispatch; the rest stay parked
+    /// (their deques remain valid steal targets, so shrinking can never
+    /// strand queued work).
     effective: AtomicUsize,
+    /// Slot handoffs (claims), not completions — see [`PoolStats`].
     dispatched: AtomicU64,
     inline: AtomicU64,
+    /// Jobs placed on a deque (the oversubscription path).
+    queued: AtomicU64,
+    /// Jobs taken from a deque head by a non-owner.
+    stolen: AtomicU64,
+    /// Jobs finished on any path — the only safe "work done" counter.
+    completed: AtomicU64,
+    /// Round-robin cursor spreading non-worker enqueues across deques.
+    rr: AtomicUsize,
 }
 
 static POOL: OnceLock<Pool> = OnceLock::new();
+
+std::thread_local! {
+    /// This thread's pool-worker index, or `usize::MAX` on non-workers.
+    /// Lets dispatch prefer the own deque (LIFO locality) and join loops
+    /// pop their own work before stealing.
+    static WORKER_INDEX: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
+}
+
+/// Test-only forced-steal hook, also reachable via
+/// `EKTELO_POOL_FORCE_STEAL=1`: dispatch skips the worker slots so every
+/// job queues, and every dequeue goes through the steal end (workers
+/// sweep siblings before their own deque). Results are bit-identical
+/// either way — the identity suites run with this on to prove it.
+static FORCE_STEAL: AtomicBool = AtomicBool::new(false);
+
+fn env_force_steal() -> bool {
+    static V: OnceLock<bool> = OnceLock::new();
+    *V.get_or_init(|| std::env::var("EKTELO_POOL_FORCE_STEAL").is_ok_and(|s| s.trim() == "1"))
+}
+
+fn force_steal() -> bool {
+    env_force_steal() || FORCE_STEAL.load(Ordering::Relaxed)
+}
+
+/// Enables or disables the forced-steal schedule (see the module docs).
+/// Testing surface: never changes results, only where and via which end
+/// of the deques jobs execute.
+pub fn set_force_steal(on: bool) {
+    FORCE_STEAL.store(on, Ordering::Relaxed);
+}
 
 /// `EKTELO_POOL_WORKERS`, parsed once for the process lifetime.
 fn env_workers() -> Option<usize> {
@@ -186,44 +267,179 @@ fn pool() -> &'static Pool {
                     slot: UnsafeCell::new(MaybeUninit::uninit()),
                     // xlint: allow(warm-path-alloc, reason = "one-time pool construction inside the OnceLock initializer; Thread::clone is an Arc refcount bump")
                     thread: handle.thread().clone(),
+                    deque: BoundedDeque::new(DEQUE_CAP),
+                    ran_slot: AtomicU64::new(0),
+                    stole: AtomicU64::new(0),
                 }
             })
             // xlint: allow(warm-path-alloc, reason = "one-time pool construction inside the OnceLock initializer; the warm path only ever re-reads the initialized pool")
             .collect();
+        // Resolve the forced-steal env flag here so its one-time read
+        // (which allocates) never lands inside a counting-allocator gate.
+        let _ = env_force_steal();
         Pool {
             workers,
             effective: AtomicUsize::new(effective),
             dispatched: AtomicU64::new(0),
             inline: AtomicU64::new(0),
+            queued: AtomicU64::new(0),
+            stolen: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rr: AtomicUsize::new(0),
         }
     })
 }
 
-/// A worker's main loop: park until a job is armed in the slot, run it,
-/// signal the owning scope, go back to idle. Workers never exit; they die
-/// with the process like any detached thread.
+/// A worker's main loop: run whatever its slot was armed with, then
+/// drain queued work (own deque first, stealing second), then park.
+/// Workers never exit; they die with the process like any detached
+/// thread.
 fn worker_main(index: usize) {
+    WORKER_INDEX.set(index);
     // Blocks until `pool()` finishes initializing, then never locks again.
     let w = &pool().workers[index];
     loop {
-        if w.state.load(Ordering::Acquire) == ARMED {
-            w.state.store(RUNNING, Ordering::Relaxed);
-            // SAFETY: ARMED (Acquire) pairs with the dispatcher's Release
-            // store after writing the slot; the job is read exactly once.
-            let job = unsafe { (*w.slot.get()).assume_init_read() };
-            run_job(job);
-            w.state.store(IDLE, Ordering::Release);
-        } else {
-            std::thread::park();
+        match w.state.load(Ordering::Acquire) {
+            ARMED => {
+                w.state.store(RUNNING, Ordering::Relaxed);
+                // SAFETY: ARMED (Acquire) pairs with the dispatcher's
+                // Release store after writing the slot; the job is read
+                // exactly once.
+                let job = unsafe { (*w.slot.get()).assume_init_read() };
+                run_job(job, false);
+                w.ran_slot.fetch_add(1, Ordering::Relaxed);
+                w.state.store(IDLE, Ordering::Release);
+                continue;
+            }
+            IDLE => {
+                // Claim RUNNING before touching queued work: a dispatcher
+                // must never arm the slot of a worker that is busy inside
+                // a (possibly joining) queued job — the deadlock-freedom
+                // invariant is that an ARMED job only ever lands on a
+                // worker parked in this dispatch loop.
+                if w.state
+                    .compare_exchange(IDLE, RUNNING, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    let did = drain_queue_work(index);
+                    w.state.store(IDLE, Ordering::Release);
+                    if did {
+                        continue;
+                    }
+                } else {
+                    // Lost the slot to a dispatcher mid-claim; loop to
+                    // observe the ARMED store (or park on its unpark).
+                    continue;
+                }
+            }
+            _ => {}
         }
+        std::thread::park();
     }
 }
 
-/// Runs a dispatched job on a worker and signals its scope. Panics are
-/// caught and deferred to the scope's caller.
-fn run_job(mut job: Job) {
+/// Runs queued jobs from worker `index`'s position: its own deque first
+/// (newest-first — nested spawns stay cache-hot), then one steal sweep
+/// over every sibling. Returns whether anything ran. Under the
+/// forced-steal schedule the order inverts (steal siblings first) and
+/// even the own deque is taken from the steal end, so every queued job
+/// deterministically runs as a stolen packet.
+fn drain_queue_work(index: usize) -> bool {
+    let p = pool();
+    let w = &p.workers[index];
+    let mut did = false;
+    loop {
+        if force_steal() {
+            if steal_one(p, Some(index)) {
+                did = true;
+                continue;
+            }
+            if let Some(job) = w.deque.steal_head() {
+                p.stolen.fetch_add(1, Ordering::Relaxed);
+                w.stole.fetch_add(1, Ordering::Relaxed);
+                run_job(job, true);
+                did = true;
+                continue;
+            }
+            return did;
+        }
+        if let Some(job) = w.deque.pop_tail() {
+            run_job(job, false);
+            did = true;
+            continue;
+        }
+        if steal_one(p, Some(index)) {
+            did = true;
+            continue;
+        }
+        return did;
+    }
+}
+
+/// One steal attempt across every sibling deque — all spawned workers,
+/// not just the active ones, so a [`set_workers`] shrink can never strand
+/// queued jobs. Takes the oldest job (FIFO head) and runs it.
+fn steal_one(p: &Pool, thief: Option<usize>) -> bool {
+    let n = p.workers.len();
+    let base = thief.map_or(0, |t| t + 1);
+    for k in 0..n {
+        let idx = (base + k) % n;
+        if Some(idx) == thief {
+            continue;
+        }
+        if let Some(job) = p.workers[idx].deque.steal_head() {
+            p.stolen.fetch_add(1, Ordering::Relaxed);
+            if let Some(t) = thief {
+                p.workers[t].stole.fetch_add(1, Ordering::Relaxed);
+            }
+            run_job(job, true);
+            return true;
+        }
+    }
+    false
+}
+
+/// Help-first joining: runs one queued job on the current thread — the
+/// own deque when the caller is a pool worker, else stealing the oldest
+/// job from any deque. Returns whether a job ran. Every join loop calls
+/// this before parking, which is what makes queueing deadlock-free: the
+/// job a join is waiting on can always be executed by the waiter itself
+/// (including nested scopes running on workers).
+pub(crate) fn help_queue_work() -> bool {
+    let p = pool();
+    let own = WORKER_INDEX.get();
+    if own != usize::MAX {
+        let w = &p.workers[own];
+        if force_steal() {
+            if let Some(job) = w.deque.steal_head() {
+                p.stolen.fetch_add(1, Ordering::Relaxed);
+                w.stole.fetch_add(1, Ordering::Relaxed);
+                run_job(job, true);
+                return true;
+            }
+        } else if let Some(job) = w.deque.pop_tail() {
+            run_job(job, false);
+            return true;
+        }
+        return steal_one(p, Some(own));
+    }
+    steal_one(p, None)
+}
+
+/// Runs a job and signals its scope; `stolen` marks jobs taken from a
+/// deque by a non-owner (and, under the forced-steal schedule, every
+/// deque-sourced job). Panics are caught and deferred to the scope's
+/// caller.
+fn run_job(mut job: Job, stolen: bool) {
     let scope = job.scope;
     let result = catch_unwind(AssertUnwindSafe(|| {
+        if stolen {
+            // The steal path's own audited fault site: a chaos schedule
+            // can kill specifically a stolen packet and assert the budget
+            // ledger survives (`fault_injection.rs` sweeps it). Inside
+            // the catch for the same reason as `pool::job` below.
+            crate::failpoints::panic_if("pool::steal");
+        }
         // Injected pool-job fault (counted before the closure runs, so an
         // armed hit skips the job entirely — its captured bytes are never
         // consumed, which is fine: engine closures capture only references
@@ -233,6 +449,7 @@ fn run_job(mut job: Job) {
         // type whose bytes live in `job.data`; each job is consumed once.
         unsafe { (job.call)(&mut job.data) }
     }));
+    pool().completed.fetch_add(1, Ordering::Relaxed);
     // SAFETY: the scope outlives the job — `scope()` cannot return while
     // `pending` counts it. The caller handle is cloned *before* the
     // decrement because the decrement is what releases the scope's frame.
@@ -262,6 +479,19 @@ fn run_inline(state: &ScopeState, mut job: Job) {
         // erased type in `job.data`; this is the job's single consumption.
         unsafe { (job.call)(&mut job.data) }
     }));
+    pool().completed.fetch_add(1, Ordering::Relaxed);
+    if let Err(payload) = result {
+        store_panic(state, payload);
+    }
+}
+
+/// Inline path for closures too large for the preallocated slot: run now,
+/// on the caller, deferring any panic like every other job path.
+fn run_oversized<F: FnOnce()>(state: &ScopeState, f: F) {
+    let p = pool();
+    p.inline.fetch_add(1, Ordering::Relaxed);
+    let result = catch_unwind(AssertUnwindSafe(f));
+    p.completed.fetch_add(1, Ordering::Relaxed);
     if let Err(payload) = result {
         store_panic(state, payload);
     }
@@ -302,6 +532,77 @@ fn try_dispatch(job: Job) -> Option<Job> {
     Some(job)
 }
 
+/// Tries to place `job` on a worker deque. Returns the job back when the
+/// pool is sized to 0 or every deque is full; never waits.
+fn try_enqueue(mut job: Job) -> Option<Job> {
+    let p = pool();
+    let n = p.effective.load(Ordering::Relaxed).min(p.workers.len());
+    if n == 0 {
+        return Some(job);
+    }
+    // Count the job into its scope BEFORE it becomes visible in any
+    // deque: a thief could otherwise run it and drive `pending` below
+    // zero.
+    // SAFETY: the scope outlives its jobs — every join loop parks until
+    // `pending` drains, and a queued job was counted here first.
+    unsafe { (*job.scope).pending.fetch_add(1, Ordering::Relaxed) };
+    // A worker queues to its own deque first: LIFO pops serve its nested
+    // spawns next, cache-hot, without a handoff.
+    let own = WORKER_INDEX.get();
+    if own != usize::MAX && own < p.workers.len() {
+        match p.workers[own].deque.push_tail(job) {
+            Ok(()) => {
+                p.queued.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+            Err(back) => job = back,
+        }
+    }
+    // Non-workers (and a worker whose own deque is full) spread across
+    // the active deques round-robin, so concurrent sessions interleave
+    // instead of piling onto worker 0.
+    let start = p.rr.fetch_add(1, Ordering::Relaxed);
+    for k in 0..n {
+        let idx = (start + k) % n;
+        if idx == own {
+            continue;
+        }
+        match p.workers[idx].deque.push_tail(job) {
+            Ok(()) => {
+                p.queued.fetch_add(1, Ordering::Relaxed);
+                p.workers[idx].thread.unpark();
+                return None;
+            }
+            Err(back) => job = back,
+        }
+    }
+    // Every deque full: the job never became visible — take the count
+    // back and let the caller run it inline. (The transient nonzero
+    // `pending` is harmless: only this thread joins on the scope, and it
+    // is here, not parked.)
+    // SAFETY: as above.
+    unsafe { (*job.scope).pending.fetch_sub(1, Ordering::Relaxed) };
+    Some(job)
+}
+
+/// Submission chokepoint for every sized job: an idle worker's slot if
+/// one exists, else a worker deque (oversubscription **queues** instead
+/// of running inline — the cross-session fairness rule), else inline on
+/// the caller as the final fallback. Under the forced-steal schedule the
+/// slot fast path is skipped so every job travels through a deque.
+fn submit_job(state: &ScopeState, job: Job) {
+    let job = if force_steal() {
+        Some(job)
+    } else {
+        try_dispatch(job)
+    };
+    if let Some(job) = job {
+        if let Some(job) = try_enqueue(job) {
+            run_inline(state, job);
+        }
+    }
+}
+
 /// A dispatch handle into one [`scope`] region, mirroring
 /// `std::thread::Scope`: jobs spawned through it may borrow anything
 /// that outlives the scope (`'env` data), and the region does not end
@@ -317,11 +618,14 @@ pub struct Scope<'scope, 'env: 'scope> {
 }
 
 impl<'scope, 'env> Scope<'scope, 'env> {
-    /// Submits `f` to the pool. The closure runs on a parked worker, or
-    /// inline on the caller when no worker is idle, when it is the
-    /// region's only job, or when its captures exceed the preallocated
-    /// slot — in every case before [`scope`] returns, with no heap
-    /// allocation on any path.
+    /// Submits `f` to the pool. The closure runs on a parked worker when
+    /// one is idle; otherwise it is **queued** on a worker deque (run
+    /// later by that worker, a stealing sibling, or this caller helping
+    /// at join). It runs inline on the caller only when it is the
+    /// region's only job, when the pool is sized to 0 or every deque is
+    /// full, or when its captures exceed the preallocated slot — in
+    /// every case before [`scope`] returns, with no heap allocation on
+    /// any path, and with no effect on the computed result.
     pub fn spawn<F>(&self, f: F)
     where
         F: FnOnce() + Send + 'scope,
@@ -334,17 +638,12 @@ impl<'scope, 'env> Scope<'scope, 'env> {
             let job = unsafe { erase(f, self.state) };
             let prev = unsafe { &mut *self.stash.get() }.replace(job);
             if let Some(prev) = prev {
-                if let Some(back) = try_dispatch(prev) {
-                    run_inline(self.state, back);
-                }
+                submit_job(self.state, prev);
             }
         } else {
             // Oversized captures: run now, on the caller, rather than
             // box. (No engine closure hits this; it keeps `spawn` total.)
-            pool().inline.fetch_add(1, Ordering::Relaxed);
-            if let Err(payload) = catch_unwind(AssertUnwindSafe(f)) {
-                store_panic(self.state, payload);
-            }
+            run_oversized(self.state, f);
         }
     }
 }
@@ -409,12 +708,16 @@ where
     if let Some(job) = unsafe { &mut *stash.get() }.take() {
         run_inline(&state, job);
     }
-    // …then parks until the dispatched ones drain. The token-based park
-    // protocol makes the unpark race-free: a completion that lands
-    // between the load and the park leaves a token that makes the park
-    // return immediately.
+    // …then joins help-first: queued jobs (its own, or anyone's) run on
+    // this thread instead of blind-parking, which is both the fairness
+    // mechanism and what keeps queueing deadlock-free. The token-based
+    // park protocol makes the final wait race-free: a completion that
+    // lands between the check and the park leaves a token that makes the
+    // park return immediately.
     while state.pending.load(Ordering::Acquire) != 0 {
-        std::thread::park();
+        if !help_queue_work() {
+            std::thread::park();
+        }
     }
     let job_panic = state.panic.lock().unwrap_or_else(|e| e.into_inner()).take();
     match result {
@@ -571,15 +874,10 @@ impl<'scope, 'env, T: Send> TypedScope<'scope, 'env, T> {
             let job = unsafe { erase(task, self.state) };
             let prev = unsafe { &mut *self.stash.get() }.replace(job);
             if let Some(prev) = prev {
-                if let Some(back) = try_dispatch(prev) {
-                    run_inline(self.state, back);
-                }
+                submit_job(self.state, prev);
             }
         } else {
-            pool().inline.fetch_add(1, Ordering::Relaxed);
-            if let Err(payload) = catch_unwind(AssertUnwindSafe(task)) {
-                store_panic(self.state, payload);
-            }
+            run_oversized(self.state, task);
         }
         TypedHandle { slot }
     }
@@ -596,7 +894,9 @@ impl<'scope, 'env, T: Send> TypedScope<'scope, 'env, T> {
             run_inline(self.state, job);
         }
         while self.state.pending.load(Ordering::Acquire) != 0 {
-            std::thread::park();
+            if !help_queue_work() {
+                std::thread::park();
+            }
         }
     }
 }
@@ -639,7 +939,9 @@ where
         run_inline(&state, job);
     }
     while state.pending.load(Ordering::Acquire) != 0 {
-        std::thread::park();
+        if !help_queue_work() {
+            std::thread::park();
+        }
     }
     let job_panic = state.panic.lock().unwrap_or_else(|e| e.into_inner()).take();
     match result {
@@ -673,32 +975,6 @@ pub fn set_workers(n: usize) -> usize {
     let applied = n.min(p.workers.len());
     p.effective.store(applied, Ordering::Relaxed);
     applied
-}
-
-/// A snapshot of the pool's lifetime counters.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct PoolStats {
-    /// Jobs handed to parked workers.
-    pub dispatched: u64,
-    /// Jobs run on the calling thread (single-chunk regions, stash-tail
-    /// execution, pool exhaustion, or pool size 0).
-    pub inline: u64,
-    /// Workers currently accepting dispatch.
-    pub workers: usize,
-    /// Worker threads parked in the pool (the cap for [`set_workers`]).
-    pub spawned: usize,
-}
-
-/// Current pool counters; tests and benches diff two snapshots to prove
-/// pooled dispatch actually engaged.
-pub fn stats() -> PoolStats {
-    let p = pool();
-    PoolStats {
-        dispatched: p.dispatched.load(Ordering::Relaxed),
-        inline: p.inline.load(Ordering::Relaxed),
-        workers: workers(),
-        spawned: p.workers.len(),
-    }
 }
 
 #[cfg(test)]
@@ -826,6 +1102,51 @@ mod tests {
     }
 
     #[test]
+    fn panic_in_stolen_packet_propagates_after_siblings_complete() {
+        // The scope() panic contract must hold on the thief path too:
+        // with forced stealing every spawned job queues and executes via
+        // a deque steal, and a panicking stolen packet still surfaces
+        // from scope() only after every sibling packet has run.
+        let _serial = resize_lock();
+        let prev = workers();
+        set_workers(pool().workers.len().max(1));
+        set_force_steal(true);
+        let finished = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            scope(|s| {
+                s.spawn(|| panic!("stolen boom"));
+                for _ in 0..4 {
+                    s.spawn(|| {
+                        finished.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }));
+        set_force_steal(false);
+        set_workers(prev);
+        assert!(
+            result.is_err(),
+            "a stolen packet's panic must surface from scope()"
+        );
+        assert_eq!(
+            finished.load(Ordering::Relaxed),
+            4,
+            "sibling packets must complete before the panic propagates"
+        );
+        // The pool is not wedged: a fresh region still runs to completion.
+        let sum = AtomicUsize::new(0);
+        scope(|s| {
+            for i in 0..4 {
+                let sum = &sum;
+                s.spawn(move || {
+                    sum.fetch_add(i + 1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
     fn oversized_captures_run_inline() {
         let _serial = resize_lock();
         let out = AtomicUsize::new(0);
@@ -840,6 +1161,102 @@ mod tests {
             }
         });
         assert_eq!(out.load(Ordering::Relaxed), 1024);
+    }
+
+    #[test]
+    fn forced_steal_queues_and_steals_with_identical_results() {
+        let _serial = resize_lock();
+        let prev = workers();
+        set_workers(pool().workers.len());
+        let run = || {
+            let mut slots = vec![0.0f64; 12];
+            scope(|s| {
+                for (i, slot) in slots.iter_mut().enumerate() {
+                    s.spawn(move || *slot = (0..200).map(|k| ((i * 37 + k) as f64).sqrt()).sum());
+                }
+            });
+            slots
+        };
+        let reference = run();
+        let before = stats();
+        set_force_steal(true);
+        let forced = run();
+        set_force_steal(false);
+        let after = stats();
+        set_workers(prev);
+        assert_eq!(forced, reference, "forced stealing changed results");
+        assert!(
+            after.queued > before.queued,
+            "forced-steal spawns must queue"
+        );
+        assert!(after.stolen > before.stolen, "queued jobs must run stolen");
+        assert!(after.completed > before.completed);
+        assert!(after.queue_depth_max >= 1);
+    }
+
+    #[test]
+    fn nested_scopes_complete_under_forced_steal() {
+        let _serial = resize_lock();
+        set_force_steal(true);
+        let mut outer = [0usize; 4];
+        scope(|s| {
+            for (i, slot) in outer.iter_mut().enumerate() {
+                s.spawn(move || {
+                    let mut inner = [0usize; 3];
+                    scope(|s2| {
+                        for (j, islot) in inner.iter_mut().enumerate() {
+                            s2.spawn(move || *islot = j + 1);
+                        }
+                    });
+                    *slot = i + inner.iter().sum::<usize>();
+                });
+            }
+        });
+        set_force_steal(false);
+        for (i, v) in outer.iter().enumerate() {
+            assert_eq!(*v, i + 6);
+        }
+    }
+
+    #[test]
+    fn completed_counts_every_path() {
+        let _serial = resize_lock();
+        let before = stats();
+        let n = 10usize;
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..n {
+                s.spawn(|| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        let after = stats();
+        assert_eq!(counter.load(Ordering::Relaxed), n);
+        // Other tests run concurrently, so only a lower bound is exact.
+        assert!(
+            after.completed >= before.completed + n as u64,
+            "every spawned job must be counted completed exactly once \
+             (before {}, after {})",
+            before.completed,
+            after.completed
+        );
+    }
+
+    #[test]
+    fn worker_stats_align_with_pool() {
+        let ws = worker_stats();
+        let ps = stats();
+        assert_eq!(ws.len(), ps.spawned);
+        for (i, w) in ws.iter().enumerate() {
+            assert_eq!(w.index, i);
+        }
+        let per_worker: u64 = ws.iter().map(|w| w.stolen).sum();
+        assert!(
+            per_worker <= ps.stolen,
+            "worker steals ({per_worker}) cannot exceed pool steals ({})",
+            ps.stolen
+        );
     }
 
     #[test]

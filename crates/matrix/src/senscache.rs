@@ -1,0 +1,267 @@
+//! Process-wide memo for [`Matrix::l1_sensitivity`] keyed by **object
+//! identity**, not by shape.
+//!
+//! EKTELO plans interrogate the same strategy matrix many times — once per
+//! measurement call, once per stripe, once per budget check — and the
+//! column-norm pass behind `l1_sensitivity` is `O(nnz)` plus one
+//! domain-sized allocation each time. The Arc-backed representations
+//! (`Dense`, `Sparse`, `Diagonal`, `Range`, `Rect2D`) are immutable once
+//! built, so their norm can be computed once per *object* and served from a
+//! fixed table thereafter.
+//!
+//! Keying discipline (deliberately NOT a content fingerprint):
+//!
+//! * The key is the Arc payload address plus the enum variant. Two
+//!   equal-valued matrices at different addresses never alias — a stale
+//!   fingerprint collision is impossible by construction.
+//! * Each resident entry stores a [`Weak`] to its payload. The weak count
+//!   keeps the `ArcInner` allocation alive even after the last strong
+//!   reference drops, so while an entry is resident no *new* allocation of
+//!   that payload type can reuse its address. Variant + address equality
+//!   therefore implies "the very same immutable object", and the memoized
+//!   value is exact.
+//!
+//! The table is a 64-slot direct-mapped array behind one mutex: lookups on
+//! the hit path take the lock, compare one pointer, and return — no heap
+//! allocation. Misses compute the norm *outside* the lock (that pass
+//! allocates and can recurse through combinators) and then publish,
+//! evicting whatever previously occupied the slot. Implicit and combinator
+//! variants bypass the table entirely.
+//!
+//! Determinism: the cache only changes *when* the column-norm pass runs,
+//! never its result — `l1_sensitivity` is a pure function of the immutable
+//! payload, so plans remain bit-identical with the cache hot, cold, or
+//! thrashing.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Weak};
+
+use crate::{CsrMatrix, DenseMatrix, Matrix, RangeQueries, RectQueries2D};
+
+/// Direct-mapped table size; power of two so the slot mix reduces to a
+/// multiply and shift.
+const SLOTS: usize = 64;
+
+/// Typed weak handle proving the cached payload is still the one at the
+/// recorded address (see the module docs for why this cannot go stale).
+enum PayloadGuard {
+    Vacant,
+    Dense(Weak<DenseMatrix>),
+    Sparse(Weak<CsrMatrix>),
+    Diagonal(Weak<Vec<f64>>),
+    Range(Weak<RangeQueries>),
+    Rect2D(Weak<RectQueries2D>),
+}
+
+struct Entry {
+    guard: PayloadGuard,
+    value: f64,
+}
+
+struct Table {
+    entries: [Entry; SLOTS],
+    hits: u64,
+    misses: u64,
+}
+
+const VACANT: Entry = Entry {
+    guard: PayloadGuard::Vacant,
+    value: 0.0,
+};
+
+static TABLE: Mutex<Table> = Mutex::new(Table {
+    entries: [VACANT; SLOTS],
+    hits: 0,
+    misses: 0,
+});
+
+/// Lookups on variants without an Arc payload (counted lock-free).
+static BYPASSED: AtomicU64 = AtomicU64::new(0);
+
+fn lock_table() -> std::sync::MutexGuard<'static, Table> {
+    // Entries are plain (guard, f64) pairs written in one statement, so a
+    // panic can never leave a torn entry; recover from stray poisoning.
+    TABLE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Slot index for a payload address: Fibonacci mix, top bits.
+fn slot(addr: usize) -> usize {
+    (addr.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> (usize::BITS - 6)) & (SLOTS - 1)
+}
+
+/// Payload address for the cacheable variants, `None` for the rest.
+fn payload_addr(m: &Matrix) -> Option<usize> {
+    match m {
+        Matrix::Dense(a) => Some(Arc::as_ptr(a) as usize),
+        Matrix::Sparse(a) => Some(Arc::as_ptr(a) as usize),
+        Matrix::Diagonal(a) => Some(Arc::as_ptr(a) as usize),
+        Matrix::Range(a) => Some(Arc::as_ptr(a) as usize),
+        Matrix::Rect2D(a) => Some(Arc::as_ptr(a) as usize),
+        _ => None,
+    }
+}
+
+/// Whether `guard` pins exactly the payload behind `m`.
+fn guard_matches(guard: &PayloadGuard, m: &Matrix) -> bool {
+    match (guard, m) {
+        (PayloadGuard::Dense(w), Matrix::Dense(a)) => Weak::as_ptr(w) == Arc::as_ptr(a),
+        (PayloadGuard::Sparse(w), Matrix::Sparse(a)) => Weak::as_ptr(w) == Arc::as_ptr(a),
+        (PayloadGuard::Diagonal(w), Matrix::Diagonal(a)) => Weak::as_ptr(w) == Arc::as_ptr(a),
+        (PayloadGuard::Range(w), Matrix::Range(a)) => Weak::as_ptr(w) == Arc::as_ptr(a),
+        (PayloadGuard::Rect2D(w), Matrix::Rect2D(a)) => Weak::as_ptr(w) == Arc::as_ptr(a),
+        _ => false,
+    }
+}
+
+/// A guard pinning `m`'s payload; only called for cacheable variants.
+fn make_guard(m: &Matrix) -> PayloadGuard {
+    match m {
+        Matrix::Dense(a) => PayloadGuard::Dense(Arc::downgrade(a)),
+        Matrix::Sparse(a) => PayloadGuard::Sparse(Arc::downgrade(a)),
+        Matrix::Diagonal(a) => PayloadGuard::Diagonal(Arc::downgrade(a)),
+        Matrix::Range(a) => PayloadGuard::Range(Arc::downgrade(a)),
+        Matrix::Rect2D(a) => PayloadGuard::Rect2D(Arc::downgrade(a)),
+        _ => PayloadGuard::Vacant,
+    }
+}
+
+/// Memoized `l1_sensitivity` (see [`Matrix::l1_sensitivity_cached`]).
+pub(crate) fn l1_cached(m: &Matrix) -> f64 {
+    let Some(addr) = payload_addr(m) else {
+        BYPASSED.fetch_add(1, Ordering::Relaxed);
+        return m.l1_sensitivity();
+    };
+    let idx = slot(addr);
+    {
+        let mut t = lock_table();
+        if guard_matches(&t.entries[idx].guard, m) {
+            t.hits += 1;
+            return t.entries[idx].value;
+        }
+    }
+    // Miss: compute outside the lock — the column-norm pass allocates, can
+    // recurse, and must not serialize unrelated lookups behind it.
+    let value = m.l1_sensitivity();
+    let mut t = lock_table();
+    // A racing thread may have published the same object meanwhile; the
+    // overwrite below is then value-identical, so no re-check is needed.
+    t.entries[idx] = Entry {
+        guard: make_guard(m),
+        value,
+    };
+    t.misses += 1;
+    value
+}
+
+/// Counters for the process-wide sensitivity cache (monotonic since
+/// process start, except `resident` which is the current occupancy).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SensCacheStats {
+    /// Lookups served from a resident entry.
+    pub hits: u64,
+    /// Lookups that computed and published a fresh entry.
+    pub misses: u64,
+    /// Lookups on implicit/combinator variants that skip the table.
+    pub bypassed: u64,
+    /// Occupied slots right now (stale entries whose strong count dropped
+    /// to zero still occupy their slot until evicted by a new miss).
+    pub resident: usize,
+}
+
+/// Snapshot of the sensitivity-cache counters.
+pub fn sens_cache_stats() -> SensCacheStats {
+    let t = lock_table();
+    let resident = t
+        .entries
+        .iter()
+        .filter(|e| !matches!(e.guard, PayloadGuard::Vacant))
+        .count();
+    SensCacheStats {
+        hits: t.hits,
+        misses: t.misses,
+        bypassed: BYPASSED.load(Ordering::Relaxed),
+        resident,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arc_variants() -> Vec<Matrix> {
+        vec![
+            Matrix::from_rows(vec![vec![1.0, -2.0], vec![0.5, 3.0]]),
+            Matrix::sparse(Matrix::prefix(5).to_sparse()),
+            Matrix::diagonal(vec![1.0, -4.0, 2.5]),
+            Matrix::range_queries(6, vec![(0, 3), (2, 6)]),
+            Matrix::rect_queries(3, 4, vec![(0, 2, 1, 3)]),
+        ]
+    }
+
+    #[test]
+    fn cached_matches_uncached_for_every_arc_variant() {
+        for m in arc_variants() {
+            let exact = m.l1_sensitivity();
+            assert_eq!(m.l1_sensitivity_cached(), exact);
+            // Second call — served from the table — is bit-identical.
+            assert_eq!(m.l1_sensitivity_cached(), exact);
+        }
+    }
+
+    #[test]
+    fn repeat_lookups_on_one_object_hit() {
+        let m = Matrix::from_rows(vec![vec![2.0, -7.0, 1.0]]);
+        let _ = m.l1_sensitivity_cached(); // publish
+        let before = sens_cache_stats();
+        let a = m.l1_sensitivity_cached();
+        let b = m.l1_sensitivity_cached();
+        let after = sens_cache_stats();
+        assert_eq!(a, 7.0);
+        assert_eq!(b, 7.0);
+        // Other tests run concurrently, so only lower-bound the delta.
+        assert!(
+            after.hits >= before.hits + 2,
+            "expected 2 hits, stats {before:?} -> {after:?}"
+        );
+    }
+
+    #[test]
+    fn structural_clone_shares_the_entry() {
+        let m = Matrix::diagonal(vec![3.0, -9.0]);
+        let twin = m.clone(); // clones the Arc, not the payload
+        let _ = m.l1_sensitivity_cached();
+        let before = sens_cache_stats();
+        assert_eq!(twin.l1_sensitivity_cached(), 9.0);
+        assert!(sens_cache_stats().hits > before.hits);
+    }
+
+    #[test]
+    fn implicit_variants_bypass_the_table() {
+        let before = sens_cache_stats().bypassed;
+        assert_eq!(Matrix::prefix(8).l1_sensitivity_cached(), 8.0);
+        assert_eq!(Matrix::identity(4).l1_sensitivity_cached(), 1.0);
+        let h = Matrix::vstack(vec![Matrix::identity(4), Matrix::total(4)]);
+        assert_eq!(h.l1_sensitivity_cached(), 2.0);
+        assert!(sens_cache_stats().bypassed >= before + 3);
+    }
+
+    #[test]
+    fn address_reuse_cannot_serve_a_stale_value() {
+        // Create-and-drop in a tight loop so the allocator is pressured to
+        // reuse addresses; a stale entry would surface as a wrong norm.
+        for i in 0..400 {
+            let want = i as f64 + 0.5;
+            let m = Matrix::diagonal(vec![want, -want / 2.0, 0.25]);
+            assert_eq!(m.l1_sensitivity_cached(), want);
+        }
+    }
+
+    #[test]
+    fn equal_shaped_distinct_objects_do_not_alias() {
+        let a = Matrix::diagonal(vec![5.0, 1.0]);
+        let b = Matrix::diagonal(vec![8.0, 1.0]); // same shape, new payload
+        assert_eq!(a.l1_sensitivity_cached(), 5.0);
+        assert_eq!(b.l1_sensitivity_cached(), 8.0);
+        assert_eq!(a.l1_sensitivity_cached(), 5.0);
+    }
+}

@@ -168,6 +168,17 @@ impl Matrix {
         self.abs_col_sums().into_iter().fold(0.0, f64::max)
     }
 
+    /// Memoized [`Matrix::l1_sensitivity`]: identical value, served from a
+    /// process-wide identity cache for the Arc-backed representations
+    /// (`Dense`, `Sparse`, `Diagonal`, `Range`, `Rect2D`). The cache keys
+    /// on payload address pinned by a [`std::sync::Weak`] guard — never on
+    /// a shape fingerprint — so two equal-looking matrices cannot alias
+    /// (see `senscache` for the full argument). Implicit and combinator
+    /// variants fall through to the direct computation.
+    pub fn l1_sensitivity_cached(&self) -> f64 {
+        crate::senscache::l1_cached(self)
+    }
+
     /// The L2 sensitivity `‖A‖₂` = max column norm.
     pub fn l2_sensitivity(&self) -> f64 {
         self.sqr_col_sums().into_iter().fold(0.0, f64::max).sqrt()

@@ -588,12 +588,12 @@ fn determinism_transitive(
         // it are out of scope (its own invariants are gated by the
         // pool-size bit-identity suites and the line-level rules).
         let visited = reach(files, idx, root, "determinism-transitive", config, |rel| {
-            rel.ends_with("matrix/src/pool.rs")
+            rel.contains("matrix/src/pool/")
         });
         for &node in visited.keys() {
             let (fi, _) = idx.nodes[node];
             let af = &files[fi];
-            if af.ctx.rel.ends_with("matrix/src/pool.rs") {
+            if af.ctx.rel.contains("matrix/src/pool/") {
                 continue;
             }
             for b in &idx.fact(files, node).bans {

@@ -14,9 +14,10 @@
 //! # Rule catalog
 //!
 //! * `determinism-thread` — `std::thread::spawn` / `std::thread::scope`
-//!   are forbidden everywhere except `crates/matrix/src/pool.rs` (the one
-//!   sanctioned thread owner). Ad-hoc threads bypass the pool's
-//!   fixed-geometry dispatch and its pool-size bit-identity guarantee.
+//!   are forbidden everywhere except the `crates/matrix/src/pool/`
+//!   module tree (the one sanctioned thread owner). Ad-hoc threads
+//!   bypass the pool's fixed-geometry dispatch and its pool-size
+//!   bit-identity guarantee.
 //! * `determinism-parallelism` — `available_parallelism` is forbidden
 //!   outside `pool::configured_parallelism`: chunk geometry must come
 //!   from the process constant, never from a machine query at a call
@@ -891,7 +892,7 @@ fn push(report: &mut Report, ctx: &FileCtx, line: usize, rule: &'static str, mes
 
 /// Runs every line-local rule over one file.
 fn lint_file(ctx: &FileCtx, report: &mut Report) {
-    let is_pool = ctx.rel == "crates/matrix/src/pool.rs";
+    let is_pool = ctx.rel.starts_with("crates/matrix/src/pool/");
     let hot_hash_file = matches!(
         ctx.rel.as_str(),
         "crates/matrix/src/matvec.rs"
@@ -910,7 +911,7 @@ fn lint_file(ctx: &FileCtx, report: &mut Report) {
     let failpoint_site_file = matches!(
         ctx.rel.as_str(),
         "crates/matrix/src/failpoints.rs"
-            | "crates/matrix/src/pool.rs"
+            | "crates/matrix/src/pool/mod.rs"
             | "crates/core/src/kernel/state.rs"
             | "crates/core/src/kernel/mod.rs"
             | "crates/solvers/src/cgls.rs"
@@ -952,7 +953,7 @@ fn lint_file(ctx: &FileCtx, report: &mut Report) {
                         i,
                         "determinism-thread",
                         format!(
-                            "`{tok}` outside crates/matrix/src/pool.rs: all threading must go \
+                            "`{tok}` outside crates/matrix/src/pool/: all threading must go \
                              through the pool executor (fixed chunk geometry, pool-size \
                              bit-identity)"
                         ),

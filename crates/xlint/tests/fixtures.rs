@@ -1,12 +1,13 @@
 //! Fixture self-tests: each fixture is a miniature workspace tree, so the
-//! path-scoped rules (pool.rs exemption, state.rs chokepoint, hot-file
+//! path-scoped rules (pool/ exemption, state.rs chokepoint, hot-file
 //! hash ban, kernels/proptest cross-reference) and the flow rules
 //! (lock-discipline, warm-path-alloc, determinism-transitive,
 //! cfg-parity) are exercised exactly as they run against the real tree.
 //!
 //! * `violations/` seeds one violation per rule at a known line and
-//!   pairs each with the path-exempt twin (same code in `pool.rs` /
-//!   `state.rs` / a `#[cfg(test)]` module must stay silent);
+//!   pairs each with the path-exempt twin (same code in `pool/mod.rs`,
+//!   `pool/deque.rs` — the relocated pool module tree — `state.rs`, or
+//!   a `#[cfg(test)]` module must stay silent);
 //! * `allowed/` carries the same violations under well-formed
 //!   `xlint: allow(...)` directives and must lint clean;
 //! * `badallow/` holds malformed directives, which must surface as
@@ -91,10 +92,11 @@ fn violations_are_detected_at_exact_lines() {
         "full diagnostics: {:#?}",
         report.diagnostics
     );
-    // The path-exempt twins stayed silent: pool.rs (threading owner),
-    // state.rs (budget chokepoint, incl. held/charged), the #[cfg(test)]
-    // unwrap, the site in kernel/mod.rs (audited site file), and the arm
-    // call inside a #[cfg(test)] module.
+    // The path-exempt twins stayed silent: pool/mod.rs and pool/deque.rs
+    // (the threading-owner module tree), state.rs (budget chokepoint,
+    // incl. held/charged), the #[cfg(test)] unwrap, the site in
+    // kernel/mod.rs (audited site file), and the arm call inside a
+    // #[cfg(test)] module.
     assert!(!report
         .diagnostics
         .iter()
@@ -102,7 +104,7 @@ fn violations_are_detected_at_exact_lines() {
     assert!(!report
         .diagnostics
         .iter()
-        .any(|d| d.file.contains("pool.rs") || d.file.contains("state.rs")));
+        .any(|d| d.file.contains("pool/") || d.file.contains("state.rs")));
     // The bare unsafe site is inventoried without a justification.
     assert_eq!(report.unsafe_sites.len(), 1);
     assert_eq!(report.unsafe_sites[0].file, "crates/core/src/lib.rs");

@@ -1,0 +1,4 @@
+// Submodule of the sanctioned thread owner: exempt like pool/mod.rs.
+pub fn steal_loop() {
+    std::thread::scope(|_| {});
+}

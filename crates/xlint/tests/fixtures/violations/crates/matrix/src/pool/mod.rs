@@ -1,0 +1,8 @@
+// The pool/ module tree is the sanctioned thread owner: neither the
+// spawn nor the machine query below may be reported, and the same
+// exemption covers submodules (this fixture adds pool/deque.rs as the
+// relocated-layout twin).
+pub fn spawn_workers() {
+    std::thread::spawn(|| {});
+    let _ = std::thread::available_parallelism();
+}
